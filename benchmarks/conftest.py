@@ -1,0 +1,17 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every module regenerates one table or figure from the paper's
+evaluation; run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the regenerated tables next to the paper's numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collector printed at the end of the session."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

@@ -1,0 +1,111 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not in the paper, but they probe the claims behind it:
+
+* **memory latency sweep** — the decoupled access/execute pipeline
+  should tolerate latency; the recurrence+streaming code should tolerate
+  it even better (its loop has no memory round-trip);
+* **FIFO capacity sweep** — streams can only run ahead as far as the
+  FIFOs allow; capacity below the memory latency throttles them;
+* **memory ports** — dual-ported memory feeds two concurrent streams;
+* **combine (dual-op) ablation** — WM's dual-operation instructions
+  carry the address arithmetic; disabling combining shows their value.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+
+LLOOP = """
+double x[256]; double y[256]; double z[256];
+int main(void) {
+    int i;
+    for (i = 0; i < 256; i++) { y[i] = 0.25; z[i] = 0.5; x[i] = 0.1; }
+    for (i = 2; i < 256; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return (int)(x[255] * 100000.0);
+}
+"""
+
+DOT = """
+double a[256]; double b[256];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 256; i++) { a[i] = 0.5; b[i] = 2.0; }
+    s = 0.0;
+    for (i = 0; i < 256; i++) s = s + a[i] * b[i];
+    return (int)s;
+}
+"""
+
+
+def cycles(source, opts, **sim_kwargs):
+    res = compile_source(source, options=opts)
+    sim = res.simulate(**sim_kwargs)
+    assert sim.value == res.run_oracle().value
+    return sim.cycles
+
+
+class TestLatencySweep:
+    def test_print_latency_sweep(self):
+        print("\nAblation: memory latency sweep (5th Livermore loop)")
+        print(f"{'latency':>8}  {'baseline':>9}  {'optimized':>9}")
+        for latency in (1, 2, 4, 8, 16, 32):
+            base = cycles(LLOOP, OptOptions.baseline(),
+                          mem_latency=latency)
+            full = cycles(LLOOP, OptOptions(), mem_latency=latency)
+            print(f"{latency:8d}  {base:9d}  {full:9d}")
+
+    def test_optimized_latency_insensitive(self):
+        base_lo = cycles(LLOOP, OptOptions.baseline(), mem_latency=2)
+        base_hi = cycles(LLOOP, OptOptions.baseline(), mem_latency=24)
+        full_lo = cycles(LLOOP, OptOptions(), mem_latency=2)
+        full_hi = cycles(LLOOP, OptOptions(), mem_latency=24)
+        assert (full_hi - full_lo) < (base_hi - base_lo)
+
+
+class TestFifoCapacity:
+    def test_print_capacity_sweep(self):
+        print("\nAblation: FIFO capacity sweep (dot product, latency 8)")
+        print(f"{'capacity':>9}  {'cycles':>8}")
+        for capacity in (2, 4, 8, 16, 32):
+            c = cycles(DOT, OptOptions(), fifo_capacity=capacity,
+                       mem_latency=8)
+            print(f"{capacity:9d}  {c:8d}")
+
+    def test_small_fifos_throttle_streams(self):
+        small = cycles(DOT, OptOptions(), fifo_capacity=2, mem_latency=8)
+        large = cycles(DOT, OptOptions(), fifo_capacity=16, mem_latency=8)
+        assert large < small
+
+
+class TestMemoryPorts:
+    def test_print_port_sweep(self):
+        print("\nAblation: memory ports (dot product, two input streams)")
+        for ports in (1, 2, 4):
+            c = cycles(DOT, OptOptions(), mem_ports=ports)
+            print(f"  ports={ports}: {c} cycles")
+
+    def test_second_port_helps_dual_streams(self):
+        one = cycles(DOT, OptOptions(), mem_ports=1)
+        two = cycles(DOT, OptOptions(), mem_ports=2)
+        assert two < one
+
+
+class TestCombineAblation:
+    def test_dual_op_combining_saves_cycles(self):
+        base = cycles(LLOOP, OptOptions.baseline())
+        no_combine = cycles(
+            LLOOP, OptOptions(combine=False, recurrence=False,
+                              streaming=False))
+        print(f"\nAblation: combine off {no_combine} vs on {base} cycles")
+        assert base < no_combine
+
+
+def test_bench_ablation_matrix(benchmark):
+    def run():
+        return cycles(DOT, OptOptions(), mem_latency=4)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert out > 0

@@ -1,0 +1,73 @@
+"""Table II — execution performance improvement by streaming.
+
+Paper (cycle counts from the authors' WM simulator):
+
+    banner 5   bubblesort 18   cal 17       dhrystone 39   dot-product 43
+    iir 13     quicksort 1     sieve 18     whetstone 3
+
+Regenerated on the reproduction's cycle-level WM simulator: each program
+is compiled with and without the streaming optimization (recurrence
+optimization on in both, since it is a separate phase) and the percent
+reduction in cycles executed is reported.
+
+Known divergence: bubblesort's paper gain (18%) is not reproduced — its
+inner loop's conditional swap stores create a loop-carried flow
+dependence that this implementation's analysis (correctly) refuses to
+stream; see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.reporting import PAPER_TABLE2, table2
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2(scale=SCALE)
+
+
+def test_print_table2(rows):
+    print(f"\nTable II — % reduction in cycles by streaming "
+          f"(scale={SCALE})")
+    print(f"{'program':>12}  {'measured':>9}  {'paper':>6}  "
+          f"{'in':>3} {'out':>3}")
+    for row in sorted(rows, key=lambda r: -r.percent):
+        print(f"{row.program:>12}  {row.percent:8.1f}%  "
+              f"{row.paper_percent:5d}%  {row.streams_in:3d} "
+              f"{row.streams_out:3d}")
+
+
+def test_no_regressions(rows):
+    assert all(r.percent >= -2.0 for r in rows)
+
+
+def test_winners_and_losers_match_paper(rows):
+    by = {r.program: r.percent for r in rows}
+    # paper's top performer is dot-product; its bottom are
+    # quicksort/whetstone/banner
+    assert by["dot-product"] >= 25.0
+    assert by["quicksort"] <= 12.0
+    assert by["whetstone"] <= 12.0
+    assert by["banner"] <= 12.0
+    # mid-field programs show a solid gain
+    assert by["sieve"] >= 8.0
+    assert by["dhrystone"] >= 8.0
+
+
+@pytest.mark.parametrize("program", sorted(PAPER_TABLE2))
+def test_bench_simulation(benchmark, program):
+    """Times one full compile+simulate of each Table II program."""
+    from repro.benchsuite import get_program
+    from repro.compiler import compile_source
+    from repro.opt import OptOptions
+
+    prog = get_program(program, scale=0.1)
+
+    def run():
+        res = compile_source(prog.source, options=OptOptions())
+        return res.simulate().cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The access/execute thesis, measured: memory-latency tolerance.
+
+The motivation for decoupled architectures is that separating address
+generation from operand use lets loads run ahead of consumption,
+masking memory latency.  This example sweeps the simulated memory
+latency and shows three codes:
+
+* a plain scalar loop (latency partially hidden by the load FIFOs),
+* the Livermore recurrence loop, baseline (each iteration round-trips
+  through memory: store x[i], load it back as x[i-1]),
+* the same loop with recurrence optimization + streams (no round trip;
+  the SCUs prefetch ahead).
+
+Usage::
+
+    python examples/latency_tolerance.py
+"""
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+
+RECURRENCE = """
+double x[400]; double y[400]; double z[400];
+int main(void) {
+    int i;
+    for (i = 0; i < 400; i++) { y[i] = 0.25; z[i] = 0.5; x[i] = 0.1; }
+    for (i = 2; i < 400; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return (int)(x[399] * 100000.0);
+}
+"""
+
+STREAMLESS_SUM = """
+double a[400];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 400; i++) a[i] = 0.5;
+    s = 0.0;
+    for (i = 0; i < 400; i++) s = s + a[i];
+    return (int)s;
+}
+"""
+
+
+def sweep(source: str, opts: OptOptions, latencies) -> list[int]:
+    out = []
+    for latency in latencies:
+        res = compile_source(source, options=opts)
+        sim = res.simulate(mem_latency=latency)
+        assert sim.value == res.run_oracle().value
+        out.append(sim.cycles)
+    return out
+
+
+def main() -> None:
+    latencies = [1, 2, 4, 8, 16, 32]
+    print("cycles vs. memory latency\n")
+    print(f"{'latency':>8} | {'sum base':>9} | {'rec base':>9} | "
+          f"{'rec opt':>9}")
+    print("-" * 46)
+    sums = sweep(STREAMLESS_SUM, OptOptions.baseline(), latencies)
+    rec_base = sweep(RECURRENCE, OptOptions.baseline(), latencies)
+    rec_opt = sweep(RECURRENCE, OptOptions(), latencies)
+    for latency, a, b, c in zip(latencies, sums, rec_base, rec_opt):
+        print(f"{latency:8d} | {a:9d} | {b:9d} | {c:9d}")
+
+    def penalty(series):
+        return 100.0 * (series[-1] - series[0]) / series[0]
+
+    print(f"\nslowdown from latency 1 to {latencies[-1]}:")
+    print(f"  plain sum loop (FIFO-buffered loads): {penalty(sums):6.1f}%")
+    print(f"  recurrence loop, baseline:            "
+          f"{penalty(rec_base):6.1f}%")
+    print(f"  recurrence loop, optimized+streamed:  "
+          f"{penalty(rec_opt):6.1f}%")
+    print("\nThe optimized loop keeps its data in registers and FIFOs —")
+    print("the paper's claim that streaming 'masks memory latency'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Mini-C program for WM, inspect the listing,
+and run it on the cycle-level simulator.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+
+SOURCE = """
+double a[500]; double b[500];
+
+double dot(int n) {
+    double sum;
+    int i;
+    sum = 0.0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * b[i];
+    return sum;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 500; i++) {
+        a[i] = (i & 7) * 0.25;
+        b[i] = 2.0;
+    }
+    return (int)dot(500);
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. compile with the full pipeline (recurrence + streaming)")
+    result = compile_source(SOURCE, options=OptOptions())
+
+    print("\n=== 2. the generated WM assembly for dot() —")
+    print("        note the SinD stream set-up and the two-instruction loop")
+    print(result.listing("dot"))
+
+    print("\n=== 3. check against the reference interpreter")
+    oracle = result.run_oracle()
+    print(f"    oracle says main() returns {oracle.value}")
+
+    print("\n=== 4. run on the cycle-level WM simulator")
+    sim = result.simulate()
+    print(f"    simulator returns {sim.value} "
+          f"({'MATCH' if sim.value == oracle.value else 'MISMATCH'})")
+    print(f"    cycles: {sim.cycles}")
+    print(f"    instructions dispatched: {sim.instructions}")
+    print(f"    stream elements transferred: {sim.stream_elements}")
+
+    print("\n=== 5. compare with streaming disabled")
+    plain = compile_source(SOURCE, options=OptOptions.no_streaming())
+    plain_sim = plain.simulate()
+    saved = 100.0 * (plain_sim.cycles - sim.cycles) / plain_sim.cycles
+    print(f"    without streams: {plain_sim.cycles} cycles")
+    print(f"    streaming saves {saved:.1f}% "
+          "(the paper's Table II measured 43% for dot-product)")
+
+
+if __name__ == "__main__":
+    main()

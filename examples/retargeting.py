@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Retargeting: the same machine-independent optimizer on four machines.
+
+The paper's point about the recurrence algorithm is that it is "largely
+machine-independent, yet applied to machine-dependent code".  This
+example compiles one IIR filter for WM, a Motorola 68020, and two
+cost-model machines, showing the recurrence reports and per-machine
+timings with the optimization on and off.
+
+Usage::
+
+    python examples/retargeting.py
+"""
+
+from repro.compiler import compile_source, scalar_options
+from repro.machine.m68020 import M68020
+from repro.machine.scalar import make_machine
+from repro.opt import OptOptions
+
+SOURCE = """
+double input[800]; double output[800]; double w[800];
+
+int filter(int n) {
+    int i;
+    for (i = 2; i < n; i++) {
+        w[i] = input[i] + 0.48 * w[i-1] - 0.22 * w[i-2];
+        output[i] = 0.2 * w[i] + 0.3 * w[i-1] + 0.2 * w[i-2];
+    }
+    return 0;
+}
+
+int main(void) {
+    int i; int k;
+    k = 0;
+    for (i = 0; i < 800; i++) {
+        input[i] = k * 0.05 - 0.45;
+        w[i] = 0.0;
+        output[i] = 0.0;
+        k++; if (k == 19) k = 0;
+    }
+    filter(800);
+    return (int)(output[799] * 100000.0);
+}
+"""
+
+
+def main() -> None:
+    print("A degree-2 recurrence (IIR filter) on four targets\n")
+
+    # -- WM: cycle simulation -------------------------------------------------
+    for label, opts in (("baseline", OptOptions.baseline()),
+                        ("optimized", OptOptions())):
+        res = compile_source(SOURCE, options=opts)
+        sim = res.simulate()
+        reports = res.reports["filter"]
+        extra = ""
+        if reports.recurrences:
+            r = reports.recurrences[0]
+            extra = (f"  [recurrence degree {r.degree}, "
+                     f"{r.eliminated_loads} loads eliminated]")
+        if reports.streams:
+            s = reports.streams[0]
+            extra += f"  [{s.streams_in} in / {s.streams_out} out streams]"
+        print(f"  WM        {label:9s}: {sim.cycles:7d} cycles{extra}")
+        oracle = res.run_oracle()
+        assert sim.value == oracle.value
+
+    # -- scalar machines: cost-model execution ----------------------------------
+    print()
+    for name in ("sun3/280", "m88100"):
+        rows = {}
+        for rec in (False, True):
+            machine = make_machine(name)
+            res = compile_source(SOURCE, machine=machine,
+                                 options=scalar_options(recurrence=rec))
+            out = res.execute()
+            assert out.value == res.run_oracle().value
+            rows[rec] = out.cycles
+        gain = 100.0 * (rows[False] - rows[True]) / rows[False]
+        print(f"  {name:9s} recurrence opt saves {gain:4.1f}% "
+              f"({rows[False]:.0f} -> {rows[True]:.0f} weighted cycles)")
+
+    # -- 68020: listing with auto-increment -----------------------------------
+    print("\n68020 inner loop (note the auto-increment pointer walks):")
+    res = compile_source(SOURCE, machine=M68020(), options=scalar_options())
+    assert res.execute().value == res.run_oracle().value
+    listing = res.listing("filter")
+    lines = listing.splitlines()
+    starts = [i for i, l in enumerate(lines) if l.strip().endswith(":")]
+    print("\n".join(lines[starts[-1]:]) if len(starts) > 1 else listing)
+
+
+if __name__ == "__main__":
+    main()

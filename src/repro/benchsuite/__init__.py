@@ -1,0 +1,5 @@
+"""Benchmark programs (Table II set, Livermore loop, utility corpus)."""
+
+from .programs import PROGRAMS, UTILITY_CORPUS, BenchProgram, get_program
+
+__all__ = ["PROGRAMS", "UTILITY_CORPUS", "BenchProgram", "get_program"]

@@ -1,0 +1,553 @@
+"""The benchmark programs of the paper's Table II, in Mini-C.
+
+Nine programs — banner, bubblesort, cal, dhrystone, dot-product, iir,
+quicksort, sieve, whetstone — plus the 5th Livermore loop used by
+Table I and Figures 4-7, and a corpus of Unix-utility kernels (string
+copy, structure copy, table search, array initialization) backing the
+paper's observation that streaming appears in ordinary programs.
+
+Every program is self-contained (no I/O, no libm): it computes its
+result into globals and returns an integer checksum, so the IR
+reference interpreter, the WM cycle simulator, and the scalar executors
+can all be compared bit-for-bit.  Sizes are chosen so a full simulation
+finishes in seconds; each source is generated from a template
+parameterized by ``scale``.
+
+``dhrystone`` and ``whetstone`` are simplified kernels exercising the
+same operation mix as the originals (record/string manipulation and
+integer control for dhrystone; FP polynomial evaluation loops for
+whetstone) — the originals depend on libc and libm, which the Mini-C
+substrate deliberately omits.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchProgram", "PROGRAMS", "UTILITY_CORPUS", "get_program"]
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    """One benchmark: name, source template, globals to checksum."""
+
+    name: str
+    description: str
+    source: str
+    #: (global name, byte size) pairs compared against the oracle
+    check_globals: tuple = ()
+
+
+def _lloop5(n: int) -> str:
+    return f"""
+double x[{n}]; double y[{n}]; double z[{n}];
+
+int kernel(int n) {{
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return 0;
+}}
+
+int main(void) {{
+    int i; int n;
+    n = {n};
+    {{
+        int k; int j;
+        k = 0; j = 0;
+        for (i = 0; i < n; i++) {{
+            y[i] = k * 0.25;
+            z[i] = 0.5 + j * 0.1;
+            x[i] = 0.0;
+            k++; if (k == 7) k = 0;
+            j++; if (j == 3) j = 0;
+        }}
+    }}
+    x[0] = 0.01; x[1] = 0.02;
+    kernel(n);
+    return (int)(x[n-1] * 100000.0) + (int)(x[n/2] * 1000.0);
+}}
+"""
+
+
+def _dot_product(n: int) -> str:
+    return f"""
+double a[{n}]; double b[{n}];
+
+double dot(int n) {{
+    double sum;
+    int i;
+    sum = 0.0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * b[i];
+    return sum;
+}}
+
+int main(void) {{
+    int i; int n; int k; int j; int rep;
+    double total;
+    n = {n};
+    k = 0; j = 0;
+    for (i = 0; i < n; i++) {{
+        a[i] = k * 0.125;
+        b[i] = j * 0.25;
+        k++; if (k == 11) k = 0;
+        j++; if (j == 5) j = 0;
+    }}
+    total = 0.0;
+    for (rep = 0; rep < 3; rep++)
+        total = total + dot(n);
+    return (int)(total * 16.0);
+}}
+"""
+
+
+def _bubblesort(n: int) -> str:
+    return f"""
+int a[{n}];
+
+void bubble(int n) {{
+    int i; int j; int t;
+    for (i = 0; i < n - 1; i++) {{
+        for (j = 0; j < n - 1 - i; j++) {{
+            if (a[j] > a[j+1]) {{
+                t = a[j];
+                a[j] = a[j+1];
+                a[j+1] = t;
+            }}
+        }}
+    }}
+}}
+
+int main(void) {{
+    int i; int n; int sum;
+    n = {n};
+    for (i = 0; i < n; i++)
+        a[i] = (i * 7919 + 13) % 1000;
+    bubble(n);
+    sum = 0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * (i + 1);
+    return sum;
+}}
+"""
+
+
+def _quicksort(n: int) -> str:
+    return f"""
+int a[{n}];
+
+void qsort_(int lo, int hi) {{
+    int i; int j; int pivot; int t;
+    if (lo >= hi) return;
+    pivot = a[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {{
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {{
+            t = a[i]; a[i] = a[j]; a[j] = t;
+            i++; j--;
+        }}
+    }}
+    qsort_(lo, j);
+    qsort_(i, hi);
+}}
+
+int main(void) {{
+    int i; int n; int sum;
+    n = {n};
+    for (i = 0; i < n; i++)
+        a[i] = (i * 2654435761) % 100000;
+    qsort_(0, n - 1);
+    sum = 0;
+    for (i = 0; i < n; i++)
+        sum = sum + (a[i] % 97) * (i % 31 + 1);
+    return sum;
+}}
+"""
+
+
+def _sieve(n: int) -> str:
+    return f"""
+char flags[{n}];
+
+int sieve(int n) {{
+    int i; int k; int count;
+    for (i = 0; i < n; i++)
+        flags[i] = 1;
+    count = 0;
+    for (i = 2; i < n; i++) {{
+        if (flags[i]) {{
+            for (k = i + i; k < n; k = k + i)
+                flags[k] = 0;
+            count++;
+        }}
+    }}
+    return count;
+}}
+
+int main(void) {{
+    return sieve({n});
+}}
+"""
+
+
+def _iir(n: int) -> str:
+    """A direct-form-II biquad filter: loads per sample plus a
+    second-order recurrence on the delay line array."""
+    return f"""
+double input[{n}]; double output[{n}];
+double w[{n}];
+
+int filter(int n) {{
+    int i;
+    double acc;
+    for (i = 2; i < n; i++) {{
+        w[i] = input[i] + 0.48 * w[i-1] - 0.22 * w[i-2];
+        acc = 0.2 * w[i] + 0.3 * w[i-1] + 0.2 * w[i-2];
+        acc = acc + 0.11 * acc * acc - 0.05 * acc * acc * acc;
+        output[i] = acc * (1.0 + 0.002 * acc);
+    }}
+    return 0;
+}}
+
+int main(void) {{
+    int i; int n;
+    n = {n};
+    {{
+        int k;
+        k = 0;
+        for (i = 0; i < n; i++) {{
+            input[i] = k * 0.05 - 0.45;
+            w[i] = 0.0;
+            output[i] = 0.0;
+            k++; if (k == 19) k = 0;
+        }}
+    }}
+    filter(n);
+    return (int)(output[n-1] * 100000.0) + (int)(output[n/3] * 10000.0);
+}}
+"""
+
+
+def _banner(reps: int) -> str:
+    return f"""
+char glyphs[480];
+char line[128];
+char message[16];
+int total;
+
+void render(char c, int row) {{
+    int g; int col; int base;
+    g = c - 'A';
+    base = g * 8 + row * 0;
+    for (col = 0; col < 8; col++) {{
+        if (glyphs[g * 8 + col] & (1 << (row % 8)))
+            line[col] = '#';
+        else
+            line[col] = ' ';
+    }}
+}}
+
+int main(void) {{
+    int i; int rep; int row; int sum;
+    for (i = 0; i < 480; i++)
+        glyphs[i] = (i * 73 + 19) % 256 - 128;
+    message[0] = 'H'; message[1] = 'E'; message[2] = 'L';
+    message[3] = 'L'; message[4] = 'O'; message[5] = 0;
+    sum = 0;
+    for (rep = 0; rep < {reps}; rep++) {{
+        i = 0;
+        while (message[i]) {{
+            for (row = 0; row < 8; row++) {{
+                render(message[i], row);
+                sum = sum + line[row % 8];
+            }}
+            i++;
+        }}
+    }}
+    total = sum;
+    return sum;
+}}
+"""
+
+
+def _cal(reps: int) -> str:
+    """Calendar layout: compute day-of-week and render month grids into
+    a character buffer (the layout kernel of cal(1))."""
+    return f"""
+char page[300];
+int month_days[12];
+int total;
+
+int day_of_week(int y, int m, int d) {{
+    int a; int ym; int mm;
+    a = (14 - m) / 12;
+    ym = y - a;
+    mm = m + 12 * a - 2;
+    return (d + ym + ym / 4 - ym / 100 + ym / 400 + (31 * mm) / 12) % 7;
+}}
+
+void render_month(int y, int m) {{
+    int i; int start; int days; int pos; int dow; int week;
+    for (i = 0; i < 300; i++)
+        page[i] = ' ';
+    start = day_of_week(y, m, 1);
+    days = month_days[m - 1];
+    week = 0;
+    for (i = 0; i < days; i++) {{
+        dow = day_of_week(y, m, i + 1);
+        if (i > 0 && dow == 0) week++;
+        pos = week * 24 + dow * 3;
+        page[pos] = '0' + (i + 1) / 10;
+        page[pos + 1] = '0' + (i + 1) % 10;
+    }}
+}}
+
+int main(void) {{
+    int y; int m; int i; int sum;
+    month_days[0] = 31; month_days[1] = 28; month_days[2] = 31;
+    month_days[3] = 30; month_days[4] = 31; month_days[5] = 30;
+    month_days[6] = 31; month_days[7] = 31; month_days[8] = 30;
+    month_days[9] = 31; month_days[10] = 30; month_days[11] = 31;
+    sum = 0;
+    for (y = 1991; y < 1991 + {reps}; y++) {{
+        for (m = 1; m <= 12; m++) {{
+            render_month(y, m);
+            for (i = 0; i < 300; i++)
+                sum = sum + (page[i] != ' ');
+        }}
+    }}
+    total = sum;
+    return sum;
+}}
+"""
+
+
+def _dhrystone(reps: int) -> str:
+    """Simplified dhrystone: record field shuffling through arrays,
+    string copy/compare, and the characteristic branchy integer mix."""
+    return f"""
+int rec_int[64];
+int rec_next[64];
+char str1[32];
+char str2[32];
+int int_glob;
+char ch_glob;
+
+int func1(char c1, char c2) {{
+    char c;
+    c = c1;
+    if (c != c2) return 0;
+    return 1;
+}}
+
+int func2(char *s1, char *s2) {{
+    int i;
+    i = 0;
+    while (i < 2) {{
+        if (func1(s1[i], s2[i+1]))
+            i++;
+        else
+            i = 3;
+    }}
+    if (i == 3) return 1;
+    return 0;
+}}
+
+void proc7(int a, int b, int *out) {{
+    *out = a + b + 2;
+}}
+
+void proc3(int idx) {{
+    int t;
+    proc7(10, int_glob, &t);
+    rec_next[idx] = t;
+}}
+
+void proc8(int *a1, int *a2, int val) {{
+    int i;
+    for (i = 0; i < 64; i++)
+        a1[i] = val + i;
+    for (i = 0; i < 64; i++)
+        a2[i] = a1[i];
+}}
+
+int main(void) {{
+    int run; int i; int sum; int k;
+    char *p; char *q;
+    int_glob = 5;
+    for (i = 0; i < 26; i++) {{
+        str1[i] = 'a' + i;
+        str2[i] = 'a' + (i + 1) % 26;
+    }}
+    str1[26] = 0; str2[26] = 0;
+    sum = 0;
+    for (run = 0; run < {reps}; run++) {{
+        k = run;
+        for (i = 0; i < 64; i++) {{
+            rec_int[i] = i * 3 + k;
+            k++; if (k == 100) k = 0;
+        }}
+        proc8(rec_int, rec_next, run);
+        proc3(run % 64);
+        p = str1; q = str2;
+        i = 0;
+        while (*p) {{ i = i + (*p++ == *q++); }}
+        sum = sum + i + func2(str1, str2);
+        for (i = 0; i < 64; i++)
+            sum = sum + rec_next[i] - rec_int[i];
+    }}
+    return sum;
+}}
+"""
+
+
+def _whetstone(reps: int) -> str:
+    """Simplified whetstone: FP polynomial/array modules without libm
+    (transcendental modules replaced by rational approximations)."""
+    return f"""
+double e1[4];
+double arr[512];
+double t_; double t2_;
+
+void pa(double *e) {{
+    int j;
+    j = 0;
+    while (j < 6) {{
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t_;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t_;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t_;
+        e[3] = (0.0 - e[0] + e[1] + e[2] + e[3]) / t2_;
+        j++;
+    }}
+}}
+
+double approx_sin(double x) {{
+    double x2;
+    x2 = x * x;
+    return x * (1.0 - x2 / 6.0 + x2 * x2 / 120.0);
+}}
+
+int main(void) {{
+    int i; int rep; int n;
+    double x; double y; double acc;
+    t_ = 0.499975; t2_ = 2.0;
+    n = 512;
+    acc = 0.0;
+    for (rep = 0; rep < {reps}; rep++) {{
+        e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+        for (i = 0; i < 24; i++)
+            pa(e1);
+        x = 0.2; y = 0.3;
+        for (i = 0; i < n; i++) {{
+            x = 0.245 * (x + y + approx_sin(y));
+            y = 0.245 * (x + y + approx_sin(x));
+        }}
+        for (i = 0; i < 64; i++)
+            arr[i] = x + y * i;
+        for (i = 2; i < 64; i++)
+            arr[i] = t_ * (arr[i-1] + arr[i-2]);
+        acc = acc + x - y + e1[3] + arr[63];
+    }}
+    return (int)(acc * 1000.0);
+}}
+"""
+
+
+#: Table II program set (scale-parameterized builders).
+_BUILDERS = {
+    "banner": (_banner, 6, "glyph rendering into a line buffer"),
+    "bubblesort": (_bubblesort, 96, "O(n^2) exchange sort"),
+    "cal": (_cal, 4, "calendar layout into a page buffer"),
+    "dhrystone": (_dhrystone, 12,
+                  "simplified dhrystone: records, strings, branches"),
+    "dot-product": (_dot_product, 2048,
+                    "double-precision dot product (the paper's example)"),
+    "iir": (_iir, 1024, "second-order IIR filter (degree-2 recurrence)"),
+    "quicksort": (_quicksort, 512, "recursive quicksort"),
+    "sieve": (_sieve, 2048, "sieve of Eratosthenes"),
+    "whetstone": (_whetstone, 6, "simplified whetstone FP modules"),
+    "lloop5": (_lloop5, 1024,
+               "5th Livermore loop: tri-diagonal elimination"),
+}
+
+
+def get_program(name: str, scale: float = 1.0) -> BenchProgram:
+    """Instantiate a benchmark at a relative size (1.0 = default)."""
+    builder, default, description = _BUILDERS[name]
+    size = max(4, int(default * scale))
+    return BenchProgram(name=name, description=description,
+                        source=builder(size))
+
+
+PROGRAMS = tuple(_BUILDERS)
+
+
+#: Unix-utility kernels for the qualitative streaming-detection study.
+UTILITY_CORPUS: dict[str, str] = {
+    "string-copy": """
+char src_[128]; char dst_[128];
+int main(void) {
+    char *s; char *p; int i;
+    for (i = 0; i < 100; i++) src_[i] = 'a' + (i % 26);
+    src_[100] = 0;
+    s = src_; p = dst_;
+    while (*s) *p++ = *s++;
+    *p = 0;
+    return dst_[99];
+}
+""",
+    "struct-copy": """
+int from_[256]; int to_[256];
+int main(void) {
+    int i;
+    for (i = 0; i < 256; i++) from_[i] = i * 3;
+    for (i = 0; i < 256; i++) to_[i] = from_[i];
+    return to_[255];
+}
+""",
+    "table-search": """
+int table[512];
+int main(void) {
+    int i; int hits; int key;
+    for (i = 0; i < 512; i++) table[i] = (i * 17) % 97;
+    hits = 0;
+    for (key = 0; key < 8; key++) {
+        for (i = 0; i < 512; i++)
+            if (table[i] == key) hits++;
+    }
+    return hits;
+}
+""",
+    "array-init": """
+int a[1024];
+int main(void) {
+    int i;
+    for (i = 0; i < 1024; i++) a[i] = 0;
+    for (i = 0; i < 1024; i++) a[i] = a[i] + 1;
+    return a[1023];
+}
+""",
+    "decode-tree-walk": """
+int left_[256]; int right_[256]; int leaf_[256];
+int bits[512];
+int main(void) {
+    int i; int node; int decoded;
+    for (i = 0; i < 256; i++) {
+        left_[i] = (2 * i + 1) % 256;
+        right_[i] = (2 * i + 2) % 256;
+        leaf_[i] = (i % 16) == 0;
+    }
+    for (i = 0; i < 512; i++) bits[i] = (i * 5 + 1) % 2;
+    node = 0; decoded = 0;
+    for (i = 0; i < 512; i++) {
+        if (bits[i]) node = right_[node];
+        else node = left_[node];
+        if (leaf_[node]) { decoded = decoded + node; node = 0; }
+    }
+    return decoded;
+}
+""",
+}

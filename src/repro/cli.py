@@ -1,0 +1,182 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``compile FILE``
+    Compile a Mini-C file and print the assembly listing.
+
+``run FILE``
+    Compile and execute: on WM via the cycle simulator, on scalar
+    targets via the cost-weighted executor; prints the result and the
+    performance counters, and cross-checks against the IR oracle.
+
+``figures``
+    Print the regenerated Figures 4-7.
+
+``tables``
+    Regenerate Tables I and II and the detection study (slow-ish).
+
+Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
+generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
+``--function NAME`` (listing selection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import compile_source, scalar_options
+from .machine.base import Machine
+from .machine.wm import WM
+from .opt import OptOptions
+
+__all__ = ["main"]
+
+
+def _make_machine(name: str) -> Machine:
+    if name == "wm":
+        return WM()
+    if name == "m68020":
+        from .machine.m68020 import M68020
+        return M68020()
+    from .machine.scalar import MACHINES, make_machine
+    if name in MACHINES:
+        return make_machine(name)
+    raise SystemExit(f"unknown target {name!r}")
+
+
+def _make_options(level: str, machine: Machine) -> OptOptions:
+    if isinstance(machine, WM):
+        table = {
+            "none": OptOptions.unoptimized(),
+            "baseline": OptOptions.baseline(),
+            "recurrence": OptOptions.no_streaming(),
+            "full": OptOptions(),
+        }
+    else:
+        table = {
+            "none": OptOptions.unoptimized(),
+            "baseline": OptOptions(recurrence=False, streaming=False,
+                                   strength=True),
+            "recurrence": scalar_options(),
+            "full": scalar_options(),
+        }
+    return table[level]
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    machine = _make_machine(args.target)
+    result = compile_source(source, machine=machine,
+                            options=_make_options(args.opt, machine))
+    print(result.listing(args.function))
+    for name, reports in result.reports.items():
+        for rec in reports.recurrences:
+            print(f"; {name}: recurrence degree {rec.degree}, "
+                  f"{rec.eliminated_loads} load(s) eliminated",
+                  file=sys.stderr)
+        for stream in reports.streams:
+            print(f"; {name}: {stream.streams_in} stream(s) in, "
+                  f"{stream.streams_out} out"
+                  f"{' (infinite)' if stream.infinite else ''}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    machine = _make_machine(args.target)
+    result = compile_source(source, machine=machine,
+                            options=_make_options(args.opt, machine))
+    oracle = result.run_oracle()
+    if isinstance(machine, WM):
+        sim = result.simulate()
+        status = "OK" if sim.value == oracle.value else "MISMATCH"
+        print(f"result: {sim.value}  (oracle {oracle.value}: {status})")
+        print(f"cycles: {sim.cycles}")
+        print(f"instructions: {sim.instructions} "
+              f"(IEU {sim.unit_instructions['IEU']}, "
+              f"FEU {sim.unit_instructions['FEU']})")
+        print(f"memory: {sim.memory_reads} reads, "
+              f"{sim.memory_writes} writes, "
+              f"{sim.stream_elements} stream elements")
+        return 0 if sim.value == oracle.value else 1
+    out = result.execute()
+    status = "OK" if out.value == oracle.value else "MISMATCH"
+    print(f"result: {out.value}  (oracle {oracle.value}: {status})")
+    print(f"weighted cycles: {out.cycles:.0f}")
+    print(f"instructions: {out.instructions}, "
+          f"memory refs: {out.memory_refs}")
+    return 0 if out.value == oracle.value else 1
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from .reporting import figure4, figure5, figure6, figure7
+    for title, text in (
+            ("Figure 4 — unoptimized WM code", figure4()),
+            ("Figure 5 — recurrences optimized", figure5(cleaned=False)),
+            ("Figure 6 — Motorola 68020", figure6()),
+            ("Figure 7 — stream instructions", figure7())):
+        print(f"\n=== {title} ===")
+        print(text)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .reporting import stream_detection, table1, table2
+    print("Table I — % improvement from recurrence optimization")
+    for row in table1(n=args.size):
+        print(f"  {row.machine:12s} {row.percent:5.1f}%  "
+              f"(paper {row.paper_percent}%)")
+    print("\nTable II — % cycle reduction by streaming")
+    for row in table2(scale=args.scale):
+        print(f"  {row.program:12s} {row.percent:5.1f}%  "
+              f"(paper {row.paper_percent}%)")
+    print("\nStream detection over the utility corpus")
+    for det in stream_detection():
+        print(f"  {det.kernel:18s} in={det.streams_in} "
+              f"out={det.streams_out} infinite={det.infinite}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benitez & Davidson (ASPLOS 1991) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    targets = ["wm", "m68020", "sun3/280", "hp9000/345", "vax8600",
+               "m88100", "generic-risc"]
+    levels = ["none", "baseline", "recurrence", "full"]
+
+    p_compile = sub.add_parser("compile", help="compile and print assembly")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--target", choices=targets, default="wm")
+    p_compile.add_argument("--opt", choices=levels, default="full")
+    p_compile.add_argument("--function", default=None)
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    p_run.add_argument("file")
+    p_run.add_argument("--target", choices=targets, default="wm")
+    p_run.add_argument("--opt", choices=levels, default="full")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figures", help="print Figures 4-7")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_tab = sub.add_parser("tables", help="regenerate Tables I/II")
+    p_tab.add_argument("--size", type=int, default=1000,
+                       help="Table I array size")
+    p_tab.add_argument("--scale", type=float, default=0.2,
+                       help="Table II problem scale")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

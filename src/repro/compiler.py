@@ -1,0 +1,109 @@
+"""Top-level compiler driver.
+
+``compile_source`` runs the full pipeline of the paper's Figure 3:
+
+    Mini-C source
+      -> front end (lex, parse, type-check)
+      -> abstract machine code (naive IR)
+      -> code expander (naive RTLs for the target)
+      -> optimizer (combine, DCE, code motion, recurrence detection,
+         streaming, register allocation)
+      -> machine lowering (WM access/execute split + FIFO fusion)
+
+and returns a :class:`CompileResult` that can be listed, simulated
+(:mod:`repro.sim`), cost-modeled (:mod:`repro.machine.scalar`), or
+interpreted at the IR level as the correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .expander import expand
+from .frontend import analyze
+from .ir import IRModule, lower
+from .ir import run as run_ir
+from .machine.base import Machine
+from .machine.wm import WM
+from .machine.wm_lower import lower_wm_module
+from .opt import OptOptions, OptReports, optimize_module
+from .rtl.module import RtlModule
+
+__all__ = ["CompileResult", "compile_source", "compile_to_ir"]
+
+
+@dataclass
+class CompileResult:
+    """A fully compiled program plus per-function optimization reports."""
+
+    source: str
+    machine: Machine
+    options: OptOptions
+    ir: IRModule
+    rtl: RtlModule
+    reports: dict[str, OptReports] = field(default_factory=dict)
+
+    def listing(self, function: Optional[str] = None) -> str:
+        """Assembly-style listing (machine-formatted when supported)."""
+        names = [function] if function else list(self.rtl.functions)
+        parts = []
+        formatter = getattr(self.machine, "format_function", None)
+        for name in names:
+            fn = self.rtl.functions[name]
+            if formatter is not None:
+                parts.append(formatter(name, fn.instrs))
+            else:
+                parts.append(f"{name}:\n{fn.listing()}")
+        return "\n\n".join(parts)
+
+    def run_oracle(self, args: tuple = ()):
+        """Execute the IR reference interpreter on the same program."""
+        return run_ir(self.ir, args=args)
+
+    def simulate(self, **kwargs):
+        """Run the compiled program on the WM cycle simulator."""
+        if not isinstance(self.machine, WM):
+            raise TypeError("cycle simulation requires the WM target")
+        from .sim import simulate as run_sim
+        return run_sim(self.rtl, **kwargs)
+
+    def execute(self, **kwargs):
+        """Run a scalar-compiled program on the cost-weighted executor."""
+        if isinstance(self.machine, WM):
+            raise TypeError("use simulate() for the WM target")
+        from .machine.m68020 import find_autoinc_pairs
+        from .machine.scalar_exec import execute_scalar
+        autoinc_free: set = set()
+        if getattr(self.machine, "name", "") == "m68020":
+            for fn in self.rtl.functions.values():
+                autoinc_free |= find_autoinc_pairs(fn.instrs)["adds"]
+        return execute_scalar(self.rtl, self.machine,
+                              autoinc_free=autoinc_free, **kwargs)
+
+
+def scalar_options(recurrence: bool = True) -> OptOptions:
+    """Standard optimization settings for the scalar back ends:
+    streaming off (no hardware), strength reduction on."""
+    return OptOptions(streaming=False, strength=True,
+                      recurrence=recurrence)
+
+
+def compile_to_ir(source: str) -> IRModule:
+    """Front half only: Mini-C source to abstract machine code."""
+    return lower(analyze(source))
+
+
+def compile_source(source: str, machine: Optional[Machine] = None,
+                   options: Optional[OptOptions] = None) -> CompileResult:
+    """Compile Mini-C source for ``machine`` (default: WM) at the given
+    optimization settings (default: everything on)."""
+    machine = machine or WM()
+    options = options or OptOptions()
+    ir = compile_to_ir(source)
+    rtl = expand(machine, ir)
+    reports = optimize_module(rtl, machine, options)
+    if isinstance(machine, WM):
+        lower_wm_module(rtl, machine)
+    return CompileResult(source=source, machine=machine, options=options,
+                         ir=ir, rtl=rtl, reports=reports)

@@ -1,0 +1,5 @@
+"""The code expander: abstract machine code to naive target RTLs."""
+
+from .expand import ExpandError, expand, expand_function
+
+__all__ = ["ExpandError", "expand", "expand_function"]

@@ -1,0 +1,252 @@
+"""The code expander: abstract machine code -> naive target RTLs.
+
+Mirrors the paper's compiler structure: the expander translates the
+front end's abstract machine code into straightforward (inefficient but
+correct) code for the target machine.  Every efficiency decision —
+combining, code motion, recurrence/stream detection, register
+allocation — is left to the RTL optimizer.
+
+The expansion uses virtual registers (``VReg``); only ABI registers
+(stack pointer, argument/return registers, link) appear as hard
+registers.  The prologue/epilogue are emitted with placeholder frame
+sizes that the post-allocation fixup (:mod:`repro.opt.regalloc`)
+patches once the callee-saved save area is known.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.module import IRFunction, IRModule
+from ..ir.ops import (
+    IRBin, IRCall, IRCast, IRCJump, IRCmp, IRConst, IRConstD, IRGlobalAddr,
+    IRJump, IRLabel, IRLoad, IRLocalAddr, IRMove, IRRet, IRStore, IRUn,
+    Temp,
+)
+from ..machine.base import Machine
+from ..rtl.expr import BinOp, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import (
+    Assign, Call, Compare, CondJump, Instr, Jump, Label, Ret,
+)
+from ..rtl.module import RtlFunction, RtlModule
+
+__all__ = ["expand", "expand_function", "ExpandError"]
+
+
+class ExpandError(Exception):
+    """IR that the expander cannot translate (argument overflow etc.)."""
+
+
+_BANK = {"i": "r", "d": "f"}
+
+
+def _vreg(temp: Temp) -> VReg:
+    return VReg(_BANK[temp.bank], temp.index)
+
+
+class _FuncExpander:
+    """Expands one IR function to RTL for ``machine``."""
+
+    def __init__(self, machine: Machine, fn: IRFunction,
+                 label_prefix: str) -> None:
+        self.machine = machine
+        self.fn = fn
+        self.out: list[Instr] = []
+        self._label_counter = 0
+        self._label_prefix = label_prefix
+        self._next_vreg = {
+            "r": fn.temp_counts.get("i", 0),
+            "f": fn.temp_counts.get("d", 0),
+        }
+        self.epilogue_label = self._new_label()
+        self.has_calls = any(isinstance(op, IRCall) for op in fn.body)
+        abi = machine.abi
+        self.sp = abi.sp
+        #: byte offset of the link-register save slot (top of local area)
+        self.link_slot = fn.frame_size if self.has_calls else None
+        self.frame_bytes = fn.frame_size + (8 if self.has_calls else 0)
+
+    def _new_label(self) -> str:
+        self._label_counter += 1
+        return f"{self._label_prefix}E{self._label_counter}"
+
+    def _new_vreg(self, bank: str) -> VReg:
+        self._next_vreg[bank] += 1
+        return VReg(bank, self._next_vreg[bank] - 1)
+
+    def emit(self, instr: Instr) -> Instr:
+        self.out.append(instr)
+        return instr
+
+    # -- expansion -----------------------------------------------------------
+    def expand(self) -> RtlFunction:
+        abi = self.machine.abi
+        sp_adjust = None
+        if self.frame_bytes:
+            sp_adjust = self.emit(Assign(
+                self.sp, BinOp("-", self.sp, Imm(self.frame_bytes)),
+                comment="allocate frame"))
+        if self.link_slot is not None:
+            self.emit(Assign(
+                Mem(BinOp("+", self.sp, Imm(self.link_slot)), 4, False),
+                abi.link, comment="save return address"))
+        # Receive arguments.
+        int_args = list(abi.int_args)
+        fp_args = list(abi.fp_args)
+        for param in self.fn.params:
+            if param.bank == "d":
+                if not fp_args:
+                    raise ExpandError("too many double arguments")
+                self.emit(Assign(_vreg(param), fp_args.pop(0),
+                                 comment="receive argument"))
+            else:
+                if not int_args:
+                    raise ExpandError("too many integer arguments")
+                self.emit(Assign(_vreg(param), int_args.pop(0),
+                                 comment="receive argument"))
+        for op in self.fn.body:
+            self._expand_op(op)
+        # Epilogue (single exit).
+        self.emit(Label(self.epilogue_label))
+        sp_restore = None
+        if self.link_slot is not None:
+            self.emit(Assign(
+                abi.link,
+                Mem(BinOp("+", self.sp, Imm(self.link_slot)), 4, False),
+                comment="restore return address"))
+        if self.frame_bytes:
+            sp_restore = self.emit(Assign(
+                self.sp, BinOp("+", self.sp, Imm(self.frame_bytes)),
+                comment="release frame"))
+        live_out = {self.sp, abi.link}
+        if self.fn.ret_fp is True:
+            live_out.add(abi.fp_ret)
+        elif self.fn.ret_fp is False:
+            live_out.add(abi.int_ret)
+        self.emit(Ret(live_out=live_out))
+        rtl_fn = RtlFunction(
+            name=self.fn.name,
+            instrs=self.out,
+            frame_size=self.frame_bytes,
+            vreg_counts=dict(self._next_vreg),
+        )
+        # Markers used by the post-allocation frame fixup.
+        rtl_fn.sp_adjust = sp_adjust          # type: ignore[attr-defined]
+        rtl_fn.sp_restore = sp_restore        # type: ignore[attr-defined]
+        rtl_fn.has_calls = self.has_calls     # type: ignore[attr-defined]
+        return rtl_fn
+
+    def _expand_op(self, op) -> None:
+        cls = type(op)
+        if cls is IRConst:
+            self.emit(Assign(_vreg(op.dst), Imm(op.value), lno=op.line))
+        elif cls is IRConstD:
+            self.emit(Assign(_vreg(op.dst), Imm(float(op.value)),
+                             lno=op.line))
+        elif cls is IRGlobalAddr:
+            self.emit(Assign(_vreg(op.dst), Sym(op.name), lno=op.line,
+                             comment=f"address of {op.name}"))
+        elif cls is IRLocalAddr:
+            self.emit(Assign(_vreg(op.dst),
+                             BinOp("+", self.sp, Imm(op.offset)),
+                             lno=op.line))
+        elif cls is IRLoad:
+            self.emit(Assign(_vreg(op.dst),
+                             Mem(_vreg(op.addr), op.width, op.fp, op.signed),
+                             lno=op.line))
+        elif cls is IRStore:
+            self.emit(Assign(Mem(_vreg(op.addr), op.width, op.fp),
+                             _vreg(op.src), lno=op.line))
+        elif cls is IRBin:
+            self.emit(Assign(_vreg(op.dst),
+                             BinOp(op.op, _vreg(op.a), _vreg(op.b)),
+                             lno=op.line))
+        elif cls is IRUn:
+            self.emit(Assign(_vreg(op.dst), UnOp(op.op, _vreg(op.a)),
+                             lno=op.line))
+        elif cls is IRCast:
+            kind = {"i2d": "i2d", "d2i": "d2i", "i2c": "sext8"}[op.kind]
+            self.emit(Assign(_vreg(op.dst), UnOp(kind, _vreg(op.src)),
+                             lno=op.line))
+        elif cls is IRMove:
+            self.emit(Assign(_vreg(op.dst), _vreg(op.src), lno=op.line))
+        elif cls is IRCmp:
+            self._expand_cmp(op)
+        elif cls is IRCJump:
+            bank = "f" if op.fp else "r"
+            self.emit(Compare(bank, op.op, _vreg(op.a), _vreg(op.b),
+                              lno=op.line))
+            self.emit(CondJump(bank, True, op.target, lno=op.line))
+        elif cls is IRJump:
+            self.emit(Jump(op.target, lno=op.line))
+        elif cls is IRLabel:
+            self.emit(Label(op.name, lno=op.line))
+        elif cls is IRCall:
+            self._expand_call(op)
+        elif cls is IRRet:
+            abi = self.machine.abi
+            if op.src is not None:
+                ret_reg = abi.fp_ret if op.src.bank == "d" else abi.int_ret
+                self.emit(Assign(ret_reg, _vreg(op.src), lno=op.line,
+                                 comment="return value"))
+            self.emit(Jump(self.epilogue_label, lno=op.line))
+        else:
+            raise ExpandError(f"unknown IR op {cls.__name__}")
+
+    def _expand_cmp(self, op: IRCmp) -> None:
+        """Materialize a 0/1 comparison result with a branch diamond."""
+        bank = "f" if op.fp else "r"
+        dst = _vreg(op.dst)
+        true_label = self._new_label()
+        end_label = self._new_label()
+        self.emit(Compare(bank, op.op, _vreg(op.a), _vreg(op.b),
+                          lno=op.line))
+        self.emit(CondJump(bank, True, true_label, lno=op.line))
+        self.emit(Assign(dst, Imm(0), lno=op.line))
+        self.emit(Jump(end_label, lno=op.line))
+        self.emit(Label(true_label))
+        self.emit(Assign(dst, Imm(1), lno=op.line))
+        self.emit(Label(end_label))
+
+    def _expand_call(self, op: IRCall) -> None:
+        abi = self.machine.abi
+        int_args = list(abi.int_args)
+        fp_args = list(abi.fp_args)
+        arg_regs: list[Reg] = []
+        moves: list[Assign] = []
+        for arg in op.args:
+            if arg.bank == "d":
+                if not fp_args:
+                    raise ExpandError("too many double arguments")
+                reg = fp_args.pop(0)
+            else:
+                if not int_args:
+                    raise ExpandError("too many integer arguments")
+                reg = int_args.pop(0)
+            moves.append(Assign(reg, _vreg(arg), lno=op.line,
+                                comment="pass argument"))
+            arg_regs.append(reg)
+        for move in moves:
+            self.emit(move)
+        ret_regs: list[Reg] = []
+        if op.dst is not None:
+            ret_regs = [abi.fp_ret if op.dst.bank == "d" else abi.int_ret]
+        clobbers = abi.caller_saved() | {abi.link}
+        self.emit(Call(op.name, arg_regs, ret_regs, clobbers, lno=op.line))
+        if op.dst is not None:
+            self.emit(Assign(_vreg(op.dst), ret_regs[0], lno=op.line,
+                             comment="receive result"))
+
+
+def expand_function(machine: Machine, fn: IRFunction) -> RtlFunction:
+    """Expand one IR function into naive RTL for ``machine``."""
+    return _FuncExpander(machine, fn, label_prefix=f"{fn.name}.").expand()
+
+
+def expand(machine: Machine, module: IRModule) -> RtlModule:
+    """Expand a whole IR module into naive RTL for ``machine``."""
+    out = RtlModule(entry=module.entry)
+    out.data = dict(module.data)
+    for fn in module.functions.values():
+        out.add_function(expand_function(machine, fn))
+    return out

@@ -1,0 +1,27 @@
+"""Mini-C front end: lexer, parser, type system, semantic analysis.
+
+The front end follows the paper's first pervasive strategy: it generates
+*naive but correct* code for a simple abstract machine
+(:mod:`repro.ir`); all optimization is delayed to the RTL level.
+"""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .semantic import CheckedProgram, check
+from .types import (
+    ArrayType, CHAR, CType, DOUBLE, FuncType, INT, PointerType,
+    ScalarType, TypeError_, VOID,
+)
+
+__all__ = [
+    "LexError", "Token", "tokenize",
+    "ParseError", "parse",
+    "CheckedProgram", "check",
+    "ArrayType", "CHAR", "CType", "DOUBLE", "FuncType", "INT",
+    "PointerType", "ScalarType", "TypeError_", "VOID",
+]
+
+
+def analyze(source: str) -> CheckedProgram:
+    """Parse and type-check Mini-C source in one call."""
+    return check(parse(source))

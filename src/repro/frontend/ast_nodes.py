@@ -1,0 +1,252 @@
+"""Abstract syntax tree for Mini-C.
+
+Expression nodes carry a ``ctype`` slot filled in by the semantic
+checker (:mod:`repro.frontend.semantic`), plus an ``is_lvalue`` flag.
+The checker also rewrites the tree in place, inserting implicit
+:class:`Cast` nodes so the IR generator never needs conversion logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .types import CType
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "FpLit", "StrLit", "Ident", "Binary", "Unary", "AssignExpr",
+    "Cond", "CallExpr", "Index", "Cast", "SizeofType", "IncDec", "Comma",
+    "ExprStmt", "DeclStmt", "IfStmt", "WhileStmt", "DoWhileStmt", "ForStmt",
+    "BreakStmt", "ContinueStmt", "ReturnStmt", "Block", "EmptyStmt",
+    "Param", "VarDef", "FuncDef", "Program",
+]
+
+
+@dataclass
+class Node:
+    """Base AST node; ``line`` is the 1-based source line."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Expr(Node):
+    """Base expression node; annotated by the semantic checker."""
+
+    ctype: Optional[CType] = field(default=None, kw_only=True)
+    is_lvalue: bool = field(default=False, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FpLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+    #: label assigned by the semantic pass for the interned literal
+    label: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic/relational/logical binary operator (incl. && and ||)."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: '-', '+', '!', '~', '*' (deref), '&' (address-of)."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    """Assignment; ``op`` is '' for plain '=' or the compound operator
+    ('+', '-', ...) for '+=', '-=', etc."""
+
+    op: str = ""
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Cond(Expr):
+    """The ternary ``c ? t : f`` operator."""
+
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[idx]``."""
+
+    base: Expr = None
+    idx: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    """Explicit or checker-inserted conversion to ``target_type``."""
+
+    target_type: CType = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: CType = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x``/``--x``/``x++``/``x--``; ``post`` selects postfix."""
+
+    op: str = ""
+    operand: Expr = None
+    post: bool = False
+
+
+@dataclass
+class Comma(Expr):
+    """The comma operator; evaluates left, yields right."""
+
+    left: Expr = None
+    right: Expr = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local variable declaration, possibly with a scalar initializer."""
+
+    ctype: CType = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Expr] = None
+    init_decls: list[DeclStmt] = field(default_factory=list)
+    cond: Optional[Expr] = None
+    update: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    ctype: CType = None
+    name: str = ""
+
+
+@dataclass
+class VarDef(Node):
+    """A global variable definition with an optional initializer.
+
+    ``init`` is a scalar expression, a list of scalar expressions (brace
+    initializer), or a :class:`StrLit` for char arrays.
+    """
+
+    ctype: CType = None
+    name: str = ""
+    init: object = None
+
+
+@dataclass
+class FuncDef(Node):
+    ret: CType = None
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: Optional[Block] = None  # None for a prototype
+
+
+@dataclass
+class Program(Node):
+    items: list[Node] = field(default_factory=list)

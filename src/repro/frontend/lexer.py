@@ -1,0 +1,185 @@
+"""Lexer for Mini-C, the C subset accepted by the reproduction compiler.
+
+Mini-C covers the language features the paper's benchmark programs need:
+``int``/``char``/``double`` scalars, pointers, multi-dimensional arrays,
+functions, the full C operator set (including ``&&``/``||``/``?:``,
+compound assignment and ``++``/``--``), and string/character literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "int", "char", "double", "void",
+    "if", "else", "while", "for", "do",
+    "break", "continue", "return", "sizeof",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+class LexError(SyntaxError):
+    """Raised on malformed Mini-C source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token. ``kind`` is one of 'id', 'intlit', 'fplit',
+    'charlit', 'strlit', 'kw', 'op', or 'eof'; ``text`` is the raw lexeme
+    and ``value`` the decoded literal value where applicable."""
+
+    kind: str
+    text: str
+    line: int
+    value: object = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind},{self.text!r},l{self.line})"
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "b": "\b", "f": "\f",
+}
+
+
+def _decode_escape(src: str, i: int, line: int) -> tuple[str, int]:
+    """Decode the escape sequence starting at ``src[i]`` (after the
+    backslash). Returns (character, next index)."""
+    ch = src[i]
+    if ch in _ESCAPES:
+        return _ESCAPES[ch], i + 1
+    if ch == "x":
+        j = i + 1
+        while j < len(src) and src[j] in "0123456789abcdefABCDEF":
+            j += 1
+        if j == i + 1:
+            raise LexError(f"line {line}: bad hex escape")
+        return chr(int(src[i + 1:j], 16)), j
+    raise LexError(f"line {line}: unknown escape '\\{ch}'")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Mini-C source into a list ending with an 'eof' token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, j)
+            i = j + 2
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        # Numeric literals.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_fp = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("intlit", source[i:j], line,
+                                    int(source[i:j], 16)))
+                i = j
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_fp = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_fp = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_fp:
+                tokens.append(Token("fplit", text, line, float(text)))
+            else:
+                tokens.append(Token("intlit", text, line, int(text)))
+            i = j
+            continue
+        # Character literals.
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                c, j = _decode_escape(source, j + 1, line)
+            elif j < n:
+                c = source[j]
+                j += 1
+            else:
+                raise LexError(f"line {line}: unterminated char literal")
+            if j >= n or source[j] != "'":
+                raise LexError(f"line {line}: unterminated char literal")
+            tokens.append(Token("charlit", source[i:j + 1], line, ord(c)))
+            i = j + 1
+            continue
+        # String literals.
+        if ch == '"':
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    c, j = _decode_escape(source, j + 1, line)
+                    chars.append(c)
+                elif source[j] == "\n":
+                    raise LexError(f"line {line}: newline in string literal")
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError(f"line {line}: unterminated string literal")
+            tokens.append(Token("strlit", source[i:j + 1], line, "".join(chars)))
+            i = j + 1
+            continue
+        # Operators and punctuation.
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

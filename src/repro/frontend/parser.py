@@ -1,0 +1,423 @@
+"""Recursive-descent parser for Mini-C.
+
+Produces the untyped AST defined in :mod:`repro.frontend.ast_nodes`.
+Precedence follows C.  Declarations may appear anywhere a statement may
+(C99-style) and in ``for`` initializers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as A
+from .lexer import Token, tokenize
+from .types import (
+    ArrayType, CHAR, CType, DOUBLE, INT, PointerType, VOID,
+)
+
+__all__ = ["ParseError", "Parser", "parse"]
+
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid Mini-C."""
+
+
+# binary operator precedence (higher binds tighter); && and || handled here
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
+
+_TYPE_KEYWORDS = {"int", "char", "double", "void"}
+
+
+class Parser:
+    """One-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {tok.line}: expected {want!r}, found {tok.text!r}")
+        return self._next()
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        return tok.kind == "kw" and tok.text in _TYPE_KEYWORDS
+
+    # -- declarations ---------------------------------------------------------
+    def _base_type(self) -> CType:
+        tok = self._expect("kw")
+        if tok.text == "int":
+            return INT
+        if tok.text == "char":
+            return CHAR
+        if tok.text == "double":
+            return DOUBLE
+        if tok.text == "void":
+            return VOID
+        raise ParseError(f"line {tok.line}: not a type: {tok.text}")
+
+    def _declarator(self, base: CType) -> tuple[CType, str, int]:
+        """Parse ``*``* name ``[n]``* and return (type, name, line)."""
+        ctype = base
+        while self._accept("op", "*"):
+            ctype = PointerType(ctype)
+        name_tok = self._expect("id")
+        dims: list[Optional[int]] = []
+        while self._accept("op", "["):
+            if self._check("op", "]"):
+                dims.append(None)
+            else:
+                size_tok = self._expect("intlit")
+                dims.append(size_tok.value)
+            self._expect("op", "]")
+        for dim in reversed(dims):
+            ctype = ArrayType(ctype, dim)
+        return ctype, name_tok.text, name_tok.line
+
+    def parse_program(self) -> A.Program:
+        items: list[A.Node] = []
+        while not self._check("eof"):
+            items.append(self._top_level())
+        return A.Program(items=items)
+
+    def _top_level(self) -> A.Node:
+        base = self._base_type()
+        ctype, name, line = self._declarator(base)
+        # Function definition or prototype.
+        if self._check("op", "("):
+            return self._function(ctype, name, line)
+        # Global variable(s).
+        init = None
+        if self._accept("op", "="):
+            init = self._initializer()
+        self._expect("op", ";")
+        return A.VarDef(ctype=ctype, name=name, init=init, line=line)
+
+    def _initializer(self) -> object:
+        if self._accept("op", "{"):
+            elems: list[A.Expr] = []
+            if not self._check("op", "}"):
+                elems.append(self._conditional())
+                while self._accept("op", ","):
+                    if self._check("op", "}"):
+                        break
+                    elems.append(self._conditional())
+            self._expect("op", "}")
+            return elems
+        if self._check("strlit"):
+            tok = self._next()
+            return A.StrLit(value=tok.value, line=tok.line)
+        return self._conditional()
+
+    def _function(self, ret: CType, name: str, line: int) -> A.FuncDef:
+        self._expect("op", "(")
+        params: list[A.Param] = []
+        if not self._check("op", ")"):
+            if self._check("kw", "void") and self._peek(1).text == ")":
+                self._next()
+            else:
+                params.append(self._param())
+                while self._accept("op", ","):
+                    params.append(self._param())
+        self._expect("op", ")")
+        if self._accept("op", ";"):
+            return A.FuncDef(ret=ret, name=name, params=params,
+                             body=None, line=line)
+        body = self._block()
+        return A.FuncDef(ret=ret, name=name, params=params,
+                         body=body, line=line)
+
+    def _param(self) -> A.Param:
+        base = self._base_type()
+        ctype, name, line = self._declarator(base)
+        # Array parameters decay to pointers.
+        ctype = ctype.decay()
+        return A.Param(ctype=ctype, name=name, line=line)
+
+    # -- statements -----------------------------------------------------------
+    def _block(self) -> A.Block:
+        brace = self._expect("op", "{")
+        stmts: list[A.Stmt] = []
+        while not self._check("op", "}"):
+            stmts.extend(self._statement())
+        self._expect("op", "}")
+        return A.Block(stmts=stmts, line=brace.line)
+
+    def _statement(self) -> list[A.Stmt]:
+        """Parse one statement; declarations may expand to several."""
+        tok = self._peek()
+        if self._at_type():
+            return self._local_decls()
+        if tok.kind == "op" and tok.text == "{":
+            return [self._block()]
+        if tok.kind == "op" and tok.text == ";":
+            self._next()
+            return [A.EmptyStmt(line=tok.line)]
+        if tok.kind == "kw":
+            if tok.text == "if":
+                return [self._if_stmt()]
+            if tok.text == "while":
+                return [self._while_stmt()]
+            if tok.text == "do":
+                return [self._do_while_stmt()]
+            if tok.text == "for":
+                return [self._for_stmt()]
+            if tok.text == "break":
+                self._next()
+                self._expect("op", ";")
+                return [A.BreakStmt(line=tok.line)]
+            if tok.text == "continue":
+                self._next()
+                self._expect("op", ";")
+                return [A.ContinueStmt(line=tok.line)]
+            if tok.text == "return":
+                self._next()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._expression()
+                self._expect("op", ";")
+                return [A.ReturnStmt(value=value, line=tok.line)]
+        expr = self._expression()
+        self._expect("op", ";")
+        return [A.ExprStmt(expr=expr, line=tok.line)]
+
+    def _local_decls(self) -> list[A.Stmt]:
+        base = self._base_type()
+        decls: list[A.Stmt] = []
+        while True:
+            ctype, name, line = self._declarator(base)
+            init = None
+            if self._accept("op", "="):
+                init = self._assignment()
+            decls.append(A.DeclStmt(ctype=ctype, name=name, init=init,
+                                    line=line))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        return decls
+
+    def _if_stmt(self) -> A.IfStmt:
+        tok = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then = _single(self._statement())
+        other = None
+        if self._accept("kw", "else"):
+            other = _single(self._statement())
+        return A.IfStmt(cond=cond, then=then, other=other, line=tok.line)
+
+    def _while_stmt(self) -> A.WhileStmt:
+        tok = self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        body = _single(self._statement())
+        return A.WhileStmt(cond=cond, body=body, line=tok.line)
+
+    def _do_while_stmt(self) -> A.DoWhileStmt:
+        tok = self._expect("kw", "do")
+        body = _single(self._statement())
+        self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return A.DoWhileStmt(body=body, cond=cond, line=tok.line)
+
+    def _for_stmt(self) -> A.ForStmt:
+        tok = self._expect("kw", "for")
+        self._expect("op", "(")
+        init = None
+        init_decls: list[A.DeclStmt] = []
+        if self._at_type():
+            init_decls = [d for d in self._local_decls()
+                          if isinstance(d, A.DeclStmt)]
+        elif not self._check("op", ";"):
+            init = self._expression()
+            self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._expression()
+        self._expect("op", ";")
+        update = None
+        if not self._check("op", ")"):
+            update = self._expression()
+        self._expect("op", ")")
+        body = _single(self._statement())
+        return A.ForStmt(init=init, init_decls=init_decls, cond=cond,
+                         update=update, body=body, line=tok.line)
+
+    # -- expressions ------------------------------------------------------------
+    def _expression(self) -> A.Expr:
+        expr = self._assignment()
+        while self._check("op", ","):
+            tok = self._next()
+            right = self._assignment()
+            expr = A.Comma(left=expr, right=right, line=tok.line)
+        return expr
+
+    def _assignment(self) -> A.Expr:
+        left = self._conditional()
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self._next()
+            value = self._assignment()
+            op = "" if tok.text == "=" else tok.text[:-1]
+            return A.AssignExpr(op=op, target=left, value=value,
+                                line=tok.line)
+        return left
+
+    def _conditional(self) -> A.Expr:
+        cond = self._binary(0)
+        if self._check("op", "?"):
+            tok = self._next()
+            then = self._expression()
+            self._expect("op", ":")
+            other = self._conditional()
+            return A.Cond(cond=cond, then=then, other=other, line=tok.line)
+        return cond
+
+    def _binary(self, min_prec: int) -> A.Expr:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._next()
+            right = self._binary(prec + 1)
+            left = A.Binary(op=tok.text, left=left, right=right,
+                            line=tok.line)
+
+    def _unary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self._next()
+            operand = self._unary()
+            return A.Unary(op=tok.text, operand=operand, line=tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self._next()
+            operand = self._unary()
+            return A.IncDec(op=tok.text, operand=operand, post=False,
+                            line=tok.line)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self._next()
+            if self._check("op", "(") and self._peek(1).kind == "kw" \
+                    and self._peek(1).text in _TYPE_KEYWORDS:
+                self._next()
+                ctype = self._type_name()
+                self._expect("op", ")")
+                return A.SizeofType(target_type=ctype, line=tok.line)
+            operand = self._unary()
+            # sizeof expr: fold during semantic analysis via the type.
+            node = A.SizeofType(target_type=None, line=tok.line)
+            node.operand = operand  # type: ignore[attr-defined]
+            return node
+        # Cast: '(' type-name ')' unary
+        if tok.kind == "op" and tok.text == "(" and self._peek(1).kind == "kw" \
+                and self._peek(1).text in _TYPE_KEYWORDS:
+            self._next()
+            ctype = self._type_name()
+            self._expect("op", ")")
+            operand = self._unary()
+            return A.Cast(target_type=ctype, operand=operand, line=tok.line)
+        return self._postfix()
+
+    def _type_name(self) -> CType:
+        base = self._base_type()
+        ctype: CType = base
+        while self._accept("op", "*"):
+            ctype = PointerType(ctype)
+        return ctype
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "op" and tok.text == "[":
+                self._next()
+                idx = self._expression()
+                self._expect("op", "]")
+                expr = A.Index(base=expr, idx=idx, line=tok.line)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self._next()
+                expr = A.IncDec(op=tok.text, operand=expr, post=True,
+                                line=tok.line)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self._next()
+        if tok.kind == "intlit" or tok.kind == "charlit":
+            return A.IntLit(value=tok.value, line=tok.line)
+        if tok.kind == "fplit":
+            return A.FpLit(value=tok.value, line=tok.line)
+        if tok.kind == "strlit":
+            return A.StrLit(value=tok.value, line=tok.line)
+        if tok.kind == "id":
+            if self._check("op", "("):
+                self._next()
+                args: list[A.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._assignment())
+                    while self._accept("op", ","):
+                        args.append(self._assignment())
+                self._expect("op", ")")
+                return A.CallExpr(name=tok.text, args=args, line=tok.line)
+            return A.Ident(name=tok.text, line=tok.line)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(
+            f"line {tok.line}: unexpected token {tok.text!r} in expression")
+
+
+def _single(stmts: list[A.Stmt]) -> A.Stmt:
+    if len(stmts) == 1:
+        return stmts[0]
+    return A.Block(stmts=stmts, line=stmts[0].line if stmts else 0)
+
+
+def parse(source: str) -> A.Program:
+    """Parse Mini-C source text into an untyped AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,596 @@
+"""Semantic analysis for Mini-C.
+
+Walks the AST produced by the parser, and:
+
+* resolves identifiers (globals, locals, params) with proper scoping,
+  giving every local a unique name so later phases use flat maps;
+* computes and annotates the type of every expression (``ctype``);
+* inserts explicit :class:`~repro.frontend.ast_nodes.Cast` nodes for the
+  usual arithmetic conversions and assignment conversions, so the IR
+  generator never converts implicitly;
+* scales pointer arithmetic by the pointee size;
+* interns string literals and evaluates constant global initializers to
+  byte images;
+* folds ``sizeof``.
+
+The result is a :class:`CheckedProgram` consumed by
+:mod:`repro.ir.irgen`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as A
+from .types import (
+    ArrayType, CHAR, CType, DOUBLE, FuncType, INT, PointerType,
+    TypeError_, VOID,
+)
+
+__all__ = ["CheckedProgram", "GlobalVar", "check"]
+
+
+@dataclass
+class GlobalVar:
+    """A checked global variable with its computed initial byte image."""
+
+    name: str
+    ctype: CType
+    init: Optional[bytes]
+    line: int = 0
+
+
+@dataclass
+class CheckedProgram:
+    """The semantic checker's output: annotated AST plus symbol tables."""
+
+    program: A.Program
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    functions: dict[str, A.FuncDef] = field(default_factory=dict)
+    sigs: dict[str, FuncType] = field(default_factory=dict)
+    strings: dict[str, bytes] = field(default_factory=dict)
+
+
+def _pack_scalar(ctype: CType, value) -> bytes:
+    if ctype == DOUBLE:
+        return struct.pack("<d", float(value))
+    if ctype == INT or ctype.is_pointer():
+        return struct.pack("<i", _wrap32(int(value)))
+    if ctype == CHAR:
+        return struct.pack("<b", _wrap8(int(value)))
+    raise TypeError_(f"cannot initialize type {ctype}")
+
+
+def _wrap32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _wrap8(v: int) -> int:
+    v &= 0xFF
+    return v - 0x100 if v >= 0x80 else v
+
+
+class _Scope:
+    """A lexical scope mapping source names to (unique name, type)."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: dict[str, tuple[str, CType]] = {}
+
+    def define(self, name: str, unique: str, ctype: CType) -> None:
+        self.names[name] = (unique, ctype)
+
+    def lookup(self, name: str) -> Optional[tuple[str, CType]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Checker:
+    """Stateful semantic checker; use :func:`check`."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, GlobalVar] = {}
+        self.global_types: dict[str, CType] = {}
+        self.sigs: dict[str, FuncType] = {}
+        self.functions: dict[str, A.FuncDef] = {}
+        self.strings: dict[str, bytes] = {}
+        self._string_labels: dict[bytes, str] = {}
+        self._local_counter = 0
+        self._current_ret: CType = VOID
+        self._current_locals: dict[str, CType] = {}
+        self._scope: _Scope = _Scope()
+
+    # -- entry points ---------------------------------------------------------
+    def check_program(self, prog: A.Program) -> CheckedProgram:
+        # First pass: collect signatures and global types so forward
+        # references work.
+        for item in prog.items:
+            if isinstance(item, A.FuncDef):
+                sig = FuncType(item.ret, tuple(p.ctype for p in item.params))
+                existing = self.sigs.get(item.name)
+                if existing is not None and existing != sig:
+                    raise TypeError_(
+                        f"conflicting declarations of {item.name}", item.line)
+                self.sigs[item.name] = sig
+            elif isinstance(item, A.VarDef):
+                if item.name in self.global_types:
+                    raise TypeError_(f"redefinition of {item.name}", item.line)
+                self.global_types[item.name] = item.ctype
+        for item in prog.items:
+            if isinstance(item, A.VarDef):
+                self._check_global(item)
+            elif isinstance(item, A.FuncDef) and item.body is not None:
+                self._check_function(item)
+        return CheckedProgram(
+            program=prog,
+            globals=self.globals,
+            functions=self.functions,
+            sigs=self.sigs,
+            strings=self.strings,
+        )
+
+    # -- globals -------------------------------------------------------------
+    def _check_global(self, var: A.VarDef) -> None:
+        ctype = var.ctype
+        init_bytes: Optional[bytes] = None
+        if var.init is not None:
+            if isinstance(var.init, A.StrLit):
+                if not (isinstance(ctype, ArrayType) and ctype.elem == CHAR):
+                    raise TypeError_(
+                        "string initializer requires char array", var.line)
+                data = var.init.value.encode("latin-1") + b"\0"
+                if ctype.length is None:
+                    ctype = ArrayType(CHAR, len(data))
+                    var.ctype = ctype
+                if len(data) > ctype.size:
+                    raise TypeError_("string too long for array", var.line)
+                init_bytes = data
+            elif isinstance(var.init, list):
+                if not isinstance(ctype, ArrayType):
+                    raise TypeError_(
+                        "brace initializer requires array type", var.line)
+                elem = ctype.elem
+                if ctype.length is None:
+                    ctype = ArrayType(elem, len(var.init))
+                    var.ctype = ctype
+                if len(var.init) > (ctype.length or 0):
+                    raise TypeError_("too many initializers", var.line)
+                parts = [
+                    _pack_scalar(elem, self._const_eval(e)) for e in var.init
+                ]
+                init_bytes = b"".join(parts)
+            else:
+                value = self._const_eval(var.init)
+                init_bytes = _pack_scalar(ctype, value)
+        self.globals[var.name] = GlobalVar(var.name, ctype, init_bytes,
+                                           var.line)
+        self.global_types[var.name] = ctype
+
+    def _const_eval(self, expr: A.Expr):
+        """Evaluate a constant initializer expression."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.FpLit):
+            return expr.value
+        if isinstance(expr, A.Unary) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, A.Unary) and expr.op == "+":
+            return self._const_eval(expr.operand)
+        if isinstance(expr, A.Binary):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a / b if isinstance(a, float) or
+                     isinstance(b, float) else _c_div(a, b),
+                "%": lambda a, b: _c_rem(a, b),
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        if isinstance(expr, A.SizeofType):
+            return self._sizeof_value(expr)
+        raise TypeError_("initializer is not a constant expression",
+                         expr.line)
+
+    # -- functions ------------------------------------------------------------
+    def _check_function(self, fn: A.FuncDef) -> None:
+        if fn.name in self.functions:
+            raise TypeError_(f"redefinition of function {fn.name}", fn.line)
+        self._current_ret = fn.ret
+        self._current_locals = {}
+        self._scope = _Scope()
+        for param in fn.params:
+            unique = self._fresh_local(param.name)
+            param.unique_name = unique  # type: ignore[attr-defined]
+            self._scope.define(param.name, unique, param.ctype)
+            self._current_locals[unique] = param.ctype
+        self._check_stmt(fn.body)
+        fn.local_vars = self._current_locals  # type: ignore[attr-defined]
+        self.functions[fn.name] = fn
+
+    def _fresh_local(self, name: str) -> str:
+        self._local_counter += 1
+        return f"{name}.{self._local_counter}"
+
+    # -- statements -----------------------------------------------------------
+    def _check_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            outer = self._scope
+            self._scope = _Scope(outer)
+            for sub in stmt.stmts:
+                self._check_stmt(sub)
+            self._scope = outer
+        elif isinstance(stmt, A.DeclStmt):
+            self._check_decl(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            stmt.expr = self._check_expr(stmt.expr)
+        elif isinstance(stmt, A.IfStmt):
+            stmt.cond = self._check_scalar(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other)
+        elif isinstance(stmt, A.WhileStmt):
+            stmt.cond = self._check_scalar(stmt.cond)
+            self._check_stmt(stmt.body)
+        elif isinstance(stmt, A.DoWhileStmt):
+            self._check_stmt(stmt.body)
+            stmt.cond = self._check_scalar(stmt.cond)
+        elif isinstance(stmt, A.ForStmt):
+            outer = self._scope
+            self._scope = _Scope(outer)
+            for decl in stmt.init_decls:
+                self._check_decl(decl)
+            if stmt.init is not None:
+                stmt.init = self._check_expr(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._check_scalar(stmt.cond)
+            if stmt.update is not None:
+                stmt.update = self._check_expr(stmt.update)
+            self._check_stmt(stmt.body)
+            self._scope = outer
+        elif isinstance(stmt, A.ReturnStmt):
+            if stmt.value is not None:
+                if self._current_ret.is_void():
+                    raise TypeError_("return with value in void function",
+                                     stmt.line)
+                stmt.value = self._convert(self._check_expr(stmt.value),
+                                           self._current_ret)
+            elif not self._current_ret.is_void():
+                raise TypeError_("return without value", stmt.line)
+        elif isinstance(stmt, (A.BreakStmt, A.ContinueStmt, A.EmptyStmt)):
+            pass
+        else:
+            raise TypeError_(f"unhandled statement {type(stmt).__name__}",
+                             stmt.line)
+
+    def _check_decl(self, decl: A.DeclStmt) -> None:
+        unique = self._fresh_local(decl.name)
+        decl.unique_name = unique  # type: ignore[attr-defined]
+        self._scope.define(decl.name, unique, decl.ctype)
+        self._current_locals[unique] = decl.ctype
+        if decl.init is not None:
+            if decl.ctype.is_array():
+                raise TypeError_("local array initializers unsupported",
+                                 decl.line)
+            decl.init = self._convert(self._check_expr(decl.init), decl.ctype)
+
+    # -- expressions ------------------------------------------------------------
+    def _check_scalar(self, expr: A.Expr) -> A.Expr:
+        checked = self._check_expr(expr)
+        ctype = checked.ctype.decay()
+        if not (ctype.is_arith() or ctype.is_pointer()):
+            raise TypeError_("condition must be scalar", expr.line)
+        return checked
+
+    def _check_expr(self, expr: A.Expr) -> A.Expr:
+        method = getattr(self, f"_check_{type(expr).__name__}")
+        return method(expr)
+
+    # each _check_X returns the (possibly rewritten) node with ctype set
+
+    def _check_IntLit(self, expr: A.IntLit) -> A.Expr:
+        expr.ctype = INT
+        return expr
+
+    def _check_FpLit(self, expr: A.FpLit) -> A.Expr:
+        expr.ctype = DOUBLE
+        return expr
+
+    def _check_StrLit(self, expr: A.StrLit) -> A.Expr:
+        data = expr.value.encode("latin-1") + b"\0"
+        label = self._string_labels.get(data)
+        if label is None:
+            label = f"str.{len(self.strings)}"
+            self.strings[label] = data
+            self._string_labels[data] = label
+        expr.label = label
+        expr.ctype = PointerType(CHAR)
+        return expr
+
+    def _check_Ident(self, expr: A.Ident) -> A.Expr:
+        found = self._scope.lookup(expr.name)
+        if found is not None:
+            unique, ctype = found
+            expr.binding = ("local", unique)  # type: ignore[attr-defined]
+        elif expr.name in self.global_types:
+            ctype = self.global_types[expr.name]
+            expr.binding = ("global", expr.name)  # type: ignore[attr-defined]
+        else:
+            raise TypeError_(f"undeclared identifier {expr.name}", expr.line)
+        expr.ctype = ctype
+        expr.is_lvalue = not ctype.is_array()
+        return expr
+
+    def _check_Comma(self, expr: A.Comma) -> A.Expr:
+        expr.left = self._check_expr(expr.left)
+        expr.right = self._check_expr(expr.right)
+        expr.ctype = expr.right.ctype
+        return expr
+
+    def _check_Binary(self, expr: A.Binary) -> A.Expr:
+        if expr.op in ("&&", "||"):
+            expr.left = self._check_scalar(expr.left)
+            expr.right = self._check_scalar(expr.right)
+            expr.ctype = INT
+            return expr
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        ltype = left.ctype.decay()
+        rtype = right.ctype.decay()
+        # Pointer arithmetic.
+        if expr.op == "+" and ltype.is_pointer() and rtype.is_integer():
+            expr.left, expr.right = left, self._scale_index(right, ltype)
+            expr.ctype = ltype
+            return expr
+        if expr.op == "+" and rtype.is_pointer() and ltype.is_integer():
+            expr.left, expr.right = self._scale_index(left, rtype), right
+            expr.ctype = rtype
+            return expr
+        if expr.op == "-" and ltype.is_pointer() and rtype.is_integer():
+            expr.left, expr.right = left, self._scale_index(right, ltype)
+            expr.ctype = ltype
+            return expr
+        if expr.op == "-" and ltype.is_pointer() and rtype.is_pointer():
+            expr.left, expr.right = left, right
+            expr.ctype = INT
+            expr.ptr_diff_size = ltype.pointee.size  # type: ignore[attr-defined]
+            return expr
+        # Pointer comparison.
+        if expr.op in ("==", "!=", "<", "<=", ">", ">=") and \
+                (ltype.is_pointer() or rtype.is_pointer()):
+            expr.left, expr.right = left, right
+            expr.ctype = INT
+            return expr
+        if not (ltype.is_arith() and rtype.is_arith()):
+            raise TypeError_(
+                f"invalid operands to '{expr.op}' ({ltype}, {rtype})",
+                expr.line)
+        common = self._usual_arith(ltype, rtype)
+        if expr.op in ("%", "<<", ">>", "&", "|", "^") and common.is_fp():
+            raise TypeError_(f"'{expr.op}' requires integer operands",
+                             expr.line)
+        expr.left = self._convert(left, common)
+        expr.right = self._convert(right, common)
+        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            expr.ctype = INT
+        else:
+            expr.ctype = common
+        return expr
+
+    def _usual_arith(self, a: CType, b: CType) -> CType:
+        if a.is_fp() or b.is_fp():
+            return DOUBLE
+        return INT
+
+    def _scale_index(self, idx: A.Expr, ptr: PointerType) -> A.Expr:
+        idx = self._convert(idx, INT)
+        size = ptr.pointee.size
+        if size == 1:
+            return idx
+        scaled = A.Binary(op="*", left=idx,
+                          right=A.IntLit(value=size, line=idx.line,
+                                         ctype=INT),
+                          line=idx.line, ctype=INT)
+        scaled.pre_scaled = True  # type: ignore[attr-defined]
+        return scaled
+
+    def _check_Unary(self, expr: A.Unary) -> A.Expr:
+        if expr.op == "&":
+            operand = self._check_expr(expr.operand)
+            if isinstance(operand, A.Ident) and operand.ctype.is_array():
+                expr.operand = operand
+                expr.ctype = PointerType(operand.ctype.elem)
+                return expr
+            if not operand.is_lvalue:
+                raise TypeError_("'&' requires an lvalue", expr.line)
+            expr.operand = operand
+            expr.ctype = PointerType(operand.ctype)
+            return expr
+        if expr.op == "*":
+            operand = self._check_expr(expr.operand)
+            ctype = operand.ctype.decay()
+            if not ctype.is_pointer():
+                raise TypeError_("'*' requires a pointer", expr.line)
+            expr.operand = operand
+            expr.ctype = ctype.pointee
+            expr.is_lvalue = not ctype.pointee.is_array()
+            return expr
+        operand = self._check_expr(expr.operand)
+        ctype = operand.ctype.decay()
+        if expr.op == "!":
+            if not (ctype.is_arith() or ctype.is_pointer()):
+                raise TypeError_("'!' requires a scalar", expr.line)
+            expr.operand = operand
+            expr.ctype = INT
+            return expr
+        if expr.op == "~":
+            expr.operand = self._convert(operand, INT)
+            expr.ctype = INT
+            return expr
+        if expr.op in ("-", "+"):
+            if not ctype.is_arith():
+                raise TypeError_(f"'{expr.op}' requires arithmetic operand",
+                                 expr.line)
+            promoted = DOUBLE if ctype.is_fp() else INT
+            expr.operand = self._convert(operand, promoted)
+            expr.ctype = promoted
+            return expr
+        raise TypeError_(f"unknown unary operator {expr.op}", expr.line)
+
+    def _check_AssignExpr(self, expr: A.AssignExpr) -> A.Expr:
+        target = self._check_expr(expr.target)
+        if not target.is_lvalue:
+            raise TypeError_("assignment target is not an lvalue", expr.line)
+        value = self._check_expr(expr.value)
+        if expr.op:
+            # Compound assignment: type as target OP value, then convert.
+            fake = A.Binary(op=expr.op, left=_clone_ref(target), right=value,
+                            line=expr.line)
+            value = self._check_expr(fake)
+        expr.target = target
+        expr.value = self._convert(value, target.ctype)
+        expr.op = ""  # lowered: compound op now folded into value
+        expr.ctype = target.ctype
+        return expr
+
+    def _check_Cond(self, expr: A.Cond) -> A.Expr:
+        expr.cond = self._check_scalar(expr.cond)
+        then = self._check_expr(expr.then)
+        other = self._check_expr(expr.other)
+        ttype = then.ctype.decay()
+        otype = other.ctype.decay()
+        if ttype.is_arith() and otype.is_arith():
+            common = self._usual_arith(ttype, otype)
+            expr.then = self._convert(then, common)
+            expr.other = self._convert(other, common)
+            expr.ctype = common
+        elif ttype == otype:
+            expr.then, expr.other = then, other
+            expr.ctype = ttype
+        else:
+            raise TypeError_("incompatible ternary arms", expr.line)
+        return expr
+
+    def _check_CallExpr(self, expr: A.CallExpr) -> A.Expr:
+        sig = self.sigs.get(expr.name)
+        if sig is None:
+            raise TypeError_(f"call to undeclared function {expr.name}",
+                             expr.line)
+        if len(expr.args) != len(sig.params):
+            raise TypeError_(
+                f"{expr.name} expects {len(sig.params)} args, "
+                f"got {len(expr.args)}", expr.line)
+        expr.args = [
+            self._convert(self._check_expr(arg), ptype)
+            for arg, ptype in zip(expr.args, sig.params)
+        ]
+        expr.ctype = sig.ret
+        return expr
+
+    def _check_Index(self, expr: A.Index) -> A.Expr:
+        base = self._check_expr(expr.base)
+        btype = base.ctype.decay()
+        if not btype.is_pointer():
+            raise TypeError_("subscripted value is not array/pointer",
+                             expr.line)
+        idx = self._check_expr(expr.idx)
+        if not idx.ctype.decay().is_integer():
+            raise TypeError_("array subscript is not an integer", expr.line)
+        expr.base = base
+        expr.idx = self._convert(idx, INT)
+        expr.ctype = btype.pointee
+        expr.is_lvalue = not btype.pointee.is_array()
+        return expr
+
+    def _check_Cast(self, expr: A.Cast) -> A.Expr:
+        operand = self._check_expr(expr.operand)
+        expr.operand = operand
+        expr.ctype = expr.target_type
+        return expr
+
+    def _sizeof_value(self, expr: A.SizeofType) -> int:
+        if expr.target_type is not None:
+            return expr.target_type.size
+        operand = self._check_expr(expr.operand)  # type: ignore[attr-defined]
+        return operand.ctype.size
+
+    def _check_SizeofType(self, expr: A.SizeofType) -> A.Expr:
+        value = self._sizeof_value(expr)
+        return A.IntLit(value=value, line=expr.line, ctype=INT)
+
+    def _check_IncDec(self, expr: A.IncDec) -> A.Expr:
+        operand = self._check_expr(expr.operand)
+        if not operand.is_lvalue:
+            raise TypeError_("++/-- requires an lvalue", expr.line)
+        ctype = operand.ctype
+        if not (ctype.is_arith() or ctype.is_pointer()):
+            raise TypeError_("++/-- requires scalar operand", expr.line)
+        expr.operand = operand
+        expr.ctype = ctype
+        if ctype.is_pointer():
+            expr.step = ctype.pointee.size  # type: ignore[attr-defined]
+        else:
+            expr.step = 1  # type: ignore[attr-defined]
+        return expr
+
+    # -- conversions -----------------------------------------------------------
+    def _convert(self, expr: A.Expr, target: CType) -> A.Expr:
+        source = expr.ctype
+        if source.is_array():
+            source = source.decay()
+            # decay is a no-op at IR level (arrays evaluate to addresses)
+        if source == target:
+            return expr
+        if target.is_pointer() and (source.is_pointer() or
+                                    source.is_integer()):
+            cast = A.Cast(target_type=target, operand=expr, line=expr.line)
+            cast.ctype = target
+            return cast
+        if target.is_integer() and source.is_pointer():
+            cast = A.Cast(target_type=target, operand=expr, line=expr.line)
+            cast.ctype = target
+            return cast
+        if target.is_arith() and source.is_arith():
+            # Constant-fold literal conversions so codegen sees literals.
+            if isinstance(expr, A.IntLit) and target.is_fp():
+                return A.FpLit(value=float(expr.value), line=expr.line,
+                               ctype=DOUBLE)
+            cast = A.Cast(target_type=target, operand=expr, line=expr.line)
+            cast.ctype = target
+            return cast
+        raise TypeError_(f"cannot convert {source} to {target}", expr.line)
+
+
+def _clone_ref(expr: A.Expr) -> A.Expr:
+    """Shallow re-reference of an already-checked lvalue for compound
+    assignment expansion. The IR generator evaluates the address once;
+    this clone is only used for typing."""
+    import copy
+
+    return copy.copy(expr)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _c_rem(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+def check(prog: A.Program) -> CheckedProgram:
+    """Run semantic analysis over a parsed program."""
+    return Checker().check_program(prog)

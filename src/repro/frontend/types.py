@@ -1,0 +1,146 @@
+"""Mini-C type system.
+
+Types are immutable and interned by construction; equality is structural.
+The layout rules match what the IR interpreter, the compiled code, and
+the WM simulator all use: char=1, int=4, double=8, pointer=4 bytes,
+arrays laid out row-major with no padding beyond natural alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CType", "ScalarType", "PointerType", "ArrayType", "FuncType",
+    "CHAR", "INT", "DOUBLE", "VOID", "TypeError_",
+]
+
+
+class TypeError_(Exception):
+    """A Mini-C semantic (type) error, with a source line if known."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CType:
+    """Base class for Mini-C types."""
+
+    __slots__ = ()
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        return self.size
+
+    def is_arith(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_fp(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "void"
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay; identity for everything else."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.elem)
+        return self
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarType(CType):
+    """``char``, ``int``, ``double`` or ``void``."""
+
+    name: str
+
+    @property
+    def size(self) -> int:
+        return {"char": 1, "int": 4, "double": 8, "void": 0}[self.name]
+
+    def is_arith(self) -> bool:
+        return self.name in ("char", "int", "double")
+
+    def is_integer(self) -> bool:
+        return self.name in ("char", "int")
+
+    def is_fp(self) -> bool:
+        return self.name == "double"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PointerType(CType):
+    """``T*``. Pointers are 4-byte integers in the simulated machines."""
+
+    pointee: CType
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType(CType):
+    """``T[n]``; ``length`` may be None only for extern-style declarations
+    (not used by the benchmark corpus but accepted in parameter lists)."""
+
+    elem: CType
+    length: Optional[int]
+
+    @property
+    def size(self) -> int:
+        if self.length is None:
+            raise TypeError_("sizeof applied to incomplete array")
+        return self.elem.size * self.length
+
+    @property
+    def align(self) -> int:
+        return self.elem.align
+
+    def __str__(self) -> str:
+        n = "" if self.length is None else str(self.length)
+        return f"{self.elem}[{n}]"
+
+
+@dataclass(frozen=True, slots=True)
+class FuncType(CType):
+    """A function signature (return type + parameter types)."""
+
+    ret: CType
+    params: tuple[CType, ...]
+
+    @property
+    def size(self) -> int:
+        raise TypeError_("sizeof applied to function")
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({args})"
+
+
+CHAR = ScalarType("char")
+INT = ScalarType("int")
+DOUBLE = ScalarType("double")
+VOID = ScalarType("void")

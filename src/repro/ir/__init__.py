@@ -1,0 +1,18 @@
+"""Abstract machine code: the front end's naive-but-correct IR."""
+
+from .interp import Interpreter, IRResult, TrapError, c_div, c_rem, run, wrap32
+from .irgen import lower
+from .module import IRFunction, IRModule
+from .ops import (
+    IRBin, IRCall, IRCast, IRCJump, IRCmp, IRConst, IRConstD, IRGlobalAddr,
+    IRJump, IRLabel, IRLoad, IRLocalAddr, IRMove, IROp, IRRet, IRStore,
+    IRUn, Temp,
+)
+
+__all__ = [
+    "Interpreter", "IRResult", "TrapError", "run", "wrap32", "c_div", "c_rem",
+    "lower", "IRFunction", "IRModule",
+    "IRBin", "IRCall", "IRCast", "IRCJump", "IRCmp", "IRConst", "IRConstD",
+    "IRGlobalAddr", "IRJump", "IRLabel", "IRLoad", "IRLocalAddr", "IRMove",
+    "IROp", "IRRet", "IRStore", "IRUn", "Temp",
+]

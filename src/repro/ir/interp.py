@@ -1,0 +1,290 @@
+"""Reference interpreter for the abstract machine code.
+
+Executes an :class:`~repro.ir.module.IRModule` directly, with the same
+data layout the compiled machines use (byte-addressable little-endian
+memory, globals in a data segment, a downward stack).  Every compiled
+configuration — any target, any optimization level — must produce the
+same observable results (return value and final data-segment bytes) as
+this interpreter; the test suite enforces that differentially.
+
+Integer arithmetic wraps to 32-bit two's complement; division truncates
+toward zero (C semantics); shifts mask the count to 5 bits; ``>>`` is an
+arithmetic shift.  Doubles are IEEE-754 binary64 (Python floats).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .module import IRFunction, IRModule
+from .ops import (
+    IRBin, IRCall, IRCast, IRCJump, IRCmp, IRConst, IRConstD, IRGlobalAddr,
+    IRJump, IRLabel, IRLoad, IRLocalAddr, IRMove, IROp, IRRet, IRStore,
+    IRUn, Temp,
+)
+
+__all__ = ["InterpError", "TrapError", "IRResult", "Interpreter", "run"]
+
+DATA_BASE = 0x100
+"""First address used for global data; addresses below are a null guard."""
+
+
+class InterpError(Exception):
+    """Malformed IR or interpreter misuse."""
+
+
+class TrapError(Exception):
+    """A runtime trap: bad address, division by zero, step limit."""
+
+
+def wrap32(v: int) -> int:
+    """Wrap an integer to signed 32-bit two's complement."""
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def c_div(a: int, b: int) -> int:
+    """C-style truncating division."""
+    if b == 0:
+        raise TrapError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer remainder by zero")
+    return a - c_div(a, b) * b
+
+
+_INT_BIN = {
+    "+": lambda a, b: wrap32(a + b),
+    "-": lambda a, b: wrap32(a - b),
+    "*": lambda a, b: wrap32(a * b),
+    "/": lambda a, b: wrap32(c_div(a, b)),
+    "%": lambda a, b: wrap32(c_rem(a, b)),
+    "<<": lambda a, b: wrap32(a << (b & 31)),
+    ">>": lambda a, b: a >> (b & 31),
+    "&": lambda a, b: wrap32(a & b),
+    "|": lambda a, b: wrap32(a | b),
+    "^": lambda a, b: wrap32(a ^ b),
+}
+
+_FP_BIN = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _fp_div(a, b),
+}
+
+_CMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _fp_div(a: float, b: float) -> float:
+    if b == 0.0:
+        raise TrapError("floating-point division by zero")
+    return a / b
+
+
+@dataclass
+class IRResult:
+    """Outcome of an interpreted run."""
+
+    value: object
+    steps: int
+    memory: bytearray
+    globals_base: dict[str, int] = field(default_factory=dict)
+
+    def global_bytes(self, name: str, size: int) -> bytes:
+        """The final contents of ``size`` bytes of global ``name``."""
+        base = self.globals_base[name]
+        return bytes(self.memory[base:base + size])
+
+
+class Interpreter:
+    """Executes IR modules; reusable across runs of the same module."""
+
+    def __init__(self, module: IRModule, mem_size: int = 1 << 23,
+                 max_steps: int = 200_000_000) -> None:
+        self.module = module
+        self.mem_size = mem_size
+        self.max_steps = max_steps
+        self.globals_base: dict[str, int] = {}
+        self._layout_done = False
+        # Precompute label maps per function.
+        self._labels: dict[str, dict[str, int]] = {}
+        for fn in module.functions.values():
+            table: dict[str, int] = {}
+            for idx, op in enumerate(fn.body):
+                if isinstance(op, IRLabel):
+                    table[op.name] = idx
+            self._labels[fn.name] = table
+
+    # -- memory -----------------------------------------------------------
+    def _layout(self, memory: bytearray) -> int:
+        """Place globals in the data segment; returns the segment end."""
+        addr = DATA_BASE
+        for obj in self.module.data.values():
+            align = max(obj.align, 1)
+            addr = (addr + align - 1) & ~(align - 1)
+            self.globals_base[obj.name] = addr
+            image = obj.image()
+            memory[addr:addr + obj.size] = image
+            addr += obj.size
+        return addr
+
+    def _check_addr(self, addr: int, width: int) -> None:
+        if addr < DATA_BASE or addr + width > self.mem_size:
+            raise TrapError(f"memory access out of range: {addr:#x}")
+
+    def _load(self, memory: bytearray, addr: int, width: int, fp: bool,
+              signed: bool):
+        self._check_addr(addr, width)
+        raw = bytes(memory[addr:addr + width])
+        if fp:
+            return struct.unpack("<d", raw)[0]
+        if width == 1:
+            return struct.unpack("<b" if signed else "<B", raw)[0]
+        if width == 2:
+            return struct.unpack("<h" if signed else "<H", raw)[0]
+        return struct.unpack("<i" if signed else "<I", raw)[0]
+
+    def _store(self, memory: bytearray, addr: int, width: int, fp: bool,
+               value) -> None:
+        self._check_addr(addr, width)
+        if fp:
+            raw = struct.pack("<d", float(value))
+        elif width == 1:
+            raw = struct.pack("<B", value & 0xFF)
+        elif width == 2:
+            raw = struct.pack("<H", value & 0xFFFF)
+        else:
+            raw = struct.pack("<I", value & 0xFFFFFFFF)
+        memory[addr:addr + width] = raw
+
+    # -- execution -----------------------------------------------------------
+    def run(self, args: tuple = (), entry: Optional[str] = None) -> IRResult:
+        entry = entry or self.module.entry
+        if entry not in self.module.functions:
+            raise InterpError(f"no entry function {entry!r}")
+        memory = bytearray(self.mem_size)
+        data_end = self._layout(memory)
+        del data_end
+        sp = self.mem_size & ~0xF
+        self._steps = 0
+        value = self._call(memory, self.module.functions[entry],
+                           tuple(args), sp)
+        return IRResult(value=value, steps=self._steps, memory=memory,
+                        globals_base=dict(self.globals_base))
+
+    def _call(self, memory: bytearray, fn: IRFunction, args: tuple,
+              sp: int):
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"{fn.name} expects {len(fn.params)} args, got {len(args)}")
+        frame_base = (sp - fn.frame_size) & ~0x7
+        if frame_base < DATA_BASE:
+            raise TrapError("stack overflow")
+        temps: dict[Temp, object] = {}
+        for param, arg in zip(fn.params, args):
+            if param.bank == "d":
+                temps[param] = float(arg)
+            else:
+                temps[param] = wrap32(int(arg))
+        labels = self._labels[fn.name]
+        body = fn.body
+        pc = 0
+        n = len(body)
+        while pc < n:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise TrapError("step limit exceeded")
+            op = body[pc]
+            pc += 1
+            cls = type(op)
+            if cls is IRBin:
+                a, b = temps[op.a], temps[op.b]
+                table = _FP_BIN if op.fp else _INT_BIN
+                temps[op.dst] = table[op.op](a, b)
+            elif cls is IRLoad:
+                addr = temps[op.addr]
+                temps[op.dst] = self._load(memory, addr, op.width, op.fp,
+                                           op.signed)
+            elif cls is IRStore:
+                addr = temps[op.addr]
+                self._store(memory, addr, op.width, op.fp, temps[op.src])
+            elif cls is IRConst:
+                temps[op.dst] = wrap32(op.value)
+            elif cls is IRConstD:
+                temps[op.dst] = float(op.value)
+            elif cls is IRMove:
+                temps[op.dst] = temps[op.src]
+            elif cls is IRCmp:
+                a, b = temps[op.a], temps[op.b]
+                temps[op.dst] = 1 if _CMP[op.op](a, b) else 0
+            elif cls is IRCJump:
+                a, b = temps[op.a], temps[op.b]
+                if _CMP[op.op](a, b):
+                    pc = labels[op.target]
+            elif cls is IRJump:
+                pc = labels[op.target]
+            elif cls is IRLabel:
+                pass
+            elif cls is IRGlobalAddr:
+                try:
+                    temps[op.dst] = self.globals_base[op.name]
+                except KeyError:
+                    raise InterpError(f"unknown global {op.name!r}") from None
+            elif cls is IRLocalAddr:
+                temps[op.dst] = frame_base + op.offset
+            elif cls is IRUn:
+                a = temps[op.a]
+                if op.op == "neg":
+                    temps[op.dst] = -a if op.fp else wrap32(-a)
+                elif op.op == "not":
+                    temps[op.dst] = wrap32(~a)
+                else:
+                    raise InterpError(f"unknown unary op {op.op}")
+            elif cls is IRCast:
+                a = temps[op.src]
+                if op.kind == "i2d":
+                    temps[op.dst] = float(a)
+                elif op.kind == "d2i":
+                    temps[op.dst] = wrap32(int(a))
+                elif op.kind == "i2c":
+                    v = a & 0xFF
+                    temps[op.dst] = v - 0x100 if v >= 0x80 else v
+                else:
+                    raise InterpError(f"unknown cast {op.kind}")
+            elif cls is IRCall:
+                callee = self.module.functions.get(op.name)
+                if callee is None:
+                    raise InterpError(f"call to unknown function {op.name}")
+                result = self._call(memory, callee,
+                                    tuple(temps[a] for a in op.args),
+                                    frame_base)
+                if op.dst is not None:
+                    temps[op.dst] = result
+            elif cls is IRRet:
+                if op.src is not None:
+                    return temps[op.src]
+                return None
+            else:
+                raise InterpError(f"unknown IR op {cls.__name__}")
+        return None
+
+
+def run(module: IRModule, args: tuple = (), entry: Optional[str] = None,
+        mem_size: int = 1 << 23, max_steps: int = 200_000_000) -> IRResult:
+    """Interpret ``module`` from ``entry`` (default: module.entry)."""
+    return Interpreter(module, mem_size=mem_size,
+                       max_steps=max_steps).run(args, entry)

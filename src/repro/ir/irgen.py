@@ -1,0 +1,646 @@
+"""IR generation: checked Mini-C AST -> abstract machine code.
+
+Follows the paper's strategy: emit naive but *correct* code and leave
+every efficiency decision to the RTL optimizer.  The only cleverness
+here is storage-class selection — scalar locals whose address is never
+taken live in temporaries, while arrays and address-taken locals get
+frame slots — which is the behaviour the paper's figures assume (the
+loop index of the Livermore loop is in a register in Figure 4's
+"unoptimized" code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast_nodes as A
+from ..frontend.semantic import CheckedProgram
+from ..frontend.types import ArrayType, CHAR, CType, DOUBLE, INT, PointerType
+from ..rtl.module import DataObject
+from .module import IRFunction, IRModule
+from .ops import (
+    IRBin, IRCall, IRCast, IRCJump, IRCmp, IRConst, IRConstD, IRGlobalAddr,
+    IRJump, IRLabel, IRLoad, IRLocalAddr, IRMove, IROp, IRRet, IRStore,
+    IRUn, Temp,
+)
+
+__all__ = ["lower", "IRGenError"]
+
+
+class IRGenError(Exception):
+    """Internal error during IR generation (indicates a checker bug)."""
+
+
+def _mem_params(ctype: CType) -> tuple[int, bool, bool]:
+    """(width, fp, signed) for a memory access of ``ctype``."""
+    if ctype == DOUBLE:
+        return 8, True, True
+    if ctype == CHAR:
+        return 1, False, True
+    return 4, False, True  # int and pointers
+
+
+def _align(offset: int, alignment: int) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+class _FuncGen:
+    """IR generator for one function."""
+
+    def __init__(self, module_gen: "_ModuleGen", fn: A.FuncDef) -> None:
+        self.mg = module_gen
+        self.fn = fn
+        self.body: list[IROp] = []
+        self.temp_counts = {"i": 0, "d": 0}
+        self.frame_size = 0
+        #: unique local name -> ('temp', Temp) or ('frame', offset)
+        self.storage: dict[str, tuple] = {}
+        self.local_types: dict[str, CType] = dict(
+            getattr(fn, "local_vars", {}))
+        self.break_stack: list[str] = []
+        self.continue_stack: list[str] = []
+
+    # -- infrastructure ------------------------------------------------------
+    def new_temp(self, bank: str) -> Temp:
+        self.temp_counts[bank] += 1
+        return Temp(bank, self.temp_counts[bank] - 1)
+
+    def temp_for(self, ctype: CType) -> Temp:
+        return self.new_temp("d" if ctype == DOUBLE else "i")
+
+    def emit(self, op: IROp) -> IROp:
+        self.body.append(op)
+        return op
+
+    def new_label(self) -> str:
+        return self.mg.new_label()
+
+    # -- storage classes -------------------------------------------------------
+    def assign_storage(self) -> None:
+        taken = set()
+        _collect_address_taken(self.fn.body, taken)
+        for name, ctype in self.local_types.items():
+            if ctype.is_array() or name in taken:
+                self.frame_size = _align(self.frame_size, ctype.align or 1)
+                self.storage[name] = ("frame", self.frame_size)
+                self.frame_size += ctype.size
+            else:
+                self.storage[name] = ("temp", self.temp_for(ctype))
+        self.frame_size = _align(self.frame_size, 8)
+
+    # -- function body -----------------------------------------------------------
+    def generate(self) -> IRFunction:
+        self.assign_storage()
+        params: list[Temp] = []
+        for param in self.fn.params:
+            unique = param.unique_name
+            kind, slot = self.storage[unique]
+            if kind == "temp":
+                params.append(slot)
+            else:
+                # Address-taken parameter: receive in a fresh temp, spill.
+                tmp = self.temp_for(param.ctype)
+                params.append(tmp)
+                addr = self.new_temp("i")
+                self.emit(IRLocalAddr(addr, slot, param.line))
+                width, fp, _ = _mem_params(param.ctype)
+                self.emit(IRStore(addr, tmp, width, fp, param.line))
+        self.gen_stmt(self.fn.body)
+        # Implicit return (value 0/0.0 if the function is typed non-void
+        # but control can fall off the end).
+        if self.fn.ret.is_void():
+            self.emit(IRRet(None))
+        elif self.fn.ret == DOUBLE:
+            zero = self.new_temp("d")
+            self.emit(IRConstD(zero, 0.0))
+            self.emit(IRRet(zero))
+        else:
+            zero = self.new_temp("i")
+            self.emit(IRConst(zero, 0))
+            self.emit(IRRet(zero))
+        ret_fp: Optional[bool]
+        if self.fn.ret.is_void():
+            ret_fp = None
+        else:
+            ret_fp = self.fn.ret == DOUBLE
+        return IRFunction(
+            name=self.fn.name,
+            params=params,
+            ret_fp=ret_fp,
+            body=self.body,
+            frame_size=self.frame_size,
+            temp_counts=self.temp_counts,
+        )
+
+    # -- statements ------------------------------------------------------------
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            for sub in stmt.stmts:
+                self.gen_stmt(sub)
+        elif isinstance(stmt, A.ExprStmt):
+            self.gen_expr(stmt.expr)
+        elif isinstance(stmt, A.DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, A.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, A.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, A.DoWhileStmt):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, A.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, A.BreakStmt):
+            if not self.break_stack:
+                raise IRGenError("break outside loop")
+            self.emit(IRJump(self.break_stack[-1], stmt.line))
+        elif isinstance(stmt, A.ContinueStmt):
+            if not self.continue_stack:
+                raise IRGenError("continue outside loop")
+            self.emit(IRJump(self.continue_stack[-1], stmt.line))
+        elif isinstance(stmt, A.ReturnStmt):
+            if stmt.value is not None:
+                value = self.gen_expr(stmt.value)
+                self.emit(IRRet(value, stmt.line))
+            else:
+                self.emit(IRRet(None, stmt.line))
+        elif isinstance(stmt, A.EmptyStmt):
+            pass
+        else:
+            raise IRGenError(f"unhandled statement {type(stmt).__name__}")
+
+    def gen_decl(self, decl: A.DeclStmt) -> None:
+        unique = decl.unique_name
+        if decl.init is None:
+            return
+        kind, slot = self.storage[unique]
+        value = self.gen_expr(decl.init)
+        if kind == "temp":
+            self.emit(IRMove(slot, value, decl.line))
+        else:
+            addr = self.new_temp("i")
+            self.emit(IRLocalAddr(addr, slot, decl.line))
+            width, fp, _ = _mem_params(decl.ctype)
+            self.emit(IRStore(addr, value, width, fp, decl.line))
+
+    def gen_if(self, stmt: A.IfStmt) -> None:
+        else_label = self.new_label()
+        end_label = self.new_label() if stmt.other is not None else else_label
+        self.gen_cond(stmt.cond, None, else_label)
+        self.gen_stmt(stmt.then)
+        if stmt.other is not None:
+            self.emit(IRJump(end_label))
+            self.emit(IRLabel(else_label))
+            self.gen_stmt(stmt.other)
+        self.emit(IRLabel(end_label))
+
+    def gen_while(self, stmt: A.WhileStmt) -> None:
+        """Rotated (bottom-test) loop: a guard branch skips the loop,
+        and the continuation test sits at the bottom, as in the paper's
+        Figure 4."""
+        head = self.new_label()
+        cont = self.new_label()
+        exit_label = self.new_label()
+        self.gen_cond(stmt.cond, None, exit_label)
+        self.emit(IRLabel(head))
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(cont)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.emit(IRLabel(cont))
+        self.gen_cond(stmt.cond, head, None)
+        self.emit(IRLabel(exit_label))
+
+    def gen_do_while(self, stmt: A.DoWhileStmt) -> None:
+        head = self.new_label()
+        cont = self.new_label()
+        exit_label = self.new_label()
+        self.emit(IRLabel(head))
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(cont)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.emit(IRLabel(cont))
+        self.gen_cond(stmt.cond, head, None)
+        self.emit(IRLabel(exit_label))
+
+    def gen_for(self, stmt: A.ForStmt) -> None:
+        for decl in stmt.init_decls:
+            self.gen_decl(decl)
+        if stmt.init is not None:
+            self.gen_expr(stmt.init)
+        head = self.new_label()
+        cont = self.new_label()
+        exit_label = self.new_label()
+        # Rotated loop: guard at entry, continuation test at the bottom
+        # (the shape of the paper's Figure 4).
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, None, exit_label)
+        self.emit(IRLabel(head))
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(cont)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.emit(IRLabel(cont))
+        if stmt.update is not None:
+            self.gen_expr(stmt.update)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, head, None)
+        else:
+            self.emit(IRJump(head))
+        self.emit(IRLabel(exit_label))
+
+    # -- conditions --------------------------------------------------------------
+    def gen_cond(self, expr: A.Expr, true_label: Optional[str],
+                 false_label: Optional[str]) -> None:
+        """Emit branching code for a boolean context.
+
+        Exactly one of ``true_label``/``false_label`` may be None,
+        meaning "fall through" for that outcome.
+        """
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            mid = self.new_label()
+            if false_label is not None:
+                self.gen_cond(expr.left, None, false_label)
+                self.gen_cond(expr.right, true_label, false_label)
+            else:
+                fl = self.new_label()
+                self.gen_cond(expr.left, None, fl)
+                self.gen_cond(expr.right, true_label, None)
+                self.emit(IRLabel(fl))
+            del mid
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            if true_label is not None:
+                self.gen_cond(expr.left, true_label, None)
+                self.gen_cond(expr.right, true_label, false_label)
+            else:
+                tl = self.new_label()
+                self.gen_cond(expr.left, tl, None)
+                self.gen_cond(expr.right, None, false_label)
+                self.emit(IRLabel(tl))
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, A.Binary) and expr.op in (
+                "==", "!=", "<", "<=", ">", ">="):
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            fp = expr.left.ctype == DOUBLE
+            self._branch(expr.op, a, b, fp, true_label, false_label,
+                         expr.line)
+            return
+        # Generic scalar: compare against zero.
+        value = self.gen_expr(expr)
+        fp = value.bank == "d"
+        zero = self.new_temp(value.bank)
+        if fp:
+            self.emit(IRConstD(zero, 0.0, expr.line))
+        else:
+            self.emit(IRConst(zero, 0, expr.line))
+        self._branch("!=", value, zero, fp, true_label, false_label,
+                     expr.line)
+
+    _NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">",
+               ">": "<=", ">=": "<"}
+
+    def _branch(self, op: str, a: Temp, b: Temp, fp: bool,
+                true_label: Optional[str], false_label: Optional[str],
+                line: int) -> None:
+        if true_label is not None:
+            self.emit(IRCJump(op, a, b, fp, true_label, line))
+            if false_label is not None:
+                self.emit(IRJump(false_label, line))
+        elif false_label is not None:
+            self.emit(IRCJump(self._NEGATE[op], a, b, fp, false_label, line))
+        # both None: condition evaluated for effect only
+
+    # -- expressions --------------------------------------------------------------
+    def gen_expr(self, expr: A.Expr) -> Temp:
+        if isinstance(expr, A.IntLit):
+            dst = self.new_temp("i")
+            self.emit(IRConst(dst, expr.value, expr.line))
+            return dst
+        if isinstance(expr, A.FpLit):
+            dst = self.new_temp("d")
+            self.emit(IRConstD(dst, expr.value, expr.line))
+            return dst
+        if isinstance(expr, A.StrLit):
+            dst = self.new_temp("i")
+            self.emit(IRGlobalAddr(dst, expr.label, expr.line))
+            return dst
+        if isinstance(expr, A.Ident):
+            return self.gen_ident_value(expr)
+        if isinstance(expr, A.Comma):
+            self.gen_expr(expr.left)
+            return self.gen_expr(expr.right)
+        if isinstance(expr, A.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, A.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, A.AssignExpr):
+            return self.gen_assign(expr)
+        if isinstance(expr, A.Cond):
+            return self.gen_ternary(expr)
+        if isinstance(expr, A.CallExpr):
+            return self.gen_call(expr)
+        if isinstance(expr, A.Index):
+            return self.gen_index_value(expr)
+        if isinstance(expr, A.Cast):
+            return self.gen_cast(expr)
+        if isinstance(expr, A.IncDec):
+            return self.gen_incdec(expr)
+        raise IRGenError(f"unhandled expression {type(expr).__name__}")
+
+    def gen_ident_value(self, expr: A.Ident) -> Temp:
+        kind, name = expr.binding
+        if kind == "local":
+            storage_kind, slot = self.storage[name]
+            if storage_kind == "temp":
+                return slot
+            if expr.ctype.is_array():
+                addr = self.new_temp("i")
+                self.emit(IRLocalAddr(addr, slot, expr.line))
+                return addr
+            addr = self.new_temp("i")
+            self.emit(IRLocalAddr(addr, slot, expr.line))
+            return self._load(addr, expr.ctype, expr.line)
+        # global
+        addr = self.new_temp("i")
+        self.emit(IRGlobalAddr(addr, name, expr.line))
+        if expr.ctype.is_array():
+            return addr
+        return self._load(addr, expr.ctype, expr.line)
+
+    def _load(self, addr: Temp, ctype: CType, line: int) -> Temp:
+        width, fp, signed = _mem_params(ctype)
+        dst = self.new_temp("d" if fp else "i")
+        self.emit(IRLoad(dst, addr, width, fp, signed, line))
+        return dst
+
+    def gen_binary(self, expr: A.Binary) -> Temp:
+        if expr.op in ("&&", "||"):
+            return self._materialize_bool(expr)
+        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            fp = expr.left.ctype.decay() == DOUBLE
+            dst = self.new_temp("i")
+            self.emit(IRCmp(dst, expr.op, a, b, fp, expr.line))
+            return dst
+        a = self.gen_expr(expr.left)
+        b = self.gen_expr(expr.right)
+        fp = expr.ctype == DOUBLE
+        dst = self.temp_for(expr.ctype)
+        self.emit(IRBin(dst, expr.op, a, b, fp, expr.line))
+        diff_size = getattr(expr, "ptr_diff_size", 0)
+        if diff_size > 1:
+            size = self.new_temp("i")
+            self.emit(IRConst(size, diff_size, expr.line))
+            scaled = self.new_temp("i")
+            self.emit(IRBin(scaled, "/", dst, size, False, expr.line))
+            return scaled
+        return dst
+
+    def _materialize_bool(self, expr: A.Expr) -> Temp:
+        dst = self.new_temp("i")
+        true_label = self.new_label()
+        end_label = self.new_label()
+        self.gen_cond(expr, true_label, None)
+        self.emit(IRConst(dst, 0, expr.line))
+        self.emit(IRJump(end_label, expr.line))
+        self.emit(IRLabel(true_label))
+        self.emit(IRConst(dst, 1, expr.line))
+        self.emit(IRLabel(end_label))
+        return dst
+
+    def gen_unary(self, expr: A.Unary) -> Temp:
+        if expr.op == "&":
+            return self.gen_addr(expr.operand)
+        if expr.op == "*":
+            addr = self.gen_expr(expr.operand)
+            if expr.ctype.is_array():
+                return addr
+            return self._load(addr, expr.ctype, expr.line)
+        if expr.op == "!":
+            return self._materialize_not(expr)
+        operand = self.gen_expr(expr.operand)
+        if expr.op == "+":
+            return operand
+        fp = expr.ctype == DOUBLE
+        dst = self.temp_for(expr.ctype)
+        op = "neg" if expr.op == "-" else "not"
+        self.emit(IRUn(dst, op, operand, fp, expr.line))
+        return dst
+
+    def _materialize_not(self, expr: A.Unary) -> Temp:
+        value = self.gen_expr(expr.operand)
+        zero = self.new_temp(value.bank)
+        if value.bank == "d":
+            self.emit(IRConstD(zero, 0.0, expr.line))
+        else:
+            self.emit(IRConst(zero, 0, expr.line))
+        dst = self.new_temp("i")
+        self.emit(IRCmp(dst, "==", value, zero, value.bank == "d",
+                        expr.line))
+        return dst
+
+    def gen_assign(self, expr: A.AssignExpr) -> Temp:
+        target = expr.target
+        value = self.gen_expr(expr.value)
+        if isinstance(target, A.Ident):
+            kind, name = target.binding
+            if kind == "local":
+                storage_kind, slot = self.storage[name]
+                if storage_kind == "temp":
+                    self.emit(IRMove(slot, value, expr.line))
+                    return slot
+        addr = self.gen_addr(target)
+        width, fp, _ = _mem_params(target.ctype)
+        self.emit(IRStore(addr, value, width, fp, expr.line))
+        return value
+
+    def gen_ternary(self, expr: A.Cond) -> Temp:
+        dst = self.temp_for(expr.ctype)
+        else_label = self.new_label()
+        end_label = self.new_label()
+        self.gen_cond(expr.cond, None, else_label)
+        then = self.gen_expr(expr.then)
+        self.emit(IRMove(dst, then, expr.line))
+        self.emit(IRJump(end_label, expr.line))
+        self.emit(IRLabel(else_label))
+        other = self.gen_expr(expr.other)
+        self.emit(IRMove(dst, other, expr.line))
+        self.emit(IRLabel(end_label))
+        return dst
+
+    def gen_call(self, expr: A.CallExpr) -> Temp:
+        args = [self.gen_expr(a) for a in expr.args]
+        if expr.ctype.is_void():
+            self.emit(IRCall(None, expr.name, args, expr.line))
+            # Void calls used in expression position yield a dummy zero.
+            dst = self.new_temp("i")
+            self.emit(IRConst(dst, 0, expr.line))
+            return dst
+        dst = self.temp_for(expr.ctype)
+        self.emit(IRCall(dst, expr.name, args, expr.line))
+        return dst
+
+    def gen_index_value(self, expr: A.Index) -> Temp:
+        addr = self.gen_addr(expr)
+        if expr.ctype.is_array():
+            return addr
+        return self._load(addr, expr.ctype, expr.line)
+
+    def gen_cast(self, expr: A.Cast) -> Temp:
+        operand = self.gen_expr(expr.operand)
+        src_type = expr.operand.ctype.decay()
+        dst_type = expr.target_type
+        if src_type == DOUBLE and dst_type != DOUBLE:
+            dst = self.new_temp("i")
+            self.emit(IRCast(dst, operand, "d2i", expr.line))
+            if dst_type == CHAR:
+                chr_dst = self.new_temp("i")
+                self.emit(IRCast(chr_dst, dst, "i2c", expr.line))
+                return chr_dst
+            return dst
+        if src_type != DOUBLE and dst_type == DOUBLE:
+            dst = self.new_temp("d")
+            self.emit(IRCast(dst, operand, "i2d", expr.line))
+            return dst
+        if dst_type == CHAR and src_type != CHAR:
+            dst = self.new_temp("i")
+            self.emit(IRCast(dst, operand, "i2c", expr.line))
+            return dst
+        return operand  # int<->pointer and same-bank casts are free
+
+    def gen_incdec(self, expr: A.IncDec) -> Temp:
+        step_value = expr.step if expr.op == "++" else -expr.step
+        ctype = expr.ctype
+        fp = ctype == DOUBLE
+        target = expr.operand
+        if isinstance(target, A.Ident):
+            kind, name = target.binding
+            if kind == "local":
+                storage_kind, slot = self.storage[name]
+                if storage_kind == "temp":
+                    old = None
+                    if expr.post:
+                        old = self.temp_for(ctype)
+                        self.emit(IRMove(old, slot, expr.line))
+                    step = self._const_temp(step_value, fp, expr.line)
+                    self.emit(IRBin(slot, "+", slot, step, fp, expr.line))
+                    return old if expr.post else slot
+        addr = self.gen_addr(target)
+        width, fp_mem, _ = _mem_params(ctype)
+        old = self.temp_for(ctype)
+        self.emit(IRLoad(old, addr, width, fp_mem, True, expr.line))
+        step = self._const_temp(step_value, fp, expr.line)
+        new = self.temp_for(ctype)
+        self.emit(IRBin(new, "+", old, step, fp, expr.line))
+        self.emit(IRStore(addr, new, width, fp_mem, expr.line))
+        return old if expr.post else new
+
+    def _const_temp(self, value, fp: bool, line: int) -> Temp:
+        if fp:
+            dst = self.new_temp("d")
+            self.emit(IRConstD(dst, float(value), line))
+        else:
+            dst = self.new_temp("i")
+            self.emit(IRConst(dst, int(value), line))
+        return dst
+
+    # -- addresses ---------------------------------------------------------------
+    def gen_addr(self, expr: A.Expr) -> Temp:
+        if isinstance(expr, A.Ident):
+            kind, name = expr.binding
+            if kind == "local":
+                storage_kind, slot = self.storage[name]
+                if storage_kind != "frame":
+                    raise IRGenError(
+                        f"address of register-class local {name}")
+                addr = self.new_temp("i")
+                self.emit(IRLocalAddr(addr, slot, expr.line))
+                return addr
+            addr = self.new_temp("i")
+            self.emit(IRGlobalAddr(addr, name, expr.line))
+            return addr
+        if isinstance(expr, A.Index):
+            base = self.gen_expr(expr.base)
+            idx = self.gen_expr(expr.idx)
+            elem = expr.ctype
+            size = elem.size
+            if size != 1:
+                size_t = self.new_temp("i")
+                self.emit(IRConst(size_t, size, expr.line))
+                scaled = self.new_temp("i")
+                self.emit(IRBin(scaled, "*", idx, size_t, False, expr.line))
+                idx = scaled
+            addr = self.new_temp("i")
+            self.emit(IRBin(addr, "+", base, idx, False, expr.line))
+            return addr
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return self.gen_expr(expr.operand)
+        if isinstance(expr, A.Unary) and expr.op == "&":
+            # && chained address-of is rejected by the checker; defensive.
+            raise IRGenError("cannot take address of address")
+        raise IRGenError(
+            f"expression is not addressable: {type(expr).__name__}")
+
+
+def _collect_address_taken(node, taken: set) -> None:
+    """Find locals whose address is taken anywhere in a statement tree."""
+    if isinstance(node, A.Unary) and node.op == "&":
+        operand = node.operand
+        if isinstance(operand, A.Ident):
+            kind, name = getattr(operand, "binding", (None, None))
+            if kind == "local":
+                taken.add(name)
+    if hasattr(node, "__dict__"):
+        for value in vars(node).values():
+            _walk_collect(value, taken)
+
+
+def _walk_collect(value, taken: set) -> None:
+    if isinstance(value, A.Node):
+        _collect_address_taken(value, taken)
+    elif isinstance(value, list):
+        for item in value:
+            _walk_collect(item, taken)
+
+
+class _ModuleGen:
+    """IR generator for a whole checked program."""
+
+    def __init__(self, checked: CheckedProgram) -> None:
+        self.checked = checked
+        self._label_counter = 0
+
+    def new_label(self) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}"
+
+    def generate(self) -> IRModule:
+        module = IRModule()
+        for gvar in self.checked.globals.values():
+            module.data[gvar.name] = DataObject(
+                name=gvar.name,
+                size=gvar.ctype.size,
+                align=gvar.ctype.align or 1,
+                init=gvar.init,
+            )
+        for label, data in self.checked.strings.items():
+            module.data[label] = DataObject(
+                name=label, size=len(data), align=1, init=data)
+        for fn in self.checked.functions.values():
+            module.functions[fn.name] = _FuncGen(self, fn).generate()
+        return module
+
+
+def lower(checked: CheckedProgram) -> IRModule:
+    """Generate abstract machine code for a checked program."""
+    return _ModuleGen(checked).generate()

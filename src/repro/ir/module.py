@@ -1,0 +1,51 @@
+"""IR containers: functions and modules of abstract machine code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..rtl.module import DataObject
+from .ops import IROp, Temp
+
+__all__ = ["IRFunction", "IRModule"]
+
+
+@dataclass
+class IRFunction:
+    """One function's abstract machine code.
+
+    ``params`` are the temporaries that receive the arguments (in
+    declaration order).  ``frame_size`` is the byte size needed for
+    stack-resident locals (arrays and address-taken scalars); scalar
+    locals whose address is never taken live directly in temporaries.
+    ``ret_fp`` is True for double-returning functions, False for
+    int/pointer, None for void.
+    """
+
+    name: str
+    params: list[Temp] = field(default_factory=list)
+    ret_fp: Optional[bool] = None
+    body: list[IROp] = field(default_factory=list)
+    frame_size: int = 0
+    temp_counts: dict[str, int] = field(default_factory=lambda: {"i": 0, "d": 0})
+
+    def listing(self) -> str:
+        header = f"function {self.name}({', '.join(map(repr, self.params))})"
+        lines = [header]
+        for op in self.body:
+            lines.append(f"  {op!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRModule:
+    """A checked, lowered compilation unit of abstract machine code."""
+
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    data: dict[str, DataObject] = field(default_factory=dict)
+    entry: str = "main"
+
+    def listing(self) -> str:
+        parts = [fn.listing() for fn in self.functions.values()]
+        return "\n\n".join(parts)

@@ -1,0 +1,292 @@
+"""The abstract machine code (IR) emitted by the Mini-C front end.
+
+This is the "simple abstract machine" of the paper's compiler structure:
+a linear, register-based three-address code with unlimited typed
+temporaries.  The front end emits naive but correct IR; the code
+expander (:mod:`repro.expander`) translates it into straightforward RTLs
+for a target machine, and the reference interpreter
+(:mod:`repro.ir.interp`) executes it directly to serve as the
+correctness oracle for every backend and optimization level.
+
+Temporaries live in two banks: ``i`` (32-bit integers and pointers) and
+``d`` (IEEE double).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "Temp",
+    "IROp",
+    "IRConst", "IRConstD", "IRGlobalAddr", "IRLocalAddr",
+    "IRLoad", "IRStore", "IRBin", "IRCmp", "IRUn", "IRCast",
+    "IRCall", "IRRet", "IRJump", "IRCJump", "IRLabel", "IRMove",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Temp:
+    """A virtual abstract-machine register. ``bank`` is 'i' or 'd'."""
+
+    bank: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"t{self.bank}{self.index}"
+
+
+class IROp:
+    """Base class of abstract machine operations."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+
+class IRConst(IROp):
+    """``dst := value`` (32-bit integer constant)."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: Temp, value: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.value}"
+
+
+class IRConstD(IROp):
+    """``dst := value`` (double constant)."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: Temp, value: float, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.value!r}"
+
+
+class IRGlobalAddr(IROp):
+    """``dst := &global`` (also used for interned string literals)."""
+
+    __slots__ = ("dst", "name")
+
+    def __init__(self, dst: Temp, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = &{self.name}"
+
+
+class IRLocalAddr(IROp):
+    """``dst := frame_pointer + offset`` for stack-resident locals."""
+
+    __slots__ = ("dst", "offset")
+
+    def __init__(self, dst: Temp, offset: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = fp+{self.offset}"
+
+
+class IRLoad(IROp):
+    """``dst := M[addr]`` with byte width, FP-ness and signedness."""
+
+    __slots__ = ("dst", "addr", "width", "fp", "signed")
+
+    def __init__(self, dst: Temp, addr: Temp, width: int, fp: bool,
+                 signed: bool = True, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.addr = addr
+        self.width = width
+        self.fp = fp
+        self.signed = signed
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = M{self.width * 8}[{self.addr!r}]"
+
+
+class IRStore(IROp):
+    """``M[addr] := src``."""
+
+    __slots__ = ("addr", "src", "width", "fp")
+
+    def __init__(self, addr: Temp, src: Temp, width: int, fp: bool,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.addr = addr
+        self.src = src
+        self.width = width
+        self.fp = fp
+
+    def __repr__(self) -> str:
+        return f"M{self.width * 8}[{self.addr!r}] = {self.src!r}"
+
+
+class IRBin(IROp):
+    """``dst := a op b``; op is one of + - * / % << >> & | ^."""
+
+    __slots__ = ("dst", "op", "a", "b", "fp")
+
+    def __init__(self, dst: Temp, op: str, a: Temp, b: Temp, fp: bool,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.op = op
+        self.a = a
+        self.b = b
+        self.fp = fp
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.a!r} {self.op} {self.b!r}"
+
+
+class IRCmp(IROp):
+    """``dst := (a op b)`` as 0/1; op is a relational operator."""
+
+    __slots__ = ("dst", "op", "a", "b", "fp")
+
+    def __init__(self, dst: Temp, op: str, a: Temp, b: Temp, fp: bool,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.op = op
+        self.a = a
+        self.b = b
+        self.fp = fp
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = ({self.a!r} {self.op} {self.b!r})"
+
+
+class IRUn(IROp):
+    """``dst := op a``; op is 'neg' or 'not' (bitwise complement)."""
+
+    __slots__ = ("dst", "op", "a", "fp")
+
+    def __init__(self, dst: Temp, op: str, a: Temp, fp: bool,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.op = op
+        self.a = a
+        self.fp = fp
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.op} {self.a!r}"
+
+
+class IRCast(IROp):
+    """Conversions between banks/widths: kind is 'i2d', 'd2i' or 'i2c'
+    (truncate to signed char and re-extend)."""
+
+    __slots__ = ("dst", "src", "kind")
+
+    def __init__(self, dst: Temp, src: Temp, kind: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.src = src
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.kind}({self.src!r})"
+
+
+class IRMove(IROp):
+    """``dst := src`` within one bank."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Temp, src: Temp, line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.src!r}"
+
+
+class IRCall(IROp):
+    """Call ``name`` with temp arguments; dst receives the return value
+    (None for void calls)."""
+
+    __slots__ = ("dst", "name", "args")
+
+    def __init__(self, dst: Optional[Temp], name: str, args: list[Temp],
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.dst = dst
+        self.name = name
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        lhs = f"{self.dst!r} = " if self.dst is not None else ""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{lhs}call {self.name}({args})"
+
+
+class IRRet(IROp):
+    """Return, optionally with a value."""
+
+    __slots__ = ("src",)
+
+    def __init__(self, src: Optional[Temp], line: int = 0) -> None:
+        super().__init__(line)
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"ret {self.src!r}" if self.src is not None else "ret"
+
+
+class IRJump(IROp):
+    __slots__ = ("target",)
+
+    def __init__(self, target: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"jump {self.target}"
+
+
+class IRCJump(IROp):
+    """``if (a op b) jump target`` — fall through otherwise."""
+
+    __slots__ = ("op", "a", "b", "fp", "target")
+
+    def __init__(self, op: str, a: Temp, b: Temp, fp: bool, target: str,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.a = a
+        self.b = b
+        self.fp = fp
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"if ({self.a!r} {self.op} {self.b!r}) jump {self.target}"
+
+
+class IRLabel(IROp):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"

@@ -1,0 +1,16 @@
+"""Machine descriptions: WM, Motorola 68020, parametric scalar models."""
+
+from .base import ABI, Machine
+from .m68020 import M68020
+from .scalar import MACHINES, CostModel, ScalarMachine, make_machine
+from .scalar_exec import ScalarExecutor, ScalarResult, execute_scalar
+from .wm import WM, WMLoadIssue, WMStoreIssue, unit_of
+from .wm_lower import lower_wm_function, lower_wm_module
+
+__all__ = [
+    "ABI", "Machine", "M68020",
+    "MACHINES", "CostModel", "ScalarMachine", "make_machine",
+    "ScalarExecutor", "ScalarResult", "execute_scalar",
+    "WM", "WMLoadIssue", "WMStoreIssue", "unit_of",
+    "lower_wm_function", "lower_wm_module",
+]

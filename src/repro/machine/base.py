@@ -1,0 +1,161 @@
+"""Machine descriptions.
+
+A :class:`Machine` captures everything the (otherwise machine-independent)
+optimizer needs to know about a target: register banks and conventions,
+which RTL expressions are legal as a single instruction (the *combine*
+legality test — classic vpo), and how much an instruction costs for the
+static timing models.
+
+The reproduction defines three concrete machines:
+
+* :mod:`repro.machine.wm` — the WM access/execute architecture with
+  dual-operation instructions, FIFO registers and stream instructions;
+* :mod:`repro.machine.m68020` — a Motorola 68020-flavoured CISC with
+  memory addressing modes and auto-increment (Figure 6);
+* :mod:`repro.machine.scalar` — a parametric scalar machine used with
+  per-machine cost vectors for the Table I cross-machine study.
+
+All machines share the reproduction ABI:
+
+=====================  =========================================
+stack pointer          ``r[29]``
+link register          ``r[30]`` (written by Call, read by Ret)
+zero register          ``r[31]`` / ``f[31]`` (WM semantics)
+integer args           ``r[4]``..``r[11]``
+double args            ``f[4]``..``f[11]``
+integer return         ``r[2]``
+double return          ``f[2]``
+caller-saved           ``r[2]``..``r[15]``, ``f[2]``..``f[15]``
+callee-saved           ``r[16]``..``r[27]``, ``f[16]``..``f[30]``
+=====================  =========================================
+
+FIFO registers ``r[0]``/``r[1]`` and ``f[0]``/``f[1]`` are never
+allocated; they are introduced only by the WM backend's access/execute
+lowering and by the streaming transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import Assign, Compare, Instr
+
+__all__ = ["Machine", "ABI"]
+
+
+@dataclass(frozen=True)
+class ABI:
+    """Register conventions shared by the reproduction's targets."""
+
+    sp: Reg = Reg("r", 29)
+    link: Reg = Reg("r", 30)
+    zero_r: Reg = Reg("r", 31)
+    zero_f: Reg = Reg("f", 31)
+    int_args: tuple[Reg, ...] = tuple(Reg("r", i) for i in range(4, 12))
+    fp_args: tuple[Reg, ...] = tuple(Reg("f", i) for i in range(4, 12))
+    int_ret: Reg = Reg("r", 2)
+    fp_ret: Reg = Reg("f", 2)
+
+    def caller_saved(self) -> set[Reg]:
+        regs = {Reg("r", i) for i in range(2, 16)}
+        regs |= {Reg("f", i) for i in range(2, 16)}
+        return regs
+
+    def callee_saved(self) -> set[Reg]:
+        regs = {Reg("r", i) for i in range(16, 28)}
+        regs |= {Reg("f", i) for i in range(16, 31)}
+        return regs
+
+    def allocatable(self, bank: str) -> list[Reg]:
+        """Allocation order: caller-saved first, then callee-saved."""
+        if bank == "r":
+            return [Reg("r", i) for i in
+                    list(range(2, 16)) + list(range(16, 28))]
+        return [Reg("f", i) for i in
+                list(range(2, 16)) + list(range(16, 31))]
+
+
+class Machine:
+    """Base machine description.
+
+    Subclasses override :meth:`legal_expr` (the combine legality test),
+    the streaming capability flags, and the assembly formatter.
+    """
+
+    name = "generic"
+    #: does the target have stream instructions / SCUs?
+    has_streams = False
+    #: does the target have a vector unit? (reserved for the VEU)
+    has_vector = False
+    #: number of input/output FIFO registers per bank when streaming
+    fifo_count = 2
+
+    def __init__(self) -> None:
+        self.abi = ABI()
+
+    # -- legality ------------------------------------------------------------
+    def legal_instr(self, instr: Instr) -> bool:
+        """Can ``instr`` be encoded as one machine instruction?
+
+        Used by the forward-substitution (combine) pass: a substitution
+        is performed only if the combined RTL remains legal.
+        """
+        if isinstance(instr, Assign):
+            if isinstance(instr.dst, Mem):
+                return self.legal_addr(instr.dst.addr) and \
+                    self._leaf(instr.src)
+            if isinstance(instr.src, Mem):
+                return self.legal_addr(instr.src.addr)
+            return self.legal_expr(instr.src)
+        if isinstance(instr, Compare):
+            return self._leaf(instr.left) and self._leaf(instr.right)
+        from ..rtl.instr import StreamIn, StreamOut
+        if isinstance(instr, (StreamIn, StreamOut)):
+            # Stream operands are plain registers in the instruction word.
+            base_ok = isinstance(instr.base, (Reg, VReg))
+            count_ok = instr.count is None or \
+                isinstance(instr.count, (Reg, VReg, Imm))
+            return base_ok and count_ok
+        return True
+
+    def legal_expr(self, expr: Expr) -> bool:
+        """Is ``expr`` computable by a single ALU instruction?
+
+        The generic machine is a plain three-address RISC: one operator,
+        register or immediate operands.
+        """
+        if self._leaf(expr):
+            return True
+        if isinstance(expr, BinOp):
+            return self._leaf(expr.left) and self._leaf(expr.right)
+        if isinstance(expr, UnOp):
+            return self._leaf(expr.operand)
+        return False
+
+    def legal_addr(self, addr: Expr) -> bool:
+        """Is ``addr`` a legal addressing-mode computation?
+
+        Generic machine: register, or register + immediate displacement.
+        """
+        if isinstance(addr, (Reg, VReg, Sym)):
+            return True
+        if isinstance(addr, BinOp) and addr.op == "+":
+            return self._leaf(addr.left) and isinstance(addr.right, Imm) or \
+                isinstance(addr.left, Imm) and self._leaf(addr.right)
+        return False
+
+    @staticmethod
+    def _leaf(expr: Expr) -> bool:
+        return isinstance(expr, (Reg, VReg, Imm, Sym))
+
+    # -- costs ---------------------------------------------------------------
+    def instr_cost(self, instr: Instr) -> float:
+        """Static cycle cost of one instruction (for cost-model timing)."""
+        return 1.0
+
+    # -- formatting --------------------------------------------------------------
+    def format_instr(self, instr: Instr) -> list[str]:
+        """Render an instruction as assembly line(s)."""
+        return [repr(instr)]

@@ -1,0 +1,258 @@
+"""Motorola 68020 back end.
+
+Demonstrates the machine-independence of the recurrence algorithm (the
+paper's Figure 6): the same partition analysis and register rotation run
+unchanged, a machine-specific instruction selection then recognizes
+pointer walks produced by strength reduction and folds them into
+auto-increment addressing (``a0@+``).
+
+The formatter emits Figure 6-style Motorola syntax: address registers
+(``a0``..) for pointers, data registers (``d0``..) for integers,
+``fp0``.. for the 68881 floating-point unit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import (
+    Assign, Call, Compare, CondJump, Instr, Jump, Label, Ret,
+)
+from ..rtl.module import RtlFunction
+from .scalar import MACHINES, ScalarMachine
+
+__all__ = ["M68020", "find_autoinc_pairs"]
+
+
+class M68020(ScalarMachine):
+    """68020 + 68881: CISC addressing, auto-increment, slow memory."""
+
+    def __init__(self) -> None:
+        super().__init__(MACHINES["sun3/280"])
+        self.name = "m68020"
+
+    def legal_addr(self, addr: Expr) -> bool:
+        if isinstance(addr, (Reg, VReg, Sym)):
+            return True
+        if isinstance(addr, BinOp) and addr.op == "+":
+            left, right = addr.left, addr.right
+            # displacement: An@(d16)
+            if isinstance(left, (Reg, VReg)) and isinstance(right, Imm):
+                return True
+            if isinstance(right, (Reg, VReg)) and isinstance(left, Imm):
+                return True
+            # scaled index: An@(Dm:l:scale)
+            if isinstance(left, (Reg, VReg)) and _scaled_index(right):
+                return True
+            if isinstance(right, (Reg, VReg)) and _scaled_index(left):
+                return True
+        return False
+
+    # -- figure-style formatting ------------------------------------------------
+    def format_function(self, name: str, instrs: list[Instr]) -> str:
+        names = _RegisterNames(instrs)
+        autoinc = find_autoinc_pairs(instrs)
+        folded = autoinc.get("adds", set())
+        lines = [f"{name}:"]
+        for instr in instrs:
+            if id(instr) in folded:
+                continue  # pointer bump folded into @+ addressing
+            partner = autoinc.get(id(instr))
+            for line in _format(instr, names, autoinc_reg=partner):
+                if isinstance(instr, Label):
+                    lines.append(line)
+                elif instr.comment:
+                    lines.append(f"        {line:<36} | {instr.comment}")
+                else:
+                    lines.append(f"        {line}")
+        return "\n".join(lines)
+
+
+def _scaled_index(expr: Expr) -> bool:
+    return isinstance(expr, BinOp) and expr.op == "<<" and \
+        isinstance(expr.left, (Reg, VReg)) and isinstance(expr.right, Imm)
+
+
+def find_autoinc_pairs(instrs: list[Instr]) -> dict:
+    """Find (access, following pointer-bump) pairs fusable as ``@+``.
+
+    Returns a dict mapping ``id(access_instr) -> pointer Reg`` plus an
+    ``"adds"`` entry: the set of ``id`` of bump instructions whose cost
+    is folded to zero (they disappear into the addressing mode).
+    """
+    result: dict = {}
+    folded: set[int] = set()
+    for idx in range(len(instrs) - 1):
+        instr = instrs[idx]
+        nxt = instrs[idx + 1]
+        if not isinstance(instr, Assign) or not isinstance(nxt, Assign):
+            continue
+        mem = None
+        if isinstance(instr.src, Mem):
+            mem = instr.src
+        elif isinstance(instr.dst, Mem):
+            mem = instr.dst
+        if mem is None or not isinstance(mem.addr, Reg):
+            continue
+        pointer = mem.addr
+        if not (isinstance(nxt.dst, Reg) and nxt.dst == pointer):
+            continue
+        src = nxt.src
+        if isinstance(src, BinOp) and src.op == "+" and \
+                src.left == pointer and isinstance(src.right, Imm) and \
+                src.right.value == mem.width:
+            result[id(instr)] = pointer
+            folded.add(id(nxt))
+    result["adds"] = folded
+    return result
+
+
+class _RegisterNames:
+    """68020 register naming: pointers -> aN, integers -> dN, FP -> fpN."""
+
+    def __init__(self, instrs: list[Instr]) -> None:
+        pointer_regs: set[Reg] = set()
+        for instr in instrs:
+            for e in instr.use_exprs():
+                for mem in _mems(e):
+                    if isinstance(mem.addr, Reg):
+                        pointer_regs.add(mem.addr)
+                    if isinstance(mem.addr, BinOp) and \
+                            isinstance(mem.addr.left, Reg):
+                        pointer_regs.add(mem.addr.left)
+            if isinstance(instr, Assign) and isinstance(instr.dst, Mem):
+                addr = instr.dst.addr
+                if isinstance(addr, Reg):
+                    pointer_regs.add(addr)
+                elif isinstance(addr, BinOp) and isinstance(addr.left, Reg):
+                    pointer_regs.add(addr.left)
+        self._names: dict[Reg, str] = {}
+        self._next_a = 0
+        self._next_d = 0
+        self._next_fp = 0
+        self._pointers = pointer_regs
+
+    def name(self, reg: Reg) -> str:
+        if reg.bank == "r" and reg.index == 29:
+            return "a7"
+        if reg.bank == "r" and reg.index == 30:
+            return "a6"
+        if reg not in self._names:
+            if reg.bank == "f":
+                self._names[reg] = f"fp{self._next_fp}"
+                self._next_fp += 1
+            elif reg in self._pointers:
+                self._names[reg] = f"a{self._next_a % 6}"
+                self._next_a += 1
+            else:
+                self._names[reg] = f"d{self._next_d % 8}"
+                self._next_d += 1
+        return self._names[reg]
+
+
+def _mems(expr: Expr):
+    from ..rtl.expr import walk
+    for node in walk(expr):
+        if isinstance(node, Mem):
+            yield node
+
+
+def _format(instr: Instr, names: _RegisterNames,
+            autoinc_reg: Optional[Reg] = None) -> list[str]:
+    if isinstance(instr, Label):
+        return [f"{instr.name}:"]
+    if isinstance(instr, Jump):
+        return [f"jra     {instr.target}"]
+    if isinstance(instr, CondJump):
+        mnem = "jne" if instr.sense else "jeq"
+        return [f"{mnem}     {instr.target}"]
+    if isinstance(instr, Compare):
+        return [f"cmp     {_operand(instr.right, names)},"
+                f"{_operand(instr.left, names)}  ({instr.op})"]
+    if isinstance(instr, Call):
+        return [f"jbsr    {instr.func}"]
+    if isinstance(instr, Ret):
+        return ["rts"]
+    if isinstance(instr, Assign):
+        dst, src = instr.dst, instr.src
+        if isinstance(src, Mem):
+            mnem = "fmoved" if src.fp else ("moveb" if src.width == 1
+                                            else "movl")
+            return [f"{mnem}  {_mem_operand(src, names, autoinc_reg)},"
+                    f"{names.name(dst)}"]
+        if isinstance(dst, Mem):
+            mnem = "fmoved" if dst.fp else ("moveb" if dst.width == 1
+                                            else "movl")
+            return [f"{mnem}  {_operand(src, names)},"
+                    f"{_mem_operand(dst, names, autoinc_reg)}"]
+        if isinstance(src, Sym):
+            return [f"lea     {src!r},{names.name(dst)}"]
+        if isinstance(src, Imm):
+            if isinstance(src.value, int) and -128 <= src.value <= 127 \
+                    and dst.bank == "r":
+                return [f"moveq   #{src.value},{names.name(dst)}"]
+            prefix = "fmoved" if dst.bank == "f" else "movl"
+            return [f"{prefix}  #{src.value},{names.name(dst)}"]
+        if isinstance(src, (Reg, VReg)):
+            mnem = "fmovex" if dst.bank == "f" else "movl"
+            return [f"{mnem}  {names.name(src)},{names.name(dst)}"]
+        if isinstance(src, BinOp):
+            fp = dst.bank == "f"
+            mnems = {
+                "+": "faddx" if fp else "addl",
+                "-": "fsubx" if fp else "subl",
+                "*": "fmulx" if fp else "mulsl",
+                "/": "fdivx" if fp else "divsl",
+                "%": "remsl",
+                "<<": "asll", ">>": "asrl",
+                "&": "andl", "|": "orl", "^": "eorl",
+            }
+            mnem = mnems.get(src.op, src.op)
+            return [f"{mnem:7s} {_operand(src.right, names)},"
+                    f"{_operand(src.left, names)} -> {names.name(dst)}"]
+        if isinstance(src, UnOp):
+            return [f"{src.op:7s} {_operand(src.operand, names)}"
+                    f" -> {names.name(dst)}"]
+    return [repr(instr)]
+
+
+def _operand(expr: Expr, names: _RegisterNames) -> str:
+    if isinstance(expr, (Reg,)):
+        return names.name(expr)
+    if isinstance(expr, Imm):
+        return f"#{expr.value}"
+    if isinstance(expr, Sym):
+        return repr(expr)
+    if isinstance(expr, Mem):
+        return _mem_operand(expr, names, None)
+    if isinstance(expr, BinOp):
+        return (f"{_operand(expr.left, names)}{expr.op}"
+                f"{_operand(expr.right, names)}")
+    return repr(expr)
+
+
+def _mem_operand(mem: Mem, names: _RegisterNames,
+                 autoinc_reg: Optional[Reg]) -> str:
+    addr = mem.addr
+    if isinstance(addr, Reg):
+        if autoinc_reg is not None and addr == autoinc_reg:
+            return f"{names.name(addr)}@+"
+        return f"{names.name(addr)}@"
+    if isinstance(addr, Sym):
+        return f"({addr!r})"
+    if isinstance(addr, BinOp) and addr.op == "+":
+        left, right = addr.left, addr.right
+        if isinstance(left, Reg) and isinstance(right, Imm):
+            return f"{names.name(left)}@({right.value})"
+        if isinstance(right, Reg) and isinstance(left, Imm):
+            return f"{names.name(right)}@({left.value})"
+        if isinstance(left, Reg) and _scaled_index(right):
+            scale = 1 << right.right.value
+            return (f"{names.name(left)}@({names.name(right.left)}:l:"
+                    f"{scale})")
+        if isinstance(right, Sym) and isinstance(left, Imm):
+            return f"({right!r}+{left.value})"
+        if isinstance(left, Sym):
+            return f"({left!r}+{_operand(right, names)})"
+    return f"({_operand(addr, names)})"

@@ -1,0 +1,240 @@
+"""Sequential RTL executor with cost accounting, for scalar targets.
+
+Executes a compiled (mid-level, non-WM-lowered) RtlModule directly:
+registers, little-endian byte memory with the standard layout, a single
+condition flag (scalar machines execute compare/branch back to back).
+Every retired instruction is charged ``machine.instr_cost(instr)``
+cycles; the weighted total is the execution-time figure used by the
+Table I and SPEC-proxy experiments.
+
+Also doubles as the differential-correctness harness for the scalar
+back ends: results must match the IR reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ir.interp import c_div, c_rem, wrap32
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import (
+    Assign, Call, Compare, CondJump, Instr, Jump, Label, Ret,
+)
+from ..rtl.module import RtlModule
+from ..sim.loader import Program, load_program
+from ..sim.memory import MemorySystem
+from .base import Machine
+
+__all__ = ["ScalarResult", "ScalarExecutor", "execute_scalar"]
+
+HALT_PC = -1
+
+_CMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_INT_BIN = {
+    "+": lambda a, b: wrap32(a + b),
+    "-": lambda a, b: wrap32(a - b),
+    "*": lambda a, b: wrap32(a * b),
+    "/": lambda a, b: wrap32(c_div(a, b)),
+    "%": lambda a, b: wrap32(c_rem(a, b)),
+    "<<": lambda a, b: wrap32(a << (b & 31)),
+    ">>": lambda a, b: a >> (b & 31),
+    "&": lambda a, b: wrap32(a & b),
+    "|": lambda a, b: wrap32(a | b),
+    "^": lambda a, b: wrap32(a ^ b),
+}
+
+
+class ScalarExecError(Exception):
+    """Runtime trap or malformed program."""
+
+
+@dataclass
+class ScalarResult:
+    """Outcome of a cost-weighted scalar execution."""
+
+    value: object
+    cycles: float
+    instructions: int
+    memory_refs: int
+    memory: bytearray
+    globals_base: dict[str, int]
+    #: dynamic count per instruction-class label
+    mix: dict[str, int] = field(default_factory=dict)
+
+    def global_bytes(self, name: str, size: int) -> bytes:
+        base = self.globals_base[name]
+        return bytes(self.memory[base:base + size])
+
+
+class ScalarExecutor:
+    """Direct execution of scalar RTL with per-instruction costs."""
+
+    def __init__(self, module: RtlModule, machine: Machine,
+                 mem_size: int = 1 << 23,
+                 max_instructions: int = 200_000_000,
+                 autoinc_free: Optional[set] = None) -> None:
+        self.module = module
+        self.machine = machine
+        self.program: Program = load_program(module)
+        self.memory = MemorySystem(module, size=mem_size)
+        self.max_instructions = max_instructions
+        self.rregs = [0] * 32
+        self.fregs = [0.0] * 32
+        self.cc = False
+        self.cycles = 0.0
+        self.instructions = 0
+        self.memory_refs = 0
+        self.mix: dict[str, int] = {}
+        #: instructions whose cost is folded into a neighbour
+        #: (auto-increment pairs found by the 68020 backend)
+        self.autoinc_free = autoinc_free or set()
+        self.rregs[29] = (mem_size - 64) & ~0xF
+        self.rregs[30] = HALT_PC
+
+    # -- value access ------------------------------------------------------
+    def _read(self, reg: Reg):
+        if reg.index == 31:
+            return 0.0 if reg.bank == "f" else 0
+        return self.fregs[reg.index] if reg.bank == "f" \
+            else self.rregs[reg.index]
+
+    def _write(self, reg: Reg, value) -> None:
+        if reg.index == 31:
+            return
+        if reg.bank == "f":
+            self.fregs[reg.index] = float(value)
+        else:
+            self.rregs[reg.index] = wrap32(int(value))
+
+    def _eval(self, expr: Expr):
+        if isinstance(expr, Imm):
+            return expr.value
+        if isinstance(expr, Reg):
+            return self._read(expr)
+        if isinstance(expr, Sym):
+            try:
+                return self.memory.globals_base[expr.name] + expr.offset
+            except KeyError:
+                raise ScalarExecError(f"unknown symbol {expr.name!r}") \
+                    from None
+        if isinstance(expr, Mem):
+            self.memory_refs += 1
+            addr = self._eval(expr.addr)
+            return self.memory.read_value(addr, expr.width, expr.fp,
+                                          expr.signed)
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            if isinstance(left, float) or isinstance(right, float):
+                return self._fp_bin(expr.op, left, right)
+            return _INT_BIN[expr.op](left, right)
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand)
+            if expr.op == "neg":
+                return -operand if isinstance(operand, float) \
+                    else wrap32(-operand)
+            if expr.op == "not":
+                return wrap32(~operand)
+            if expr.op == "sext8":
+                v = int(operand) & 0xFF
+                return v - 0x100 if v >= 0x80 else v
+            if expr.op == "i2d":
+                return float(operand)
+            if expr.op == "d2i":
+                return wrap32(int(operand))
+            raise ScalarExecError(f"unknown unary {expr.op}")
+        if isinstance(expr, VReg):
+            raise ScalarExecError("virtual register reached execution")
+        raise ScalarExecError(f"cannot evaluate {expr!r}")
+
+    @staticmethod
+    def _fp_bin(op: str, a, b) -> float:
+        a, b = float(a), float(b)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0.0:
+                raise ScalarExecError("floating-point division by zero")
+            return a / b
+        raise ScalarExecError(f"illegal FP operator {op}")
+
+    # -- run ---------------------------------------------------------------
+    def run(self) -> ScalarResult:
+        pc = self.program.entry_index
+        instrs = self.program.instrs
+        labels = self.program.label_index
+        while pc != HALT_PC:
+            if pc < 0 or pc >= len(instrs):
+                raise ScalarExecError(f"pc out of range: {pc}")
+            instr = instrs[pc]
+            self.instructions += 1
+            if self.instructions > self.max_instructions:
+                raise ScalarExecError("instruction limit exceeded")
+            if id(instr) not in self.autoinc_free:
+                self.cycles += self.machine.instr_cost(instr)
+            cls = type(instr).__name__
+            self.mix[cls] = self.mix.get(cls, 0) + 1
+            if isinstance(instr, Label):
+                pc += 1
+                continue
+            if isinstance(instr, Assign):
+                if isinstance(instr.dst, Mem):
+                    self.memory_refs += 1
+                    addr = self._eval(instr.dst.addr)
+                    value = self._eval(instr.src)
+                    self.memory.write_value(addr, instr.dst.width,
+                                            instr.dst.fp, value)
+                else:
+                    self._write(instr.dst, self._eval(instr.src))
+                pc += 1
+                continue
+            if isinstance(instr, Compare):
+                left = self._eval(instr.left)
+                right = self._eval(instr.right)
+                self.cc = bool(_CMP[instr.op](left, right))
+                pc += 1
+                continue
+            if isinstance(instr, CondJump):
+                pc = labels[instr.target] if self.cc == instr.sense \
+                    else pc + 1
+                continue
+            if isinstance(instr, Jump):
+                pc = labels[instr.target]
+                continue
+            if isinstance(instr, Call):
+                self.rregs[30] = pc + 1
+                pc = self.program.entry_of[instr.func]
+                continue
+            if isinstance(instr, Ret):
+                pc = self.rregs[30]
+                continue
+            raise ScalarExecError(
+                f"scalar target cannot execute {instr!r}")
+        return ScalarResult(
+            value=self.rregs[2],
+            cycles=self.cycles,
+            instructions=self.instructions,
+            memory_refs=self.memory_refs,
+            memory=self.memory.data,
+            globals_base=dict(self.memory.globals_base),
+            mix=self.mix,
+        )
+
+
+def execute_scalar(module: RtlModule, machine: Machine,
+                   **kwargs) -> ScalarResult:
+    """Run a scalar-compiled module to completion."""
+    return ScalarExecutor(module, machine, **kwargs).run()

@@ -1,0 +1,310 @@
+"""The WM machine description.
+
+Captures the features of the WM architecture that the code generator
+exploits (Benitez & Davidson 1991, section "THE WM ARCHITECTURE"):
+
+* **Dual-operation instructions** ``R0 := (R1 op1 R2) op2 R3`` — the
+  combine legality test accepts expression trees of depth two;
+* **Access/execute loads and stores** — a load instruction only computes
+  an address (destination is implicitly the input FIFO); data is consumed
+  by reading register 0.  Stores enqueue data in the output FIFO and a
+  store instruction generates the memory request.  The lowering pass that
+  produces this split form lives in :mod:`repro.machine.wm_lower`;
+* **FIFO registers** — ``r[0]``/``f[0]`` always; ``r[1]``/``f[1]``
+  additionally in streaming mode;
+* **Stream instructions** ``SinD``/``SoutD`` and the stream-status
+  conditional jumps handled by the IFU;
+* **Condition code FIFOs** — compares execute on the IEU/FEU and
+  enqueue their result for the IFU's conditional jumps.
+
+The assembly formatter renders listings in the style of the paper's
+Figures 4, 5 and 7 (``llh``/``sll`` symbol loads, ``l64f``/``s64f``
+memory requests, ``double`` FEU operations, ``JumpIT``/``JumpIF``,
+``SinD``/``SoutD``/``JNIf``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg, regs_in
+from ..rtl.instr import (
+    Assign, Call, Compare, CondJump, Instr, Jump, JumpStreamNotDone, Label,
+    Ret, StreamIn, StreamOut, StreamStop,
+)
+from .base import Machine
+
+__all__ = ["WMLoadIssue", "WMStoreIssue", "WM", "unit_of", "CVT_OPS"]
+
+#: cross-bank conversion operators (executed by the IFU with a
+#: synchronization of the execution units)
+CVT_OPS = {"i2d", "d2i"}
+
+
+class WMLoadIssue(Instr):
+    """A WM load: compute ``addr`` and issue the memory request.
+
+    The destination is implicitly the input FIFO of ``bank`` ('r' or
+    'f'); the listing shows the architectural form ``l64f r31 := addr``.
+    Executed by the IEU.
+    """
+
+    __slots__ = ("addr", "width", "fp", "signed")
+
+    def __init__(self, addr: Expr, width: int, fp: bool, signed: bool = True,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.addr = addr
+        self.width = width
+        self.fp = fp
+        self.signed = signed
+
+    @property
+    def bank(self) -> str:
+        return "f" if self.fp else "r"
+
+    def uses(self) -> set:
+        return regs_in(self.addr)
+
+    def use_exprs(self) -> list[Expr]:
+        return [self.addr]
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        self.addr = fn(self.addr)
+
+    def __repr__(self) -> str:
+        return f"l{self.width * 8}{'f' if self.fp else ''} r[31] := {self.addr!r}"
+
+
+class WMStoreIssue(Instr):
+    """A WM store: compute ``addr`` and issue the memory request.
+
+    The data was (or will be) enqueued in the output FIFO of ``bank``.
+    Executed by the IEU.
+    """
+
+    __slots__ = ("addr", "width", "fp")
+
+    def __init__(self, addr: Expr, width: int, fp: bool,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.addr = addr
+        self.width = width
+        self.fp = fp
+
+    @property
+    def bank(self) -> str:
+        return "f" if self.fp else "r"
+
+    def uses(self) -> set:
+        return regs_in(self.addr)
+
+    def use_exprs(self) -> list[Expr]:
+        return [self.addr]
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        self.addr = fn(self.addr)
+
+    def __repr__(self) -> str:
+        return f"s{self.width * 8}{'f' if self.fp else ''} r[31] := {self.addr!r}"
+
+
+class WM(Machine):
+    """The WM architecture."""
+
+    name = "wm"
+    has_streams = True
+    fifo_count = 2
+
+    # -- legality: dual-operation instructions ---------------------------------
+    def legal_instr(self, instr) -> bool:
+        # Compares are dual-operation too: the comparison is the outer
+        # operator, so one operand may be a single inner operation
+        # (Figure 7 line 1: ``r31 := (r21-1) <= 0``).
+        if isinstance(instr, Compare):
+            left_inner = isinstance(instr.left, BinOp)
+            right_inner = isinstance(instr.right, BinOp)
+            if left_inner and right_inner:
+                return False
+            for side in (instr.left, instr.right):
+                if isinstance(side, BinOp):
+                    if not self._single(side):
+                        return False
+                elif not self._operand(side):
+                    return False
+            return True
+        return super().legal_instr(instr)
+
+    def legal_expr(self, expr: Expr) -> bool:
+        if isinstance(expr, (Reg, VReg, Imm, Sym)):
+            return True
+        if isinstance(expr, UnOp):
+            # conversions and sign extensions take a plain register
+            return isinstance(expr.operand, (Reg, VReg))
+        if isinstance(expr, BinOp):
+            return self._dual(expr)
+        return False
+
+    def legal_addr(self, addr: Expr) -> bool:
+        # Addresses are computed by the same dual-operation ALU pipeline.
+        if isinstance(addr, (Reg, VReg, Sym)):
+            return True
+        if isinstance(addr, BinOp):
+            return self._dual(addr)
+        return False
+
+    def _dual(self, expr: BinOp) -> bool:
+        """(a op1 b) op2 c with register/immediate leaves."""
+        if expr.op not in ("+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"):
+            return False
+        left_inner = isinstance(expr.left, BinOp)
+        right_inner = isinstance(expr.right, BinOp)
+        if left_inner and right_inner:
+            return False
+        if left_inner:
+            return self._single(expr.left) and self._operand(expr.right)
+        if right_inner:
+            return self._single(expr.right) and self._operand(expr.left)
+        return self._operand(expr.left) and self._operand(expr.right)
+
+    def _single(self, expr: BinOp) -> bool:
+        if expr.op not in ("+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"):
+            return False
+        return self._operand(expr.left) and self._operand(expr.right)
+
+    @staticmethod
+    def _operand(expr: Expr) -> bool:
+        if isinstance(expr, (Reg, VReg)):
+            return True
+        if isinstance(expr, Imm):
+            return isinstance(expr.value, int) and -32768 <= expr.value <= 32767
+        return False
+
+    # -- costs ------------------------------------------------------------------
+    def instr_cost(self, instr: Instr) -> float:
+        if isinstance(instr, Assign) and isinstance(instr.src, Sym):
+            return 2.0  # llh + sll pair
+        if isinstance(instr, (Jump, CondJump, JumpStreamNotDone, Label)):
+            return 0.0  # handled by the IFU
+        return 1.0
+
+    # -- formatting ----------------------------------------------------------------
+    def format_instr(self, instr: Instr) -> list[str]:
+        unit = unit_of(instr)
+        if isinstance(instr, Label):
+            return [f"{instr.name}:"]
+        if isinstance(instr, Assign) and isinstance(instr.src, Sym):
+            dst = _fmt(instr.dst)
+            return [f"llh    {dst} := {_fmt(instr.src)}",
+                    f"sll    {dst} := {_fmt(instr.src)}"]
+        if isinstance(instr, WMLoadIssue):
+            mnem = f"l{instr.width * 8}{'f' if instr.fp else ''}"
+            return [f"{mnem:<6} r31 := {_fmt(instr.addr)}"]
+        if isinstance(instr, WMStoreIssue):
+            mnem = f"s{instr.width * 8}{'f' if instr.fp else ''}"
+            return [f"{mnem:<6} r31 := {_fmt(instr.addr)}"]
+        if isinstance(instr, Compare):
+            dst = "f31" if instr.bank == "f" else "r31"
+            prefix = "double " if instr.bank == "f" else "       "
+            return [f"{prefix[:-1]}{dst} := "
+                    f"({_fmt(instr.left)} {instr.op} {_fmt(instr.right)})"]
+        if isinstance(instr, CondJump):
+            mnem = "JumpIT" if instr.sense else "JumpIF"
+            return [f"{mnem} {instr.target}"]
+        if isinstance(instr, Jump):
+            return [f"Jump   {instr.target}"]
+        if isinstance(instr, JumpStreamNotDone):
+            return [f"JNI{_fmt(instr.fifo)} {instr.target}"]
+        if isinstance(instr, StreamIn):
+            mnem = "SinD" if instr.fp and instr.width == 8 else \
+                f"Sin{instr.width * 8}{'f' if instr.fp else ''}"
+            return [f"{mnem:<6} {_fmt(instr.fifo)},{_fmt(instr.base)},"
+                    f"{_fmt(instr.count)},{instr.stride}"]
+        if isinstance(instr, StreamOut):
+            mnem = "SoutD" if instr.fp and instr.width == 8 else \
+                f"Sout{instr.width * 8}{'f' if instr.fp else ''}"
+            return [f"{mnem:<6} {_fmt(instr.fifo)},{_fmt(instr.base)},"
+                    f"{_fmt(instr.count)},{instr.stride}"]
+        if isinstance(instr, StreamStop):
+            return [f"Sstop  {_fmt(instr.fifo)}"]
+        if isinstance(instr, Call):
+            return [f"call   {instr.func}"]
+        if isinstance(instr, Ret):
+            return ["ret"]
+        if isinstance(instr, Assign):
+            prefix = "double " if unit == "FEU" else ""
+            return [f"{prefix}{_fmt(instr.dst)} := {_fmt(instr.src)}"]
+        return [repr(instr)]
+
+    def format_function(self, name: str, instrs: list[Instr]) -> str:
+        """A full figure-style listing with aligned comments."""
+        lines: list[str] = [f"{name}:"]
+        for instr in instrs:
+            for text in self.format_instr(instr):
+                if isinstance(instr, Label):
+                    lines.append(text)
+                elif instr.comment:
+                    lines.append(f"        {text:<42} -- {instr.comment}")
+                else:
+                    lines.append(f"        {text}")
+        return "\n".join(lines)
+
+
+def unit_of(instr: Instr) -> str:
+    """Which WM functional unit executes ``instr``.
+
+    Returns 'IEU', 'FEU', 'IFU' or 'SCU'.  Cross-bank conversions
+    return 'CVT' — they are executed by the IFU with a synchronization
+    of the execution units.
+    """
+    if isinstance(instr, (Jump, CondJump, JumpStreamNotDone, Call, Ret,
+                          Label)):
+        return "IFU"
+    if isinstance(instr, (StreamIn, StreamOut, StreamStop)):
+        return "SCU"
+    if isinstance(instr, (WMLoadIssue, WMStoreIssue)):
+        return "IEU"
+    if isinstance(instr, Compare):
+        return "FEU" if instr.bank == "f" else "IEU"
+    if isinstance(instr, Assign):
+        if isinstance(instr.src, UnOp) and instr.src.op in CVT_OPS:
+            return "CVT"
+        dst_bank = instr.dst.bank if isinstance(instr.dst, (Reg, VReg)) \
+            else None
+        if dst_bank == "f":
+            return "FEU"
+        if dst_bank == "r":
+            return "IEU"
+        # store data enqueue destinations are Reg, so this is unreachable
+        # for lowered code; mid-level stores are classified by data bank.
+        if isinstance(instr.dst, Mem):
+            return "FEU" if instr.dst.fp else "IEU"
+    return "IEU"
+
+
+def _fmt(expr: Expr) -> str:
+    """WM operand syntax: ``r22``, ``f0``, ``_x``, literals, dual-ops."""
+    if isinstance(expr, Reg):
+        return f"{expr.bank}{expr.index}"
+    if isinstance(expr, VReg):
+        return f"v{expr.bank}{expr.index}"
+    if isinstance(expr, Imm):
+        return str(expr.value)
+    if isinstance(expr, Sym):
+        return repr(expr)
+    if isinstance(expr, Mem):
+        return f"M[{_fmt(expr.addr)}]"
+    if isinstance(expr, UnOp):
+        return f"{expr.op}({_fmt(expr.operand)})"
+    if isinstance(expr, BinOp):
+        left, right = expr.left, expr.right
+        if isinstance(left, BinOp):
+            return f"({_fmt_single(left)}) {expr.op} {_fmt(right)}"
+        if isinstance(right, BinOp):
+            return f"{_fmt(left)} {expr.op} ({_fmt_single(right)})"
+        return f"({_fmt(left)}) {expr.op} {_fmt(right)}"
+    return repr(expr)
+
+
+def _fmt_single(expr: BinOp) -> str:
+    return f"{_fmt(expr.left)}{expr.op}{_fmt(expr.right)}"

@@ -1,0 +1,204 @@
+"""WM access/execute lowering.
+
+Splits mid-level loads and stores into the architectural form:
+
+* a load becomes an address-issue instruction (``l64f r31 := addr``,
+  executed by the IEU) whose data arrives in the input FIFO, plus a
+  consumer that reads register 0;
+* a store becomes a data enqueue (write to register 0 of the output
+  FIFO) followed by the address-issue (``s64f r31 := addr``).
+
+The *FIFO fusion* peephole then removes explicit dequeue/enqueue moves
+where the architecture allows reading/writing the FIFO directly inside
+an arithmetic instruction — producing the
+``f0 := (f0 - f0) * f20`` shape of the paper's Figure 4, where the FIFO
+is read twice in one instruction with the reads matching memory-request
+order.
+
+Correctness invariant: within each basic block, the sequence of FIFO
+reads (explicit dequeues plus in-instruction FIFO operands, in operand
+evaluation order) exactly matches the sequence of load issues for that
+bank.  All pending dequeues are materialized before stream instructions,
+calls, and block ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..opt.cfg import build_cfg
+from ..opt.dataflow import compute_liveness
+from ..rtl.expr import Expr, Imm, Mem, Reg, Sym, VReg, subst, walk
+from ..rtl.instr import (
+    Assign, Call, Compare, Instr, Ret, StreamIn, StreamOut, StreamStop,
+)
+from ..rtl.module import RtlFunction, RtlModule
+from .wm import WM, WMLoadIssue, WMStoreIssue
+
+__all__ = ["lower_wm_function", "lower_wm_module", "reg_reads_in_order"]
+
+
+def reg_reads_in_order(instr: Instr) -> list[Expr]:
+    """Register read occurrences in operand-evaluation order.
+
+    This order defines which FIFO element each in-instruction FIFO read
+    consumes; the simulator evaluates expressions in the same order.
+    """
+    reads: list[Expr] = []
+    for e in instr.use_exprs():
+        for node in walk(e):
+            if isinstance(node, (Reg, VReg)):
+                reads.append(node)
+    return reads
+
+
+class _Pending:
+    """A load whose dequeue has not been placed yet."""
+
+    __slots__ = ("dst", "fp")
+
+    def __init__(self, dst, fp: bool) -> None:
+        self.dst = dst
+        self.fp = fp
+
+
+def lower_wm_function(func: RtlFunction, machine: Optional[WM] = None) -> None:
+    """Lower one function to the WM access/execute form, in place."""
+    machine = machine or WM()
+    cfg = build_cfg(func)
+    liveness = compute_liveness(cfg)
+    for block in cfg.blocks:
+        live_after = liveness.per_instr_live_out(block)
+        new: list[Instr] = []
+        pending: dict[str, deque] = {"r": deque(), "f": deque()}
+        for instr, live in zip(block.instrs, live_after):
+            if isinstance(instr, Assign) and isinstance(instr.src, Mem) and \
+                    isinstance(instr.dst, (Reg, VReg)):
+                _consume(instr, pending, new, live)
+                mem = instr.src
+                bank = "f" if mem.fp else "r"
+                new.append(WMLoadIssue(mem.addr, mem.width, mem.fp,
+                                       mem.signed, comment=instr.comment or
+                                       "generate memory request",
+                                       lno=instr.lno))
+                pending[bank].append(_Pending(instr.dst, mem.fp))
+                continue
+            if isinstance(instr, (Call, Ret, StreamIn, StreamOut,
+                                  StreamStop)):
+                _drain_all(pending, new)
+                new.append(instr)
+                continue
+            if isinstance(instr, Assign) and isinstance(instr.dst, Mem):
+                _consume(instr, pending, new, live)
+                _lower_store(instr, new, live)
+                continue
+            _consume(instr, pending, new, live)
+            new.append(instr)
+        _drain_all(pending, new, before_terminator=True)
+        block.instrs = new
+    func.instrs = cfg.to_instrs()
+
+
+def _drain_all(pending: dict[str, deque], new: list[Instr],
+               before_terminator: bool = False) -> None:
+    """Materialize every outstanding dequeue."""
+    at = len(new)
+    if before_terminator and new and new[-1].is_branch():
+        at -= 1
+    dequeues: list[Instr] = []
+    for bank in ("r", "f"):
+        while pending[bank]:
+            p = pending[bank].popleft()
+            dequeues.append(Assign(p.dst, Reg(bank, 0), comment="dequeue"))
+    new[at:at] = dequeues
+
+
+def _consume(instr: Instr, pending: dict[str, deque], new: list[Instr],
+             live_after: set) -> None:
+    """Resolve FIFO ordering for one consumer instruction."""
+    uses = instr.uses()
+    defs = instr.defs()
+    order = reg_reads_in_order(instr)
+    for bank in ("r", "f"):
+        q = pending[bank]
+        if not q:
+            continue
+        # How deep into the queue does this instruction reach?
+        touched = [i for i, p in enumerate(q)
+                   if p.dst in uses or p.dst in defs]
+        if not touched:
+            continue
+        last = max(touched)
+        entries = [q.popleft() for _ in range(last + 1)]
+        fifo = Reg(bank, 0)
+        # The combined FIFO-read sequence must equal queue order, and
+        # materialized dequeues execute before the instruction's own
+        # reads.  Therefore: materialize a *prefix* of the entries and
+        # fuse only a suffix whose in-instruction read positions are
+        # strictly increasing with queue order.
+        from .wm import unit_of
+        is_cvt = unit_of(instr) == "CVT"
+        positions: list[Optional[int]] = []
+        for p in entries:
+            occurrences = [i for i, r in enumerate(order) if r == p.dst]
+            fusable = (
+                not is_cvt and  # conversions execute at the IFU
+                len(occurrences) == 1 and
+                p.dst in uses and
+                p.dst not in defs and
+                p.dst not in live_after
+            )
+            positions.append(occurrences[0] if fusable else None)
+        split = len(entries)
+        next_pos = len(order)
+        for k in range(len(entries) - 1, -1, -1):
+            if positions[k] is None or positions[k] >= next_pos:
+                break
+            next_pos = positions[k]
+            split = k
+        for p in entries[:split]:
+            new.append(Assign(p.dst, fifo, comment="dequeue"))
+        fused = {p.dst: fifo for p in entries[split:]}
+        if fused:
+            instr.map_exprs(lambda e: subst(e, fused))
+
+
+def _lower_store(instr: Assign, new: list[Instr], live_after: set) -> None:
+    """Split ``M[addr] := src`` into enqueue + store-issue."""
+    mem = instr.dst
+    assert isinstance(mem, Mem)
+    bank = "f" if mem.fp else "r"
+    fifo = Reg(bank, 0)
+    src = instr.src
+    fused = False
+    from .wm import unit_of
+    if isinstance(src, (Reg, VReg)) and new:
+        prev = new[-1]
+        if isinstance(prev, Assign) and prev.dst == src and \
+                src not in live_after and \
+                not _addr_uses(mem.addr, src) and \
+                not isinstance(prev.src, Mem) and \
+                unit_of(prev) != "CVT":
+            # Retarget the producer straight into the output FIFO.
+            prev.dst = fifo
+            prev.comment = prev.comment or "compute and enqueue"
+            fused = True
+    if not fused:
+        new.append(Assign(fifo, src, comment="enqueue store data",
+                          lno=instr.lno))
+    new.append(WMStoreIssue(mem.addr, mem.width, mem.fp,
+                            comment=instr.comment or
+                            "generate memory request to store",
+                            lno=instr.lno))
+
+
+def _addr_uses(addr: Expr, reg) -> bool:
+    return any(node == reg for node in walk(addr))
+
+
+def lower_wm_module(module: RtlModule, machine: Optional[WM] = None) -> None:
+    """Lower every function of an RTL module to WM form, in place."""
+    machine = machine or WM()
+    for fn in module.functions.values():
+        lower_wm_function(fn, machine)

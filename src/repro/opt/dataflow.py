@@ -1,0 +1,75 @@
+"""Dataflow analyses over the CFG: liveness of register cells.
+
+Liveness is tracked over :class:`~repro.rtl.expr.Reg`,
+:class:`~repro.rtl.expr.VReg` and the per-unit condition-code cells
+(:class:`~repro.rtl.instr.CCCell`).  Memory is not a dataflow cell; the
+passes treat stores/calls as barriers explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rtl.instr import Cell, Instr
+from .cfg import Block, CFG
+
+__all__ = ["Liveness", "compute_liveness"]
+
+
+class Liveness:
+    """Per-block live-in/live-out sets with per-instruction queries."""
+
+    def __init__(self, live_in: dict[int, set[Cell]],
+                 live_out: dict[int, set[Cell]]) -> None:
+        self._live_in = live_in
+        self._live_out = live_out
+
+    def live_in(self, block: Block) -> set[Cell]:
+        return self._live_in[id(block)]
+
+    def live_out(self, block: Block) -> set[Cell]:
+        return self._live_out[id(block)]
+
+    def per_instr_live_out(self, block: Block) -> list[set[Cell]]:
+        """live-after set for each instruction of ``block``, in order."""
+        live = set(self._live_out[id(block)])
+        result: list[set[Cell]] = [set() for _ in block.instrs]
+        for idx in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[idx]
+            result[idx] = set(live)
+            live -= instr.defs()
+            live |= instr.uses()
+        return result
+
+    def iter_with_liveness(self, block: Block) -> Iterator[tuple[Instr, set[Cell]]]:
+        """Yield (instr, live_after) pairs in forward order."""
+        yield from zip(block.instrs, self.per_instr_live_out(block))
+
+
+def compute_liveness(cfg: CFG) -> Liveness:
+    """Iterative backward liveness over the CFG."""
+    use: dict[int, set[Cell]] = {}
+    define: dict[int, set[Cell]] = {}
+    for block in cfg.blocks:
+        u: set[Cell] = set()
+        d: set[Cell] = set()
+        for instr in block.instrs:
+            u |= instr.uses() - d
+            d |= instr.defs()
+        use[id(block)] = u
+        define[id(block)] = d
+    live_in: dict[int, set[Cell]] = {id(b): set() for b in cfg.blocks}
+    live_out: dict[int, set[Cell]] = {id(b): set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out: set[Cell] = set()
+            for succ in block.succs:
+                out |= live_in[id(succ)]
+            inn = use[id(block)] | (out - define[id(block)])
+            if out != live_out[id(block)] or inn != live_in[id(block)]:
+                live_out[id(block)] = out
+                live_in[id(block)] = inn
+                changed = True
+    return Liveness(live_in, live_out)

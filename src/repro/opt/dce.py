@@ -1,0 +1,100 @@
+"""Dead code elimination.
+
+Removes assignments whose destination register is dead, plus a
+dead-induction-variable sweep: a register whose every use occurs only in
+instructions that do nothing but redefine it (``i := i + 1`` after the
+streaming transformation replaced the loop test) is deleted outright —
+the paper's streaming Step j generalized.
+
+Loads may be deleted (memory reads have no side effects at the
+mid-level); stores, calls, branches, stream instructions and anything
+touching the WM FIFO registers are always kept.
+"""
+
+from __future__ import annotations
+
+from ..rtl.expr import Mem, Reg, VReg, walk
+from ..rtl.instr import Assign, Call, Compare, Instr, Ret
+from .cfg import CFG
+from .combine import is_fifo_reg
+from .dataflow import compute_liveness
+
+__all__ = ["dce_cfg", "remove_dead_ivs"]
+
+
+def _removable(instr: Instr) -> bool:
+    """Instructions that may be deleted when their definition is dead."""
+    if isinstance(instr, Assign):
+        if isinstance(instr.dst, Mem):
+            return False
+        if is_fifo_reg(instr.dst):
+            return False
+        for e in instr.use_exprs():
+            if any(is_fifo_reg(sub) for sub in walk(e)):
+                return False
+        return True
+    if isinstance(instr, Compare):
+        # A compare with no consuming conditional jump must be removed:
+        # WM requires exactly one condition-code producer per jump.
+        return True
+    return False
+
+
+def dce_cfg(cfg: CFG) -> bool:
+    """Liveness-based dead assignment removal, to fixpoint."""
+    any_change = False
+    while True:
+        liveness = compute_liveness(cfg)
+        changed = False
+        for block in cfg.blocks:
+            live_after = liveness.per_instr_live_out(block)
+            keep = []
+            for instr, live in zip(block.instrs, live_after):
+                defs = instr.defs()
+                if defs and _removable(instr) and not (defs & live):
+                    changed = True
+                    continue
+                keep.append(instr)
+            block.instrs = keep
+        if not changed:
+            break
+        any_change = True
+    return any_change
+
+
+def remove_dead_ivs(cfg: CFG) -> bool:
+    """Delete registers used only to recompute themselves.
+
+    After the streaming transformation replaces a loop's exit test with
+    a stream-status jump, the induction variable's increment keeps
+    itself alive around the back edge.  Classic liveness cannot remove
+    it; this sweep can.
+    """
+    # Count, for each register, uses that occur in instructions other
+    # than pure self-redefinitions.
+    self_defs: dict = {}
+    external_use: set = set()
+    for block in cfg.blocks:
+        for instr in block.instrs:
+            defs = instr.defs()
+            uses = instr.uses()
+            if isinstance(instr, Assign) and _removable(instr) and \
+                    len(defs) == 1:
+                (dst,) = tuple(defs)
+                if isinstance(dst, (Reg, VReg)) and dst in uses and \
+                        uses == {dst}:
+                    self_defs.setdefault(dst, []).append((block, instr))
+                    continue
+            for u in uses:
+                external_use.add(u)
+            if isinstance(instr, Ret):
+                external_use.update(instr.live_out)
+    changed = False
+    for reg, sites in self_defs.items():
+        if reg in external_use:
+            continue
+        for block, instr in sites:
+            if instr in block.instrs:
+                block.instrs.remove(instr)
+                changed = True
+    return changed

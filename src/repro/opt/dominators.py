@@ -1,0 +1,60 @@
+"""Dominator analysis (iterative dataflow formulation)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cfg import Block, CFG
+
+__all__ = ["Dominators", "compute_dominators"]
+
+
+class Dominators:
+    """Dominator sets and queries for one CFG."""
+
+    def __init__(self, dom: dict[int, set[int]], blocks: list[Block]) -> None:
+        self._dom = dom
+        self._blocks = {id(b): b for b in blocks}
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True if every path from entry to ``b`` passes through ``a``."""
+        return id(a) in self._dom[id(b)]
+
+    def dominators_of(self, block: Block) -> list[Block]:
+        return [self._blocks[i] for i in self._dom[id(block)]]
+
+    def strictly_dominates(self, a: Block, b: Block) -> bool:
+        return a is not b and self.dominates(a, b)
+
+
+def compute_dominators(cfg: CFG) -> Dominators:
+    """Classic iterative dominator computation over reverse post-order."""
+    rpo = cfg.rpo()
+    all_ids = {id(b) for b in rpo}
+    dom: dict[int, set[int]] = {}
+    entry = cfg.entry
+    dom[id(entry)] = {id(entry)}
+    for block in rpo:
+        if block is not entry:
+            dom[id(block)] = set(all_ids)
+    # Blocks unreachable from entry keep "dominated by everything";
+    # exclude them from iteration (they have no RPO position anyway).
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            preds = [p for p in block.preds if id(p) in dom]
+            if not preds:
+                continue
+            new = set.intersection(*(dom[id(p)] for p in preds))
+            new.add(id(block))
+            if new != dom[id(block)]:
+                dom[id(block)] = new
+                changed = True
+    # Give unreachable blocks a self-only dominator set.
+    for block in cfg.blocks:
+        if id(block) not in dom:
+            dom[id(block)] = {id(block)}
+    return Dominators(dom, cfg.blocks)

@@ -1,0 +1,104 @@
+"""Materialize arbitrary expression trees as legal instruction sequences.
+
+The recurrence and streaming transformations synthesize new address and
+count expressions (initial-read addresses, stream bases, iteration
+counts).  :func:`emit_expr` splits such a tree into machine-legal RTLs,
+allocating fresh virtual registers as needed, and returns the leaf
+expression (register or immediate) that holds the value.
+"""
+
+from __future__ import annotations
+
+from ..machine.base import Machine
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import Assign, Instr
+from ..rtl.module import RtlFunction
+from .combine import simplify_expr
+
+__all__ = ["VRegAllocator", "emit_expr"]
+
+
+class VRegAllocator:
+    """Hands out fresh virtual registers for one function."""
+
+    def __init__(self, func: RtlFunction) -> None:
+        self._func = func
+        self._counts = dict(func.vreg_counts) if func.vreg_counts else {}
+
+    def new(self, bank: str) -> VReg:
+        index = self._counts.get(bank, 0)
+        self._counts[bank] = index + 1
+        self._func.vreg_counts[bank] = index + 1
+        return VReg(bank, index)
+
+
+def emit_expr(expr: Expr, machine: Machine, alloc: VRegAllocator,
+              out: list[Instr], bank: str = "r",
+              comment: str = "") -> Expr:
+    """Emit instructions computing ``expr``; return the value's home.
+
+    Returns the expression itself when it is already a leaf (register or
+    small immediate); otherwise returns the virtual register holding the
+    result.  Instructions are appended to ``out``.
+    """
+    expr = simplify_expr(expr)
+    if isinstance(expr, (Reg, VReg)):
+        return expr
+    if isinstance(expr, Imm):
+        return expr
+    dst = alloc.new(bank)
+    _emit_into(dst, expr, machine, alloc, out, bank, comment)
+    return dst
+
+
+def _emit_into(dst: VReg, expr: Expr, machine: Machine,
+               alloc: VRegAllocator, out: list[Instr], bank: str,
+               comment: str) -> None:
+    candidate = Assign(dst, expr, comment=comment)
+    if machine.legal_instr(candidate):
+        out.append(candidate)
+        return
+    if isinstance(expr, BinOp):
+        left = _as_operand(expr.left, machine, alloc, out, bank)
+        right = _as_operand(expr.right, machine, alloc, out, bank)
+        reduced = Assign(dst, BinOp(expr.op, left, right), comment=comment)
+        if machine.legal_instr(reduced):
+            out.append(reduced)
+            return
+        # Even two-operand form is illegal (e.g. symbol operand):
+        # materialize both sides fully.
+        left = emit_expr(left, machine, alloc, out, bank)
+        right = emit_expr(right, machine, alloc, out, bank)
+        out.append(Assign(dst, BinOp(expr.op, left, right), comment=comment))
+        return
+    if isinstance(expr, UnOp):
+        operand = _as_operand(expr.operand, machine, alloc, out, bank)
+        out.append(Assign(dst, UnOp(expr.op, operand), comment=comment))
+        return
+    if isinstance(expr, (Sym, Imm)):
+        out.append(Assign(dst, expr, comment=comment))
+        return
+    raise ValueError(f"cannot materialize expression {expr!r}")
+
+
+def _as_operand(expr: Expr, machine: Machine, alloc: VRegAllocator,
+                out: list[Instr], bank: str) -> Expr:
+    """Reduce a subtree to something usable as an instruction operand."""
+    expr = simplify_expr(expr)
+    if isinstance(expr, (Reg, VReg, Imm)):
+        return expr
+    if isinstance(expr, BinOp):
+        left = _as_operand(expr.left, machine, alloc, out, bank)
+        right = _as_operand(expr.right, machine, alloc, out, bank)
+        inner = BinOp(expr.op, left, right)
+        dst = alloc.new(bank)
+        candidate = Assign(dst, inner)
+        if machine.legal_instr(candidate):
+            out.append(candidate)
+            return dst
+        left_reg = emit_expr(left, machine, alloc, out, bank)
+        right_reg = emit_expr(right, machine, alloc, out, bank)
+        out.append(Assign(dst, BinOp(expr.op, left_reg, right_reg)))
+        return dst
+    # Symbols and anything else get their own register.
+    return emit_expr(expr, machine, alloc, out, bank)

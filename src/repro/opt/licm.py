@@ -1,0 +1,105 @@
+"""Loop-invariant code motion.
+
+Hoists pure register assignments whose operands are loop-invariant into
+the loop preheader.  Because the candidate expressions are side-effect
+free (no memory reads, no FIFO registers), hoisting is always safe to
+speculate; the safety conditions are purely about value correctness:
+
+* the destination has exactly one definition inside the loop, and
+* the destination is not live into the loop header from outside
+  (otherwise the first iteration would see the hoisted value instead of
+  the incoming one).
+
+This pass is what moves the ``llh/sll`` symbol-address pairs of the
+paper's Figure 4 (lines 4-9) out of the Livermore loop.
+"""
+
+from __future__ import annotations
+
+from ..rtl.expr import Mem, Reg, VReg, walk
+from ..rtl.instr import Assign, Instr
+from .cfg import CFG
+from .combine import is_fifo_reg
+from .dataflow import compute_liveness
+from .dominators import compute_dominators
+from .loops import Loop, ensure_preheader, find_loops
+
+__all__ = ["licm_cfg"]
+
+
+def licm_cfg(cfg: CFG) -> bool:
+    """Hoist invariants out of every loop, innermost first."""
+    changed = False
+    # Loop structures are recomputed after each loop's transformation
+    # because preheader insertion changes the graph.
+    for _ in range(8):
+        doms = compute_dominators(cfg)
+        loops = find_loops(cfg, doms)
+        round_changed = False
+        for loop in loops:
+            if _hoist_loop(cfg, loop):
+                round_changed = True
+                break  # graph changed; recompute structures
+        if not round_changed:
+            break
+        changed = True
+    return changed
+
+
+def _hoist_loop(cfg: CFG, loop: Loop) -> bool:
+    defs_in_loop: dict = {}
+    multi_def: set = set()
+    for block in loop.block_list:
+        for instr in block.instrs:
+            for d in instr.defs():
+                if d in defs_in_loop:
+                    multi_def.add(d)
+                defs_in_loop[d] = instr
+    liveness = compute_liveness(cfg)
+    live_into_header = liveness.live_in(loop.header)
+    hoisted: list[Instr] = []
+    invariant_regs: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in loop.block_list:
+            for instr in list(block.instrs):
+                if not _hoistable(instr):
+                    continue
+                dst = instr.dst  # type: ignore[union-attr]
+                if dst in multi_def:
+                    continue
+                if dst in live_into_header and dst not in invariant_regs:
+                    continue
+                operands = instr.uses()
+                if any(op in defs_in_loop and op not in invariant_regs
+                       for op in operands):
+                    continue
+                block.instrs.remove(instr)
+                hoisted.append(instr)
+                invariant_regs.add(dst)
+                changed = True
+    if not hoisted:
+        return False
+    pre = ensure_preheader(cfg, loop)
+    insert_at = len(pre.instrs)
+    if pre.terminator is not None:
+        insert_at -= 1
+    pre.instrs[insert_at:insert_at] = hoisted
+    return True
+
+
+def _hoistable(instr: Instr) -> bool:
+    if not isinstance(instr, Assign):
+        return False
+    if not isinstance(instr.dst, (Reg, VReg)):
+        return False
+    if is_fifo_reg(instr.dst):
+        return False
+    for e in walk(instr.src):
+        if isinstance(e, Mem) or is_fifo_reg(e):
+            return False
+    # Never hoist writes to ABI special registers.
+    if isinstance(instr.dst, Reg) and instr.dst.index >= 28:
+        return False
+    return True

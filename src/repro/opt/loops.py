@@ -1,0 +1,125 @@
+"""Natural-loop detection and loop utilities.
+
+Loop detection is a prerequisite of the paper's two algorithms: "loop
+detection and code motion must be performed first".  A natural loop is
+identified by a back edge (tail -> header where the header dominates the
+tail); loops sharing a header are merged.
+
+:func:`ensure_preheader` gives a loop a dedicated preheader block, the
+landing pad the recurrence pass uses for initial reads and the streaming
+pass uses for stream set-up instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..rtl.instr import Jump
+from .cfg import Block, CFG
+from .dominators import Dominators, compute_dominators
+
+__all__ = ["Loop", "find_loops", "ensure_preheader"]
+
+
+@dataclass
+class Loop:
+    """One natural loop."""
+
+    header: Block
+    blocks: set[int] = field(default_factory=set)  # ids
+    block_list: list[Block] = field(default_factory=list)
+    back_tails: list[Block] = field(default_factory=list)
+    preheader: Optional[Block] = None
+    parent: Optional["Loop"] = None
+
+    def contains(self, block: Block) -> bool:
+        return id(block) in self.blocks
+
+    def exit_edges(self) -> list[tuple[Block, Block]]:
+        """(inside, outside) pairs leaving the loop."""
+        edges = []
+        for block in self.block_list:
+            for succ in block.succs:
+                if not self.contains(succ):
+                    edges.append((block, succ))
+        return edges
+
+    def outside_preds(self) -> list[Block]:
+        """Predecessors of the header that are not part of the loop."""
+        return [p for p in self.header.preds if not self.contains(p)]
+
+    @property
+    def depth(self) -> int:
+        d = 0
+        loop = self.parent
+        while loop is not None:
+            d += 1
+            loop = loop.parent
+        return d
+
+    def __repr__(self) -> str:
+        return f"<loop header={self.header.label} blocks={len(self.block_list)}>"
+
+
+def find_loops(cfg: CFG, doms: Optional[Dominators] = None) -> list[Loop]:
+    """All natural loops, innermost first."""
+    doms = doms or compute_dominators(cfg)
+    loops: dict[int, Loop] = {}
+    for block in cfg.blocks:
+        for succ in block.succs:
+            if doms.dominates(succ, block):
+                loop = loops.get(id(succ))
+                if loop is None:
+                    loop = Loop(header=succ)
+                    loop.blocks = {id(succ)}
+                    loop.block_list = [succ]
+                    loops[id(succ)] = loop
+                loop.back_tails.append(block)
+                _grow(loop, block)
+    result = list(loops.values())
+    # Establish nesting: a loop's parent is the smallest other loop that
+    # contains its header.
+    for loop in result:
+        candidates = [
+            other for other in result
+            if other is not loop and id(loop.header) in other.blocks
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.block_list))
+    result.sort(key=lambda l: len(l.block_list))
+    return result
+
+
+def _grow(loop: Loop, tail: Block) -> None:
+    """Add all blocks that reach ``tail`` without passing the header."""
+    stack = [tail]
+    while stack:
+        block = stack.pop()
+        if id(block) in loop.blocks:
+            continue
+        loop.blocks.add(id(block))
+        loop.block_list.append(block)
+        stack.extend(block.preds)
+
+
+def ensure_preheader(cfg: CFG, loop: Loop) -> Block:
+    """Return the loop's preheader, creating one if necessary.
+
+    The preheader is the unique block outside the loop whose only
+    successor is the header; it is placed immediately before the header
+    in layout so the fall-through edge is preserved.
+    """
+    if loop.preheader is not None and loop.preheader in cfg.blocks:
+        return loop.preheader
+    outside = loop.outside_preds()
+    if len(outside) == 1 and len(outside[0].succs) == 1:
+        loop.preheader = outside[0]
+        return outside[0]
+    pre = Block(cfg.new_label())
+    cfg.insert_before(pre, loop.header)
+    for pred in list(outside):
+        cfg.retarget(pred, loop.header, pre)
+    CFG.add_edge(pre, loop.header)
+    loop.preheader = pre
+    return pre

@@ -1,0 +1,102 @@
+"""Control-flow and identity cleanups.
+
+* unreachable-block removal
+* empty-block skipping (branch chaining through blocks that only jump)
+* identity-move removal (``r := r``)
+* jump-to-next-block elimination happens naturally at serialization
+"""
+
+from __future__ import annotations
+
+from ..rtl.expr import Reg, VReg
+from ..rtl.instr import Assign, Instr, Jump
+from .cfg import CFG
+
+__all__ = ["peephole_cfg", "remove_identity_moves"]
+
+
+def peephole_cfg(cfg: CFG) -> bool:
+    changed = False
+    changed |= _remove_unreachable(cfg)
+    changed |= _chain_jumps(cfg)
+    changed |= _remove_unreachable(cfg)
+    changed |= remove_identity_moves(cfg)
+    return changed
+
+
+def _remove_unreachable(cfg: CFG) -> bool:
+    reachable: set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        stack.extend(block.succs)
+    dead = [b for b in cfg.blocks if id(b) not in reachable]
+    if not dead:
+        return False
+    for block in dead:
+        for succ in block.succs:
+            if block in succ.preds:
+                succ.preds.remove(block)
+    cfg.blocks = [b for b in cfg.blocks if id(b) in reachable]
+    return True
+
+
+def _chain_jumps(cfg: CFG) -> bool:
+    """Retarget branches that lead to a block containing only a jump."""
+    changed = False
+    forward: dict[str, str] = {}
+    for block in cfg.blocks:
+        if len(block.instrs) == 1 and isinstance(block.instrs[0], Jump):
+            forward[block.label] = block.instrs[0].target
+    # Resolve chains (bounded to avoid cycles of empty blocks).
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    label_map = {b.label: b for b in cfg.blocks}
+    for block in cfg.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        for attr in ("target",):
+            if hasattr(term, attr):
+                old = getattr(term, attr)
+                new = resolve(old)
+                if new != old:
+                    setattr(term, attr, new)
+                    old_block = label_map[old]
+                    new_block = label_map[new]
+                    CFG.remove_edge(block, old_block)
+                    CFG.add_edge(block, new_block)
+                    changed = True
+    return changed
+
+
+def remove_identity_moves(cfg: CFG) -> bool:
+    """Delete ``r := r`` moves (produced by biased register coloring).
+
+    FIFO registers are exempt: ``r0 := r0`` is a dequeue *and* an
+    enqueue (the memory-to-memory copy idiom of the access/execute
+    model), not an identity.
+    """
+    from .combine import is_fifo_reg
+
+    changed = False
+    for block in cfg.blocks:
+        keep: list[Instr] = []
+        for instr in block.instrs:
+            if isinstance(instr, Assign) and \
+                    isinstance(instr.dst, (Reg, VReg)) and \
+                    instr.src == instr.dst and \
+                    not is_fifo_reg(instr.dst):
+                changed = True
+                continue
+            keep.append(instr)
+        block.instrs = keep
+    return changed

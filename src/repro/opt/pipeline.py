@@ -1,0 +1,128 @@
+"""The optimizer pipeline.
+
+Phases operate on a shared CFG-of-RTLs representation and can be
+re-invoked at any time (the paper's third pervasive strategy); the
+standard recipe below mirrors the order the paper describes: routine
+optimizations (combine/DCE), loop detection and code motion, recurrence
+detection and optimization, streaming, cleanup, register allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.base import Machine
+from ..rtl.module import RtlFunction
+from .cfg import build_cfg
+from .combine import combine_cfg
+from .dce import dce_cfg, remove_dead_ivs
+from .licm import licm_cfg
+from .peephole import peephole_cfg, remove_identity_moves
+from .regalloc import allocate_registers, finalize_frame
+
+__all__ = ["OptOptions", "OptReports", "optimize_function", "optimize_module"]
+
+
+@dataclass
+class OptOptions:
+    """Which phases run.  ``naive`` keeps only what is needed to produce
+    runnable code (register allocation) — the stand-in for an
+    unoptimizing compiler in the SPEC-proxy experiment."""
+
+    combine: bool = True
+    dce: bool = True
+    licm: bool = True
+    recurrence: bool = True
+    streaming: bool = True
+    allow_infinite_streams: bool = True
+    #: strength-reduce address arithmetic into pointer walks (used by
+    #: the scalar back ends; WM streams subsume it)
+    strength: bool = False
+    #: run copy-propagation/DCE after the recurrence transformation
+    #: (disable to see the paper's Figure 5 intermediate state)
+    post_recurrence_cleanup: bool = True
+    naive: bool = False
+
+    @classmethod
+    def baseline(cls) -> "OptOptions":
+        """Full optimizer minus the paper's two contributions."""
+        return cls(recurrence=False, streaming=False)
+
+    @classmethod
+    def no_streaming(cls) -> "OptOptions":
+        return cls(streaming=False)
+
+    @classmethod
+    def unoptimized(cls) -> "OptOptions":
+        return cls(combine=False, dce=False, licm=False, recurrence=False,
+                   streaming=False, naive=True)
+
+
+@dataclass
+class OptReports:
+    """Per-function transformation reports (for tables and tests)."""
+
+    recurrences: list = field(default_factory=list)
+    streams: list = field(default_factory=list)
+    strength_reduced: int = 0
+
+
+def optimize_function(func: RtlFunction, machine: Machine,
+                      opts: Optional[OptOptions] = None) -> OptReports:
+    """Run the pipeline over one function in place."""
+    opts = opts or OptOptions()
+    reports = OptReports()
+    cfg = build_cfg(func)
+    peephole_cfg(cfg)
+    if not opts.naive:
+        if opts.combine:
+            combine_cfg(cfg, machine)
+        if opts.dce:
+            dce_cfg(cfg)
+        if opts.licm:
+            licm_cfg(cfg)
+        if opts.combine:
+            combine_cfg(cfg, machine)
+        if opts.dce:
+            dce_cfg(cfg)
+        if opts.recurrence:
+            from ..recurrence.transform import optimize_recurrences
+            reports.recurrences = optimize_recurrences(cfg, machine)
+            if reports.recurrences and opts.post_recurrence_cleanup:
+                if opts.combine:
+                    combine_cfg(cfg, machine)
+                if opts.dce:
+                    dce_cfg(cfg)
+        if opts.streaming and machine.has_streams:
+            from ..streaming.transform import optimize_streams
+            reports.streams = optimize_streams(
+                cfg, machine, allow_infinite=opts.allow_infinite_streams)
+            if reports.streams:
+                if opts.dce:
+                    dce_cfg(cfg)
+                remove_dead_ivs(cfg)
+                if opts.dce:
+                    dce_cfg(cfg)
+        if opts.strength and not machine.has_streams:
+            from .strength import strength_reduce
+            reports.strength_reduced = strength_reduce(cfg, machine)
+            if opts.combine:
+                combine_cfg(cfg, machine)
+            if opts.dce:
+                dce_cfg(cfg)
+        peephole_cfg(cfg)
+    used_callee = allocate_registers(cfg, machine)
+    remove_identity_moves(cfg)
+    func.instrs = cfg.to_instrs()
+    finalize_frame(func, machine, used_callee)
+    return reports
+
+
+def optimize_module(module, machine: Machine,
+                    opts: Optional[OptOptions] = None) -> dict[str, OptReports]:
+    """Optimize every function of an RTL module; returns reports."""
+    return {
+        name: optimize_function(fn, machine, opts)
+        for name, fn in module.functions.items()
+    }

@@ -1,0 +1,352 @@
+"""Register allocation: graph coloring of virtual registers.
+
+Two independent graphs are colored (the 'r' and 'f' banks).  Hard ABI
+registers appearing in the code (argument/return registers, SP, link,
+call clobbers) are precolored nodes.  Move instructions bias the
+coloring so copies tend to collapse (cleaned by the identity-move
+peephole), and virtual registers that are live across calls prefer
+callee-saved colors.
+
+After coloring, :func:`finalize_frame` patches the prologue/epilogue:
+the frame-size immediates are extended by the spill area and the
+callee-saved save area, and the save/restore instructions are inserted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.base import Machine
+from ..rtl.expr import BinOp, Imm, Mem, Reg, VReg, subst
+from ..rtl.instr import Assign, Call, Instr, Ret
+from ..rtl.module import RtlFunction
+from .cfg import CFG, build_cfg
+from .dataflow import compute_liveness
+from .emitexpr import VRegAllocator
+
+__all__ = ["allocate_registers", "finalize_frame", "RegAllocError"]
+
+
+class RegAllocError(Exception):
+    """Allocation failed (ran out of registers even after spilling)."""
+
+
+def allocate_registers(cfg: CFG, machine: Machine) -> set[Reg]:
+    """Color every virtual register; returns callee-saved regs used.
+
+    Rewrites the CFG in place.  Spills are rewritten with load/store
+    around each use/def and coloring is retried (bounded).
+    """
+    used_callee: set[Reg] = set()
+    for _ in range(24):
+        spilled = _color_bank(cfg, machine, "r", used_callee)
+        spilled |= _color_bank(cfg, machine, "f", used_callee)
+        if not spilled:
+            return used_callee
+    raise RegAllocError("register allocation did not converge")
+
+
+def _vregs_of(instr: Instr, bank: str) -> set[VReg]:
+    found = {v for v in instr.defs() if isinstance(v, VReg) and v.bank == bank}
+    found |= {v for v in instr.uses() if isinstance(v, VReg) and v.bank == bank}
+    return found
+
+
+def _color_bank(cfg: CFG, machine: Machine, bank: str,
+                used_callee: set[Reg]) -> bool:
+    """Color one bank; returns True if a spill round was necessary."""
+    liveness = compute_liveness(cfg)
+    vregs: set[VReg] = set()
+    adj: dict = {}
+    move_hints: dict = {}
+    crosses_call: set[VReg] = set()
+
+    def ensure(node) -> None:
+        adj.setdefault(node, set())
+
+    def connect(a, b) -> None:
+        if a == b:
+            return
+        ensure(a)
+        ensure(b)
+        adj[a].add(b)
+        adj[b].add(a)
+
+    def in_bank(cell) -> bool:
+        return isinstance(cell, (Reg, VReg)) and cell.bank == bank
+
+    for block in cfg.blocks:
+        live_after = liveness.per_instr_live_out(block)
+        for instr, live in zip(block.instrs, live_after):
+            for v in _vregs_of(instr, bank):
+                vregs.add(v)
+                ensure(v)
+            defs = {d for d in instr.defs() if in_bank(d)}
+            live_bank = {c for c in live if in_bank(c)}
+            move_src = None
+            if isinstance(instr, Assign) and \
+                    isinstance(instr.src, (Reg, VReg)) and \
+                    isinstance(instr.dst, (Reg, VReg)) and \
+                    instr.src.bank == bank and instr.dst.bank == bank:
+                move_src = instr.src
+                move_hints.setdefault(instr.dst, []).append(instr.src)
+                move_hints.setdefault(instr.src, []).append(instr.dst)
+            for d in defs:
+                for other in live_bank:
+                    if other is not d and other != d and other != move_src:
+                        connect(d, other)
+            if isinstance(instr, Call):
+                for v in live_bank:
+                    if isinstance(v, VReg) and v not in defs:
+                        crosses_call.add(v)
+
+    if not vregs:
+        return False
+
+    allocatable = machine.abi.allocatable(bank)
+    callee_saved = machine.abi.callee_saved()
+    colors = list(allocatable)
+    k = len(colors)
+
+    # Simplify: remove low-degree vreg nodes onto a stack.
+    degrees = {v: len([n for n in adj[v]]) for v in vregs}
+    stack: list[VReg] = []
+    removed: set = set()
+    work = set(vregs)
+    spill_candidates: list[VReg] = []
+    while work:
+        pick = None
+        for v in sorted(work, key=lambda x: (degrees[x], x.index)):
+            if degrees[v] < k:
+                pick = v
+                break
+        if pick is None:
+            # Potential spill: remove the highest-degree node optimistically.
+            pick = max(work, key=lambda x: degrees[x])
+            spill_candidates.append(pick)
+        stack.append(pick)
+        work.remove(pick)
+        removed.add(pick)
+        for n in adj[pick]:
+            if n in degrees and n not in removed:
+                degrees[n] -= 1
+
+    assignment: dict[VReg, Reg] = {}
+    actually_spilled: list[VReg] = []
+    while stack:
+        v = stack.pop()
+        forbidden = set()
+        for n in adj[v]:
+            if isinstance(n, Reg):
+                forbidden.add(n)
+            elif n in assignment:
+                forbidden.add(assignment[n])
+        choice = _pick_color(v, colors, forbidden, move_hints, assignment,
+                             crosses_call, callee_saved)
+        if choice is None:
+            actually_spilled.append(v)
+        else:
+            assignment[v] = choice
+            if choice in callee_saved:
+                used_callee.add(choice)
+
+    if actually_spilled:
+        _spill(cfg, actually_spilled, bank)
+        return True
+
+    mapping = {v: r for v, r in assignment.items()}
+    for block in cfg.blocks:
+        for instr in block.instrs:
+            instr.map_exprs(lambda e: subst(e, mapping))
+            _rewrite_defs(instr, mapping)
+    return False
+
+
+def _pick_color(v: VReg, colors: list[Reg], forbidden: set[Reg],
+                move_hints: dict, assignment: dict,
+                crosses_call: set, callee_saved: set[Reg]) -> Optional[Reg]:
+    # 1. A move partner's color, if legal.
+    for partner in move_hints.get(v, ()):
+        color = partner if isinstance(partner, Reg) else \
+            assignment.get(partner)
+        if color is not None and color in colors and color not in forbidden:
+            if v not in crosses_call or color in callee_saved:
+                return color
+    ordered = colors
+    if v in crosses_call:
+        ordered = [c for c in colors if c in callee_saved] + \
+            [c for c in colors if c not in callee_saved]
+    for color in ordered:
+        if color not in forbidden:
+            if v in crosses_call and color not in callee_saved:
+                # A caller-saved color for a call-crossing value would be
+                # clobbered; the interference graph already forbids it
+                # (clobbers interfere), so reaching here means the graph
+                # disagrees — trust the graph.
+                return color
+            return color
+    return None
+
+
+def _rewrite_defs(instr: Instr, mapping: dict) -> None:
+    if isinstance(instr, Assign) and isinstance(instr.dst, VReg):
+        instr.dst = mapping.get(instr.dst, instr.dst)
+    if isinstance(instr, Ret):
+        instr.live_out = {mapping.get(r, r) for r in instr.live_out}
+
+
+def _spill(cfg: CFG, victims: list[VReg], bank: str) -> None:
+    """Rewrite each victim with a frame slot, fresh temps per site."""
+    func = cfg.func
+    alloc = VRegAllocator(func)
+    slots: dict[VReg, int] = {}
+    spill_base = getattr(func, "spill_bytes", 0)
+    for v in victims:
+        slots[v] = spill_base
+        spill_base += 8
+    func.spill_bytes = spill_base  # type: ignore[attr-defined]
+    sp = Reg("r", 29)
+    fp_bank = bank == "f"
+    width = 8 if fp_bank else 4
+
+    def slot_addr(v: VReg):
+        # Offsets are relative to a marker resolved by finalize_frame:
+        # frame_size + slot. We encode with a placeholder immediate that
+        # finalize_frame rewrites, tagged via the SpillSlot subclass.
+        return Mem(BinOp("+", sp, SpillSlot(func, slots[v])), width, fp_bank)
+
+    for block in cfg.blocks:
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            used = {u for u in instr.uses() if u in slots}
+            reload_map = {}
+            for u in used:
+                tmp = alloc.new(bank)
+                new_instrs.append(Assign(tmp, slot_addr(u),
+                                         comment="reload spilled"))
+                reload_map[u] = tmp
+            if reload_map:
+                instr.map_exprs(lambda e: subst(e, reload_map))
+            defined = {d for d in instr.defs() if d in slots}
+            if defined and isinstance(instr, Assign) and \
+                    isinstance(instr.dst, VReg) and instr.dst in slots:
+                victim = instr.dst
+                tmp = alloc.new(bank)
+                instr.dst = tmp
+                new_instrs.append(instr)
+                new_instrs.append(Assign(slot_addr(victim), tmp,
+                                         comment="spill"))
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+class SpillSlot(Imm):
+    """An immediate whose final value is frame_size + slot offset.
+
+    Subclassing :class:`Imm` keeps every expression utility working;
+    :func:`finalize_frame` rewrites these to plain immediates.
+    """
+
+    __slots__ = ("slot",)
+
+    def __new__(cls, func, slot: int):
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", slot)
+        object.__setattr__(self, "slot", slot)
+        return self
+
+    def __init__(self, func, slot: int) -> None:  # noqa: D401
+        pass
+
+
+def finalize_frame(func: RtlFunction, machine: Machine,
+                   used_callee: set[Reg]) -> None:
+    """Patch the prologue/epilogue with the final frame size.
+
+    Layout (offsets from the adjusted SP)::
+
+        [0, frame_size)                      locals + link save
+        [frame_size, +spill_bytes)           spill slots
+        [frame_size+spill, +save area)       callee-saved saves
+
+    The expander left the SP adjust/restore instructions referenced via
+    ``func.sp_adjust`` / ``func.sp_restore``; spill slots were encoded
+    as :class:`SpillSlot` immediates.
+    """
+    spill_bytes = getattr(func, "spill_bytes", 0)
+    save_regs = sorted(used_callee, key=lambda r: (r.bank, r.index))
+    save_base = func.frame_size + spill_bytes
+    save_bytes = 8 * len(save_regs)
+    total = save_base + save_bytes
+    total = (total + 7) & ~7
+    sp = machine.abi.sp
+
+    # Rewrite spill-slot placeholders.
+    if spill_bytes:
+        frame_size = func.frame_size
+
+        def fix(e):
+            if isinstance(e, SpillSlot):
+                return Imm(frame_size + e.slot)
+            return e
+
+        for instr in func.instrs:
+            instr.map_exprs(lambda expr: _map_tree(expr, fix))
+
+    sp_adjust = getattr(func, "sp_adjust", None)
+    sp_restore = getattr(func, "sp_restore", None)
+    if total == 0:
+        return
+    if sp_adjust is None:
+        sp_adjust = Assign(sp, BinOp("-", sp, Imm(total)),
+                           comment="allocate frame")
+        func.instrs.insert(0, sp_adjust)
+        func.sp_adjust = sp_adjust  # type: ignore[attr-defined]
+    else:
+        sp_adjust.src = BinOp("-", sp, Imm(total))
+    if sp_restore is None:
+        # Insert before the final Ret.
+        restore = Assign(sp, BinOp("+", sp, Imm(total)),
+                         comment="release frame")
+        for idx in range(len(func.instrs) - 1, -1, -1):
+            if isinstance(func.instrs[idx], Ret):
+                func.instrs.insert(idx, restore)
+                break
+        func.sp_restore = restore  # type: ignore[attr-defined]
+    else:
+        sp_restore.src = BinOp("+", sp, Imm(total))
+    func.frame_size = total
+
+    # Insert callee-saved saves after the SP adjust and restores before
+    # the SP restore.
+    saves: list[Instr] = []
+    restores: list[Instr] = []
+    for idx, reg in enumerate(save_regs):
+        offset = save_base + 8 * idx
+        width = 8 if reg.bank == "f" else 4
+        cell = Mem(BinOp("+", sp, Imm(offset)), width, reg.bank == "f")
+        saves.append(Assign(cell, reg, comment=f"save {reg!r}"))
+        restores.append(Assign(reg, cell, comment=f"restore {reg!r}"))
+    if saves:
+        pos = func.instrs.index(func.sp_adjust) + 1
+        func.instrs[pos:pos] = saves
+        rpos = func.instrs.index(func.sp_restore)
+        func.instrs[rpos:rpos] = restores
+
+
+def _map_tree(expr, leaf_fn):
+    from ..rtl.expr import BinOp as B, Mem as M, UnOp as U
+
+    replaced = leaf_fn(expr)
+    if replaced is not expr:
+        return replaced
+    if isinstance(expr, B):
+        return B(expr.op, _map_tree(expr.left, leaf_fn),
+                 _map_tree(expr.right, leaf_fn))
+    if isinstance(expr, U):
+        return U(expr.op, _map_tree(expr.operand, leaf_fn))
+    if isinstance(expr, M):
+        return M(_map_tree(expr.addr, leaf_fn), expr.width, expr.fp,
+                 expr.signed)
+    return expr

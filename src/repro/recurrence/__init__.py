@@ -1,0 +1,9 @@
+"""Recurrence detection and optimization (the paper's first algorithm)."""
+
+from .partitions import LoopMemoryInfo, MemRef, Partition, partition_loop
+from .transform import RecurrenceReport, optimize_recurrences
+
+__all__ = [
+    "LoopMemoryInfo", "MemRef", "Partition", "partition_loop",
+    "RecurrenceReport", "optimize_recurrences",
+]

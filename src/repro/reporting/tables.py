@@ -1,0 +1,241 @@
+"""Regenerate the paper's tables.
+
+* **Table I** — percent improvement in execution time from the
+  recurrence optimization on five machines (four scalar cost models +
+  the WM cycle simulator), measured on the 5th Livermore loop.
+  Kernel time is isolated by subtraction: each configuration is run
+  once with the kernel and once with the kernel call removed.
+* **Table II** — percent reduction in cycles executed from streaming,
+  for the nine benchmark programs on the WM cycle simulator.
+* **Tables III/IV** — the SPEC-measurement proxy: per-program speedup
+  of the full vpo pipeline over a conventional-compiler stand-in
+  (local optimization only), with geometric means, on the generic RISC
+  cost model.  (SPEC sources are proprietary; see DESIGN.md.)
+* **Streaming-detection table** — the qualitative "streaming appears in
+  Unix utilities" observation, over the utility-kernel corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..benchsuite import PROGRAMS, UTILITY_CORPUS, get_program
+from ..compiler import compile_source, scalar_options
+from ..machine.scalar import MACHINES, make_machine
+from ..opt import OptOptions
+
+__all__ = [
+    "Table1Row", "table1", "Table2Row", "table2",
+    "SpecRow", "table3_4", "stream_detection", "format_rows",
+]
+
+#: Table I as printed in the paper, for side-by-side comparison.
+PAPER_TABLE1 = {
+    "sun3/280": 19, "hp9000/345": 12, "vax8600": 6, "m88100": 7, "wm": 18,
+}
+
+#: Table II as printed in the paper.
+PAPER_TABLE2 = {
+    "banner": 5, "bubblesort": 18, "cal": 17, "dhrystone": 39,
+    "dot-product": 43, "iir": 13, "quicksort": 1, "sieve": 18,
+    "whetstone": 3,
+}
+
+
+def _lloop5_source(n: int, with_kernel: bool) -> str:
+    call = "kernel(n);" if with_kernel else ""
+    return f"""
+double x[{n}]; double y[{n}]; double z[{n}];
+
+int kernel(int n) {{
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return 0;
+}}
+
+int main(void) {{
+    int i; int n; int k; int j;
+    n = {n};
+    k = 0; j = 0;
+    for (i = 0; i < n; i++) {{
+        y[i] = k * 0.25;
+        z[i] = 0.5 + j * 0.1;
+        x[i] = 0.0;
+        k++; if (k == 7) k = 0;
+        j++; if (j == 3) j = 0;
+    }}
+    x[0] = 0.01; x[1] = 0.02;
+    {call}
+    return (int)(x[n-1] * 1000.0);
+}}
+"""
+
+
+@dataclass
+class Table1Row:
+    machine: str
+    baseline_cycles: float
+    optimized_cycles: float
+    paper_percent: Optional[int] = None
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * (self.baseline_cycles - self.optimized_cycles) / \
+            self.baseline_cycles
+
+
+def _scalar_kernel_cycles(machine_name: str, n: int,
+                          recurrence: bool) -> float:
+    machine = make_machine(machine_name)
+    opts = scalar_options(recurrence=recurrence)
+    full = compile_source(_lloop5_source(n, True), machine=machine,
+                          options=opts).execute()
+    machine = make_machine(machine_name)
+    init = compile_source(_lloop5_source(n, False), machine=machine,
+                          options=opts).execute()
+    return full.cycles - init.cycles
+
+
+def _wm_kernel_cycles(n: int, recurrence: bool) -> float:
+    # Table I isolates the recurrence optimization: streaming stays off.
+    opts = OptOptions(recurrence=recurrence, streaming=False)
+    full = compile_source(_lloop5_source(n, True), options=opts).simulate()
+    init = compile_source(_lloop5_source(n, False), options=opts).simulate()
+    return full.cycles - init.cycles
+
+
+def table1(n: int = 2000) -> list[Table1Row]:
+    """Effect of recurrence optimization on execution time (Table I).
+
+    The paper used an array size of 100,000; the default here is
+    scaled down (the improvement percentage is size-independent once
+    the loop dominates) — pass a larger ``n`` to match the paper.
+    """
+    rows = []
+    for name in ("sun3/280", "hp9000/345", "vax8600", "m88100"):
+        base = _scalar_kernel_cycles(name, n, recurrence=False)
+        opt = _scalar_kernel_cycles(name, n, recurrence=True)
+        rows.append(Table1Row(name, base, opt, PAPER_TABLE1[name]))
+    base = _wm_kernel_cycles(n, recurrence=False)
+    opt = _wm_kernel_cycles(n, recurrence=True)
+    rows.append(Table1Row("wm", base, opt, PAPER_TABLE1["wm"]))
+    return rows
+
+
+@dataclass
+class Table2Row:
+    program: str
+    base_cycles: int
+    stream_cycles: int
+    streams_in: int = 0
+    streams_out: int = 0
+    paper_percent: Optional[int] = None
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * (self.base_cycles - self.stream_cycles) / \
+            self.base_cycles
+
+
+def table2(scale: float = 0.25,
+           programs: Optional[tuple] = None) -> list[Table2Row]:
+    """Execution performance improvement by streaming (Table II).
+
+    ``scale`` shrinks the problem sizes so full cycle simulation stays
+    fast; percentages are stable across scales once loops dominate.
+    """
+    table_programs = programs or tuple(
+        p for p in PROGRAMS if p in PAPER_TABLE2)
+    rows = []
+    for name in table_programs:
+        prog = get_program(name, scale=scale)
+        base_res = compile_source(prog.source,
+                                  options=OptOptions.no_streaming())
+        stream_res = compile_source(prog.source, options=OptOptions())
+        base = base_res.simulate()
+        stream = stream_res.simulate()
+        n_in = sum(r.streams_in for rep in stream_res.reports.values()
+                   for r in rep.streams)
+        n_out = sum(r.streams_out for rep in stream_res.reports.values()
+                    for r in rep.streams)
+        rows.append(Table2Row(name, base.cycles, stream.cycles,
+                              n_in, n_out, PAPER_TABLE2.get(name)))
+    return rows
+
+
+@dataclass
+class SpecRow:
+    program: str
+    cc_cycles: float
+    vpo_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        return self.cc_cycles / self.vpo_cycles
+
+
+def table3_4(scale: float = 0.25) -> tuple[list[SpecRow], float]:
+    """SPEC-proxy experiment (stands in for Tables III/IV).
+
+    The paper's appendix shows the vpcc/vpo compiler beating the native
+    Sun cc by ~7% geometric mean on the SPEC C programs — establishing
+    that Tables I/II measure improvements over a *good* baseline.
+    SPEC sources being unavailable, the proxy compiles the benchmark
+    suite with (a) a conventional-compiler stand-in (local combine/DCE
+    only) and (b) the full vpo pipeline, on the generic RISC cost
+    model, and reports per-program speedups and their geometric mean.
+    """
+    cc_opts = OptOptions(licm=False, recurrence=False, streaming=False,
+                         strength=False)
+    vpo_opts = scalar_options()
+    rows = []
+    for name in PROGRAMS:
+        prog = get_program(name, scale=scale)
+        cc = compile_source(prog.source, machine=make_machine("generic-risc"),
+                            options=cc_opts).execute()
+        vpo = compile_source(prog.source,
+                             machine=make_machine("generic-risc"),
+                             options=vpo_opts).execute()
+        assert cc.value == vpo.value, (name, cc.value, vpo.value)
+        rows.append(SpecRow(name, cc.cycles, vpo.cycles))
+    geomean = math.exp(sum(math.log(r.ratio) for r in rows) / len(rows))
+    return rows, geomean
+
+
+@dataclass
+class DetectionRow:
+    kernel: str
+    streams_in: int
+    streams_out: int
+    infinite: int
+    uses_streams: bool
+
+
+def stream_detection() -> list[DetectionRow]:
+    """Which utility kernels the optimizer finds streams in (the paper's
+    cal/compact/od/sort/diff/nroff/yacc observation)."""
+    rows = []
+    for name, source in UTILITY_CORPUS.items():
+        result = compile_source(source, options=OptOptions())
+        n_in = n_out = n_inf = 0
+        for rep in result.reports.values():
+            for stream in rep.streams:
+                n_in += stream.streams_in
+                n_out += stream.streams_out
+                n_inf += 1 if stream.infinite else 0
+        rows.append(DetectionRow(name, n_in, n_out, n_inf,
+                                 (n_in + n_out) > 0))
+    return rows
+
+
+def format_rows(rows, columns: list[tuple]) -> str:
+    """Minimal fixed-width table formatter for the harness output."""
+    header = "  ".join(f"{title:>{width}}" for title, width, _fn in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(
+            f"{fn(row):>{width}}" for _title, width, fn in columns))
+    return "\n".join(lines)

@@ -1,0 +1,296 @@
+"""Expression trees over hardware storage cells.
+
+RTLs (register transfer lists) describe the effect of machine instructions
+as assignments over the hardware's storage cells (Benitez & Davidson 1991).
+This module defines the expression language those assignments are written
+in: registers, immediates, symbolic addresses, memory reads, and operator
+nodes.
+
+All expression nodes are immutable (frozen dataclasses) so they can be
+hashed, shared between instructions, and used as dictionary keys by the
+dataflow analyses.  Rewriting is done by building new trees (see
+:func:`subst` and :func:`fold`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Union
+
+__all__ = [
+    "Expr",
+    "Reg",
+    "VReg",
+    "Imm",
+    "Sym",
+    "Mem",
+    "BinOp",
+    "UnOp",
+    "regs_in",
+    "mems_in",
+    "subst",
+    "subst_reg",
+    "fold",
+    "walk",
+    "contains_mem",
+    "BINOPS",
+    "COMPARE_OPS",
+]
+
+
+class Expr:
+    """Base class for all RTL expression nodes."""
+
+    __slots__ = ()
+
+    def is_constant(self) -> bool:
+        """True if this expression is a literal constant."""
+        return isinstance(self, Imm)
+
+
+@dataclass(frozen=True, slots=True)
+class Reg(Expr):
+    """A hard machine register, e.g. ``r[22]`` or ``f[4]``.
+
+    ``bank`` names the register file ('r' for the integer unit, 'f' for
+    the floating-point unit on WM; back ends may define other banks).
+    """
+
+    bank: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.bank}[{self.index}]"
+
+
+@dataclass(frozen=True, slots=True)
+class VReg(Expr):
+    """A virtual register produced by the code expander.
+
+    Virtual registers are replaced by hard :class:`Reg` cells during
+    register allocation.  ``bank`` carries the register class the value
+    must live in ('r' or 'f').
+    """
+
+    bank: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"v{self.bank}[{self.index}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm(Expr):
+    """An immediate (literal) operand."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Expr):
+    """A link-time symbolic address, e.g. ``_x`` or ``_x+8``.
+
+    ``name`` is the assembly-level symbol; ``offset`` is a byte
+    displacement folded into the symbol by constant folding.
+    """
+
+    name: str
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        if self.offset:
+            sign = "+" if self.offset >= 0 else "-"
+            return f"_{self.name}{sign}{abs(self.offset)}"
+        return f"_{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Mem(Expr):
+    """A memory cell: ``M[addr]`` with an access width in bytes.
+
+    ``fp`` distinguishes floating-point data (routed to the FEU FIFOs on
+    WM) from integer data.  ``signed`` controls sign extension of
+    sub-word loads.
+    """
+
+    addr: Expr
+    width: int = 4
+    fp: bool = False
+    signed: bool = True
+
+    def __repr__(self) -> str:
+        tag = "F" if self.fp else ("I" if self.signed else "U")
+        return f"{tag}{self.width * 8}[{self.addr!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """A binary operator node, e.g. ``(r[22] << 3) + r[24]``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Expr):
+    """A unary operator node (negation, bitwise not, conversions)."""
+
+    op: str
+    operand: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+#: Binary operators understood by the folder and evaluators.
+BINOPS = {
+    "+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+    "==", "!=", "<", "<=", ">", ">=",
+}
+
+#: The subset of operators that produce a condition-code value.
+COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Mem):
+        yield from walk(expr.addr)
+
+
+def regs_in(expr: Expr) -> set[Expr]:
+    """The set of register cells (hard or virtual) read by ``expr``."""
+    return {e for e in walk(expr) if isinstance(e, (Reg, VReg))}
+
+
+def mems_in(expr: Expr) -> list[Mem]:
+    """All memory-read cells inside ``expr`` (normally zero or one)."""
+    return [e for e in walk(expr) if isinstance(e, Mem)]
+
+
+def contains_mem(expr: Expr) -> bool:
+    """True if evaluating ``expr`` reads memory."""
+    return any(isinstance(e, Mem) for e in walk(expr))
+
+
+def subst(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Return ``expr`` with every occurrence of a key cell replaced.
+
+    Keys are matched by structural equality against whole sub-expressions,
+    so this substitutes registers as well as larger trees.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinOp):
+        left = subst(expr.left, mapping)
+        right = subst(expr.right, mapping)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, UnOp):
+        operand = subst(expr.operand, mapping)
+        if operand is expr.operand:
+            return expr
+        return UnOp(expr.op, operand)
+    if isinstance(expr, Mem):
+        addr = subst(expr.addr, mapping)
+        if addr is expr.addr:
+            return expr
+        return Mem(addr, expr.width, expr.fp, expr.signed)
+    return expr
+
+
+def subst_reg(expr: Expr, reg: Expr, replacement: Expr) -> Expr:
+    """Replace one register cell throughout ``expr``."""
+    return subst(expr, {reg: replacement})
+
+
+def _as_int(value: Union[int, float]) -> int:
+    return int(value)
+
+
+_INT_FOLDERS: dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+
+def fold(expr: Expr) -> Expr:
+    """Constant-fold ``expr``, canonicalizing symbol arithmetic.
+
+    Folding is deliberately conservative: it only rewrites when the result
+    is exactly representable in the expression language (e.g. ``Sym + Imm``
+    becomes a ``Sym`` with a byte offset, used heavily by the recurrence
+    partition analysis to compute 'dee' values).
+    """
+    if isinstance(expr, BinOp):
+        left = fold(expr.left)
+        right = fold(expr.right)
+        op = expr.op
+        if isinstance(left, Imm) and isinstance(right, Imm):
+            if op in _INT_FOLDERS and isinstance(left.value, int) and isinstance(right.value, int):
+                return Imm(_INT_FOLDERS[op](left.value, right.value))
+            if op == "+":
+                return Imm(left.value + right.value)
+            if op == "-":
+                return Imm(left.value - right.value)
+            if op == "*":
+                return Imm(left.value * right.value)
+        # Symbol +/- constant folds into the symbol's offset.
+        if isinstance(left, Sym) and isinstance(right, Imm) and isinstance(right.value, int):
+            if op == "+":
+                return Sym(left.name, left.offset + right.value)
+            if op == "-":
+                return Sym(left.name, left.offset - right.value)
+        if isinstance(left, Imm) and isinstance(right, Sym) and isinstance(left.value, int) and op == "+":
+            return Sym(right.name, right.offset + left.value)
+        # Additive/multiplicative identities.
+        if op == "+":
+            if isinstance(left, Imm) and left.value == 0:
+                return right
+            if isinstance(right, Imm) and right.value == 0:
+                return left
+        if op == "-" and isinstance(right, Imm) and right.value == 0:
+            return left
+        if op == "*":
+            if isinstance(left, Imm) and left.value == 1:
+                return right
+            if isinstance(right, Imm) and right.value == 1:
+                return left
+        if op == "<<" and isinstance(right, Imm) and right.value == 0:
+            return left
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinOp(op, left, right)
+    if isinstance(expr, UnOp):
+        operand = fold(expr.operand)
+        if expr.op == "neg" and isinstance(operand, Imm):
+            return Imm(-operand.value)
+        if operand is expr.operand:
+            return expr
+        return UnOp(expr.op, operand)
+    if isinstance(expr, Mem):
+        addr = fold(expr.addr)
+        if addr is expr.addr:
+            return expr
+        return Mem(addr, expr.width, expr.fp, expr.signed)
+    return expr

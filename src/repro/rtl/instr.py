@@ -1,0 +1,446 @@
+"""RTL instructions.
+
+An RTL instruction describes the complete effect of one machine
+instruction as an assignment (or control transfer) over storage cells.
+Any particular RTL is machine specific, but the *form* is machine
+independent, which is what lets the optimizer transform machine code in a
+machine-independent way.
+
+Instructions are mutable objects: optimization passes rewrite operand
+expressions in place via :meth:`Instr.map_exprs` and the CFG tracks them
+by identity.  Every instruction carries a ``comment`` (mirroring the
+listings in the paper) and an optional ``lno`` tag used by the recurrence
+partition vectors ``(lno, acc, iv, cee, dee, roffset)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from .expr import (
+    BinOp,
+    Expr,
+    Imm,
+    Mem,
+    Reg,
+    Sym,
+    UnOp,
+    VReg,
+    contains_mem,
+    regs_in,
+)
+
+__all__ = [
+    "CCCell",
+    "Cell",
+    "Instr",
+    "Assign",
+    "Compare",
+    "Jump",
+    "CondJump",
+    "Call",
+    "Ret",
+    "Label",
+    "StreamIn",
+    "StreamOut",
+    "StreamStop",
+    "JumpStreamNotDone",
+    "is_load",
+    "is_store",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CCCell:
+    """The condition-code FIFO of one execution unit ('r' or 'f').
+
+    Modeled as a single dataflow cell: a :class:`Compare` defines it and
+    the next :class:`CondJump` on the same unit uses it.  The compiler
+    guarantees exactly one compare per conditional jump (a WM requirement).
+    """
+
+    bank: str
+
+    def __repr__(self) -> str:
+        return f"cc[{self.bank}]"
+
+
+Cell = Union[Reg, VReg, CCCell]
+
+
+class Instr:
+    """Base class for RTL instructions."""
+
+    __slots__ = ("comment", "lno")
+
+    def __init__(self, comment: str = "", lno: int = 0) -> None:
+        self.comment = comment
+        self.lno = lno
+
+    # -- dataflow interface -------------------------------------------------
+    def defs(self) -> set[Cell]:
+        """Register/CC cells written by this instruction."""
+        return set()
+
+    def uses(self) -> set[Cell]:
+        """Register/CC cells read by this instruction."""
+        return set()
+
+    def use_exprs(self) -> list[Expr]:
+        """The operand expressions evaluated by this instruction."""
+        return []
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        """Rewrite every operand expression in place with ``fn``.
+
+        ``fn`` receives each *source* expression (including the address
+        expression of a store destination) and returns its replacement.
+        """
+
+    def reads_mem(self) -> Optional[Mem]:
+        """The memory cell read by this instruction, if any."""
+        return None
+
+    def writes_mem(self) -> Optional[Mem]:
+        """The memory cell written by this instruction, if any."""
+        return None
+
+    def is_branch(self) -> bool:
+        """True for instructions that may transfer control."""
+        return False
+
+    def branch_targets(self) -> list[str]:
+        """Labels this instruction may jump to."""
+        return []
+
+    def falls_through(self) -> bool:
+        """True if control may continue to the next instruction."""
+        return True
+
+
+class Assign(Instr):
+    """``dst := src`` — the workhorse RTL.
+
+    Covers ALU operations, register moves, address formation (``src`` a
+    :class:`Sym`), loads (``src`` is exactly a :class:`Mem`) and stores
+    (``dst`` is a :class:`Mem`).  The expander guarantees memory reads
+    appear only as the *entire* right-hand side, so each Assign performs
+    at most one memory access.
+    """
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Expr, src: Expr, comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.dst = dst
+        self.src = src
+
+    def defs(self) -> set[Cell]:
+        if isinstance(self.dst, (Reg, VReg)):
+            return {self.dst}
+        return set()
+
+    def uses(self) -> set[Cell]:
+        used = regs_in(self.src)
+        if isinstance(self.dst, Mem):
+            used |= regs_in(self.dst.addr)
+        return used
+
+    def use_exprs(self) -> list[Expr]:
+        exprs = [self.src]
+        if isinstance(self.dst, Mem):
+            exprs.append(self.dst.addr)
+        return exprs
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        self.src = fn(self.src)
+        if isinstance(self.dst, Mem):
+            new_addr = fn(self.dst.addr)
+            if new_addr is not self.dst.addr:
+                self.dst = Mem(new_addr, self.dst.width, self.dst.fp, self.dst.signed)
+
+    def reads_mem(self) -> Optional[Mem]:
+        if isinstance(self.src, Mem):
+            return self.src
+        return None
+
+    def writes_mem(self) -> Optional[Mem]:
+        if isinstance(self.dst, Mem):
+            return self.dst
+        return None
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} := {self.src!r}"
+
+
+def is_load(instr: Instr) -> bool:
+    """True if ``instr`` is a register load from memory."""
+    return isinstance(instr, Assign) and isinstance(instr.src, Mem)
+
+
+def is_store(instr: Instr) -> bool:
+    """True if ``instr`` stores to memory."""
+    return isinstance(instr, Assign) and isinstance(instr.dst, Mem)
+
+
+class Compare(Instr):
+    """Evaluate a comparison and enqueue the result in a unit's CC FIFO.
+
+    Written ``r[31] := (a op b)`` in WM listings: the compare is executed
+    by the ``bank`` unit and its boolean result is buffered for the IFU.
+    """
+
+    __slots__ = ("bank", "op", "left", "right")
+
+    def __init__(self, bank: str, op: str, left: Expr, right: Expr,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.bank = bank
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def defs(self) -> set[Cell]:
+        return {CCCell(self.bank)}
+
+    def uses(self) -> set[Cell]:
+        return regs_in(self.left) | regs_in(self.right)
+
+    def use_exprs(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        self.left = fn(self.left)
+        self.right = fn(self.right)
+
+    def reads_mem(self) -> Optional[Mem]:
+        for e in (self.left, self.right):
+            if isinstance(e, Mem):
+                return e
+        return None
+
+    def __repr__(self) -> str:
+        return f"{self.bank}cc := ({self.left!r} {self.op} {self.right!r})"
+
+
+class Jump(Instr):
+    """Unconditional branch, executed by the IFU at zero cost."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str, comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.target = target
+
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> list[str]:
+        return [self.target]
+
+    def falls_through(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"jump {self.target}"
+
+
+class CondJump(Instr):
+    """Conditional branch: dequeue a CC from ``bank`` and jump on ``sense``.
+
+    ``JumpIT`` (sense=True) in the paper's listings jumps when the queued
+    compare produced true; ``JumpIF`` (sense=False) when it produced false.
+    """
+
+    __slots__ = ("bank", "sense", "target")
+
+    def __init__(self, bank: str, sense: bool, target: str,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.bank = bank
+        self.sense = sense
+        self.target = target
+
+    def uses(self) -> set[Cell]:
+        return {CCCell(self.bank)}
+
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> list[str]:
+        return [self.target]
+
+    def __repr__(self) -> str:
+        mnem = "JumpIT" if self.sense else "JumpIF"
+        return f"{mnem} {self.target} ({self.bank})"
+
+
+class Call(Instr):
+    """Call a function by symbol.
+
+    ``arg_regs`` are the ABI registers carrying arguments (uses);
+    ``ret_regs`` the registers defined by the call; ``clobbers`` the
+    caller-saved set additionally killed.
+    """
+
+    __slots__ = ("func", "arg_regs", "ret_regs", "clobbers")
+
+    def __init__(self, func: str, arg_regs: list[Expr], ret_regs: list[Expr],
+                 clobbers: Optional[set[Expr]] = None,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.func = func
+        self.arg_regs = list(arg_regs)
+        self.ret_regs = list(ret_regs)
+        self.clobbers = set(clobbers or ())
+
+    def defs(self) -> set[Cell]:
+        return set(self.ret_regs) | set(self.clobbers)
+
+    def uses(self) -> set[Cell]:
+        return set(self.arg_regs)
+
+    def reads_mem(self) -> Optional[Mem]:
+        # Conservatively, a call may read any memory; the passes treat
+        # Call specially rather than through this accessor.
+        return None
+
+    def __repr__(self) -> str:
+        return f"call {self.func}"
+
+
+class Ret(Instr):
+    """Return from the current function. ``live_out`` lists ABI registers
+    (return value, callee-saved) that must be treated as used."""
+
+    __slots__ = ("live_out",)
+
+    def __init__(self, live_out: Optional[set[Expr]] = None,
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.live_out = set(live_out or ())
+
+    def uses(self) -> set[Cell]:
+        return set(self.live_out)
+
+    def is_branch(self) -> bool:
+        return True
+
+    def falls_through(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "ret"
+
+
+class Label(Instr):
+    """A branch target in flat instruction lists (pseudo-instruction)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"
+
+
+class _StreamBase(Instr):
+    """Common operands of the stream instructions.
+
+    A stream instruction specifies the FIFO to read/write, the base
+    address, the count of memory accesses, and the stride between
+    successive elements (all taken from registers except the stride,
+    which is an immediate in the instruction word).
+    """
+
+    __slots__ = ("fifo", "base", "count", "stride", "width", "fp")
+
+    def __init__(self, fifo: Reg, base: Expr, count: Expr, stride: int,
+                 width: int, fp: bool, comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.fifo = fifo
+        self.base = base
+        self.count = count
+        self.stride = stride
+        self.width = width
+        self.fp = fp
+
+    def uses(self) -> set[Cell]:
+        used = regs_in(self.base)
+        if self.count is not None:
+            used |= regs_in(self.count)
+        return used
+
+    def use_exprs(self) -> list[Expr]:
+        if self.count is None:
+            return [self.base]
+        return [self.base, self.count]
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
+        self.base = fn(self.base)
+        if self.count is not None:
+            self.count = fn(self.count)
+
+
+class StreamIn(_StreamBase):
+    """``SinD fifo,base,count,stride`` — stream memory into an input FIFO."""
+
+    def __repr__(self) -> str:
+        return (f"SIN {self.fifo!r},{self.base!r},{self.count!r},"
+                f"{self.stride}")
+
+
+class StreamOut(_StreamBase):
+    """``SoutD fifo,base,count,stride`` — stream an output FIFO to memory."""
+
+    def __repr__(self) -> str:
+        return (f"SOUT {self.fifo!r},{self.base!r},{self.count!r},"
+                f"{self.stride}")
+
+
+class StreamStop(Instr):
+    """Terminate an infinite stream bound to ``fifo`` (loop-exit cleanup).
+
+    ``kind`` selects the input or output stream on that FIFO index.
+    """
+
+    __slots__ = ("fifo", "kind")
+
+    def __init__(self, fifo: Reg, kind: str = "in", comment: str = "",
+                 lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.fifo = fifo
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"SSTOP {self.fifo!r} ({self.kind})"
+
+
+class JumpStreamNotDone(Instr):
+    """``JNIfN label`` — jump while the stream on ``fifo`` is not exhausted.
+
+    Executed by the IFU against the stream-status state maintained by the
+    SCU, so like other IFU branches it costs no execution-unit cycles.
+    ``kind`` selects the input or output stream on the FIFO index.
+    """
+
+    __slots__ = ("fifo", "target", "kind")
+
+    def __init__(self, fifo: Reg, target: str, kind: str = "in",
+                 comment: str = "", lno: int = 0) -> None:
+        super().__init__(comment, lno)
+        self.fifo = fifo
+        self.target = target
+        self.kind = kind
+
+    def is_branch(self) -> bool:
+        return True
+
+    def branch_targets(self) -> list[str]:
+        return [self.target]
+
+    def __repr__(self) -> str:
+        return f"JNI {self.fifo!r} {self.target}"

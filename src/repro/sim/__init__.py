@@ -1,0 +1,13 @@
+"""Cycle-level WM architecture simulator."""
+
+from .fifo import FifoError, InFifo, OutFifo, Reservation
+from .loader import Program, load_program
+from .machine import SimError, SimResult, WMSimulator, simulate
+from .memory import MemError, MemorySystem
+
+__all__ = [
+    "FifoError", "InFifo", "OutFifo", "Reservation",
+    "Program", "load_program",
+    "SimError", "SimResult", "WMSimulator", "simulate",
+    "MemError", "MemorySystem",
+]

@@ -1,0 +1,141 @@
+"""Data FIFOs with source reservations.
+
+On WM, register 0 (and register 1 in streaming mode) of each execution
+unit is a pair of FIFO queues buffering data to and from memory.  Data
+can be pushed into an input FIFO by two kinds of *sources* — individual
+load instructions and stream-in segments — and the order in which the
+consumer observes elements must equal the order in which the IFU
+dispatched the producing instructions, regardless of when the memory
+system happens to respond.
+
+:class:`InFifo` therefore keeps an ordered list of reservations; each
+arriving datum is credited to its reservation, and elements become
+visible strictly in reservation order.
+
+Output FIFOs are the mirror image: the execution unit enqueues data in
+program order, and consumers (store-issue instructions and stream-out
+segments, in dispatch order) take elements from the front.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["InFifo", "OutFifo", "Reservation", "FifoError"]
+
+
+class FifoError(Exception):
+    """FIFO protocol violation (a compiler bug surfaced at simulation)."""
+
+
+class Reservation:
+    """An ordered claim on FIFO slots by one data source.
+
+    ``quota`` is the number of elements the source will deliver
+    (None = unbounded, for infinite streams).
+    """
+
+    __slots__ = ("quota", "delivered", "buffer", "closed", "tag")
+
+    def __init__(self, quota: Optional[int], tag: str = "") -> None:
+        self.quota = quota
+        self.delivered = 0
+        self.buffer: deque = deque()
+        self.closed = False
+        self.tag = tag
+
+    @property
+    def exhausted(self) -> bool:
+        """No more data will ever come from this source."""
+        if self.closed:
+            return not self.buffer
+        if self.quota is None:
+            return False
+        return self.delivered >= self.quota and not self.buffer
+
+    def deliver(self, value) -> None:
+        if self.quota is not None and self.delivered >= self.quota:
+            raise FifoError(f"source {self.tag} over-delivered")
+        self.delivered += 1
+        self.buffer.append(value)
+
+
+class InFifo:
+    """An input FIFO: reservation-ordered delivery to one consumer."""
+
+    def __init__(self, capacity: int = 8, name: str = "") -> None:
+        self.capacity = capacity
+        self.name = name
+        self._sources: deque[Reservation] = deque()
+
+    def reserve(self, quota: Optional[int], tag: str = "") -> Reservation:
+        res = Reservation(quota, tag)
+        self._sources.append(res)
+        return res
+
+    def _advance(self) -> None:
+        while self._sources and self._sources[0].exhausted:
+            self._sources.popleft()
+
+    def available(self) -> int:
+        """Elements poppable consecutively right now.
+
+        Counts buffered elements from the front across sources, stopping
+        at the first source that may still deliver more data (a gap in
+        the reservation order).
+        """
+        self._advance()
+        total = 0
+        for source in self._sources:
+            total += len(source.buffer)
+            done = source.closed or (
+                source.quota is not None and
+                source.delivered >= source.quota)
+            if not done:
+                break
+        return total
+
+    def pop(self):
+        self._advance()
+        if not self._sources or not self._sources[0].buffer:
+            raise FifoError(f"read from empty input FIFO {self.name}")
+        value = self._sources[0].buffer.popleft()
+        self._advance()
+        return value
+
+    def buffered(self) -> int:
+        """Total elements buffered across sources (for capacity checks)."""
+        return sum(len(s.buffer) for s in self._sources)
+
+    def has_room(self) -> bool:
+        return self.buffered() < self.capacity
+
+    def pending_sources(self) -> int:
+        self._advance()
+        return len(self._sources)
+
+
+class OutFifo:
+    """An output FIFO: program-order data, dispatch-order consumers."""
+
+    def __init__(self, capacity: int = 8, name: str = "") -> None:
+        self.capacity = capacity
+        self.name = name
+        self._data: deque = deque()
+
+    def has_room(self) -> bool:
+        return len(self._data) < self.capacity
+
+    def push(self, value) -> None:
+        if not self.has_room():
+            raise FifoError(f"push to full output FIFO {self.name}")
+        self._data.append(value)
+
+    def available(self) -> int:
+        return len(self._data)
+
+    def pop(self):
+        if not self._data:
+            raise FifoError(f"read from empty output FIFO {self.name}")
+        return self._data.popleft()

@@ -1,0 +1,42 @@
+"""Program loading: flatten an RtlModule for the simulator.
+
+Functions are concatenated into one flat instruction array so a program
+counter is a plain integer — storable in the link register and through
+memory for recursion.  Labels (unique module-wide by construction) map
+to absolute indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.instr import Instr, Label
+from ..rtl.module import RtlModule
+
+__all__ = ["Program", "load_program"]
+
+
+@dataclass
+class Program:
+    """A flattened, loaded program image."""
+
+    instrs: list[Instr] = field(default_factory=list)
+    entry_of: dict[str, int] = field(default_factory=dict)
+    label_index: dict[str, int] = field(default_factory=dict)
+    entry_index: int = 0
+
+
+def load_program(module: RtlModule) -> Program:
+    program = Program()
+    for name, fn in module.functions.items():
+        program.entry_of[name] = len(program.instrs)
+        for instr in fn.instrs:
+            if isinstance(instr, Label):
+                if instr.name in program.label_index:
+                    raise ValueError(f"duplicate label {instr.name!r}")
+                program.label_index[instr.name] = len(program.instrs)
+            program.instrs.append(instr)
+    if module.entry not in program.entry_of:
+        raise ValueError(f"entry function {module.entry!r} not found")
+    program.entry_index = program.entry_of[module.entry]
+    return program

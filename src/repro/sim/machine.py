@@ -1,0 +1,718 @@
+"""Cycle-level simulator for the WM architecture.
+
+Models the units the paper describes (and that its Table II measurement
+relies on — "a simulator capable of determining exact cycle counts
+(including memory delays)"):
+
+* **IFU** — fetches/dispatches one instruction per cycle into per-unit
+  queues; executes branches itself.  Unconditional jumps and labels are
+  free; conditional jumps dequeue from the producing unit's
+  condition-code FIFO (stalling while it is empty); ``JNIf`` jumps
+  consult the stream state; cross-bank conversions synchronize the
+  execution units.
+* **IEU / FEU** — in-order execution from their queues, one instruction
+  per cycle (multi-cycle costs for multiply/divide).  Register 0 (and 1
+  when streaming) are FIFO queues: reading dequeues, writing enqueues;
+  a unit stalls when input data has not arrived or the output FIFO is
+  full.
+* **SCU** — stream control units: after a ``SinD``/``SoutD`` is
+  executed by the IEU (its base/count operands are integer registers),
+  the SCU issues one memory request per stream per cycle, throttled by
+  FIFO capacity and memory ports.
+* **Memory** — fixed latency, limited ports; IEU requests are processed
+  in issue order with a store buffer (loads wait for overlapping older
+  stores).
+
+Determinism: all intra-cycle ordering is fixed, and input-FIFO delivery
+follows *reservation order* (the program order of the producing
+instructions), so results are reproducible and comparable with the IR
+reference interpreter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.interp import c_div, c_rem, wrap32
+from ..machine.wm import CVT_OPS, WMLoadIssue, WMStoreIssue, unit_of
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.instr import (
+    Assign, Call, Compare, CondJump, Instr, Jump, JumpStreamNotDone, Label,
+    Ret, StreamIn, StreamOut, StreamStop,
+)
+from ..rtl.module import RtlModule
+from .fifo import FifoError, InFifo, OutFifo, Reservation
+from .loader import Program, load_program
+from .memory import MemError, MemorySystem
+
+__all__ = ["WMSimulator", "SimResult", "SimError", "simulate"]
+
+HALT_PC = -1
+
+
+class SimError(Exception):
+    """Simulation failure: deadlock, trap, or protocol violation."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulated run."""
+
+    value: object
+    cycles: int
+    instructions: int
+    unit_instructions: dict[str, int]
+    memory_reads: int
+    memory_writes: int
+    stream_elements: int
+    memory: bytearray
+    globals_base: dict[str, int]
+
+    def global_bytes(self, name: str, size: int) -> bytes:
+        base = self.globals_base[name]
+        return bytes(self.memory[base:base + size])
+
+
+# -- operator tables ----------------------------------------------------------
+
+_INT_BIN = {
+    "+": lambda a, b: wrap32(a + b),
+    "-": lambda a, b: wrap32(a - b),
+    "*": lambda a, b: wrap32(a * b),
+    "/": lambda a, b: wrap32(c_div(a, b)),
+    "%": lambda a, b: wrap32(c_rem(a, b)),
+    "<<": lambda a, b: wrap32(a << (b & 31)),
+    ">>": lambda a, b: a >> (b & 31),
+    "&": lambda a, b: wrap32(a & b),
+    "|": lambda a, b: wrap32(a | b),
+    "^": lambda a, b: wrap32(a ^ b),
+}
+
+_CMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: extra occupancy cycles for expensive operators
+_OP_COST = {
+    ("r", "*"): 3, ("r", "/"): 15, ("r", "%"): 15,
+    ("f", "*"): 1, ("f", "/"): 10,
+}
+
+
+class _StreamState:
+    """One active (or announced) stream on a FIFO."""
+
+    __slots__ = ("kind", "bank", "index", "addr", "count", "stride",
+                 "width", "fp", "reservation", "remaining", "jni_counter",
+                 "active", "inflight")
+
+    def __init__(self, kind: str, bank: str, index: int) -> None:
+        self.kind = kind
+        self.bank = bank
+        self.index = index
+        self.addr = 0
+        self.count: Optional[int] = None
+        self.stride = 0
+        self.width = 8
+        self.fp = True
+        self.reservation: Optional[Reservation] = None
+        self.remaining: Optional[int] = None
+        self.jni_counter: Optional[int] = None
+        self.active = False
+        self.inflight = 0
+
+
+class _Unit:
+    """An in-order execution unit (IEU or FEU)."""
+
+    def __init__(self, name: str, bank: str, queue_size: int = 12) -> None:
+        self.name = name
+        self.bank = bank
+        self.queue: deque = deque()
+        self.queue_size = queue_size
+        self.regs: list = [0] * 32
+        if bank == "f":
+            self.regs = [0.0] * 32
+        self.busy_until = 0
+        self.executed = 0
+        self.cc_fifo: deque = deque()
+
+    def queue_full(self) -> bool:
+        return len(self.queue) >= self.queue_size
+
+
+class WMSimulator:
+    """Executes a lowered WM RtlModule with cycle accounting."""
+
+    def __init__(self, module: RtlModule, mem_size: int = 1 << 23,
+                 mem_latency: int = 4, mem_ports: int = 2,
+                 fifo_capacity: int = 8,
+                 max_cycles: int = 500_000_000) -> None:
+        self.module = module
+        self.program: Program = load_program(module)
+        self.memory = MemorySystem(module, size=mem_size,
+                                   latency=mem_latency, ports=mem_ports)
+        self.max_cycles = max_cycles
+        self.ieu = _Unit("IEU", "r")
+        self.feu = _Unit("FEU", "f")
+        self.units = {"IEU": self.ieu, "FEU": self.feu}
+        self.in_fifos = {
+            ("r", 0): InFifo(fifo_capacity, "r0"),
+            ("r", 1): InFifo(fifo_capacity, "r1"),
+            ("f", 0): InFifo(fifo_capacity, "f0"),
+            ("f", 1): InFifo(fifo_capacity, "f1"),
+        }
+        self.out_fifos = {
+            ("r", 0): OutFifo(fifo_capacity, "r0.out"),
+            ("r", 1): OutFifo(fifo_capacity, "r1.out"),
+            ("f", 0): OutFifo(fifo_capacity, "f0.out"),
+            ("f", 1): OutFifo(fifo_capacity, "f1.out"),
+        }
+        #: dispatch-order consumers of each output FIFO:
+        #: ('store', [addr_or_None], width, fp) or ('stream', state)
+        self.out_claims: dict[tuple, deque] = {key: deque()
+                                               for key in self.out_fifos}
+        self.streams: dict[tuple, _StreamState] = {}
+        #: stream-instruction dispatch vs activation generations per FIFO,
+        #: so a JNI never consults a stale stream from an earlier loop
+        self._dispatch_gen: dict[tuple, int] = {}
+        self._activate_gen: dict[tuple, int] = {}
+        self.store_buffer: deque = deque()  # entries share out_claims refs
+        self.cycle = 0
+        self.dispatched = 0
+        self.stream_elements = 0
+        self._progress_cycle = 0
+        # bootstrap
+        self.pc = self.program.entry_index
+        self.ieu.regs[29] = (mem_size - 64) & ~0xF
+        self.ieu.regs[30] = HALT_PC
+        self.halted = False
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> SimResult:
+        while not self.halted:
+            self.cycle += 1
+            if self.cycle > self.max_cycles:
+                raise SimError(f"cycle limit exceeded ({self.max_cycles})")
+            self.memory.begin_cycle()
+            self.memory.tick(self.cycle)
+            self._tick_store_buffer()
+            self._tick_scu()
+            self._tick_unit(self.feu)
+            self._tick_unit(self.ieu)
+            self._tick_ifu()
+            self._check_done()
+            if self.cycle - self._progress_cycle > 10_000:
+                raise SimError(
+                    f"deadlock at cycle {self.cycle}: pc={self.pc}, "
+                    f"IEU queue={len(self.ieu.queue)}, "
+                    f"FEU queue={len(self.feu.queue)}")
+        ret_int = self.ieu.regs[2]
+        return SimResult(
+            value=ret_int,
+            cycles=self.cycle,
+            instructions=self.dispatched,
+            unit_instructions={"IEU": self.ieu.executed,
+                               "FEU": self.feu.executed},
+            memory_reads=self.memory.reads,
+            memory_writes=self.memory.writes,
+            stream_elements=self.stream_elements,
+            memory=self.memory.data,
+            globals_base=dict(self.memory.globals_base),
+        )
+
+    def _progress(self) -> None:
+        self._progress_cycle = self.cycle
+
+    def _check_done(self) -> None:
+        if self.pc != HALT_PC:
+            return
+        if self.ieu.queue or self.feu.queue:
+            return
+        if self.memory.busy() or self.store_buffer:
+            return
+        for state in self.streams.values():
+            if state.active and state.kind == "out" and \
+                    state.remaining not in (None, 0):
+                return
+        self.halted = True
+
+    # ---------------------------------------------------------------- IFU --
+    def _tick_ifu(self) -> None:
+        # The IFU processes control instructions for free and dispatches
+        # at most one execution-unit instruction per cycle.
+        for _ in range(64):  # bounded chain of free control instructions
+            if self.pc == HALT_PC:
+                return
+            instr = self.program.instrs[self.pc]
+            unit = unit_of(instr)
+            if isinstance(instr, Label):
+                self.pc += 1
+                continue
+            if isinstance(instr, Jump):
+                self.pc = self.program.label_index[instr.target]
+                self._progress()
+                continue
+            if isinstance(instr, CondJump):
+                producer = self.feu if instr.bank == "f" else self.ieu
+                if not producer.cc_fifo:
+                    return  # stall: wait for the compare result
+                flag = producer.cc_fifo.popleft()
+                self._progress()
+                if flag == instr.sense:
+                    self.pc = self.program.label_index[instr.target]
+                else:
+                    self.pc += 1
+                continue
+            if isinstance(instr, JumpStreamNotDone):
+                key = (instr.fifo.bank, instr.fifo.index, instr.kind)
+                if self._activate_gen.get(key, 0) < \
+                        self._dispatch_gen.get(key, 0):
+                    return  # stall: the current stream is not active yet
+                state = self.streams.get(key)
+                if state is None or state.jni_counter is None:
+                    return  # stall until the stream is activated
+                state.jni_counter -= 1
+                self._progress()
+                if state.jni_counter > 0:
+                    self.pc = self.program.label_index[instr.target]
+                else:
+                    self.pc += 1
+                continue
+            if isinstance(instr, Call):
+                # The link-register write is performed by the IEU so the
+                # register file stays single-writer.
+                if self.ieu.queue_full():
+                    return
+                self.ieu.queue.append(("link", self.pc + 1))
+                self.pc = self.program.entry_of[instr.func]
+                self.dispatched += 1
+                self._progress()
+                return  # dispatching the link write uses the cycle
+            if isinstance(instr, Ret):
+                # Requires the IEU to be drained so r30 is final.
+                if self.ieu.queue or self.memory.busy() or \
+                        self.store_buffer:
+                    return
+                self.pc = self.ieu.regs[30]
+                self._progress()
+                continue
+            if unit == "CVT":
+                if self.ieu.queue or self.feu.queue:
+                    return  # synchronize the execution units
+                src_unit = self.feu if isinstance(instr.src, UnOp) and \
+                    instr.src.op == "d2i" else self.ieu
+                if not self._operands_ready(src_unit, [instr.src.operand]):
+                    return  # FIFO operand has not arrived yet
+                dst = instr.dst
+                if isinstance(dst, Reg) and dst.index in (0, 1) and \
+                        not self.out_fifos[(dst.bank, dst.index)].has_room():
+                    return
+                self._exec_cvt(instr)
+                self.pc += 1
+                self.dispatched += 1
+                self._progress()
+                return
+            # Ordinary execution-unit instruction: dispatch.
+            target = self.feu if self._dispatch_unit(instr) == "FEU" \
+                else self.ieu
+            if target.queue_full():
+                return
+            if isinstance(instr, (StreamIn, StreamOut)):
+                kind = "in" if isinstance(instr, StreamIn) else "out"
+                key = (instr.fifo.bank, instr.fifo.index, kind)
+                self._dispatch_gen[key] = self._dispatch_gen.get(key, 0) + 1
+            target.queue.append(("instr", instr))
+            self.pc += 1
+            self.dispatched += 1
+            self._progress()
+            return
+
+    def _dispatch_unit(self, instr: Instr) -> str:
+        unit = unit_of(instr)
+        if unit == "SCU":
+            # Stream instructions read integer registers: executed by the
+            # IEU in order, which then activates the SCU.
+            return "IEU"
+        return unit
+
+    def _exec_cvt(self, instr: Assign) -> None:
+        src = instr.src
+        assert isinstance(src, UnOp)
+        if src.op == "i2d":
+            value = float(self._read_reg(self.ieu, src.operand))
+        else:  # d2i
+            try:
+                value = wrap32(int(self._read_reg(self.feu, src.operand)))
+            except (OverflowError, ValueError) as exc:
+                raise SimError(f"d2i conversion trap: {exc}") from exc
+        dst = instr.dst
+        if isinstance(dst, Reg) and dst.index in (0, 1):
+            self.out_fifos[(dst.bank, dst.index)].push(value)
+        else:
+            self._write_reg(self.feu if src.op == "i2d" else self.ieu,
+                            dst, value)
+
+    # -------------------------------------------------------------- units --
+    def _tick_unit(self, unit: _Unit) -> None:
+        if not unit.queue or self.cycle < unit.busy_until:
+            return
+        kind, payload = unit.queue[0]
+        if kind == "link":
+            unit.regs[30] = payload
+            unit.queue.popleft()
+            unit.executed += 1
+            self._progress()
+            return
+        instr: Instr = payload
+        if self._execute(unit, instr):
+            unit.queue.popleft()
+            unit.executed += 1
+            self._progress()
+
+    def _execute(self, unit: _Unit, instr: Instr) -> bool:
+        """Try to execute; False = stall (retry next cycle)."""
+        if isinstance(instr, Compare):
+            if len(unit.cc_fifo) >= 8:
+                return False
+            if not self._operands_ready(unit, [instr.left, instr.right]):
+                return False
+            left = self._eval(unit, instr.left)
+            right = self._eval(unit, instr.right)
+            unit.cc_fifo.append(bool(_CMP[instr.op](left, right)))
+            return True
+        if isinstance(instr, WMLoadIssue):
+            if not self._operands_ready(unit, [instr.addr]):
+                return False
+            if not self.memory.can_accept():
+                return False
+            addr = self._eval(unit, instr.addr)
+            if self._store_conflict(addr, instr.width):
+                return False
+            if self._out_stream_conflict(addr, instr.width):
+                return False  # an output stream has not written this yet
+            fifo = self.in_fifos[(instr.bank, 0)]
+            reservation = fifo.reserve(1, tag="load")
+            ok = self.memory.request_read(
+                self.cycle, addr, instr.width, instr.fp, instr.signed,
+                reservation.deliver)
+            assert ok
+            return True
+        if isinstance(instr, WMStoreIssue):
+            if not self._operands_ready(unit, [instr.addr]):
+                return False
+            addr = self._eval(unit, instr.addr)
+            key = (instr.bank, 0)
+            claim = ["store", addr, instr.width, instr.fp]
+            self.out_claims[key].append(claim)
+            self.store_buffer.append((key, claim))
+            return True
+        if isinstance(instr, StreamIn):
+            return self._activate_stream(unit, instr, "in")
+        if isinstance(instr, StreamOut):
+            return self._activate_stream(unit, instr, "out")
+        if isinstance(instr, StreamStop):
+            key = (instr.fifo.bank, instr.fifo.index, instr.kind)
+            state = self.streams.get(key)
+            if state is not None and state.active:
+                if state.reservation is not None:
+                    state.reservation.closed = True
+                    state.reservation.buffer.clear()
+                state.active = False
+                state.remaining = 0
+            return True
+        if isinstance(instr, Assign):
+            return self._exec_assign(unit, instr)
+        raise SimError(f"unit {unit.name} cannot execute {instr!r}")
+
+    def _exec_assign(self, unit: _Unit, instr: Assign) -> bool:
+        dst = instr.dst
+        if not self._operands_ready(unit, [instr.src]):
+            return False
+        writes_fifo = isinstance(dst, Reg) and dst.index in (0, 1)
+        if writes_fifo:
+            out = self.out_fifos[(dst.bank, dst.index)]
+            if not out.has_room():
+                return False
+        value = self._eval(unit, instr.src)
+        cost = self._cost(unit, instr.src)
+        if cost > 1:
+            unit.busy_until = self.cycle + cost - 1
+        if isinstance(instr.src, Sym):
+            unit.busy_until = self.cycle + 1  # llh + sll pair
+        if writes_fifo:
+            self.out_fifos[(dst.bank, dst.index)].push(value)
+        else:
+            self._write_reg(unit, dst, value)
+        return True
+
+    def _cost(self, unit: _Unit, expr: Expr) -> int:
+        cost = 1
+        for op in _iter_ops(expr):
+            cost = max(cost, _OP_COST.get((unit.bank, op), 1))
+        return cost
+
+    # ------------------------------------------------------------- operands --
+    def _operands_ready(self, unit: _Unit, exprs: list[Expr]) -> bool:
+        """Are all FIFO reads satisfiable right now (atomically)?"""
+        needed: dict[tuple, int] = {}
+        for expr in exprs:
+            for node in _walk(expr):
+                if isinstance(node, Reg) and node.index in (0, 1) and \
+                        node.bank == unit.bank:
+                    key = (node.bank, node.index)
+                    needed[key] = needed.get(key, 0) + 1
+        for key, count in needed.items():
+            if self.in_fifos[key].available() < count:
+                return False
+        return True
+
+    def _eval(self, unit: _Unit, expr: Expr):
+        if isinstance(expr, Imm):
+            return expr.value
+        if isinstance(expr, Reg):
+            return self._read_reg(unit, expr)
+        if isinstance(expr, Sym):
+            try:
+                return self.memory.globals_base[expr.name] + expr.offset
+            except KeyError:
+                raise SimError(f"unknown symbol {expr.name!r}") from None
+        if isinstance(expr, BinOp):
+            left = self._eval(unit, expr.left)
+            right = self._eval(unit, expr.right)
+            if unit.bank == "f":
+                return self._fp_bin(expr.op, left, right)
+            return _INT_BIN[expr.op](left, right)
+        if isinstance(expr, UnOp):
+            operand = self._eval(unit, expr.operand)
+            if expr.op == "neg":
+                return -operand if isinstance(operand, float) \
+                    else wrap32(-operand)
+            if expr.op == "not":
+                return wrap32(~operand)
+            if expr.op == "sext8":
+                v = int(operand) & 0xFF
+                return v - 0x100 if v >= 0x80 else v
+            raise SimError(f"unit cannot evaluate {expr.op}")
+        if isinstance(expr, VReg):
+            raise SimError("virtual register survived to simulation")
+        raise SimError(f"cannot evaluate {expr!r}")
+
+    def _fp_bin(self, op: str, a, b):
+        a = float(a)
+        b = float(b)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0.0:
+                raise SimError("floating-point division by zero")
+            return a / b
+        raise SimError(f"illegal FP operator {op}")
+
+    def _read_reg(self, unit: _Unit, reg: Reg):
+        if reg.bank != unit.bank:
+            raise SimError(
+                f"{unit.name} read of cross-bank register {reg!r}")
+        if reg.index == 31:
+            return 0.0 if unit.bank == "f" else 0
+        if reg.index in (0, 1):
+            return self.in_fifos[(reg.bank, reg.index)].pop()
+        return unit.regs[reg.index]
+
+    def _write_reg(self, unit: _Unit, reg: Reg, value) -> None:
+        if reg.index == 31:
+            return  # writes to register 31 have no effect
+        if reg.bank == "f":
+            self.feu.regs[reg.index] = float(value)
+        else:
+            self.ieu.regs[reg.index] = wrap32(int(value))
+
+    # ---------------------------------------------------------------- SCU --
+    def _activate_stream(self, unit: _Unit, instr, kind: str) -> bool:
+        base = self._eval(unit, instr.base)
+        count = None
+        if instr.count is not None:
+            count = self._eval(unit, instr.count)
+            if count <= 0:
+                raise SimError(f"stream with non-positive count {count}")
+        key = (instr.fifo.bank, instr.fifo.index, kind)
+        fifo_key = (instr.fifo.bank, instr.fifo.index)
+        state = _StreamState(kind, instr.fifo.bank, instr.fifo.index)
+        state.addr = base
+        state.count = count
+        state.remaining = count
+        state.stride = instr.stride
+        state.width = instr.width
+        state.fp = instr.fp
+        state.active = True
+        state.jni_counter = count
+        if kind == "in":
+            state.reservation = self.in_fifos[fifo_key].reserve(
+                count, tag=f"stream:{key}")
+        else:
+            self.out_claims[fifo_key].append(["stream", state])
+        self.streams[key] = state
+        self._activate_gen[key] = self._activate_gen.get(key, 0) + 1
+        return True
+
+    def _tick_scu(self) -> None:
+        for state in list(self.streams.values()):
+            if not state.active:
+                continue
+            fifo_key = (state.bank, state.index)
+            if state.kind == "in":
+                self._tick_stream_in(fifo_key, state)
+            else:
+                self._tick_stream_out(fifo_key, state)
+
+    def _tick_stream_in(self, key, state: _StreamState) -> None:
+        if state.remaining is not None and state.remaining <= 0:
+            if state.inflight == 0:
+                state.active = False
+            return
+        fifo = self.in_fifos[key]
+        if fifo.buffered() + state.inflight >= fifo.capacity:
+            return
+        if not self.memory.can_accept():
+            return
+        # Memory-consistency interlocks: the next element must not be
+        # covered by an output stream still draining or by a pending
+        # (data-incomplete) scalar store.
+        if self._out_stream_conflict(state.addr, state.width,
+                                     exclude=state):
+            return
+        if self._store_conflict(state.addr, state.width):
+            return
+        reservation = state.reservation
+        assert reservation is not None
+
+        def deliver(value, state=state, reservation=reservation):
+            state.inflight -= 1
+            if reservation.closed:
+                return  # stream was stopped; drop late arrivals
+            reservation.deliver(value)
+            self.stream_elements += 1
+
+        try:
+            ok = self.memory.request_read(self.cycle, state.addr,
+                                          state.width, state.fp, True,
+                                          deliver)
+        except MemError:
+            # An infinite stream may prefetch past the data segment; the
+            # compiler guarantees those elements are never consumed.
+            if state.remaining is None:
+                def deliver_dummy(value, state=state):
+                    state.inflight -= 1
+                self.memory._accepted_this_cycle += 1
+                state.inflight += 1
+                state.addr += state.stride
+                return
+            raise
+        if ok:
+            state.inflight += 1
+            state.addr += state.stride
+            if state.remaining is not None:
+                state.remaining -= 1
+            self._progress()
+
+    def _tick_stream_out(self, key, state: _StreamState) -> None:
+        if state.remaining is not None and state.remaining <= 0:
+            state.active = False
+            return
+        claims = self.out_claims[key]
+        if not claims or claims[0][0] != "stream" or claims[0][1] is not state:
+            return
+        out = self.out_fifos[key]
+        if not out.available():
+            return
+        if not self.memory.can_accept():
+            return
+        value = out.pop()
+        self.memory.request_write(self.cycle, state.addr, state.width,
+                                  state.fp, value)
+        self.stream_elements += 1
+        state.addr += state.stride
+        if state.remaining is not None:
+            state.remaining -= 1
+            if state.remaining <= 0:
+                state.active = False
+                claims.popleft()
+        self._progress()
+
+    # -------------------------------------------------------- store buffer --
+    def _tick_store_buffer(self) -> None:
+        """Complete scalar stores whose data has arrived, in order."""
+        while self.store_buffer:
+            key, claim = self.store_buffer[0]
+            claims = self.out_claims[key]
+            if not claims or claims[0] is not claim:
+                return  # an older stream-out claim is still draining
+            out = self.out_fifos[key]
+            if not out.available():
+                return
+            if not self.memory.can_accept():
+                return
+            value = out.pop()
+            _tag, addr, width, fp = claim
+            self.memory.request_write(self.cycle, addr, width, fp, value)
+            claims.popleft()
+            self.store_buffer.popleft()
+            self._progress()
+
+    def _store_conflict(self, addr: int, width: int) -> bool:
+        """Does a pending (data-incomplete) store overlap [addr, addr+w)?"""
+        for _key, claim in self.store_buffer:
+            _tag, saddr, swidth, _fp = claim
+            if saddr < addr + width and addr < saddr + swidth:
+                return True
+        return False
+
+    def _out_stream_conflict(self, addr: int, width: int,
+                             exclude: Optional[_StreamState] = None) -> bool:
+        """Does [addr, addr+width) fall inside the not-yet-written range
+        of an active output stream?
+
+        This is the memory-consistency interlock between the SCUs and
+        the scalar pipeline: reads of a region an output stream is still
+        draining must wait until the covering elements are written.
+        """
+        for state in self.streams.values():
+            if state is exclude or state.kind != "out" or not state.active:
+                continue
+            remaining = state.remaining
+            if not remaining:
+                continue
+            span = state.stride * (remaining - 1)
+            lo = min(state.addr, state.addr + span)
+            hi = max(state.addr + state.width,
+                     state.addr + span + state.width)
+            if lo < addr + width and addr < hi:
+                return True
+        return False
+
+
+def _walk(expr: Expr):
+    from ..rtl.expr import walk
+    return walk(expr)
+
+
+def _iter_ops(expr: Expr):
+    for node in _walk(expr):
+        if isinstance(node, BinOp):
+            yield node.op
+
+
+def simulate(module: RtlModule, **kwargs) -> SimResult:
+    """Convenience wrapper: build a simulator and run to completion."""
+    return WMSimulator(module, **kwargs).run()

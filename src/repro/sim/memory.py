@@ -1,0 +1,131 @@
+"""The simulated memory system.
+
+Byte-addressable little-endian memory with the same layout as the IR
+reference interpreter (globals from ``DATA_BASE``, downward stack), plus
+a simple latency/throughput model:
+
+* a read request accepted at cycle ``c`` delivers its data at
+  ``c + latency``;
+* at most ``ports`` requests (reads or writes, from the IEU pipeline
+  and the stream control units combined) are accepted per cycle;
+* IEU memory operations are processed in issue order (total store
+  ordering within the scalar pipeline); stream requests are independent
+  — the compiler's partition analysis is what guarantees streams never
+  race scalar accesses to the same region, and the differential tests
+  verify it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from ..ir.interp import DATA_BASE
+from ..rtl.module import RtlModule
+
+__all__ = ["MemorySystem", "MemError"]
+
+
+class MemError(Exception):
+    """Out-of-range access or similar runtime trap."""
+
+
+class MemorySystem:
+    """Memory array + request scheduling."""
+
+    def __init__(self, module: RtlModule, size: int = 1 << 23,
+                 latency: int = 4, ports: int = 2) -> None:
+        self.size = size
+        self.latency = latency
+        self.ports = ports
+        self.data = bytearray(size)
+        self.globals_base: dict[str, int] = {}
+        self._layout(module)
+        #: (due_cycle, callback, value) completions
+        self._inflight: list[tuple[int, Callable, object]] = []
+        self._accepted_this_cycle = 0
+        self.reads = 0
+        self.writes = 0
+
+    def _layout(self, module: RtlModule) -> None:
+        addr = DATA_BASE
+        for obj in module.data.values():
+            align = max(obj.align, 1)
+            addr = (addr + align - 1) & ~(align - 1)
+            self.globals_base[obj.name] = addr
+            image = obj.image()
+            self.data[addr:addr + obj.size] = image
+            addr += obj.size
+        self.data_end = addr
+
+    # -- raw access ------------------------------------------------------------
+    def _check(self, addr: int, width: int) -> None:
+        if addr < DATA_BASE or addr + width > self.size:
+            raise MemError(f"memory access out of range: {addr:#x}")
+
+    def read_value(self, addr: int, width: int, fp: bool, signed: bool):
+        self._check(addr, width)
+        raw = bytes(self.data[addr:addr + width])
+        if fp:
+            return struct.unpack("<d", raw)[0]
+        if width == 1:
+            return struct.unpack("<b" if signed else "<B", raw)[0]
+        if width == 2:
+            return struct.unpack("<h" if signed else "<H", raw)[0]
+        return struct.unpack("<i" if signed else "<I", raw)[0]
+
+    def write_value(self, addr: int, width: int, fp: bool, value) -> None:
+        self._check(addr, width)
+        if fp:
+            raw = struct.pack("<d", float(value))
+        elif width == 1:
+            raw = struct.pack("<B", int(value) & 0xFF)
+        elif width == 2:
+            raw = struct.pack("<H", int(value) & 0xFFFF)
+        else:
+            raw = struct.pack("<I", int(value) & 0xFFFFFFFF)
+        self.data[addr:addr + width] = raw
+
+    # -- timed interface ------------------------------------------------------------
+    def begin_cycle(self) -> None:
+        self._accepted_this_cycle = 0
+
+    def can_accept(self) -> bool:
+        return self._accepted_this_cycle < self.ports
+
+    def request_read(self, cycle: int, addr: int, width: int, fp: bool,
+                     signed: bool, deliver: Callable) -> bool:
+        """Accept a read; ``deliver(value)`` fires after the latency.
+        Returns False if the port limit was reached this cycle."""
+        if not self.can_accept():
+            return False
+        self._accepted_this_cycle += 1
+        self.reads += 1
+        value = self.read_value(addr, width, fp, signed)
+        self._inflight.append((cycle + self.latency, deliver, value))
+        return True
+
+    def request_write(self, cycle: int, addr: int, width: int, fp: bool,
+                      value) -> bool:
+        """Accept a write (applied immediately; completion is modeled by
+        the port bandwidth, not by delaying visibility)."""
+        if not self.can_accept():
+            return False
+        self._accepted_this_cycle += 1
+        self.writes += 1
+        self.write_value(addr, width, fp, value)
+        return True
+
+    def tick(self, cycle: int) -> None:
+        """Deliver completions due at ``cycle``."""
+        if not self._inflight:
+            return
+        due = [item for item in self._inflight if item[0] <= cycle]
+        if not due:
+            return
+        self._inflight = [item for item in self._inflight if item[0] > cycle]
+        for _due_cycle, deliver, value in due:
+            deliver(value)
+
+    def busy(self) -> bool:
+        return bool(self._inflight)

@@ -1,0 +1,5 @@
+"""Streaming code generation (the paper's second algorithm)."""
+
+from .transform import MIN_ITERATIONS, StreamReport, optimize_streams
+
+__all__ = ["MIN_ITERATIONS", "StreamReport", "optimize_streams"]

@@ -1,0 +1,486 @@
+"""Streaming optimization (the paper's second algorithm).
+
+After recurrences have been optimized, the compiler converts remaining
+per-iteration memory references whose address is an affine function of a
+loop induction variable into hardware stream instructions:
+
+1. determine the iteration count (``loop_count``); fewer than four
+   iterations is never worth a stream's set-up cost;
+2. for each safe partition with no remaining memory recurrence, each
+   reference that executes on every iteration, has a compile-time
+   stride, and can be allocated a FIFO register is turned into a
+   ``SinD``/``SoutD`` issued in the pre-header;
+3. the loop-exit compare/branch is replaced by a stream-status jump
+   (``JNIf``) and the now-dead induction-variable update is deleted.
+
+Loops whose trip count cannot be computed are streamed with *infinite*
+streams and ``Sstop`` instructions at the loop exits, when the exit
+structure allows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.base import Machine
+from ..opt.cfg import CFG, Block
+from ..opt.combine import is_fifo_reg
+from ..opt.dataflow import compute_liveness
+from ..opt.dominators import Dominators, compute_dominators
+from ..opt.emitexpr import VRegAllocator, emit_expr
+from ..opt.induction import BasicIV, count_defs
+from ..opt.loops import Loop, ensure_preheader, find_loops
+from ..recurrence.partitions import (
+    LoopMemoryInfo, MemRef, Partition, partition_loop,
+)
+from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, VReg, fold, subst
+from ..rtl.instr import (
+    Assign, Compare, CondJump, Instr, JumpStreamNotDone, StreamIn, StreamOut,
+    StreamStop,
+)
+
+__all__ = ["StreamReport", "optimize_streams", "MIN_ITERATIONS"]
+
+#: Paper Step 1: "If the number of iterations is determined to be three
+#: or fewer, do not use streams."
+MIN_ITERATIONS = 4
+
+
+@dataclass
+class StreamReport:
+    """What the streaming pass did to one loop."""
+
+    loop_header: str
+    streams_in: int = 0
+    streams_out: int = 0
+    infinite: bool = False
+    loop_test_replaced: bool = False
+    iv_increment_deleted: bool = False
+    refs: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class _LoopTest:
+    """The loop's bottom continuation test: Compare + CondJump."""
+
+    compare: Compare
+    jump: CondJump
+    block: Block
+    iv: Expr
+    bound: Expr          # loop-invariant bound operand
+    op: str              # normalized: continue while (iv op bound)
+    step: int
+
+
+def optimize_streams(cfg: CFG, machine: Machine,
+                     allow_infinite: bool = True) -> list[StreamReport]:
+    """Run the streaming algorithm over every innermost loop."""
+    if not machine.has_streams:
+        return []
+    reports: list[StreamReport] = []
+    doms = compute_dominators(cfg)
+    loops = find_loops(cfg, doms)
+    innermost = [
+        loop for loop in loops
+        if not any(other is not loop and other.blocks < loop.blocks
+                   for other in loops)
+    ]
+    for loop in innermost:
+        report = _stream_loop(cfg, machine, loop, doms, allow_infinite)
+        if report is not None:
+            reports.append(report)
+        doms = compute_dominators(cfg)
+    return reports
+
+
+def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
+                 allow_infinite: bool) -> Optional[StreamReport]:
+    info = partition_loop(cfg, loop, doms)
+    test = _find_loop_test(cfg, loop, info)
+    count_expr = _loop_count_expr(test) if test is not None else None
+    # A finite (count-based) stream requires the bottom test to be the
+    # loop's ONLY exit: an early break would leave the streams partially
+    # consumed and the JNI counter out of sync.
+    if count_expr is not None and len(loop.exit_edges()) != 1:
+        count_expr = None
+    infinite = count_expr is None
+    if infinite and not allow_infinite:
+        return None
+    if infinite and not _infinite_streams_ok(cfg, loop):
+        return None
+    if not infinite:
+        known = _constant_count(cfg, loop, test, count_expr)
+        if known is not None and known < MIN_ITERATIONS:
+            return None  # Step 1: 3 or fewer iterations
+
+    # Step 2: choose the references to stream.
+    candidates: list[MemRef] = []
+    normals: list[MemRef] = []
+    for part in info.partitions:
+        part_ok = part.safe and not part.has_recurrence()
+        for ref in part.refs:
+            if ref in candidates or ref in normals:
+                continue
+            if part_ok and _streamable(ref, loop, doms, cfg) and \
+                    not (infinite and ref.is_store):
+                # Output streams need a definite element count: an
+                # infinite out-stream could not drain deterministically
+                # at a data-dependent exit, so stores in unbounded loops
+                # stay ordinary FIFO stores.
+                candidates.append(ref)
+            else:
+                normals.append(ref)
+    if not candidates:
+        return None
+    # Step e: FIFO allocation. Normal loads/stores always use FIFO 0 of
+    # their bank/direction, so a stream may take FIFO 0 only when no
+    # normal reference of that class remains in the loop.
+    chosen = _allocate_fifos(machine, candidates, normals)
+    if not chosen:
+        return None
+
+    report = StreamReport(loop_header=loop.header.label, infinite=infinite)
+    pre = ensure_preheader(cfg, loop)
+    alloc = VRegAllocator(cfg.func)
+    setup: list[Instr] = []
+    count_leaf: Optional[Expr] = None
+    if not infinite:
+        count_leaf = emit_expr(count_expr, machine, alloc, setup, "r",
+                               comment="number of items to stream")
+    liveness = compute_liveness(cfg)
+
+    first_in_fifo: Optional[Reg] = None
+    for ref, fifo_index in chosen:
+        bank = "f" if ref.mem.fp else "r"
+        fifo = Reg(bank, fifo_index)
+        base = _stream_base(ref, cfg, loop, doms)
+        base_leaf = emit_expr(base, machine, alloc, setup, "r",
+                              comment=f"stream base address")
+        stream_cls = StreamOut if ref.is_store else StreamIn
+        count_operand = count_leaf if count_leaf is not None else None
+        setup.append(stream_cls(
+            fifo, base_leaf,
+            count_operand if count_operand is not None else Imm(0),
+            ref.stride, ref.mem.width, ref.mem.fp,
+            comment=("stream out" if ref.is_store else "stream in"),
+        ))
+        if infinite:
+            setup[-1].count = None  # type: ignore[assignment]
+        _rewrite_reference(cfg, loop, ref, fifo, liveness)
+        if ref.is_store:
+            report.streams_out += 1
+        else:
+            report.streams_in += 1
+            if first_in_fifo is None:
+                first_in_fifo = fifo
+        report.refs.append(ref.vector() + (f"fifo{fifo_index}",))
+    insert_at = len(pre.instrs) - (1 if pre.terminator is not None else 0)
+    pre.instrs[insert_at:insert_at] = setup
+
+    # Step i: replace the loop test / add stream stops.
+    jni_fifo = first_in_fifo
+    jni_kind = "in"
+    if jni_fifo is None:
+        ref, fifo_index = chosen[0]
+        jni_fifo = Reg("f" if ref.mem.fp else "r", fifo_index)
+        jni_kind = "out" if ref.is_store else "in"
+    if not infinite and test is not None:
+        test.block.instrs.remove(test.compare)
+        jpos = test.block.instrs.index(test.jump)
+        test.block.instrs[jpos] = JumpStreamNotDone(
+            jni_fifo, test.jump.target, kind=jni_kind,
+            comment="jump if stream count not zero")
+        report.loop_test_replaced = True
+    elif infinite:
+        for inside, outside in loop.exit_edges():
+            stops = [StreamStop(Reg("f" if r.mem.fp else "r", fi),
+                                kind="out" if r.is_store else "in",
+                                comment="stop stream at loop exit")
+                     for r, fi in chosen]
+            _insert_on_exit_edge(cfg, inside, outside, stops)
+
+    # Step j: delete the induction-variable update if the IV is dead.
+    if test is not None and report.loop_test_replaced:
+        if _try_delete_iv(cfg, loop, test.iv):
+            report.iv_increment_deleted = True
+    return report
+
+
+# ---------------------------------------------------------------------------
+# loop-count analysis
+# ---------------------------------------------------------------------------
+
+def _find_loop_test(cfg: CFG, loop: Loop,
+                    info: LoopMemoryInfo) -> Optional[_LoopTest]:
+    """Recognize the bottom-test Compare/CondJump pair driving the loop."""
+    if len(loop.back_tails) != 1:
+        return None
+    tail = loop.back_tails[0]
+    term = tail.terminator
+    if not isinstance(term, CondJump) or term.target != loop.header.label:
+        return None
+    compare = None
+    for instr in reversed(tail.body()):
+        if isinstance(instr, Compare) and instr.bank == term.bank:
+            compare = instr
+            break
+        if instr.defs():
+            # Anything defining between compare and jump is fine, but a
+            # second compare would desynchronize; keep scanning.
+            continue
+    if compare is None:
+        return None
+    # Identify which operand is the IV.
+    from ..opt.induction import find_basic_ivs
+    ivs = find_basic_ivs(loop)
+    left, right, op = compare.left, compare.right, compare.op
+    sense = term.sense
+    if not sense:
+        op = _negate_op(op)
+    if isinstance(left, (Reg, VReg)) and left in ivs:
+        iv, bound = left, right
+    elif isinstance(right, (Reg, VReg)) and right in ivs:
+        iv, bound = right, left
+        op = _flip_op(op)
+    else:
+        return None
+    # The bound must be loop-invariant.
+    for block in loop.block_list:
+        for instr in block.instrs:
+            if isinstance(bound, (Reg, VReg)) and bound in instr.defs():
+                return None
+    step = ivs[iv].step
+    return _LoopTest(compare=compare, jump=term, block=tail, iv=iv,
+                     bound=bound, op=op, step=step)
+
+
+def _negate_op(op: str) -> str:
+    return {"==": "!=", "!=": "==", "<": ">=", "<=": ">",
+            ">": "<=", ">=": "<"}[op]
+
+
+def _flip_op(op: str) -> str:
+    return {"==": "==", "!=": "!=", "<": ">", "<=": ">=",
+            ">": "<", ">=": "<="}[op]
+
+
+def _loop_count_expr(test: _LoopTest) -> Optional[Expr]:
+    """Iteration count as an expression over pre-header values.
+
+    The rotated loops place the test after the IV update, so with
+    entering value ``iv0`` the loop body has executed ``m`` times when
+    the test sees ``iv0 + m*step``; the count is the smallest ``m``
+    failing the continue condition.  For ``<`` with positive step:
+    ``ceil((bound - iv0)/step)``.
+    """
+    step = test.step
+    iv, bound = test.iv, test.bound
+    if step > 0 and test.op in ("<", "<="):
+        # N = floor((bound - iv0 - adj)/step) + 1 with adj = 1 for '<'.
+        adj = 1 if test.op == "<" else 0
+        numerator = BinOp("-", bound, BinOp("+", iv, Imm(adj)))
+        return fold(BinOp("+", BinOp("/", numerator, Imm(step)), Imm(1))) \
+            if step != 1 else fold(BinOp("+", numerator, Imm(1)))
+    if step < 0 and test.op in (">", ">="):
+        adj = 1 if test.op == ">" else 0
+        numerator = BinOp("-", iv, BinOp("+", bound, Imm(adj)))
+        if -step != 1:
+            return fold(BinOp("+", BinOp("/", numerator, Imm(-step)),
+                              Imm(1)))
+        return fold(BinOp("+", numerator, Imm(1)))
+    if test.op == "!=" and step in (1, -1):
+        diff = BinOp("-", bound, iv) if step == 1 else BinOp("-", iv, bound)
+        return fold(diff)
+    return None
+
+
+def _constant_count(cfg: CFG, loop: Loop, test: Optional[_LoopTest],
+                    count_expr: Optional[Expr]) -> Optional[int]:
+    """Resolve the iteration count to a compile-time constant if the
+    IV's entering value and the bound are both known."""
+    if test is None or count_expr is None:
+        return None
+    from ..opt.dominators import compute_dominators
+    from ..opt.induction import resolve_invariant
+    from ..recurrence.partitions import _iv_initial
+    doms = compute_dominators(cfg)
+    substitutions = {}
+    iv0 = _iv_initial(test.iv, loop, cfg, doms, count_defs(cfg))
+    if isinstance(iv0, Imm):
+        substitutions[test.iv] = iv0
+    if isinstance(test.bound, (Reg, VReg)):
+        bound = resolve_invariant(test.bound, loop.header, cfg)
+        if isinstance(bound, Imm):
+            substitutions[test.bound] = bound
+    resolved = fold(subst(count_expr, substitutions))
+    if isinstance(resolved, Imm) and isinstance(resolved.value, int):
+        return resolved.value
+    return None
+
+
+def _infinite_streams_ok(cfg: CFG, loop: Loop) -> bool:
+    """Infinite streams need loop exits the stops can be attached to
+    (exit edges are split, so any normal exit structure qualifies)."""
+    return bool(loop.exit_edges())
+
+
+def _insert_on_exit_edge(cfg: CFG, inside: Block, outside: Block,
+                         instrs: list[Instr]) -> None:
+    """Split the (inside -> outside) edge with a block holding ``instrs``.
+
+    Ensures the instructions execute exactly when the loop exits via this
+    edge — other predecessors of ``outside`` are unaffected.
+    """
+    from ..rtl.instr import Jump
+    landing = Block(cfg.new_label())
+    landing.instrs = list(instrs) + [Jump(outside.label)]
+    cfg.blocks.insert(cfg.blocks.index(inside) + 1, landing)
+    term = inside.terminator
+    if term is not None and hasattr(term, "target") and \
+            term.target == outside.label:
+        term.target = landing.label
+    CFG.remove_edge(inside, outside)
+    CFG.add_edge(inside, landing)
+    CFG.add_edge(landing, outside)
+
+
+# ---------------------------------------------------------------------------
+# reference selection and rewriting
+# ---------------------------------------------------------------------------
+
+def _streamable(ref: MemRef, loop: Loop, doms: Dominators, cfg: CFG) -> bool:
+    if not ref.region_known or ref.iv is None:
+        return False
+    if ref.stride == 0:
+        return False
+    if not ref.every_iteration:
+        return False  # Step c: must execute every time through the loop
+    instr = ref.instr
+    if not isinstance(instr, Assign):
+        return False
+    if ref.is_store:
+        return isinstance(instr.src, (Reg, VReg, Imm))
+    if not isinstance(instr.dst, (Reg, VReg)):
+        return False
+    def_counts = count_defs(cfg)
+    return def_counts.get(instr.dst, 0) == 1
+
+
+def _allocate_fifos(machine: Machine, candidates: list[MemRef],
+                    normals: list[MemRef]) -> list[tuple[MemRef, int]]:
+    """Assign FIFO indices per (bank, direction) class."""
+    chosen: list[tuple[MemRef, int]] = []
+    classes: dict[tuple[str, str], list[MemRef]] = {}
+    for ref in candidates:
+        bank = "f" if ref.mem.fp else "r"
+        direction = "out" if ref.is_store else "in"
+        classes.setdefault((bank, direction), []).append(ref)
+    normal_classes = set()
+    for ref in normals:
+        bank = "f" if ref.mem.fp else "r"
+        direction = "out" if ref.is_store else "in"
+        normal_classes.add((bank, direction))
+    for key, refs in classes.items():
+        fifo_max = machine.fifo_count
+        if key in normal_classes:
+            available = [1]
+        elif len(refs) <= fifo_max:
+            available = list(range(len(refs)))
+        else:
+            # Too many candidates: the overflow falls back to normal
+            # loads, which claim FIFO 0, leaving only FIFO 1.
+            available = [1]
+        for ref, fifo in zip(refs, available):
+            chosen.append((ref, fifo))
+    return chosen
+
+
+def _stream_base(ref: MemRef, cfg: CFG, loop: Loop,
+                 doms: Dominators) -> Expr:
+    """First-element address, valid in the pre-header (IV holds iv0).
+
+    A constant entering IV value is folded into the displacement, giving
+    the ``r19 := (16) + r22`` form of the paper's Figure 7.
+    """
+    from ..recurrence.partitions import _iv_initial
+    initial = _iv_initial(ref.iv, loop, cfg, doms, count_defs(cfg))
+    if isinstance(initial, Imm) and isinstance(initial.value, int):
+        expr: Expr = Imm(ref.cee * initial.value)
+    else:
+        expr = BinOp("*", Imm(ref.cee), ref.iv)
+    if ref.addr_base is not None:
+        expr = BinOp("+", expr, ref.addr_base)
+    if ref.raw_offset:
+        expr = BinOp("+", expr, Imm(ref.raw_offset))
+    return fold(expr)
+
+
+def _rewrite_reference(cfg: CFG, loop: Loop, ref: MemRef, fifo: Reg,
+                       liveness) -> None:
+    """Step h: change the load/store to use the FIFO register."""
+    instr = ref.instr
+    block = ref.block
+    if ref.is_store:
+        pos = block.instrs.index(instr)
+        block.instrs[pos] = Assign(fifo, instr.src,
+                                   comment="enqueue to output stream",
+                                   lno=instr.lno)
+        return
+    dst = instr.dst
+    # Count in-loop uses; the FIFO register dequeues on every read, so a
+    # direct substitution is only possible for a single textual use in a
+    # once-per-iteration block.
+    use_sites = []
+    for b in cfg.blocks:
+        for other in b.instrs:
+            if other is instr:
+                continue
+            occurrences = sum(
+                1 for e in other.use_exprs()
+                for sub in _walk(e) if sub == dst)
+            if occurrences:
+                use_sites.append((b, other, occurrences))
+    doms = compute_dominators(cfg)
+    single_direct = (
+        len(use_sites) == 1 and use_sites[0][2] == 1 and
+        loop.contains(use_sites[0][0]) and
+        all(doms.dominates(use_sites[0][0], tail)
+            for tail in loop.back_tails)
+    )
+    if single_direct:
+        _b, user, _n = use_sites[0]
+        user.map_exprs(lambda e: subst(e, {dst: fifo}))
+        block.instrs.remove(instr)
+    else:
+        pos = block.instrs.index(instr)
+        block.instrs[pos] = Assign(dst, fifo, comment="dequeue from stream",
+                                   lno=instr.lno)
+
+
+def _walk(expr: Expr):
+    from ..rtl.expr import walk
+    return walk(expr)
+
+
+def _try_delete_iv(cfg: CFG, loop: Loop, iv: Expr) -> bool:
+    """Delete the IV update when the IV is dead (paper Step j)."""
+    update = None
+    other_uses_in_loop = False
+    for block in loop.block_list:
+        for instr in block.instrs:
+            if isinstance(instr, Assign) and instr.dst == iv and \
+                    instr.uses() == {iv}:
+                update = (block, instr)
+                continue
+            if iv in instr.uses():
+                other_uses_in_loop = True
+    liveness = compute_liveness(cfg)
+    live_outside = any(
+        iv in liveness.live_in(outside)
+        for _inside, outside in loop.exit_edges())
+    if update is not None and not other_uses_in_loop and not live_outside:
+        block, instr = update
+        block.instrs.remove(instr)
+        return True
+    return False

@@ -1,0 +1,76 @@
+"""CLI driver tests."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+double a[100]; double b[100];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 100; i++) { a[i] = 0.5; b[i] = 2.0; }
+    s = 0.0;
+    for (i = 0; i < 100; i++) s = s + a[i] * b[i];
+    return (int)s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_wm_listing(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "SinD" in out
+
+    def test_m68020_listing(self, source_file, capsys):
+        assert main(["compile", source_file, "--target", "m68020"]) == 0
+        out = capsys.readouterr().out
+        assert "fmoved" in out
+
+    def test_opt_none(self, source_file, capsys):
+        assert main(["compile", source_file, "--opt", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "SinD" not in out
+
+    def test_function_selection(self, source_file, capsys):
+        assert main(["compile", source_file, "--function", "main"]) == 0
+        assert "main:" in capsys.readouterr().out
+
+    def test_unknown_target_exits(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["compile", source_file, "--target", "pdp11"])
+
+
+class TestRun:
+    def test_run_wm(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 100" in out
+        assert "cycles:" in out
+        assert "OK" in out
+
+    def test_run_scalar(self, source_file, capsys):
+        assert main(["run", source_file, "--target", "m88100"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 100" in out
+        assert "weighted cycles" in out
+
+    def test_run_all_levels(self, source_file, capsys):
+        for level in ("none", "baseline", "recurrence", "full"):
+            assert main(["run", source_file, "--opt", level]) == 0
+            assert "result: 100" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 7" in out
+        assert "SinD" in out and "@+" in out

@@ -1,0 +1,90 @@
+"""Top-level API surface tests for repro.compiler."""
+
+import pytest
+
+from repro import OptOptions, compile_source, compile_to_ir, scalar_options
+from repro.compiler import CompileResult
+from repro.machine.scalar import make_machine
+from repro.machine.wm import WM
+
+SOURCE = """
+int g;
+int main(void) { g = 21; return g * 2; }
+"""
+
+
+class TestAPI:
+    def test_compile_source_defaults_to_wm(self):
+        result = compile_source(SOURCE)
+        assert isinstance(result, CompileResult)
+        assert isinstance(result.machine, WM)
+
+    def test_compile_to_ir(self):
+        module = compile_to_ir(SOURCE)
+        assert "main" in module.functions
+        assert "g" in module.data
+
+    def test_listing_whole_module(self):
+        result = compile_source(SOURCE)
+        listing = result.listing()
+        assert "main:" in listing
+
+    def test_listing_unknown_function_raises(self):
+        result = compile_source(SOURCE)
+        with pytest.raises(KeyError):
+            result.listing("nope")
+
+    def test_simulate_on_scalar_raises(self):
+        result = compile_source(SOURCE, machine=make_machine("m88100"),
+                                options=scalar_options())
+        with pytest.raises(TypeError):
+            result.simulate()
+
+    def test_execute_on_wm_raises(self):
+        result = compile_source(SOURCE)
+        with pytest.raises(TypeError):
+            result.execute()
+
+    def test_reports_per_function(self):
+        result = compile_source(SOURCE)
+        assert "main" in result.reports
+
+    def test_option_constructors_are_independent(self):
+        a = OptOptions()
+        b = OptOptions.baseline()
+        assert a.recurrence and not b.recurrence
+        assert a.streaming and not b.streaming
+
+    def test_scalar_options_enable_strength(self):
+        opts = scalar_options()
+        assert opts.strength and not opts.streaming
+
+    def test_version_exported(self):
+        import repro
+        assert repro.__version__
+
+    def test_oracle_and_sim_agree_on_trivial(self):
+        result = compile_source(SOURCE)
+        assert result.simulate().value == result.run_oracle().value == 42
+
+
+class TestErrorPropagation:
+    def test_parse_error_surfaces(self):
+        from repro.frontend import ParseError
+        with pytest.raises(ParseError):
+            compile_source("int main( { }")
+
+    def test_type_error_surfaces(self):
+        from repro.frontend.types import TypeError_
+        with pytest.raises(TypeError_):
+            compile_source("int main(void) { return undefined_var; }")
+
+    def test_too_many_args_rejected(self):
+        from repro.expander import ExpandError
+        params = ", ".join(f"int a{i}" for i in range(12))
+        args = ", ".join("1" for _ in range(12))
+        with pytest.raises(ExpandError):
+            compile_source(f"""
+            int f({params}) {{ return a0; }}
+            int main(void) {{ return f({args}); }}
+            """)

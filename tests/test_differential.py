@@ -1,0 +1,85 @@
+"""Differential correctness: every benchmark, every optimization level,
+every target must match the IR reference interpreter — return value and
+final global state."""
+
+import pytest
+
+from repro.benchsuite import PROGRAMS, UTILITY_CORPUS, get_program
+from repro.compiler import compile_source, scalar_options
+from repro.machine.m68020 import M68020
+from repro.machine.scalar import make_machine
+from repro.opt import OptOptions
+
+SCALE = 0.12  # small instances keep the whole matrix fast
+
+WM_CONFIGS = {
+    "naive": OptOptions.unoptimized(),
+    "baseline": OptOptions.baseline(),
+    "recurrence": OptOptions.no_streaming(),
+    "full": OptOptions(),
+}
+
+
+def globals_of(module):
+    return [(name, obj.size) for name, obj in module.data.items()
+            if not name.startswith("str.")]
+
+
+def assert_same_state(result, oracle, ir_module, context):
+    assert result.value == oracle.value, f"{context}: return value differs"
+    for name, size in globals_of(ir_module):
+        assert result.global_bytes(name, size) == \
+            oracle.global_bytes(name, size), \
+            f"{context}: global {name} differs"
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("config", list(WM_CONFIGS))
+def test_wm_benchmark_matches_oracle(name, config):
+    prog = get_program(name, scale=SCALE)
+    res = compile_source(prog.source, options=WM_CONFIGS[config])
+    oracle = res.run_oracle()
+    sim = res.simulate()
+    assert_same_state(sim, oracle, res.ir, f"{name}/{config}")
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_scalar_benchmark_matches_oracle(name):
+    prog = get_program(name, scale=SCALE)
+    res = compile_source(prog.source, machine=make_machine("generic-risc"),
+                         options=scalar_options())
+    oracle = res.run_oracle()
+    out = res.execute()
+    assert_same_state(out, oracle, res.ir, f"{name}/generic-risc")
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_m68020_benchmark_matches_oracle(name):
+    prog = get_program(name, scale=SCALE)
+    res = compile_source(prog.source, machine=M68020(),
+                         options=scalar_options())
+    oracle = res.run_oracle()
+    out = res.execute()
+    assert_same_state(out, oracle, res.ir, f"{name}/m68020")
+
+
+@pytest.mark.parametrize("name", list(UTILITY_CORPUS))
+def test_utility_corpus_matches_oracle(name):
+    source = UTILITY_CORPUS[name]
+    for config, opts in WM_CONFIGS.items():
+        res = compile_source(source, options=opts)
+        oracle = res.run_oracle()
+        sim = res.simulate()
+        assert_same_state(sim, oracle, res.ir, f"{name}/{config}")
+
+
+def test_optimizations_never_slower_much():
+    """Sanity: full optimization should not regress cycle counts badly
+    on any benchmark (a small regression is tolerated for tiny sizes)."""
+    for name in PROGRAMS:
+        prog = get_program(name, scale=SCALE)
+        base = compile_source(prog.source,
+                              options=OptOptions.baseline()).simulate()
+        full = compile_source(prog.source, options=OptOptions()).simulate()
+        assert full.cycles <= base.cycles * 1.10, \
+            f"{name}: {full.cycles} vs baseline {base.cycles}"

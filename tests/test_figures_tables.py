@@ -1,0 +1,152 @@
+"""Reproduction harness tests: the figures and tables must have the
+paper's structure and directions."""
+
+import pytest
+
+from repro.reporting import (
+    PAPER_TABLE1, PAPER_TABLE2, all_figures, figure4, figure5, figure6,
+    figure7, stream_detection, table1, table2, table3_4,
+)
+
+
+class TestFigures:
+    def test_figure4_structure(self):
+        """Unoptimized WM code: four memory references in the loop
+        (three loads, one store), dual-op addresses, guard + bottom test."""
+        listing = figure4()
+        assert listing.count("l64f") >= 3
+        assert listing.count("s64f") >= 1
+        assert "llh" in listing and "sll" in listing
+        assert "JumpIT" in listing or "JumpIF" in listing
+        assert "SinD" not in listing
+
+    def test_figure5_recurrence_form(self):
+        """Recurrence-optimized: the x[i-1] load is gone, an initial
+        read appears in the pre-header."""
+        listing = figure5(cleaned=False)
+        assert "initial read" in listing
+        # the loop proper now has two loads (y, z) instead of three
+        loop = listing[listing.index("L1:"):]
+        assert loop.count("l64f") == 2
+
+    def test_figure5_cleaned_drops_copy(self):
+        """The paper notes 'the copy propagate optimization phase would
+        delete the register-to-register copy' — in this pipeline the
+        biased register allocator coalesces it for degree-1 recurrences,
+        so neither form shows a copy; a degree-2 recurrence keeps one."""
+        listing = figure5(cleaned=True)
+        assert "copy value" not in listing
+        from repro.compiler import compile_source
+        from repro.opt import OptOptions
+        deg2 = compile_source("""
+        double a[64];
+        int kernel(int n) {
+            int i;
+            for (i = 2; i < n; i++)
+                a[i] = 0.5 * a[i-1] + 0.25 * a[i-2];
+            return 0;
+        }
+        int main(void){ kernel(64); return 0; }
+        """, options=OptOptions.no_streaming())
+        assert "copy value" in deg2.listing("kernel")
+
+    def test_figure6_motorola(self):
+        listing = figure6()
+        assert "fmoved" in listing
+        assert "@+" in listing            # auto-increment addressing
+        assert "fsubx" in listing or "fmulx" in listing
+
+    def test_figure7_streams(self):
+        listing = figure7()
+        assert "SinD" in listing
+        assert "SoutD" in listing
+        assert "JNI" in listing
+        # no per-iteration memory requests remain in the loop
+        jni_at = listing.index("JNI")
+        loop_region = listing[listing.rindex("L", 0, jni_at):jni_at]
+        assert "l64f" not in loop_region
+        assert "s64f" not in loop_region
+
+    def test_all_figures_returns_each(self):
+        figs = all_figures()
+        assert set(figs) >= {"figure4", "figure5", "figure6", "figure7"}
+        assert all(isinstance(v, str) and v for v in figs.values())
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1(n=600)
+
+    def test_all_machines_present(self, rows):
+        assert {r.machine for r in rows} == set(PAPER_TABLE1)
+
+    def test_all_improvements_positive(self, rows):
+        for row in rows:
+            assert row.percent > 0, row.machine
+
+    def test_scalar_machines_near_paper(self, rows):
+        """The calibrated cost models land within a few points of the
+        paper's measurements."""
+        for row in rows:
+            if row.machine == "wm":
+                continue
+            assert abs(row.percent - row.paper_percent) <= 4.0, \
+                (row.machine, row.percent, row.paper_percent)
+
+    def test_ordering_matches_paper(self, rows):
+        """Sun gains most among the scalar machines; VAX/88k least."""
+        by = {r.machine: r.percent for r in rows}
+        assert by["sun3/280"] > by["hp9000/345"]
+        assert by["hp9000/345"] > by["vax8600"]
+
+    def test_wm_improvement_substantial(self, rows):
+        by = {r.machine: r.percent for r in rows}
+        assert by["wm"] >= 10.0
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2(scale=0.12)
+
+    def test_every_program_measured(self, rows):
+        assert {r.program for r in rows} == set(PAPER_TABLE2)
+
+    def test_no_program_regresses(self, rows):
+        for row in rows:
+            assert row.percent >= -2.0, (row.program, row.percent)
+
+    def test_dot_product_is_top(self, rows):
+        """The paper's largest gain is dot-product."""
+        best = max(rows, key=lambda r: r.percent)
+        assert best.program in ("dot-product", "cal", "lloop5")
+        by = {r.program: r.percent for r in rows}
+        assert by["dot-product"] >= 25.0
+
+    def test_quicksort_and_whetstone_small(self, rows):
+        """The paper's smallest gains: quicksort (1%), whetstone (3%)."""
+        by = {r.program: r.percent for r in rows}
+        assert by["quicksort"] <= 12.0
+        assert by["whetstone"] <= 12.0
+
+    def test_streams_actually_used(self, rows):
+        streamed = [r for r in rows if r.streams_in + r.streams_out > 0]
+        assert len(streamed) >= 7
+
+
+class TestSpecProxy:
+    def test_vpo_beats_cc_stand_in(self):
+        rows, geomean = table3_4(scale=0.1)
+        assert geomean > 1.0
+        for row in rows:
+            assert row.ratio >= 0.95, (row.program, row.ratio)
+
+
+class TestStreamDetection:
+    def test_utilities_stream(self):
+        """The paper: streaming appears in ordinary utility code."""
+        rows = stream_detection()
+        assert all(r.uses_streams for r in rows)
+        copyish = [r for r in rows if r.kernel == "string-copy"]
+        assert copyish and copyish[0].infinite >= 1

@@ -1,0 +1,296 @@
+"""Reference-interpreter tests: these define the language semantics that
+every compiled configuration is later checked against."""
+
+import pytest
+
+from repro.frontend import analyze
+from repro.ir import TrapError, lower, run
+
+
+def run_main(source, args=()):
+    return run(lower(analyze(source)), args=args).value
+
+
+class TestArithmetic:
+    def test_basic_int(self):
+        assert run_main("int main(void){ return 2 + 3 * 4; }") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert run_main("int main(void){ return -7 / 2; }") == -3
+        assert run_main("int main(void){ return 7 / -2; }") == -3
+        assert run_main("int main(void){ return -7 % 2; }") == -1
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            run_main("int main(void){ int z; z = 0; return 1 / z; }")
+
+    def test_wraparound(self):
+        assert run_main(
+            "int main(void){ int x; x = 2147483647; return x + 1; }") \
+            == -2147483648
+
+    def test_shifts(self):
+        assert run_main("int main(void){ return 1 << 10; }") == 1024
+        assert run_main("int main(void){ return -16 >> 2; }") == -4
+
+    def test_bitwise(self):
+        assert run_main("int main(void){ return (12 & 10) | (1 ^ 3); }") \
+            == (12 & 10) | (1 ^ 3)
+
+    def test_unary(self):
+        assert run_main("int main(void){ int a; a = 5; return -a + ~a; }") \
+            == -5 + ~5
+
+    def test_double_arithmetic(self):
+        assert run_main(
+            "int main(void){ double d; d = 0.5 * 8.0 + 1.0; "
+            "return (int)d; }") == 5
+
+    def test_double_to_int_truncates(self):
+        assert run_main(
+            "int main(void){ double d; d = 2.9; return (int)d; }") == 2
+        assert run_main(
+            "int main(void){ double d; d = -2.9; return (int)d; }") == -2
+
+    def test_int_to_double(self):
+        assert run_main(
+            "int main(void){ int i; i = 7; return (int)((double)i / 2.0 "
+            "* 4.0); }") == 14
+
+    def test_char_truncation(self):
+        assert run_main(
+            "int main(void){ char c; c = (char)300; return c; }") == 44
+        assert run_main(
+            "int main(void){ char c; c = (char)200; return c; }") == -56
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }
+        int main(void){ return classify(-5)*100 + classify(0)*10
+                             + classify(9); }
+        """
+        assert run_main(src) == -100 + 0 + 1
+
+    def test_while_and_break(self):
+        src = """
+        int main(void) {
+            int i; int s;
+            i = 0; s = 0;
+            while (1) {
+                if (i == 5) break;
+                s = s + i;
+                i++;
+            }
+            return s;
+        }
+        """
+        assert run_main(src) == 10
+
+    def test_continue(self):
+        src = """
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2) continue;
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert run_main(src) == 20
+
+    def test_do_while_runs_once(self):
+        src = """
+        int main(void) {
+            int n; n = 0;
+            do { n++; } while (0);
+            return n;
+        }
+        """
+        assert run_main(src) == 1
+
+    def test_short_circuit_and(self):
+        src = """
+        int g;
+        int bump(void) { g++; return 1; }
+        int main(void) {
+            g = 0;
+            if (0 && bump()) g = 100;
+            return g;
+        }
+        """
+        assert run_main(src) == 0
+
+    def test_short_circuit_or(self):
+        src = """
+        int g;
+        int bump(void) { g++; return 0; }
+        int main(void) {
+            g = 0;
+            if (1 || bump()) return g;
+            return -1;
+        }
+        """
+        assert run_main(src) == 0
+
+    def test_ternary(self):
+        assert run_main(
+            "int main(void){ int a; a = 3; return a > 2 ? 10 : 20; }") == 10
+
+    def test_logical_value(self):
+        assert run_main("int main(void){ return (3 && 0) + (2 || 0); }") == 1
+
+    def test_not(self):
+        assert run_main("int main(void){ return !0 + !5; }") == 1
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+        int main(void) { return fact(6); }
+        """
+        assert run_main(src) == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main(void) { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert run_main(src) == 11
+
+    def test_double_args_and_return(self):
+        src = """
+        double avg(double a, double b) { return (a + b) / 2.0; }
+        int main(void) { return (int)(avg(1.0, 4.0) * 10.0); }
+        """
+        assert run_main(src) == 25
+
+    def test_void_function_side_effect(self):
+        src = """
+        int g;
+        void set(int v) { g = v; }
+        int main(void) { set(42); return g; }
+        """
+        assert run_main(src) == 42
+
+    def test_out_parameter(self):
+        src = """
+        void pair(int a, int b, int *lo, int *hi) {
+            if (a < b) { *lo = a; *hi = b; }
+            else { *lo = b; *hi = a; }
+        }
+        int main(void) {
+            int lo; int hi;
+            pair(9, 4, &lo, &hi);
+            return lo * 100 + hi;
+        }
+        """
+        assert run_main(src) == 409
+
+
+class TestMemory:
+    def test_global_array_roundtrip(self):
+        src = """
+        int a[10];
+        int main(void) {
+            int i;
+            for (i = 0; i < 10; i++) a[i] = i * i;
+            return a[7];
+        }
+        """
+        assert run_main(src) == 49
+
+    def test_local_array(self):
+        src = """
+        int main(void) {
+            int a[5]; int i; int s;
+            for (i = 0; i < 5; i++) a[i] = i + 1;
+            s = 0;
+            for (i = 0; i < 5; i++) s = s + a[i];
+            return s;
+        }
+        """
+        assert run_main(src) == 15
+
+    def test_matrix(self):
+        src = """
+        int m[3][4];
+        int main(void) {
+            int i; int j; int s;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            s = 0;
+            for (i = 0; i < 3; i++) s = s + m[i][i];
+            return s;
+        }
+        """
+        assert run_main(src) == 0 + 11 + 22
+
+    def test_pointer_walk(self):
+        src = """
+        char buf[8];
+        int main(void) {
+            char *p;
+            int n;
+            p = buf;
+            *p++ = 'a'; *p++ = 'b'; *p = 0;
+            n = 0;
+            p = buf;
+            while (*p) { n++; p++; }
+            return n;
+        }
+        """
+        assert run_main(src) == 2
+
+    def test_string_literal_contents(self):
+        src = """
+        int main(void) {
+            char *s;
+            s = "AZ";
+            return s[0] * 1000 + s[1];
+        }
+        """
+        assert run_main(src) == ord("A") * 1000 + ord("Z")
+
+    def test_char_array_stores_bytes(self):
+        src = """
+        char c[4];
+        int main(void) {
+            c[0] = (char)511;
+            return c[0];
+        }
+        """
+        assert run_main(src) == -1
+
+    def test_global_initializers_visible(self):
+        src = """
+        int table[4] = {10, 20, 30, 40};
+        double scale = 0.5;
+        int main(void) { return (int)(table[2] * scale); }
+        """
+        assert run_main(src) == 15
+
+    def test_final_global_state(self):
+        module = lower(analyze("""
+        int a[4];
+        int main(void) { a[0] = 1; a[3] = 7; return 0; }
+        """))
+        result = run(module)
+        data = result.global_bytes("a", 16)
+        assert data[0:4] == (1).to_bytes(4, "little")
+        assert data[12:16] == (7).to_bytes(4, "little")
+
+    def test_arguments_to_entry(self):
+        src = "int main(int k) { return k * 2; }"
+        assert run(lower(analyze(src)), args=(21,)).value == 42

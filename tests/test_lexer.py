@@ -1,0 +1,121 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo _bar x1 while")
+        assert [t.kind for t in toks[:-1]] == ["kw", "id", "id", "id", "kw"]
+        assert toks[1].text == "foo"
+        assert toks[2].text == "_bar"
+
+    def test_keywords_are_exactly_marked(self):
+        for kw in ("int", "char", "double", "void", "if", "else", "while",
+                   "for", "do", "break", "continue", "return", "sizeof"):
+            assert tokenize(kw)[0].kind == "kw"
+
+    def test_identifier_prefixed_by_keyword_is_identifier(self):
+        toks = tokenize("interior format doubles")
+        assert all(t.kind == "id" for t in toks[:-1])
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind == "intlit" and tok.value == 12345
+
+    def test_hex_int(self):
+        tok = tokenize("0xFF")[0]
+        assert tok.kind == "intlit" and tok.value == 255
+
+    def test_float_forms(self):
+        assert tokenize("1.5")[0].value == 1.5
+        assert tokenize("0.25")[0].value == 0.25
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_float_vs_member_like(self):
+        toks = tokenize("1.5 2 .5")
+        assert toks[0].kind == "fplit"
+        assert toks[1].kind == "intlit"
+        assert toks[2].kind == "fplit" and toks[2].value == 0.5
+
+
+class TestCharAndString:
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].value == ord("a")
+
+    def test_char_escapes(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\\'")[0].value == 92
+        assert tokenize(r"'\x41'")[0].value == 65
+
+    def test_string_literal(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind == "strlit" and tok.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\tb\n"')[0].value == "a\tb\n"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+        assert texts("x+++y") == ["x", "++", "+", "y"]
+
+    def test_all_compound_assignments(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>="):
+            assert texts(f"a {op} b") == ["a", op, "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb")[:2] == ["id", "id"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_block_comment_tracks_lines(self):
+        toks = tokenize("/* a\nb\n*/ c")
+        assert toks[0].line == 3
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")

@@ -1,0 +1,153 @@
+"""Machine-description unit tests: type layout, WM legality, formatting."""
+
+import pytest
+
+from repro.frontend.types import (
+    ArrayType, CHAR, DOUBLE, INT, PointerType, TypeError_, VOID,
+)
+from repro.machine.base import ABI
+from repro.machine.wm import WM
+from repro.rtl import (
+    Assign, BinOp, Compare, Imm, Mem, Reg, Sym, UnOp, VReg,
+)
+from repro.rtl.instr import StreamIn
+
+
+class TestTypeSystem:
+    def test_sizes(self):
+        assert CHAR.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+        assert PointerType(DOUBLE).size == 4
+        assert ArrayType(INT, 10).size == 40
+        assert ArrayType(ArrayType(DOUBLE, 3), 2).size == 48
+
+    def test_alignment(self):
+        assert ArrayType(DOUBLE, 4).align == 8
+        assert ArrayType(CHAR, 4).align == 1
+
+    def test_decay(self):
+        assert ArrayType(INT, 5).decay() == PointerType(INT)
+        assert INT.decay() == INT
+
+    def test_predicates(self):
+        assert INT.is_integer() and not INT.is_fp()
+        assert DOUBLE.is_fp() and DOUBLE.is_arith()
+        assert PointerType(CHAR).is_pointer()
+        assert VOID.is_void()
+
+    def test_incomplete_array_size_raises(self):
+        with pytest.raises(TypeError_):
+            ArrayType(INT, None).size
+
+
+class TestABI:
+    def test_special_registers(self):
+        abi = ABI()
+        assert abi.sp == Reg("r", 29)
+        assert abi.link == Reg("r", 30)
+        assert abi.zero_r == Reg("r", 31)
+
+    def test_fifo_registers_not_allocatable(self):
+        abi = ABI()
+        for bank in ("r", "f"):
+            indices = {r.index for r in abi.allocatable(bank)}
+            assert 0 not in indices and 1 not in indices
+            assert 31 not in indices
+        # the stack pointer and link register are integer-bank only
+        r_indices = {r.index for r in abi.allocatable("r")}
+        assert 29 not in r_indices and 30 not in r_indices
+
+    def test_saved_sets_disjoint(self):
+        abi = ABI()
+        assert not (abi.caller_saved() & abi.callee_saved())
+
+
+class TestWMLegality:
+    @pytest.fixture
+    def wm(self):
+        return WM()
+
+    def test_dual_operation_legal(self, wm):
+        expr = BinOp("+", BinOp("<<", Reg("r", 2), Imm(3)), Reg("r", 4))
+        assert wm.legal_expr(expr)
+
+    def test_dual_on_right_side_legal(self, wm):
+        expr = BinOp("+", Reg("r", 4), BinOp("<<", Reg("r", 2), Imm(3)))
+        assert wm.legal_expr(expr)
+
+    def test_triple_depth_illegal(self, wm):
+        inner = BinOp("<<", Reg("r", 2), Imm(3))
+        expr = BinOp("+", BinOp("+", inner, Reg("r", 4)), Reg("r", 5))
+        assert not wm.legal_expr(expr)
+
+    def test_two_inner_operations_illegal(self, wm):
+        left = BinOp("+", Reg("r", 2), Reg("r", 3))
+        right = BinOp("+", Reg("r", 4), Reg("r", 5))
+        assert not wm.legal_expr(BinOp("*", left, right))
+
+    def test_symbol_operand_in_arithmetic_illegal(self, wm):
+        assert not wm.legal_expr(BinOp("+", Sym("x"), Reg("r", 2)))
+
+    def test_bare_symbol_legal(self, wm):
+        assert wm.legal_expr(Sym("x", 8))
+
+    def test_large_immediate_operand_illegal(self, wm):
+        assert not wm.legal_expr(BinOp("+", Reg("r", 2), Imm(1 << 20)))
+        assert wm.legal_expr(BinOp("+", Reg("r", 2), Imm(1000)))
+
+    def test_dual_op_address_legal(self, wm):
+        addr = BinOp("+", BinOp("<<", Reg("r", 2), Imm(3)), Reg("r", 4))
+        assert wm.legal_addr(addr)
+
+    def test_compare_with_inner_op_legal(self, wm):
+        # Figure 7 line 1: r31 := (r21-1) <= 0
+        instr = Compare("r", "<=",
+                        BinOp("-", Reg("r", 21), Imm(1)), Imm(0))
+        assert wm.legal_instr(instr)
+
+    def test_stream_operands_must_be_registers(self, wm):
+        good = StreamIn(Reg("f", 0), Reg("r", 3), Reg("r", 4), 8, 8, True)
+        bad = StreamIn(Reg("f", 0),
+                       BinOp("+", Reg("r", 3), Imm(8)), Reg("r", 4),
+                       8, 8, True)
+        assert wm.legal_instr(good)
+        assert not wm.legal_instr(bad)
+
+    def test_store_data_must_be_leaf(self, wm):
+        mem = Mem(Reg("r", 3), 8, True)
+        assert wm.legal_instr(Assign(mem, Reg("f", 2)))
+        assert not wm.legal_instr(
+            Assign(mem, BinOp("+", Reg("f", 2), Reg("f", 3))))
+
+
+class TestWMFormatting:
+    @pytest.fixture
+    def wm(self):
+        return WM()
+
+    def test_lea_prints_llh_sll_pair(self, wm):
+        lines = wm.format_instr(Assign(Reg("r", 21), Sym("x")))
+        assert len(lines) == 2
+        assert lines[0].startswith("llh") and lines[1].startswith("sll")
+
+    def test_dual_op_syntax(self, wm):
+        instr = Assign(Reg("r", 31),
+                       BinOp("+", BinOp("<<", Reg("r", 22), Imm(3)),
+                             Reg("r", 24)))
+        (line,) = wm.format_instr(instr)
+        assert "(r22<<3) + r24" in line
+
+    def test_fp_instruction_prefixed_double(self, wm):
+        instr = Assign(Reg("f", 4),
+                       BinOp("*", Reg("f", 0), Reg("f", 1)))
+        (line,) = wm.format_instr(instr)
+        assert line.startswith("double")
+
+    def test_lea_cost_is_two(self, wm):
+        assert wm.instr_cost(Assign(Reg("r", 2), Sym("x"))) == 2.0
+
+    def test_branch_cost_is_zero(self, wm):
+        from repro.rtl import CondJump, Jump
+        assert wm.instr_cost(Jump("L")) == 0.0
+        assert wm.instr_cost(CondJump("r", True, "L")) == 0.0

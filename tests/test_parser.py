@@ -1,0 +1,210 @@
+"""Parser unit tests: AST shapes, precedence, declarations, errors."""
+
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import ParseError, parse
+from repro.frontend.types import ArrayType, CHAR, DOUBLE, INT, PointerType
+
+
+def parse_expr(text):
+    prog = parse(f"int f(void) {{ return {text}; }}")
+    fn = prog.items[0]
+    return fn.body.stmts[0].value
+
+
+def parse_body(text):
+    prog = parse(f"void f(void) {{ {text} }}")
+    return prog.items[0].body.stmts
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        prog = parse("int x;")
+        var = prog.items[0]
+        assert isinstance(var, A.VarDef)
+        assert var.ctype == INT and var.name == "x"
+
+    def test_global_with_initializer(self):
+        var = parse("double d = 2.5;").items[0]
+        assert isinstance(var.init, A.FpLit)
+
+    def test_pointer_declarator(self):
+        var = parse("int *p;").items[0]
+        assert var.ctype == PointerType(INT)
+
+    def test_pointer_to_pointer(self):
+        var = parse("char **pp;").items[0]
+        assert var.ctype == PointerType(PointerType(CHAR))
+
+    def test_array_declarator(self):
+        var = parse("double a[10];").items[0]
+        assert var.ctype == ArrayType(DOUBLE, 10)
+
+    def test_two_dimensional_array(self):
+        var = parse("int m[3][4];").items[0]
+        assert var.ctype == ArrayType(ArrayType(INT, 4), 3)
+        assert var.ctype.size == 48
+
+    def test_brace_initializer(self):
+        var = parse("int a[3] = {1, 2, 3};").items[0]
+        assert len(var.init) == 3
+
+    def test_string_initializer(self):
+        var = parse('char s[10] = "hi";').items[0]
+        assert isinstance(var.init, A.StrLit)
+
+    def test_function_definition(self):
+        fn = parse("int add(int a, int b) { return a + b; }").items[0]
+        assert isinstance(fn, A.FuncDef)
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_parameter_list(self):
+        fn = parse("int f(void) { return 0; }").items[0]
+        assert fn.params == []
+
+    def test_array_parameter_decays(self):
+        fn = parse("int f(int a[]) { return a[0]; }").items[0]
+        assert fn.params[0].ctype == PointerType(INT)
+
+    def test_prototype(self):
+        fn = parse("int f(int x);").items[0]
+        assert fn.body is None
+
+    def test_multiple_local_declarators(self):
+        stmts = parse_body("int a, b, c;")
+        assert len(stmts) == 3
+        assert all(isinstance(s, A.DeclStmt) for s in stmts)
+
+
+class TestExpressionPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("a + b * c")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_shift_below_add(self):
+        e = parse_expr("a << b + c")
+        assert e.op == "<<"
+        assert e.right.op == "+"
+
+    def test_relational_below_shift(self):
+        e = parse_expr("a < b << c")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a == b && c != d || e")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, A.Cond)
+        assert isinstance(e.other, A.Cond)  # right-associative
+
+    def test_assignment_right_associative(self):
+        stmts = parse_body("a = b = 1;")
+        expr = stmts[0].expr
+        assert isinstance(expr, A.AssignExpr)
+        assert isinstance(expr.value, A.AssignExpr)
+
+    def test_unary_binds_tight(self):
+        e = parse_expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.left, A.Unary)
+
+    def test_deref_and_index(self):
+        e = parse_expr("*p + a[i]")
+        assert e.op == "+"
+        assert isinstance(e.left, A.Unary) and e.left.op == "*"
+        assert isinstance(e.right, A.Index)
+
+    def test_postfix_incr_vs_prefix(self):
+        post = parse_expr("x++")
+        pre = parse_expr("++x")
+        assert post.post and not pre.post
+
+    def test_comma_operator(self):
+        stmts = parse_body("a = 1, b = 2;")
+        assert isinstance(stmts[0].expr, A.Comma)
+
+    def test_cast_expression(self):
+        e = parse_expr("(double)n")
+        assert isinstance(e, A.Cast)
+        assert e.target_type == DOUBLE
+
+    def test_sizeof_type(self):
+        e = parse_expr("sizeof(double)")
+        assert isinstance(e, A.SizeofType)
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, x + 2)")
+        assert isinstance(e, A.CallExpr)
+        assert len(e.args) == 2
+
+    def test_compound_assignment_lowered_shape(self):
+        stmts = parse_body("a += 2;")
+        assert stmts[0].expr.op == "+"
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmts = parse_body("if (a) b = 1; else b = 2;")
+        node = stmts[0]
+        assert isinstance(node, A.IfStmt) and node.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmts = parse_body("if (a) if (b) x = 1; else x = 2;")
+        outer = stmts[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while(self):
+        stmts = parse_body("while (i < n) i++;")
+        assert isinstance(stmts[0], A.WhileStmt)
+
+    def test_do_while(self):
+        stmts = parse_body("do i++; while (i < n);")
+        assert isinstance(stmts[0], A.DoWhileStmt)
+
+    def test_for_all_clauses(self):
+        stmts = parse_body("for (i = 0; i < n; i++) s = s + i;")
+        node = stmts[0]
+        assert node.init is not None and node.cond is not None \
+            and node.update is not None
+
+    def test_for_with_declaration(self):
+        stmts = parse_body("for (int i = 0; i < n; i++) ;")
+        node = stmts[0]
+        assert len(node.init_decls) == 1
+
+    def test_for_empty_clauses(self):
+        stmts = parse_body("for (;;) break;")
+        node = stmts[0]
+        assert node.init is None and node.cond is None and node.update is None
+
+    def test_break_continue_return(self):
+        stmts = parse_body("while (1) { break; continue; } return;")
+        body = stmts[0].body
+        assert isinstance(body.stmts[0], A.BreakStmt)
+        assert isinstance(body.stmts[1], A.ContinueStmt)
+        assert isinstance(stmts[1], A.ReturnStmt)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "int f( { }",
+        "int x",
+        "int f(void) { return }",
+        "int f(void) { if a) ; }",
+        "int f(void) { a = ; }",
+        "int 3x;",
+    ])
+    def test_syntax_errors_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

@@ -1,0 +1,265 @@
+"""Partition analysis tests — including the paper's worked example.
+
+The paper walks the 5th Livermore loop through the algorithm and shows
+three partitions::
+
+    X = {(14,r,r22+,8,_x-8,-8), (16,w,r22+,8,_x,0)}
+    Y = {(13,r,r22+,8,_y,0)}
+    Z = {(10,r,r22+,8,_z,0)}
+
+with the X partition containing a degree-1 read/write pair.  These tests
+reproduce that analysis on compiled code.
+"""
+
+import pytest
+
+from repro.expander import expand
+from repro.frontend import analyze
+from repro.ir import lower
+from repro.machine.wm import WM
+from repro.opt import (
+    build_cfg, combine_cfg, compute_dominators, dce_cfg, find_basic_ivs,
+    find_loops, licm_cfg, peephole_cfg,
+)
+from repro.recurrence.partitions import partition_loop
+
+LIVERMORE = """
+double x[100]; double y[100]; double z[100];
+int kernel(int n) {
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return 0;
+}
+"""
+
+
+def analyzed_loop(source, fn="kernel"):
+    """Compile to mid-level optimized RTL and return (cfg, loop, info)."""
+    machine = WM()
+    rtl = expand(machine, lower(analyze(source)))
+    cfg = build_cfg(rtl.functions[fn])
+    peephole_cfg(cfg)
+    combine_cfg(cfg, machine)
+    dce_cfg(cfg)
+    licm_cfg(cfg)
+    combine_cfg(cfg, machine)
+    dce_cfg(cfg)
+    doms = compute_dominators(cfg)
+    loops = find_loops(cfg, doms)
+    assert loops, "no loop found"
+    info = partition_loop(cfg, loops[0], doms)
+    return cfg, loops[0], info
+
+
+class TestLivermoreExample:
+    def test_three_partitions(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        keys = {p.key for p in info.partitions}
+        assert keys == {"_x", "_y", "_z"}
+
+    def test_all_partitions_safe(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        assert all(p.safe for p in info.partitions)
+
+    def test_x_partition_has_read_and_write(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        x = info.partition_map()["_x"]
+        assert len(x.reads) == 1 and len(x.writes) == 1
+
+    def test_cee_is_eight(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        for part in info.partitions:
+            for ref in part.refs:
+                assert ref.cee == 8
+
+    def test_relative_offset_is_minus_eight(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        x = info.partition_map()["_x"]
+        read, write = x.reads[0], x.writes[0]
+        assert write.origin_offset - read.origin_offset == 8
+
+    def test_direction_positive(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        for part in info.partitions:
+            for ref in part.refs:
+                assert ref.direction == "+"
+
+    def test_flow_pair_degree_one(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        x = info.partition_map()["_x"]
+        pairs = x.flow_pairs()
+        assert len(pairs) == 1
+        _r, _w, degree = pairs[0]
+        assert degree == 1
+
+    def test_y_z_have_no_recurrence(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        assert not info.partition_map()["_y"].has_recurrence()
+        assert not info.partition_map()["_z"].has_recurrence()
+
+    def test_vector_form(self):
+        _cfg, _loop, info = analyzed_loop(LIVERMORE)
+        x = info.partition_map()["_x"]
+        vec = x.reads[0].vector()
+        # (lno, acc, iv^dir, cee, dee, roffset)
+        assert vec[1] == "r"
+        assert vec[3] == 8
+
+
+class TestDegreesAndDirections:
+    def test_degree_two_recurrence(self):
+        src = """
+        double a[50];
+        int f(int n) {
+            int i;
+            for (i = 2; i < n; i++)
+                a[i] = a[i-1] + a[i-2];
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        part = info.partition_map()["_a"]
+        degrees = sorted(k for (_r, _w, k) in part.flow_pairs())
+        assert degrees == [1, 2]
+
+    def test_descending_loop_recurrence(self):
+        src = """
+        double a[50];
+        int f(int n) {
+            int i;
+            for (i = n - 2; i >= 0; i--)
+                a[i] = a[i+1] * 0.5;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        part = info.partition_map()["_a"]
+        pairs = part.flow_pairs()
+        assert len(pairs) == 1 and pairs[0][2] == 1
+
+    def test_anti_dependence_is_not_a_flow_pair(self):
+        src = """
+        double a[50];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n - 1; i++)
+                a[i] = a[i+1] * 0.5;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        part = info.partition_map()["_a"]
+        assert part.flow_pairs() == []
+
+    def test_same_location_counts_as_recurrence(self):
+        src = """
+        double a[50];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++)
+                a[i] = a[i] * 2.0;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        part = info.partition_map()["_a"]
+        assert part.flow_pairs() == []
+        assert part.has_recurrence()
+
+    def test_strided_access_cee(self):
+        src = """
+        double a[100];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i = i + 2)
+                a[i] = 1.0;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        part = info.partition_map()["_a"]
+        assert part.writes[0].stride == 16
+
+
+class TestAliasing:
+    def test_unknown_pointer_marks_partitions_unsafe(self):
+        src = """
+        double a[50];
+        int f(double *p, int n) {
+            int i;
+            for (i = 0; i < n; i++)
+                a[i] = p[i] + 1.0;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        # p's region is unknown (parameter): every partition is unsafe
+        assert all(not p.safe for p in info.partitions)
+
+    def test_resolvable_pointer_walk_gets_region(self):
+        src = """
+        char msg[40]; char buf[40];
+        int f(void) {
+            char *s; char *d;
+            s = msg; d = buf;
+            while (*s) *d++ = *s++;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        keys = {p.key for p in info.partitions}
+        assert "_msg" in keys and "_buf" in keys
+        assert all(p.safe for p in info.partitions)
+
+    def test_call_in_loop_blocks_everything(self):
+        src = """
+        double a[50];
+        int g(int x) { return x; }
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++)
+                a[i] = g(i);
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        assert info.has_call
+        assert all(not p.safe for p in info.partitions)
+
+    def test_post_increment_read_offsets_normalized(self):
+        # the *s++ body read and the while(*s) bottom read differ by one
+        src = """
+        char msg[40]; char buf[40];
+        int f(void) {
+            char *s; char *d;
+            s = msg; d = buf;
+            while (*s) *d++ = *s++;
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        msg = info.partition_map()["_msg"]
+        offsets = sorted(r.origin_offset for r in msg.reads)
+        assert offsets == [0, 1]
+
+
+class TestBasicIVs:
+    def test_every_iteration_flag(self):
+        src = """
+        double a[50]; double b[50];
+        int f(int n) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i & 1)
+                    a[i] = 1.0;
+                b[i] = 2.0;
+            }
+            return 0;
+        }
+        """
+        _cfg, _loop, info = analyzed_loop(src, "f")
+        a_part = info.partition_map()["_a"]
+        b_part = info.partition_map()["_b"]
+        assert not a_part.writes[0].every_iteration
+        assert b_part.writes[0].every_iteration

@@ -1,0 +1,283 @@
+"""Recurrence detection & optimization tests (the paper's Algorithm 1)."""
+
+import struct
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+
+LIVERMORE = """
+double x[200]; double y[200]; double z[200];
+
+int kernel(int n) {
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return 0;
+}
+
+int main(void) {
+    int i; int n;
+    n = 150;
+    for (i = 0; i < n; i++) {
+        y[i] = (i & 3) * 0.25;
+        z[i] = 0.5 + (i & 1) * 0.1;
+        x[i] = 0.0;
+    }
+    x[0] = 0.01; x[1] = 0.02;
+    kernel(n);
+    return (int)(x[n-1] * 100000.0);
+}
+"""
+
+
+def rec_compile(source):
+    return compile_source(source, options=OptOptions.no_streaming())
+
+
+def base_compile(source):
+    return compile_source(source, options=OptOptions.baseline())
+
+
+class TestLivermoreTransform:
+    def test_recurrence_detected(self):
+        res = rec_compile(LIVERMORE)
+        reports = res.reports["kernel"].recurrences
+        assert len(reports) == 1
+        assert reports[0].degree == 1
+        assert reports[0].eliminated_loads == 1
+        assert reports[0].partition_key == "_x"
+
+    def test_result_matches_oracle(self):
+        res = rec_compile(LIVERMORE)
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_memory_reads_reduced_by_quarter(self):
+        """The paper: 'the number of memory references that will be
+        executed is reduced by one quarter' for this loop."""
+        base = base_compile(LIVERMORE).simulate()
+        rec = rec_compile(LIVERMORE).simulate()
+        saved = base.memory_reads - rec.memory_reads
+        # one load per kernel iteration (148 iterations) eliminated,
+        # minus the single initial read the pre-header performs
+        assert saved == 148 - 1
+
+    def test_cycles_improve(self):
+        base = base_compile(LIVERMORE).simulate()
+        rec = rec_compile(LIVERMORE).simulate()
+        assert rec.cycles < base.cycles
+
+    def test_final_array_identical(self):
+        base = base_compile(LIVERMORE)
+        rec = rec_compile(LIVERMORE)
+        b = base.simulate().global_bytes("x", 200 * 8)
+        r = rec.simulate().global_bytes("x", 200 * 8)
+        assert b == r
+
+
+class TestDegrees:
+    FIB_STYLE = """
+    double a[100];
+    int kernel(int n) {
+        int i;
+        for (i = 2; i < n; i++)
+            a[i] = 0.6 * a[i-1] + 0.3 * a[i-2];
+        return 0;
+    }
+    int main(void) {
+        int i;
+        for (i = 0; i < 80; i++) a[i] = 0.0;
+        a[0] = 1.0; a[1] = 1.0;
+        kernel(80);
+        return (int)(a[79] * 100000.0);
+    }
+    """
+
+    def test_degree_two_handled(self):
+        res = rec_compile(self.FIB_STYLE)
+        reports = res.reports["kernel"].recurrences
+        assert len(reports) == 1
+        assert reports[0].degree == 2
+        assert reports[0].eliminated_loads == 2
+        assert len(reports[0].hold_regs) == 3  # degree + 1 registers
+
+    def test_degree_two_correct(self):
+        res = rec_compile(self.FIB_STYLE)
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_descending_loop(self):
+        src = """
+        double a[100];
+        int kernel(int n) {
+            int i;
+            for (i = n - 2; i >= 0; i--)
+                a[i] = 0.5 * a[i+1] + 1.0;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 0.01;
+            kernel(100);
+            return (int)(a[0] * 100000.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences, "descending rec missed"
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_integer_recurrence(self):
+        src = """
+        int a[120];
+        int kernel(int n) {
+            int i;
+            for (i = 1; i < n; i++)
+                a[i] = (a[i-1] * 3 + 7) % 1000;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 120; i++) a[i] = 0;
+            a[0] = 5;
+            kernel(120);
+            return a[119];
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_degree_beyond_limit_skipped(self):
+        from repro.recurrence.transform import MAX_DEGREE
+        far = MAX_DEGREE + 3
+        src = f"""
+        double a[200];
+        int kernel(int n) {{
+            int i;
+            for (i = {far}; i < n; i++)
+                a[i] = a[i-{far}] + 1.0;
+            return 0;
+        }}
+        int main(void) {{
+            int i;
+            for (i = 0; i < 200; i++) a[i] = 0.5;
+            kernel(200);
+            return (int)(a[199] * 1000.0);
+        }}
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences == []
+        assert res.simulate().value == res.run_oracle().value
+
+
+class TestSafetyConditions:
+    def test_conditional_write_not_transformed(self):
+        src = """
+        double a[100];
+        int kernel(int n) {
+            int i;
+            for (i = 1; i < n; i++)
+                if (i & 1)
+                    a[i] = a[i-1] + 1.0;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 0.125;
+            kernel(100);
+            return (int)(a[99] * 1000.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences == []
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_aliased_pointer_not_transformed(self):
+        src = """
+        double a[100];
+        int kernel(double *p, int n) {
+            int i;
+            for (i = 1; i < n; i++)
+                a[i] = p[i-1] + 1.0;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 0.25;
+            kernel(a, 100);
+            return (int)(a[99] * 100.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences == []
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_two_writes_not_transformed(self):
+        src = """
+        double a[100];
+        int kernel(int n) {
+            int i;
+            for (i = 2; i < n; i++) {
+                a[i] = a[i-1] + 1.0;
+                a[i-1] = 0.0;
+            }
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 1.0;
+            kernel(100);
+            return (int)(a[99] * 100.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences == []
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_disjoint_arrays_untouched(self):
+        src = """
+        double a[100]; double b[100];
+        int kernel(int n) {
+            int i;
+            for (i = 0; i < n; i++)
+                a[i] = b[i] * 2.0;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) { a[i] = 0.0; b[i] = i * 0.5; }
+            kernel(100);
+            return (int)(a[99] * 100.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences == []
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_non_constant_lower_bound(self):
+        src = """
+        double a[100];
+        int kernel(int lo, int n) {
+            int i;
+            for (i = lo; i < n; i++)
+                a[i] = a[i-1] * 0.5 + 1.0;
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 2.0;
+            kernel(17, 100);
+            return (int)(a[99] * 10000.0);
+        }
+        """
+        res = rec_compile(src)
+        assert res.reports["kernel"].recurrences
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_scalar_machines_also_transform(self):
+        from repro.compiler import scalar_options
+        from repro.machine.scalar import make_machine
+        res = compile_source(LIVERMORE, machine=make_machine("m88100"),
+                             options=scalar_options())
+        assert res.reports["kernel"].recurrences
+        assert res.execute().value == res.run_oracle().value

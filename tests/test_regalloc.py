@@ -1,0 +1,153 @@
+"""Register allocation tests: coloring, spilling, frame finalization."""
+
+import pytest
+
+from repro.compiler import compile_source, scalar_options
+from repro.machine.scalar import make_machine
+from repro.opt import OptOptions
+from repro.rtl import Assign, Instr, Label, Mem, Reg, VReg, walk
+
+
+def no_vregs_left(res):
+    for fn in res.rtl.functions.values():
+        for instr in fn.instrs:
+            for e in instr.use_exprs():
+                assert not any(isinstance(n, VReg) for n in walk(e)), \
+                    f"{fn.name}: {instr!r}"
+            for d in instr.defs():
+                assert not isinstance(d, VReg), f"{fn.name}: {instr!r}"
+
+
+class TestColoring:
+    def test_simple_function_fully_colored(self):
+        res = compile_source(
+            "int main(void){ int a; int b; a = 1; b = 2; return a+b; }",
+            options=OptOptions.baseline())
+        no_vregs_left(res)
+
+    def test_fifo_registers_never_allocated(self):
+        """r0/r1/f0/f1 are architectural FIFOs; the allocator must not
+        hand them out."""
+        src = """
+        double a[40];
+        int main(void) {
+            int i; double s;
+            for (i = 0; i < 40; i++) a[i] = i * 0.5;
+            s = 0.0;
+            for (i = 0; i < 40; i++) s = s + a[i];
+            return (int)s;
+        }
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        for fn in res.rtl.functions.values():
+            for instr in fn.instrs:
+                if isinstance(instr, Assign) and \
+                        isinstance(instr.dst, Reg) and \
+                        instr.dst.index in (0, 1):
+                    # only lowering-introduced FIFO traffic is allowed:
+                    # an enqueue or a dequeue, never ordinary arithmetic
+                    # results living in r0/r1
+                    assert instr.comment in (
+                        "enqueue store data", "dequeue",
+                        "compute and enqueue", "enqueue to output stream",
+                        "dequeue from stream") or "enqueue" in instr.comment
+
+    def test_callee_saved_across_calls(self):
+        src = """
+        int helper(int x) { return x * 3; }
+        int main(void) {
+            int keep; int i; int s;
+            keep = 123;
+            s = 0;
+            for (i = 0; i < 5; i++)
+                s = s + helper(i);
+            return s + keep;
+        }
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_many_live_values_force_spill(self):
+        # 40 simultaneously live values exceed the 26 allocatable r-regs
+        n = 40
+        decls = "\n".join(f"    int v{i};" for i in range(n))
+        inits = "\n".join(f"    v{i} = {i + 1};" for i in range(n))
+        uses = " + ".join(f"v{i}" for i in range(n))
+        src = f"""
+        int blackhole(int x) {{ return x; }}
+        int main(void) {{
+        {decls}
+        {inits}
+            blackhole(0);
+            return {uses};
+        }}
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        no_vregs_left(res)
+        expected = sum(range(1, n + 1))
+        assert res.simulate().value == expected
+
+    def test_fp_pressure_spills(self):
+        n = 36
+        decls = "\n".join(f"    double d{i};" for i in range(n))
+        inits = "\n".join(f"    d{i} = {i}.5;" for i in range(n))
+        uses = " + ".join(f"d{i}" for i in range(n))
+        src = f"""
+        int main(void) {{
+        {decls}
+        {inits}
+            return (int)({uses});
+        }}
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        no_vregs_left(res)
+        assert res.simulate().value == res.run_oracle().value
+
+
+class TestFrames:
+    def test_leaf_function_no_frame(self):
+        res = compile_source(
+            "int main(void){ return 5; }",
+            options=OptOptions.baseline())
+        fn = res.rtl.functions["main"]
+        assert fn.frame_size == 0
+
+    def test_frame_for_local_array(self):
+        res = compile_source("""
+        int main(void) {
+            int a[10]; int i;
+            for (i = 0; i < 10; i++) a[i] = i;
+            return a[9];
+        }
+        """, options=OptOptions.baseline())
+        fn = res.rtl.functions["main"]
+        assert fn.frame_size >= 40
+        assert res.simulate().value == 9
+
+    def test_nested_calls_preserve_link(self):
+        src = """
+        int leaf(int x) { return x + 1; }
+        int middle(int x) { return leaf(x) * 2; }
+        int main(void) { return middle(10); }
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        assert res.simulate().value == 22
+
+    def test_deep_recursion_stack(self):
+        src = """
+        int down(int n) { if (n == 0) return 0; return 1 + down(n - 1); }
+        int main(void) { return down(200); }
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        assert res.simulate().value == 200
+
+    def test_scalar_targets_also_allocate(self):
+        res = compile_source("""
+        int main(void) {
+            int a; int b; int c;
+            a = 3; b = 4; c = a * b;
+            return c;
+        }
+        """, machine=make_machine("m88100"), options=scalar_options())
+        no_vregs_left(res)
+        assert res.execute().value == 12

@@ -1,0 +1,108 @@
+"""RTL expression utilities: folding, substitution, traversal."""
+
+from repro.rtl import (
+    Assign, BinOp, Compare, Imm, Mem, Reg, Sym, UnOp, VReg,
+    contains_mem, fold, mems_in, regs_in, subst, walk,
+)
+
+
+R = lambda i: Reg("r", i)
+F = lambda i: Reg("f", i)
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        e = BinOp("+", BinOp("<<", R(2), Imm(3)), R(4))
+        nodes = list(walk(e))
+        assert nodes[0] is e
+        assert R(2) in nodes and R(4) in nodes and Imm(3) in nodes
+
+    def test_regs_in(self):
+        e = BinOp("*", R(1), BinOp("-", F(2), R(1)))
+        assert regs_in(e) == {R(1), F(2)}
+
+    def test_mems_in_and_contains(self):
+        m = Mem(BinOp("+", R(1), Imm(8)), 8, True)
+        e = BinOp("+", m, R(2))
+        assert mems_in(e) == [m]
+        assert contains_mem(e)
+        assert not contains_mem(R(2))
+
+
+class TestFold:
+    def test_constant_arithmetic(self):
+        assert fold(BinOp("+", Imm(2), Imm(3))) == Imm(5)
+        assert fold(BinOp("*", Imm(4), Imm(8))) == Imm(32)
+        assert fold(BinOp("<<", Imm(1), Imm(4))) == Imm(16)
+
+    def test_symbol_plus_constant(self):
+        assert fold(BinOp("+", Sym("x"), Imm(8))) == Sym("x", 8)
+        assert fold(BinOp("-", Sym("x"), Imm(8))) == Sym("x", -8)
+        assert fold(BinOp("+", Imm(4), Sym("x", 4))) == Sym("x", 8)
+
+    def test_identities(self):
+        assert fold(BinOp("+", R(1), Imm(0))) == R(1)
+        assert fold(BinOp("*", R(1), Imm(1))) == R(1)
+        assert fold(BinOp("-", R(1), Imm(0))) == R(1)
+
+    def test_nested_fold(self):
+        e = BinOp("+", BinOp("+", Sym("x"), Imm(4)), Imm(4))
+        assert fold(e) == Sym("x", 8)
+
+    def test_fold_inside_mem(self):
+        m = Mem(BinOp("+", Sym("a"), Imm(16)), 8, True)
+        assert fold(m) == Mem(Sym("a", 16), 8, True)
+
+    def test_fold_preserves_unknowns(self):
+        e = BinOp("+", R(1), R(2))
+        assert fold(e) == e
+
+
+class TestSubst:
+    def test_register_substitution(self):
+        e = BinOp("+", R(1), BinOp("<<", R(1), Imm(3)))
+        out = subst(e, {R(1): R(9)})
+        assert regs_in(out) == {R(9)}
+
+    def test_subtree_substitution(self):
+        inner = BinOp("<<", R(2), Imm(3))
+        e = BinOp("+", inner, R(4))
+        out = subst(e, {inner: R(7)})
+        assert out == BinOp("+", R(7), R(4))
+
+    def test_subst_into_mem_address(self):
+        m = Mem(BinOp("+", R(1), Imm(8)), 4, False)
+        out = subst(m, {R(1): Sym("buf")})
+        assert out.addr == BinOp("+", Sym("buf"), Imm(8))
+
+    def test_identity_substitution_shares_structure(self):
+        e = BinOp("+", R(1), R(2))
+        assert subst(e, {R(9): R(3)}) is e
+
+
+class TestInstrInterfaces:
+    def test_assign_defs_uses(self):
+        instr = Assign(R(3), BinOp("+", R(4), R(5)))
+        assert instr.defs() == {R(3)}
+        assert instr.uses() == {R(4), R(5)}
+
+    def test_store_has_no_reg_defs(self):
+        instr = Assign(Mem(R(2), 4, False), R(3))
+        assert instr.defs() == set()
+        assert instr.uses() == {R(2), R(3)}
+        assert instr.writes_mem() is not None
+
+    def test_load_reads_mem(self):
+        instr = Assign(F(2), Mem(R(2), 8, True))
+        assert instr.reads_mem() is not None
+        assert instr.defs() == {F(2)}
+
+    def test_compare_defines_cc(self):
+        from repro.rtl import CCCell
+        instr = Compare("r", "<", R(1), Imm(4))
+        assert instr.defs() == {CCCell("r")}
+
+    def test_map_exprs_rewrites_store_address(self):
+        instr = Assign(Mem(R(1), 4, False), R(2))
+        instr.map_exprs(lambda e: subst(e, {R(1): R(9)}))
+        assert instr.dst.addr == R(9)

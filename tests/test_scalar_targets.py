@@ -1,0 +1,165 @@
+"""Scalar back ends: cost models, the RTL executor, the 68020 backend,
+and strength reduction."""
+
+import pytest
+
+from repro.compiler import compile_source, scalar_options
+from repro.machine.m68020 import M68020, find_autoinc_pairs
+from repro.machine.scalar import MACHINES, make_machine
+from repro.opt import OptOptions
+from repro.rtl import Assign, BinOp, Imm, Mem, Reg, Sym
+
+LOOP = """
+double a[100]; double b[100];
+int main(void) {
+    int i;
+    double s;
+    for (i = 0; i < 100; i++) { a[i] = i * 0.5; b[i] = 1.0; }
+    s = 0.0;
+    for (i = 0; i < 100; i++) s = s + a[i] * b[i];
+    return (int)s;
+}
+"""
+
+
+class TestScalarExecutor:
+    def test_matches_oracle(self):
+        res = compile_source(LOOP, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        assert res.execute().value == res.run_oracle().value
+
+    def test_cost_accumulates(self):
+        res = compile_source(LOOP, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        out = res.execute()
+        assert out.cycles > out.instructions  # loads cost more than 1
+
+    def test_instruction_mix_recorded(self):
+        res = compile_source(LOOP, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        out = res.execute()
+        assert out.mix.get("Assign", 0) > 0
+        assert out.mix.get("CondJump", 0) > 0
+
+    def test_memory_refs_counted(self):
+        res = compile_source(LOOP, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        out = res.execute()
+        # 200 init stores + 200 loads in the sum loop (plus strays)
+        assert out.memory_refs >= 400
+
+    def test_slower_machine_costs_more(self):
+        sun = compile_source(LOOP, machine=make_machine("sun3/280"),
+                             options=scalar_options()).execute()
+        m88k = compile_source(LOOP, machine=make_machine("m88100"),
+                              options=scalar_options()).execute()
+        assert sun.cycles > m88k.cycles
+
+
+class TestCostModels:
+    def test_all_machines_defined(self):
+        for name in ("sun3/280", "hp9000/345", "vax8600", "m88100",
+                     "generic-risc"):
+            machine = make_machine(name)
+            assert machine.cost.load > 0
+
+    def test_load_cost_applied(self):
+        machine = make_machine("generic-risc")
+        load = Assign(Reg("r", 3), Mem(Reg("r", 4), 4, False))
+        add = Assign(Reg("r", 3), BinOp("+", Reg("r", 4), Imm(1)))
+        assert machine.instr_cost(load) == machine.cost.load
+        assert machine.instr_cost(add) == machine.cost.int_op
+
+    def test_fp_cost_by_operator(self):
+        machine = make_machine("vax8600")
+        mul = Assign(Reg("f", 3), BinOp("*", Reg("f", 4), Reg("f", 5)))
+        assert machine.instr_cost(mul) == machine.cost.fp_mul
+
+
+class TestStrengthReduction:
+    def test_pointers_replace_indexing(self):
+        res = compile_source(LOOP, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        assert res.reports["main"].strength_reduced >= 2
+
+    def test_correctness_preserved(self):
+        src = """
+        int a[50];
+        int main(void) {
+            int i; int s;
+            for (i = 0; i < 50; i++) a[i] = i * 3;
+            s = 0;
+            for (i = 0; i < 50; i++) s = s + a[i];
+            return s;
+        }
+        """
+        res = compile_source(src, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        assert res.execute().value == res.run_oracle().value
+
+    def test_descending_loop_reduced(self):
+        src = """
+        int a[30];
+        int main(void) {
+            int i; int s;
+            for (i = 29; i >= 0; i--) a[i] = i;
+            s = 0;
+            for (i = 0; i < 30; i++) s = s + a[i];
+            return s;
+        }
+        """
+        res = compile_source(src, machine=make_machine("generic-risc"),
+                             options=scalar_options())
+        assert res.execute().value == res.run_oracle().value
+
+
+class TestM68020:
+    def test_autoinc_pairs_found(self):
+        res = compile_source(LOOP, machine=M68020(),
+                             options=scalar_options())
+        pairs = find_autoinc_pairs(res.rtl.functions["main"].instrs)
+        assert pairs["adds"], "no auto-increment opportunities fused"
+
+    def test_autoinc_requires_matching_stride(self):
+        load = Assign(Reg("f", 2), Mem(Reg("r", 5), 8, True))
+        bump_good = Assign(Reg("r", 5),
+                           BinOp("+", Reg("r", 5), Imm(8)))
+        bump_bad = Assign(Reg("r", 5),
+                          BinOp("+", Reg("r", 5), Imm(4)))
+        assert find_autoinc_pairs([load, bump_good])["adds"]
+        assert not find_autoinc_pairs([load, bump_bad])["adds"]
+
+    def test_scaled_index_addressing_legal(self):
+        machine = M68020()
+        addr = BinOp("+", Reg("r", 2), BinOp("<<", Reg("r", 3), Imm(3)))
+        assert machine.legal_addr(addr)
+
+    def test_plain_scalar_rejects_scaled_index(self):
+        machine = make_machine("generic-risc")
+        addr = BinOp("+", Reg("r", 2), BinOp("<<", Reg("r", 3), Imm(3)))
+        assert not machine.legal_addr(addr)
+
+    def test_listing_has_motorola_mnemonics(self):
+        res = compile_source(LOOP, machine=M68020(),
+                             options=scalar_options())
+        listing = res.listing("main")
+        assert "fmoved" in listing
+        assert "@+" in listing
+        assert "moveq" in listing or "movl" in listing
+
+    def test_execution_matches_oracle(self):
+        res = compile_source(LOOP, machine=M68020(),
+                             options=scalar_options())
+        assert res.execute().value == res.run_oracle().value
+
+    def test_autoinc_cost_folded(self):
+        """With auto-increment the pointer bumps are free, so the 68020
+        run must be cheaper than the same code charged naively."""
+        res = compile_source(LOOP, machine=M68020(),
+                             options=scalar_options())
+        with_fold = res.execute().cycles
+        res2 = compile_source(LOOP, machine=M68020(),
+                              options=scalar_options())
+        from repro.machine.scalar_exec import execute_scalar
+        without_fold = execute_scalar(res2.rtl, res2.machine).cycles
+        assert with_fold < without_fold

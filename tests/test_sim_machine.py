@@ -1,0 +1,175 @@
+"""Whole-machine simulator tests: units, branches, calls, costs."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+from repro.sim import SimError, WMSimulator
+
+
+def simulate(source, **kwargs):
+    res = compile_source(source, options=OptOptions.baseline())
+    return res.simulate(**kwargs), res
+
+
+class TestExecution:
+    def test_trivial_return(self):
+        sim, _ = simulate("int main(void){ return 42; }")
+        assert sim.value == 42
+        assert sim.cycles > 0
+
+    def test_branches(self):
+        sim, _ = simulate("""
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 10; i++)
+                if (i % 3 == 0) s = s + i;
+            return s;
+        }
+        """)
+        assert sim.value == 0 + 3 + 6 + 9
+
+    def test_calls_and_recursion(self):
+        sim, _ = simulate("""
+        int fib(int n) { if (n < 2) return n; return fib(n-1)+fib(n-2); }
+        int main(void){ return fib(11); }
+        """)
+        assert sim.value == 89
+
+    def test_fp_pipeline(self):
+        sim, _ = simulate("""
+        int main(void) {
+            double a; double b;
+            a = 1.5; b = 2.5;
+            return (int)((a * b + 1.25) * 4.0);
+        }
+        """)
+        assert sim.value == 20
+
+    def test_unit_accounting(self):
+        sim, _ = simulate("""
+        double d[10];
+        int main(void) {
+            int i;
+            for (i = 0; i < 3; i++) d[i] = i * 1.0;
+            return (int)d[2];
+        }
+        """)
+        assert sim.unit_instructions["IEU"] > 0
+        assert sim.unit_instructions["FEU"] > 0
+        assert sim.instructions >= (sim.unit_instructions["IEU"]
+                                    + sim.unit_instructions["FEU"])
+
+    def test_memory_counters(self):
+        sim, _ = simulate("""
+        int a[8];
+        int main(void) {
+            int i; int s;
+            for (i = 0; i < 8; i++) a[i] = i;
+            s = 0;
+            for (i = 0; i < 8; i++) s = s + a[i];
+            return s;
+        }
+        """)
+        assert sim.memory_writes >= 8
+        assert sim.memory_reads >= 8
+        assert sim.value == 28
+
+
+class TestTimingModel:
+    def test_memory_latency_slows_execution(self):
+        src = """
+        double a[64]; double b[64];
+        int main(void) {
+            int i; double s;
+            for (i = 0; i < 64; i++) { a[i] = 1.0; b[i] = 2.0; }
+            s = 0.0;
+            for (i = 0; i < 64; i++) s = s + a[i] * b[i];
+            return (int)s;
+        }
+        """
+        res = compile_source(src, options=OptOptions.baseline())
+        fast = res.simulate(mem_latency=1).cycles
+        res2 = compile_source(src, options=OptOptions.baseline())
+        slow = res2.simulate(mem_latency=16).cycles
+        assert slow > fast
+
+    def test_optimizations_mask_latency_better(self):
+        """The access/execute point: with the recurrence held in
+        registers and streams prefetching, the loop no longer round-trips
+        through memory each iteration, so added latency hurts far less."""
+        src = """
+        double x[128]; double y[128]; double z[128];
+        int main(void) {
+            int i;
+            for (i = 0; i < 128; i++) { y[i] = 0.25; z[i] = 0.5; x[i] = 0.1; }
+            for (i = 2; i < 128; i++)
+                x[i] = z[i] * (y[i] - x[i-1]);
+            return (int)(x[127] * 100000.0);
+        }
+        """
+        def cycles(opts, latency):
+            return compile_source(src, options=opts).simulate(
+                mem_latency=latency).cycles
+
+        base_penalty = cycles(OptOptions.baseline(), 16) - \
+            cycles(OptOptions.baseline(), 2)
+        opt_penalty = cycles(OptOptions(), 16) - cycles(OptOptions(), 2)
+        assert opt_penalty < base_penalty
+
+    def test_cycle_limit_raises(self):
+        res = compile_source("""
+        int main(void) {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 100000; i++) s = s + i;
+            return s;
+        }
+        """, options=OptOptions.baseline())
+        with pytest.raises(SimError):
+            res.simulate(max_cycles=50)
+
+    def test_zero_cost_unconditional_jumps(self):
+        """Unconditional jumps are handled by the IFU for free: a chain
+        of empty loop-less jumps costs (almost) nothing extra."""
+        flat = compile_source(
+            "int main(void){ return 7; }",
+            options=OptOptions.baseline()).simulate().cycles
+        jumpy = compile_source("""
+        int main(void) {
+            int x;
+            x = 7;
+            if (x) { if (x) { if (x) { return x; } } }
+            return 0;
+        }
+        """, options=OptOptions.baseline()).simulate().cycles
+        assert jumpy <= flat + 16
+
+
+class TestDifferentialSmall:
+    CASES = [
+        ("int main(void){ return (13 * 7) % 11; }", ()),
+        ("int main(void){ double d; d = -3.75; return (int)(d * -2.0); }",
+         ()),
+        ("""
+         int g(int a, int b) { return a * 10 + b; }
+         int main(void){ return g(g(1, 2), 3); }
+         """, ()),
+        ("""
+         char s[6];
+         int main(void) {
+             int i;
+             for (i = 0; i < 5; i++) s[i] = 'A' + i;
+             s[5] = 0;
+             return s[0] + s[4];
+         }
+         """, ()),
+    ]
+
+    @pytest.mark.parametrize("source,args", CASES)
+    def test_matches_oracle(self, source, args):
+        for opts in (OptOptions.unoptimized(), OptOptions.baseline(),
+                     OptOptions()):
+            res = compile_source(source, options=opts)
+            assert res.simulate().value == res.run_oracle().value

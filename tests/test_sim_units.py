@@ -1,0 +1,193 @@
+"""Simulator component tests: FIFOs, memory system, loader."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.module import DataObject, RtlModule
+from repro.sim.fifo import FifoError, InFifo, OutFifo
+from repro.sim.loader import load_program
+from repro.sim.memory import MemError, MemorySystem
+
+
+class TestInFifo:
+    def test_single_source_order(self):
+        fifo = InFifo(capacity=4)
+        res = fifo.reserve(3)
+        for v in (1, 2, 3):
+            res.deliver(v)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_reservation_order_beats_arrival_order(self):
+        fifo = InFifo(capacity=8)
+        first = fifo.reserve(1, "first")
+        second = fifo.reserve(1, "second")
+        second.deliver(20)  # arrives early
+        assert fifo.available() == 0  # gap: first source undelivered
+        first.deliver(10)
+        assert fifo.available() == 2
+        assert fifo.pop() == 10
+        assert fifo.pop() == 20
+
+    def test_available_counts_contiguous(self):
+        fifo = InFifo(capacity=8)
+        a = fifo.reserve(2)
+        b = fifo.reserve(1)
+        a.deliver(1)
+        b.deliver(3)
+        assert fifo.available() == 1  # a still owes one element
+        a.deliver(2)
+        assert fifo.available() == 3
+
+    def test_pop_empty_raises(self):
+        fifo = InFifo()
+        fifo.reserve(1)
+        with pytest.raises(FifoError):
+            fifo.pop()
+
+    def test_over_delivery_raises(self):
+        fifo = InFifo()
+        res = fifo.reserve(1)
+        res.deliver(1)
+        with pytest.raises(FifoError):
+            res.deliver(2)
+
+    def test_closed_reservation_skipped(self):
+        fifo = InFifo()
+        inf = fifo.reserve(None, "infinite")
+        nxt = fifo.reserve(1)
+        inf.deliver(5)
+        inf.closed = True
+        inf.buffer.clear()
+        nxt.deliver(7)
+        assert fifo.pop() == 7
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=6),
+           st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_property_delivery_order_invariant(self, quotas, rng):
+        """However deliveries interleave, pops see reservation order."""
+        fifo = InFifo(capacity=10_000)
+        reservations = [(i, fifo.reserve(q)) for i, q in enumerate(quotas)]
+        expected = []
+        for i, q in enumerate(quotas):
+            expected.extend((i, j) for j in range(q))
+        pending = [(i, j, res) for (i, res), q in zip(reservations, quotas)
+                   for j in range(q)]
+        # deliver within-source in order, across sources randomly
+        by_source = {}
+        for i, j, res in pending:
+            by_source.setdefault(i, []).append((j, res))
+        order = list(by_source)
+        popped = []
+        while by_source:
+            i = rng.choice(order)
+            if i not in by_source:
+                continue
+            j, res = by_source[i].pop(0)
+            res.deliver((i, j))
+            if not by_source[i]:
+                del by_source[i]
+                order.remove(i)
+            while fifo.available():
+                popped.append(fifo.pop())
+        assert popped == expected
+
+
+class TestOutFifo:
+    def test_fifo_order(self):
+        fifo = OutFifo(capacity=4)
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.pop() == 1 and fifo.pop() == 2
+
+    def test_capacity_enforced(self):
+        fifo = OutFifo(capacity=2)
+        fifo.push(1)
+        fifo.push(2)
+        assert not fifo.has_room()
+        with pytest.raises(FifoError):
+            fifo.push(3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FifoError):
+            OutFifo().pop()
+
+
+def tiny_module():
+    module = RtlModule()
+    module.data["g"] = DataObject("g", 16, 8, b"\x01\x02")
+    module.data["h"] = DataObject("h", 8, 8, None)
+    return module
+
+
+class TestMemorySystem:
+    def test_layout_and_init(self):
+        mem = MemorySystem(tiny_module())
+        base = mem.globals_base["g"]
+        assert mem.data[base] == 1 and mem.data[base + 1] == 2
+        assert mem.globals_base["h"] > base
+
+    def test_alignment(self):
+        mem = MemorySystem(tiny_module())
+        assert mem.globals_base["g"] % 8 == 0
+        assert mem.globals_base["h"] % 8 == 0
+
+    def test_read_write_roundtrip(self):
+        mem = MemorySystem(tiny_module())
+        base = mem.globals_base["h"]
+        mem.write_value(base, 8, True, 2.5)
+        assert mem.read_value(base, 8, True, True) == 2.5
+        mem.write_value(base, 4, False, -5)
+        assert mem.read_value(base, 4, False, True) == -5
+        mem.write_value(base, 1, False, 0x80)
+        assert mem.read_value(base, 1, False, True) == -128
+        assert mem.read_value(base, 1, False, False) == 128
+
+    def test_out_of_range_raises(self):
+        mem = MemorySystem(tiny_module(), size=4096)
+        with pytest.raises(MemError):
+            mem.read_value(0, 4, False, True)
+        with pytest.raises(MemError):
+            mem.read_value(4095, 4, False, True)
+
+    def test_latency(self):
+        mem = MemorySystem(tiny_module(), latency=3)
+        seen = []
+        mem.begin_cycle()
+        base = mem.globals_base["g"]
+        mem.request_read(10, base, 1, False, False, seen.append)
+        mem.tick(12)
+        assert seen == []
+        mem.tick(13)
+        assert seen == [1]
+
+    def test_port_limit(self):
+        mem = MemorySystem(tiny_module(), ports=2)
+        base = mem.globals_base["g"]
+        mem.begin_cycle()
+        assert mem.request_read(0, base, 1, False, False, lambda v: None)
+        assert mem.request_read(0, base, 1, False, False, lambda v: None)
+        assert not mem.can_accept()
+        assert not mem.request_read(0, base, 1, False, False, lambda v: None)
+        mem.begin_cycle()
+        assert mem.can_accept()
+
+
+class TestLoader:
+    def test_flattening(self):
+        from repro.rtl import Assign, Imm, Label, Reg, Ret
+        from repro.rtl.module import RtlFunction
+        module = RtlModule()
+        module.functions["main"] = RtlFunction("main", [
+            Assign(Reg("r", 2), Imm(1)), Ret()])
+        module.functions["aux"] = RtlFunction("aux", [
+            Label("L9"), Ret()])
+        program = load_program(module)
+        assert program.entry_of["main"] == 0
+        assert program.entry_of["aux"] == 2
+        assert program.label_index["L9"] == 2
+
+    def test_missing_entry_raises(self):
+        module = RtlModule(entry="nope")
+        with pytest.raises(ValueError):
+            load_program(module)

@@ -1,0 +1,302 @@
+"""Streaming optimization tests (the paper's Algorithm 2)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+from repro.streaming import MIN_ITERATIONS
+
+
+def full(source):
+    return compile_source(source, options=OptOptions())
+
+
+def no_stream(source):
+    return compile_source(source, options=OptOptions.no_streaming())
+
+
+def stream_reports(result):
+    return [r for rep in result.reports.values() for r in rep.streams]
+
+
+DOT = """
+double a[300]; double b[300];
+int main(void) {
+    int i; int n;
+    double sum;
+    n = 250;
+    for (i = 0; i < n; i++) { a[i] = (i & 7) * 0.25; b[i] = 1.0; }
+    sum = 0.0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * b[i];
+    return (int)(sum * 4.0);
+}
+"""
+
+
+class TestBasicStreaming:
+    def test_dot_product_streams_two_inputs(self):
+        res = full(DOT)
+        reports = stream_reports(res)
+        dot_loop = [r for r in reports if r.streams_in == 2]
+        assert dot_loop, f"no 2-input stream loop found: {reports}"
+        assert dot_loop[0].loop_test_replaced
+        assert dot_loop[0].iv_increment_deleted
+
+    def test_dot_product_correct(self):
+        res = full(DOT)
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_streaming_reduces_cycles(self):
+        assert full(DOT).simulate().cycles < no_stream(DOT).simulate().cycles
+
+    def test_stream_element_count(self):
+        res = full(DOT)
+        sim = res.simulate()
+        # init loop: 2 out-streams x 250; dot loop: 2 in-streams x 250
+        assert sim.stream_elements == 1000
+
+    def test_integer_streams(self):
+        src = """
+        int a[200]; int b[200];
+        int main(void) {
+            int i; int s;
+            for (i = 0; i < 200; i++) a[i] = i * 3;
+            for (i = 0; i < 200; i++) b[i] = a[i] + 1;
+            s = 0;
+            for (i = 0; i < 200; i++) s = s + b[i];
+            return s;
+        }
+        """
+        res = full(src)
+        assert stream_reports(res)
+        assert res.simulate().value == res.run_oracle().value
+
+
+class TestStepConditions:
+    def test_few_iterations_not_streamed(self):
+        src = f"""
+        double a[8];
+        int main(void) {{
+            int i;
+            for (i = 0; i < {MIN_ITERATIONS - 1}; i++)
+                a[i] = 1.0;
+            return (int)a[0];
+        }}
+        """
+        res = full(src)
+        assert stream_reports(res) == []
+
+    def test_conditional_reference_not_streamed(self):
+        src = """
+        double a[100]; double b[100];
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) { a[i] = i * 0.5; b[i] = 0.0; }
+            for (i = 0; i < 100; i++)
+                if (i & 1)
+                    b[i] = a[i];
+            return (int)(b[99] * 2.0);
+        }
+        """
+        res = full(src)
+        sim = res.simulate()
+        assert sim.value == res.run_oracle().value
+        # the conditional loop's refs stay normal; only the init streams
+        for report in stream_reports(res):
+            assert report.streams_in == 0 or report.loop_test_replaced
+
+    def test_recurrence_partition_not_streamed(self):
+        src = """
+        double a[100];
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 0.25;
+            for (i = 1; i < 100; i++)
+                a[i] = a[i] * 0.5 + a[i-1];
+            return (int)(a[99] * 100000.0);
+        }
+        """
+        res = full(src)
+        sim = res.simulate()
+        assert sim.value == res.run_oracle().value
+
+    def test_unknown_pointer_blocks_streams(self):
+        src = """
+        double a[100];
+        int kernel(double *p) {
+            int i;
+            for (i = 0; i < 100; i++)
+                a[i] = p[i];
+            return 0;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 1.0;
+            kernel(a);
+            return (int)a[50];
+        }
+        """
+        res = full(src)
+        assert res.reports["kernel"].streams == []
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_non_unit_stride_streams(self):
+        src = """
+        double a[400];
+        int main(void) {
+            int i;
+            double s;
+            for (i = 0; i < 400; i++) a[i] = (i & 3) * 1.0;
+            s = 0.0;
+            for (i = 0; i < 400; i = i + 4)
+                s = s + a[i];
+            return (int)s;
+        }
+        """
+        res = full(src)
+        reports = stream_reports(res)
+        strided = [r for r in reports
+                   for ref in r.refs if ref[3] == 8 and "32" not in str(ref)]
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_break_loop_not_finite_streamed(self):
+        src = """
+        int a[100];
+        int main(void) {
+            int i; int found;
+            for (i = 0; i < 100; i++) a[i] = i * 7;
+            found = -1;
+            for (i = 0; i < 100; i++) {
+                if (a[i] == 84) { found = i; break; }
+            }
+            return found;
+        }
+        """
+        res = full(src)
+        sim = res.simulate()
+        assert sim.value == res.run_oracle().value == 12
+        for report in stream_reports(res):
+            if report.loop_test_replaced:
+                # only the (single-exit) init loop may be count-based
+                assert report.streams_out >= 1 or report.streams_in == 0
+
+
+class TestFifoAllocation:
+    def test_three_input_arrays_limited_by_fifos(self):
+        src = """
+        double a[100]; double b[100]; double c[100]; double d[100];
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) {
+                a[i] = 0.5; b[i] = 0.25; c[i] = 0.125;
+            }
+            for (i = 0; i < 100; i++)
+                d[i] = a[i] + b[i] + c[i];
+            return (int)(d[99] * 8.0);
+        }
+        """
+        res = full(src)
+        sim = res.simulate()
+        assert sim.value == res.run_oracle().value
+        for report in stream_reports(res):
+            # never more than the two input FIFOs per bank
+            assert report.streams_in <= 2
+
+    def test_mixed_in_out_same_fifo_index(self):
+        src = """
+        double a[200]; double b[200];
+        int main(void) {
+            int i;
+            for (i = 0; i < 200; i++) a[i] = i * 0.01;
+            for (i = 0; i < 200; i++) b[i] = a[i] * 2.0;
+            return (int)(b[199] * 100.0);
+        }
+        """
+        res = full(src)
+        assert res.simulate().value == res.run_oracle().value
+
+
+class TestInfiniteStreams:
+    STRCPY = """
+    char msg[80]; char buf[80];
+    int main(void) {
+        char *s; char *p; int i;
+        for (i = 0; i < 60; i++) msg[i] = 'a' + (i % 26);
+        msg[60] = 0;
+        s = msg; p = buf;
+        while (*s) *p++ = *s++;
+        *p = 0;
+        return buf[59];
+    }
+    """
+
+    def test_strcpy_uses_infinite_stream(self):
+        res = full(self.STRCPY)
+        reports = stream_reports(res)
+        assert any(r.infinite for r in reports)
+
+    def test_strcpy_correct(self):
+        res = full(self.STRCPY)
+        sim = res.simulate()
+        oracle = res.run_oracle()
+        assert sim.value == oracle.value
+        assert sim.global_bytes("buf", 80) == oracle.global_bytes("buf", 80)
+
+    def test_infinite_streams_never_store(self):
+        res = full(self.STRCPY)
+        for report in stream_reports(res):
+            if report.infinite:
+                assert report.streams_out == 0
+
+    def test_disable_infinite_streams_option(self):
+        opts = OptOptions(allow_infinite_streams=False)
+        res = compile_source(self.STRCPY, options=opts)
+        assert not any(r.infinite for r in stream_reports(res))
+        assert res.simulate().value == res.run_oracle().value
+
+
+class TestCrossLoopConsistency:
+    def test_stream_out_then_scalar_read(self):
+        src = """
+        double a[100];
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = i * 1.0;
+            return (int)a[99];
+        }
+        """
+        res = full(src)
+        assert res.simulate().value == res.run_oracle().value == 99
+
+    def test_stream_out_then_stream_in(self):
+        src = """
+        double a[100]; double b[100];
+        int main(void) {
+            int i; double s;
+            for (i = 0; i < 100; i++) a[i] = i * 0.5;
+            s = 0.0;
+            for (i = 0; i < 100; i++) s = s + a[i];
+            return (int)s;
+        }
+        """
+        res = full(src)
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_stream_out_then_callee_reads(self):
+        src = """
+        double a[100];
+        double total(int n) {
+            double s; int i;
+            s = 0.0;
+            for (i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) a[i] = 2.0;
+            return (int)total(100);
+        }
+        """
+        res = full(src)
+        assert res.simulate().value == res.run_oracle().value == 200

@@ -1,0 +1,199 @@
+"""WM access/execute lowering tests.
+
+Central invariant: within each basic block, the sequence of FIFO reads
+(explicit dequeues plus in-instruction FIFO operands in evaluation
+order) exactly matches the sequence of load issues for that bank.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.machine.wm import WM, WMLoadIssue, WMStoreIssue, unit_of
+from repro.machine.wm_lower import reg_reads_in_order
+from repro.opt import OptOptions, build_cfg
+from repro.rtl import Assign, Instr, Label, Mem, Reg, walk
+from repro.rtl.instr import Call, Ret, StreamIn, StreamOut, StreamStop
+
+
+def lowered(source, opts=None):
+    res = compile_source(source, options=opts or OptOptions.baseline())
+    return res
+
+
+def fifo_balance_of_block(instrs):
+    """Count issues vs reads per bank within one straight-line block."""
+    counts = {"r": [0, 0], "f": [0, 0]}  # [issues, reads]
+    for instr in instrs:
+        if isinstance(instr, WMLoadIssue):
+            counts[instr.bank][0] += 1
+        for reg in reg_reads_in_order(instr):
+            if isinstance(reg, Reg) and reg.index in (0, 1) \
+                    and not isinstance(instr, (StreamIn, StreamOut)):
+                counts[reg.bank][1] += 1
+    return counts
+
+
+class TestSplitting:
+    def test_loads_become_issue_plus_consume(self):
+        res = lowered("""
+        double g;
+        int main(void) { return (int)g; }
+        """)
+        instrs = res.rtl.functions["main"].instrs
+        assert any(isinstance(i, WMLoadIssue) for i in instrs)
+
+    def test_stores_become_enqueue_plus_issue(self):
+        res = lowered("""
+        double g;
+        int main(void) { g = 2.5; return 0; }
+        """)
+        instrs = res.rtl.functions["main"].instrs
+        issues = [i for i in instrs if isinstance(i, WMStoreIssue)]
+        assert len(issues) == 1
+        # no mid-level memory assignments survive
+        for instr in instrs:
+            if isinstance(instr, Assign):
+                assert not isinstance(instr.dst, Mem)
+                assert not isinstance(instr.src, Mem)
+
+    def test_no_mid_level_memory_in_any_benchmark_function(self):
+        from repro.benchsuite import get_program
+        prog = get_program("lloop5", scale=0.05)
+        res = lowered(prog.source, OptOptions())
+        for fn in res.rtl.functions.values():
+            for instr in fn.instrs:
+                if isinstance(instr, Assign):
+                    assert not isinstance(instr.dst, Mem)
+                    assert not isinstance(instr.src, Mem)
+
+
+class TestFifoDiscipline:
+    SOURCES = [
+        # the Livermore loop: three loads, one store per iteration
+        """
+        double x[50]; double y[50]; double z[50];
+        int main(void) {
+            int i;
+            for (i = 0; i < 50; i++) { x[i]=0.1; y[i]=0.2; z[i]=0.3; }
+            for (i = 2; i < 50; i++)
+                x[i] = z[i] * (y[i] - x[i-1]);
+            return (int)(x[49] * 1000.0);
+        }
+        """,
+        # many loads consumed out of order
+        """
+        double a[10];
+        int main(void) {
+            int i;
+            double u; double v; double w;
+            for (i = 0; i < 10; i++) a[i] = i * 1.0;
+            u = a[0]; v = a[1]; w = a[2];
+            return (int)(w * 100.0 + u * 10.0 + v);
+        }
+        """,
+        # int and fp loads interleaved
+        """
+        int n[8]; double d[8];
+        int main(void) {
+            int i;
+            for (i = 0; i < 8; i++) { n[i] = i; d[i] = i * 0.5; }
+            return n[3] + (int)(d[5] * 2.0) + n[6];
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_block_local_fifo_balance(self, source):
+        """Every block consumes exactly what it issues (lowering keeps
+        the protocol block-local)."""
+        res = lowered(source)
+        for fn in res.rtl.functions.values():
+            cfg = build_cfg(fn)
+            for block in cfg.blocks:
+                counts = fifo_balance_of_block(block.instrs)
+                for bank in ("r", "f"):
+                    issues, reads = counts[bank]
+                    assert issues == reads, \
+                        f"{fn.name}/{block.label}: {bank} {issues}!={reads}"
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_lowered_code_still_correct(self, source):
+        res = lowered(source)
+        assert res.simulate().value == res.run_oracle().value
+
+    def test_barriers_drain_pending(self):
+        """Calls must never be dispatched with pending dequeues."""
+        res = lowered("""
+        double g;
+        double f(double x) { return x * 2.0; }
+        int main(void) {
+            g = 1.5;
+            return (int)f(g);
+        }
+        """)
+        for fn in res.rtl.functions.values():
+            pending = {"r": 0, "f": 0}
+            for instr in fn.instrs:
+                if isinstance(instr, WMLoadIssue):
+                    pending[instr.bank] += 1
+                for reg in reg_reads_in_order(instr):
+                    if isinstance(reg, Reg) and reg.index in (0, 1):
+                        pending[reg.bank] -= 1
+                if isinstance(instr, (Call, Ret, StreamIn, StreamOut,
+                                      StreamStop)):
+                    assert pending["r"] == 0 and pending["f"] == 0
+
+
+class TestUnitClassification:
+    def test_unit_of(self):
+        from repro.rtl import BinOp, CondJump, Compare, Imm, Jump, Sym, UnOp
+        assert unit_of(Assign(Reg("f", 4), BinOp("*", Reg("f", 0),
+                                                 Reg("f", 1)))) == "FEU"
+        assert unit_of(Assign(Reg("r", 4), Imm(2))) == "IEU"
+        assert unit_of(Jump("L")) == "IFU"
+        assert unit_of(CondJump("r", True, "L")) == "IFU"
+        assert unit_of(Compare("f", "<", Reg("f", 2), Reg("f", 3))) == "FEU"
+        assert unit_of(Compare("r", "<", Reg("r", 2), Imm(1))) == "IEU"
+        assert unit_of(WMLoadIssue(Reg("r", 2), 8, True)) == "IEU"
+        assert unit_of(Assign(Reg("f", 2),
+                              UnOp("i2d", Reg("r", 3)))) == "CVT"
+
+    def test_load_issues_are_ieu_even_for_fp_data(self):
+        """'All simple load and store instructions (for both integer and
+        floating-point data) are executed by the IEU.'"""
+        assert unit_of(WMStoreIssue(Reg("r", 2), 8, True)) == "IEU"
+
+
+class TestFormatting:
+    def test_figure_style_listing(self):
+        res = lowered("""
+        double x[50]; double y[50];
+        int main(void) {
+            int i;
+            for (i = 0; i < 50; i++) { x[i] = 0.0; y[i] = 1.0; }
+            for (i = 1; i < 50; i++)
+                x[i] = y[i] - x[i-1];
+            return (int)x[49];
+        }
+        """)
+        listing = res.listing("main")
+        assert "l64f" in listing
+        assert "s64f" in listing
+        assert "JumpIT" in listing or "JumpIF" in listing
+        assert "llh" in listing and "sll" in listing
+
+    def test_stream_listing_mnemonics(self):
+        res = lowered("""
+        double a[60]; double b[60];
+        int main(void) {
+            int i; double s;
+            for (i = 0; i < 60; i++) { a[i] = 0.5; b[i] = 2.0; }
+            s = 0.0;
+            for (i = 0; i < 60; i++) s = s + a[i] * b[i];
+            return (int)s;
+        }
+        """, OptOptions())
+        listing = res.listing("main")
+        assert "SinD" in listing
+        assert "SoutD" in listing
+        assert "JNI" in listing
