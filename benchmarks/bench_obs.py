@@ -1,0 +1,163 @@
+"""Observability overhead baseline -> BENCH_obs.json.
+
+Times the full Livermore-5 pipeline (compile + cycle simulation) in
+three configurations:
+
+``off``
+    The default path: global tracer is the shared no-op ``NullTracer``
+    and simulator telemetry is disabled.  This is what every user of
+    the library pays for the instrumentation existing at all.
+
+``on``
+    Full observability: recording ``Tracer`` installed and
+    ``simulate(telemetry=True)`` (per-cycle unit/FIFO sampling).
+
+``baseline`` (optional, ``--baseline-rev REV``)
+    The same ``off`` measurement against a pristine checkout of REV in
+    a temporary git worktree — used to bound the *disabled*
+    instrumentation overhead against the pre-obs tree.  The repo's
+    acceptance bound is <5%.
+
+Usage::
+
+    python benchmarks/bench_obs.py [--baseline-rev e981595] [--reps 15]
+
+Writes BENCH_obs.json at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+OVERHEAD_BOUND_PERCENT = 5.0
+
+_PIPELINE = """
+import time
+from repro.benchsuite import get_program
+from repro.compiler import compile_source
+
+prog = get_program("lloop5", scale=0.2)
+
+def run_off():
+    compile_source(prog.source).simulate()
+"""
+
+
+def _time(fn, reps: int) -> dict:
+    fn()  # warm-up: imports, caches
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "reps": reps,
+        "median_ms": round(statistics.median(times) * 1000, 3),
+        "min_ms": round(min(times) * 1000, 3),
+        "mean_ms": round(statistics.fmean(times) * 1000, 3),
+    }
+
+
+def measure_here(reps: int) -> dict:
+    from repro.benchsuite import get_program
+    from repro.compiler import compile_source
+    from repro.obs import Tracer, use_tracer
+
+    prog = get_program("lloop5", scale=0.2)
+
+    def run_off():
+        compile_source(prog.source).simulate()
+
+    def run_on():
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = compile_source(prog.source)
+            sim = result.simulate(telemetry=True)
+        sim.telemetry.emit_spans(tracer)
+
+    return {"off": _time(run_off, reps), "on": _time(run_on, reps)}
+
+
+def measure_rev(rev: str, reps: int) -> dict:
+    """Time the default pipeline in a worktree of REV (e.g. the seed)."""
+    script = (_PIPELINE + f"""
+import json, statistics
+run_off()
+times = []
+for _ in range({reps}):
+    start = time.perf_counter()
+    run_off()
+    times.append(time.perf_counter() - start)
+print(json.dumps({{
+    "reps": {reps},
+    "median_ms": round(statistics.median(times) * 1000, 3),
+    "min_ms": round(min(times) * 1000, 3),
+    "mean_ms": round(statistics.fmean(times) * 1000, 3),
+}}))
+""")
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "baseline")
+        subprocess.run(["git", "worktree", "add", "--detach", tree, rev],
+                       cwd=ROOT, check=True, capture_output=True)
+        try:
+            env = dict(os.environ, PYTHONPATH=os.path.join(tree, "src"))
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 check=True, capture_output=True, text=True)
+            return json.loads(out.stdout)
+        finally:
+            subprocess.run(["git", "worktree", "remove", "--force", tree],
+                           cwd=ROOT, check=True, capture_output=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=15)
+    parser.add_argument("--baseline-rev", default=None, metavar="REV",
+                        help="git rev of the pre-instrumentation tree to "
+                             "bound the disabled-path overhead against")
+    parser.add_argument("--out", default=os.path.join(ROOT,
+                                                      "BENCH_obs.json"))
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "lloop5 scale=0.2: compile + WM cycle simulation",
+        "python": sys.version.split()[0],
+    }
+    report.update(measure_here(args.reps))
+    report["tracing_on_overhead_percent"] = round(
+        100.0 * (report["on"]["median_ms"] / report["off"]["median_ms"]
+                 - 1.0), 1)
+
+    if args.baseline_rev:
+        report["baseline"] = measure_rev(args.baseline_rev, args.reps)
+        report["baseline"]["rev"] = args.baseline_rev
+        disabled = round(
+            100.0 * (report["off"]["median_ms"]
+                     / report["baseline"]["median_ms"] - 1.0), 1)
+        report["disabled_overhead_percent"] = disabled
+        report["disabled_overhead_bound_percent"] = OVERHEAD_BOUND_PERCENT
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if args.baseline_rev and disabled >= OVERHEAD_BOUND_PERCENT:
+        print(f"FAIL: disabled-path overhead {disabled}% >= "
+              f"{OVERHEAD_BOUND_PERCENT}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+/* The 5th Livermore loop (tri-diagonal elimination) — the kernel the
+ * paper's Figures 4/5/7 and Table I are built around.  The x[i-1] read
+ * of the value stored one iteration earlier is the degree-1 recurrence
+ * the optimizer replaces with register rotation; y[i] and z[i] become
+ * input streams and x[i] an output stream.
+ *
+ *     python -m repro trace examples/livermore5.c
+ */
+
+double x[500]; double y[500]; double z[500];
+
+int kernel(int n) {
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return 0;
+}
+
+int main(void) {
+    int i; int n; int k; int j;
+    n = 500;
+    k = 0; j = 0;
+    for (i = 0; i < n; i++) {
+        y[i] = k * 0.25;
+        z[i] = 0.5 + j * 0.1;
+        x[i] = 0.0;
+        k++; if (k == 7) k = 0;
+        j++; if (j == 3) j = 0;
+    }
+    x[0] = 0.01; x[1] = 0.02;
+    kernel(n);
+    return (int)(x[n-1] * 100000.0) + (int)(x[n/2] * 1000.0);
+}

@@ -1,0 +1,32 @@
+/* The quickstart dot-product kernel in Mini-C.
+ *
+ * Compile, run, or trace it with the CLI:
+ *
+ *     python -m repro compile examples/quickstart.c
+ *     python -m repro run     examples/quickstart.c
+ *     python -m repro trace   examples/quickstart.c
+ *
+ * The trace command writes quickstart.trace.json — open it in
+ * chrome://tracing (or https://ui.perfetto.dev) to see every optimizer
+ * pass and the per-unit simulation timeline.
+ */
+
+double a[500]; double b[500];
+
+double dot(int n) {
+    double sum;
+    int i;
+    sum = 0.0;
+    for (i = 0; i < n; i++)
+        sum = sum + a[i] * b[i];
+    return sum;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 500; i++) {
+        a[i] = (i & 7) * 0.25;
+        b[i] = 2.0;
+    }
+    return (int)dot(500);
+}

@@ -10,26 +10,42 @@ Commands
     Compile and execute: on WM via the cycle simulator, on scalar
     targets via the cost-weighted executor; prints the result and the
     performance counters, and cross-checks against the IR oracle.
+    ``--json`` emits the counters machine-readably instead.
+
+``trace TARGET``
+    Compile (and on WM, simulate) with full observability on and write
+    a Chrome trace-event JSON (open in ``chrome://tracing`` or
+    https://ui.perfetto.dev).  TARGET is a Mini-C file, a directory of
+    ``.c`` files, or a benchmark name from the suite (e.g. ``lloop5``).
 
 ``figures``
     Print the regenerated Figures 4-7.
 
 ``tables``
-    Regenerate Tables I and II and the detection study (slow-ish).
+    Regenerate Tables I and II and the detection study (slow-ish;
+    ``--trace-out`` shows where the time goes).
 
 Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
 generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
-``--function NAME`` (listing selection).
+``--function NAME`` (listing selection), and on most commands
+``--json`` / ``--trace-out PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from typing import Optional
 
 from .compiler import compile_source, scalar_options
 from .machine.base import Machine
 from .machine.wm import WM
+from .obs import (
+    NULL_TRACER, RunCounters, Tracer, format_run_counters, format_summary,
+    metrics_json, use_tracer, write_chrome_trace,
+)
 from .opt import OptOptions
 
 __all__ = ["main"]
@@ -66,50 +82,166 @@ def _make_options(level: str, machine: Machine) -> OptOptions:
     return table[level]
 
 
+def _tracer_for(args: argparse.Namespace) -> Tracer:
+    """A recording tracer when any observability output was requested,
+    the shared no-op tracer otherwise."""
+    if getattr(args, "trace_out", None) or getattr(args, "json", False):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _finish_trace(tracer, args: argparse.Namespace) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and tracer.enabled:
+        write_chrome_trace(tracer, trace_out)
+        print(f"trace written to {trace_out}", file=sys.stderr)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     source = open(args.file).read()
     machine = _make_machine(args.target)
-    result = compile_source(source, machine=machine,
-                            options=_make_options(args.opt, machine))
-    print(result.listing(args.function))
-    for name, reports in result.reports.items():
-        for rec in reports.recurrences:
-            print(f"; {name}: recurrence degree {rec.degree}, "
-                  f"{rec.eliminated_loads} load(s) eliminated",
-                  file=sys.stderr)
-        for stream in reports.streams:
-            print(f"; {name}: {stream.streams_in} stream(s) in, "
-                  f"{stream.streams_out} out"
-                  f"{' (infinite)' if stream.infinite else ''}",
-                  file=sys.stderr)
+    tracer = _tracer_for(args)
+    with use_tracer(tracer):
+        result = compile_source(source, machine=machine,
+                                options=_make_options(args.opt, machine))
+    if args.json:
+        report = {
+            "functions": {
+                name: {
+                    "passes": [{"name": p.name,
+                                "seconds": round(p.seconds, 6),
+                                "rtl_before": p.rtl_before,
+                                "rtl_after": p.rtl_after}
+                               for p in reports.passes],
+                    "recurrences": [
+                        {"loop": r.loop_header, "degree": r.degree,
+                         "eliminated_loads": r.eliminated_loads}
+                        for r in reports.recurrences],
+                    "streams": [
+                        {"loop": s.loop_header, "in": s.streams_in,
+                         "out": s.streams_out, "infinite": s.infinite}
+                        for s in reports.streams],
+                }
+                for name, reports in result.reports.items()
+            },
+            "metrics": metrics_json(tracer)["metrics"],
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        print(result.listing(args.function))
+        for name, reports in result.reports.items():
+            for rec in reports.recurrences:
+                print(f"; {name}: recurrence degree {rec.degree}, "
+                      f"{rec.eliminated_loads} load(s) eliminated",
+                      file=sys.stderr)
+            for stream in reports.streams:
+                print(f"; {name}: {stream.streams_in} stream(s) in, "
+                      f"{stream.streams_out} out"
+                      f"{' (infinite)' if stream.infinite else ''}",
+                      file=sys.stderr)
+    _finish_trace(tracer, args)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     source = open(args.file).read()
     machine = _make_machine(args.target)
-    result = compile_source(source, machine=machine,
-                            options=_make_options(args.opt, machine))
-    oracle = result.run_oracle()
-    if isinstance(machine, WM):
-        sim = result.simulate()
-        status = "OK" if sim.value == oracle.value else "MISMATCH"
-        print(f"result: {sim.value}  (oracle {oracle.value}: {status})")
-        print(f"cycles: {sim.cycles}")
-        print(f"instructions: {sim.instructions} "
-              f"(IEU {sim.unit_instructions['IEU']}, "
-              f"FEU {sim.unit_instructions['FEU']})")
-        print(f"memory: {sim.memory_reads} reads, "
-              f"{sim.memory_writes} writes, "
-              f"{sim.stream_elements} stream elements")
-        return 0 if sim.value == oracle.value else 1
-    out = result.execute()
-    status = "OK" if out.value == oracle.value else "MISMATCH"
-    print(f"result: {out.value}  (oracle {oracle.value}: {status})")
-    print(f"weighted cycles: {out.cycles:.0f}")
-    print(f"instructions: {out.instructions}, "
-          f"memory refs: {out.memory_refs}")
-    return 0 if out.value == oracle.value else 1
+    tracer = _tracer_for(args)
+    telemetry = None
+    with use_tracer(tracer):
+        result = compile_source(source, machine=machine,
+                                options=_make_options(args.opt, machine))
+        oracle = result.run_oracle()
+        if isinstance(machine, WM):
+            sim = result.simulate(telemetry=tracer.enabled)
+            telemetry = sim.telemetry
+            counters = RunCounters(
+                value=sim.value, oracle=oracle.value, cycles=sim.cycles,
+                instructions=sim.instructions,
+                unit_instructions=sim.unit_instructions,
+                memory_reads=sim.memory_reads,
+                memory_writes=sim.memory_writes,
+                stream_elements=sim.stream_elements)
+        else:
+            out = result.execute()
+            counters = RunCounters(
+                value=out.value, oracle=oracle.value, cycles=out.cycles,
+                instructions=out.instructions,
+                memory_refs=out.memory_refs, weighted=True)
+    if telemetry is not None and tracer.enabled:
+        telemetry.emit_spans(tracer)
+    if args.json:
+        data = counters.to_dict()
+        if telemetry is not None:
+            data["telemetry"] = telemetry.to_dict()
+        print(json.dumps(data, indent=2))
+    else:
+        print(format_run_counters(counters))
+    _finish_trace(tracer, args)
+    return 0 if counters.ok else 1
+
+
+def _collect_sources(target: str,
+                     scale: float) -> list[tuple[str, str]]:
+    """Resolve a trace target into (name, Mini-C source) pairs."""
+    if os.path.isdir(target):
+        pairs = []
+        for entry in sorted(os.listdir(target)):
+            if entry.endswith(".c"):
+                path = os.path.join(target, entry)
+                pairs.append((os.path.splitext(entry)[0],
+                              open(path).read()))
+        if not pairs:
+            raise SystemExit(f"no .c files found under {target!r}")
+        return pairs
+    if os.path.isfile(target):
+        name = os.path.splitext(os.path.basename(target))[0]
+        return [(name, open(target).read())]
+    from .benchsuite import PROGRAMS, get_program
+    if target in PROGRAMS:
+        return [(target, get_program(target, scale=scale).source)]
+    raise SystemExit(
+        f"trace target {target!r} is not a file, a directory, or a "
+        f"benchmark name (one of: {', '.join(sorted(PROGRAMS))})")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    sources = _collect_sources(args.path, args.scale)
+    multi = len(sources) > 1
+    if args.out and multi:
+        os.makedirs(args.out, exist_ok=True)
+    machine_name = args.target
+    for name, source in sources:
+        machine = _make_machine(machine_name)
+        tracer = Tracer()
+        telemetry = None
+        with use_tracer(tracer):
+            result = compile_source(
+                source, machine=machine,
+                options=_make_options(args.opt, machine))
+            if args.run and isinstance(machine, WM):
+                sim = result.simulate(telemetry=True)
+                telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.emit_spans(tracer)
+        if args.out and multi:
+            out_path = os.path.join(args.out, f"{name}.trace.json")
+        elif args.out:
+            out_path = args.out
+        else:
+            out_path = f"{name}.trace.json"
+        write_chrome_trace(tracer, out_path)
+        if args.json:
+            data = metrics_json(tracer)
+            if telemetry is not None:
+                data["telemetry"] = telemetry.to_dict()
+            print(json.dumps({name: data}, indent=2))
+        else:
+            print(f"=== {name} -> {out_path} ===")
+            print(format_summary(tracer))
+            if telemetry is not None:
+                print("\n".join(telemetry.summary_lines()))
+    return 0
 
 
 def _cmd_figures(_args: argparse.Namespace) -> int:
@@ -126,18 +258,43 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .reporting import stream_detection, table1, table2
-    print("Table I — % improvement from recurrence optimization")
-    for row in table1(n=args.size):
-        print(f"  {row.machine:12s} {row.percent:5.1f}%  "
-              f"(paper {row.paper_percent}%)")
-    print("\nTable II — % cycle reduction by streaming")
-    for row in table2(scale=args.scale):
-        print(f"  {row.program:12s} {row.percent:5.1f}%  "
-              f"(paper {row.paper_percent}%)")
-    print("\nStream detection over the utility corpus")
-    for det in stream_detection():
-        print(f"  {det.kernel:18s} in={det.streams_in} "
-              f"out={det.streams_out} infinite={det.infinite}")
+    tracer = _tracer_for(args)
+    with use_tracer(tracer):
+        rows1 = table1(n=args.size)
+        rows2 = table2(scale=args.scale)
+        detection = stream_detection()
+    if args.json:
+        data = {
+            "table1": [{"machine": r.machine,
+                        "percent": round(r.percent, 2),
+                        "paper_percent": r.paper_percent}
+                       for r in rows1],
+            "table2": [{"program": r.program,
+                        "percent": round(r.percent, 2),
+                        "paper_percent": r.paper_percent}
+                       for r in rows2],
+            "detection": [{"kernel": d.kernel, "in": d.streams_in,
+                           "out": d.streams_out,
+                           "infinite": d.infinite}
+                          for d in detection],
+        }
+        if tracer.enabled:
+            data["spans"] = metrics_json(tracer)["spans"]
+        print(json.dumps(data, indent=2))
+    else:
+        print("Table I — % improvement from recurrence optimization")
+        for row in rows1:
+            print(f"  {row.machine:12s} {row.percent:5.1f}%  "
+                  f"(paper {row.paper_percent}%)")
+        print("\nTable II — % cycle reduction by streaming")
+        for row in rows2:
+            print(f"  {row.program:12s} {row.percent:5.1f}%  "
+                  f"(paper {row.paper_percent}%)")
+        print("\nStream detection over the utility corpus")
+        for det in detection:
+            print(f"  {det.kernel:18s} in={det.streams_in} "
+                  f"out={det.streams_out} infinite={det.infinite}")
+    _finish_trace(tracer, args)
     return 0
 
 
@@ -151,18 +308,43 @@ def main(argv: list[str] | None = None) -> int:
                "m88100", "generic-risc"]
     levels = ["none", "baseline", "recurrence", "full"]
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON to PATH")
+
     p_compile = sub.add_parser("compile", help="compile and print assembly")
     p_compile.add_argument("file")
     p_compile.add_argument("--target", choices=targets, default="wm")
     p_compile.add_argument("--opt", choices=levels, default="full")
     p_compile.add_argument("--function", default=None)
+    add_obs_flags(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
     p_run = sub.add_parser("run", help="compile and execute")
     p_run.add_argument("file")
     p_run.add_argument("--target", choices=targets, default="wm")
     p_run.add_argument("--opt", choices=levels, default="full")
+    add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="compile+simulate with tracing; write Chrome trace")
+    p_trace.add_argument("path", help="Mini-C file, directory of .c files, "
+                                      "or benchmark name")
+    p_trace.add_argument("--target", choices=targets, default="wm")
+    p_trace.add_argument("--opt", choices=levels, default="full")
+    p_trace.add_argument("--out", default=None, metavar="PATH",
+                         help="trace output file (or directory when the "
+                              "target expands to several programs)")
+    p_trace.add_argument("--scale", type=float, default=0.2,
+                         help="problem scale for benchmark-name targets")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print metrics JSON instead of the summary")
+    p_trace.add_argument("--no-run", dest="run", action="store_false",
+                         help="compile only; skip the simulation")
+    p_trace.set_defaults(func=_cmd_trace, run=True)
 
     p_fig = sub.add_parser("figures", help="print Figures 4-7")
     p_fig.set_defaults(func=_cmd_figures)
@@ -172,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="Table I array size")
     p_tab.add_argument("--scale", type=float, default=0.2,
                        help="Table II problem scale")
+    add_obs_flags(p_tab)
     p_tab.set_defaults(func=_cmd_tables)
 
     args = parser.parse_args(argv)

@@ -27,6 +27,7 @@ from .ir import run as run_ir
 from .machine.base import Machine
 from .machine.wm import WM
 from .machine.wm_lower import lower_wm_module
+from .obs import get_tracer
 from .opt import OptOptions, OptReports, optimize_module
 from .rtl.module import RtlModule
 
@@ -100,10 +101,17 @@ def compile_source(source: str, machine: Optional[Machine] = None,
     optimization settings (default: everything on)."""
     machine = machine or WM()
     options = options or OptOptions()
-    ir = compile_to_ir(source)
-    rtl = expand(machine, ir)
-    reports = optimize_module(rtl, machine, options)
-    if isinstance(machine, WM):
-        lower_wm_module(rtl, machine)
+    tracer = get_tracer()
+    with tracer.span("compile", category="compile",
+                     target=getattr(machine, "name", "wm")):
+        with tracer.span("frontend", category="compile"):
+            ir = compile_to_ir(source)
+        with tracer.span("expand", category="compile"):
+            rtl = expand(machine, ir)
+        with tracer.span("optimize", category="compile"):
+            reports = optimize_module(rtl, machine, options)
+        if isinstance(machine, WM):
+            with tracer.span("lower_wm", category="compile"):
+                lower_wm_module(rtl, machine)
     return CompileResult(source=source, machine=machine, options=options,
                          ir=ir, rtl=rtl, reports=reports)

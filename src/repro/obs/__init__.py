@@ -1,0 +1,31 @@
+"""Observability: span tracing, metrics, and trace export.
+
+See DESIGN.md ("Observability") for the no-op-tracer design.  Typical
+use::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = compile_source(src)
+        sim = result.simulate(telemetry=True)
+    write_chrome_trace(tracer, "compile.trace.json")
+"""
+
+from .export import (
+    RunCounters, chrome_trace, format_run_counters, format_summary,
+    metrics_json, write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, get_tracer,
+    set_tracer, use_tracer,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_TRACER", "NullTracer", "Span", "TraceEvent", "Tracer",
+    "get_tracer", "set_tracer", "use_tracer",
+    "RunCounters", "chrome_trace", "format_run_counters",
+    "format_summary", "metrics_json", "write_chrome_trace",
+]

@@ -1,0 +1,150 @@
+"""Counters, gauges, and histograms for the observability layer.
+
+Metrics are named, typed accumulators owned by a
+:class:`MetricsRegistry`.  The registry is *global but injectable*: the
+default instance lives on the process-wide tracer
+(:func:`repro.obs.tracer.get_tracer`), and tests or concurrent drivers
+can install their own with :func:`repro.obs.tracer.use_tracer` without
+touching any instrumentation site.
+
+Everything here is dependency-free and cheap: a counter increment is a
+dict lookup plus an integer add, and the disabled-tracer fast path
+(see :class:`repro.obs.tracer.NullTracer`) skips even that.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; also tracks the maximum ever set."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket is
+    appended automatically.  The default bounds suit small occupancy
+    and duration distributions.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "minimum", "maximum")
+
+    DEFAULT_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+    def __init__(self, name: str,
+                 bounds: Optional[tuple] = None) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None \
+            else self.DEFAULT_BOUNDS
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for idx, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[idx] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{b}": n
+                   for b, n in zip(self.bounds, self.buckets)},
+                "overflow": self.buckets[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric store (create-on-first-use)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str,
+                  bounds: Optional[tuple] = None) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, bounds)
+            return metric
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready snapshot of every metric."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: {"value": g.value,
+                               "high_water": g.high_water}
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.to_dict()
+                               for n, h in sorted(self._histograms.items())},
+            }

@@ -1,0 +1,290 @@
+"""A zero-dependency span tracer with a no-op fast path.
+
+The tracer records three kinds of data:
+
+* **spans** — named, timed intervals opened with the :meth:`Tracer.span`
+  context manager.  Spans nest (re-entrantly, per thread) and are
+  exception-safe: the exit timestamp is recorded even when the body
+  raises.  Simulated time sources (the WM cycle counter) can emit spans
+  with explicit timestamps via :meth:`Tracer.span_at`.
+* **instant events** — structured provenance records
+  (:meth:`Tracer.event`), e.g. "recurrence degree 2 on loop L3: load
+  replaced by rotation".
+* **metrics** — counters/gauges/histograms on an attached
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The process-wide tracer defaults to :data:`NULL_TRACER`, whose every
+method is a constant-time no-op and whose ``span()`` returns one shared
+reusable context manager — instrumentation left in hot paths costs a
+method call and nothing else, and sites that need even less can branch
+on ``tracer.enabled``.  :func:`use_tracer` swaps in a recording tracer
+for a scope (and restores the previous one on exit), so concurrent
+drivers can each observe their own compile without global state leaks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER",
+    "get_tracer", "set_tracer", "use_tracer",
+]
+
+
+class Span:
+    """One completed (or still-open) timed interval.
+
+    ``start``/``end`` are in seconds for wall-clock spans and in the
+    caller's own unit (simulator cycles) for explicit-timestamp spans,
+    distinguished by ``track``: wall-clock spans carry ``track=None``.
+    """
+
+    __slots__ = ("name", "category", "start", "end", "args", "track",
+                 "thread_id")
+
+    def __init__(self, name: str, category: str, start: float,
+                 args: Optional[dict], track: Optional[str],
+                 thread_id: int) -> None:
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+        self.track = track
+        self.thread_id = thread_id
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) \
+            - self.start
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.name!r} {self.start:.6f}"
+                f"..{self.end if self.end is not None else '?'}>")
+
+
+class TraceEvent:
+    """An instant (zero-duration) structured event."""
+
+    __slots__ = ("name", "category", "timestamp", "args", "track",
+                 "thread_id")
+
+    def __init__(self, name: str, category: str, timestamp: float,
+                 args: Optional[dict], track: Optional[str],
+                 thread_id: int) -> None:
+        self.name = name
+        self.category = category
+        self.timestamp = timestamp
+        self.args = args
+        self.track = track
+        self.thread_id = thread_id
+
+
+class _SpanContext:
+    """Context manager closing one span (exception-safe)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end = self._tracer.clock()
+        if exc_type is not None and self._span.args is not None:
+            self._span.args.setdefault("error", exc_type.__name__)
+        elif exc_type is not None:
+            self._span.args = {"error": exc_type.__name__}
+        return False
+
+
+class Tracer:
+    """A recording tracer.  Thread-safe; spans may nest arbitrarily."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._epoch = clock()
+
+    # ------------------------------------------------------------- spans --
+    def span(self, name: str, category: str = "",
+             **args) -> _SpanContext:
+        """Open a wall-clock span; use as a context manager."""
+        span = Span(name, category, self.clock(), args or None, None,
+                    threading.get_ident())
+        with self._lock:
+            self.spans.append(span)
+        return _SpanContext(self, span)
+
+    def span_at(self, name: str, start: float, end: float,
+                category: str = "", track: str = "sim",
+                **args) -> Span:
+        """Record a completed span with explicit timestamps (e.g. in
+        simulator cycles) on a named virtual track."""
+        span = Span(name, category, start, args or None, track,
+                    threading.get_ident())
+        span.end = end
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------ events --
+    def event(self, name: str, category: str = "", **args) -> None:
+        """Record an instant wall-clock event."""
+        evt = TraceEvent(name, category, self.clock(), args or None,
+                         None, threading.get_ident())
+        with self._lock:
+            self.events.append(evt)
+
+    def event_at(self, name: str, timestamp: float, category: str = "",
+                 track: str = "sim", **args) -> None:
+        """Record an instant event at an explicit timestamp."""
+        evt = TraceEvent(name, category, timestamp, args or None,
+                         track, threading.get_ident())
+        with self._lock:
+            self.events.append(evt)
+
+    # ----------------------------------------------------------- metrics --
+    def count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value,
+                bounds: Optional[tuple] = None) -> None:
+        self.metrics.histogram(name, bounds).record(value)
+
+    # ----------------------------------------------------------- queries --
+    def find_spans(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def open_spans(self) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.end is None]
+
+
+class _NullSpanContext:
+    """The shared do-nothing context manager of the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-time no-op.
+
+    ``span()`` hands back one preallocated context manager (no object
+    allocation per call), so instrumentation points may stay in place
+    unconditionally; per-cycle hot loops should additionally branch on
+    ``enabled`` and skip the call entirely.
+    """
+
+    enabled = False
+    spans: list = []
+    events: list = []
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, category: str = "", **args):
+        return _NULL_SPAN_CONTEXT
+
+    def span_at(self, name: str, start: float, end: float,
+                category: str = "", track: str = "sim", **args) -> None:
+        return None
+
+    def event(self, name: str, category: str = "", **args) -> None:
+        return None
+
+    def event_at(self, name: str, timestamp: float, category: str = "",
+                 track: str = "sim", **args) -> None:
+        return None
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value) -> None:
+        return None
+
+    def observe(self, name: str, value,
+                bounds: Optional[tuple] = None) -> None:
+        return None
+
+    def find_spans(self, name: str) -> list:
+        return []
+
+    def open_spans(self) -> list:
+        return []
+
+
+#: The process-default tracer.  Instrumentation sites fetch it through
+#: :func:`get_tracer`; it is replaced (never mutated) by ``set_tracer``.
+NULL_TRACER = NullTracer()
+
+_global_lock = threading.Lock()
+_global_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The current process-wide tracer (a ``Tracer`` or ``NULL_TRACER``)."""
+    return _global_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` (pass ``None`` to restore the null tracer)."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+class use_tracer:
+    """Context manager: install a tracer for a scope, then restore.
+
+    >>> tracer = Tracer()
+    >>> with use_tracer(tracer):
+    ...     compile_source(...)   # instrumented sites record into tracer
+    """
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        global _global_tracer
+        with _global_lock:
+            self._previous = _global_tracer
+            _global_tracer = self._tracer if self._tracer is not None \
+                else NULL_TRACER
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _global_tracer
+        with _global_lock:
+            _global_tracer = self._previous
+        return False

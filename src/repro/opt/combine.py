@@ -205,12 +205,17 @@ def _same_or_better(saved, instr: Instr) -> bool:
 
 def combine_cfg(cfg: CFG, machine: Machine, max_rounds: int = 4) -> bool:
     """Run the combine pass to a (bounded) fixpoint over every block."""
+    from ..obs import get_tracer
     any_change = False
+    rounds = 0
     for block in cfg.blocks:
         for _ in range(max_rounds):
             if not combine_block(block, machine):
                 break
+            rounds += 1
             any_change = True
+    if rounds:
+        get_tracer().count("opt.combine.block_rounds", rounds)
     # Always at least simplify in place (fold constants) even when no
     # substitution fired.
     for block in cfg.blocks:

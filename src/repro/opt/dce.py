@@ -13,6 +13,7 @@ touching the WM FIFO registers are always kept.
 
 from __future__ import annotations
 
+from ..obs import get_tracer
 from ..rtl.expr import Mem, Reg, VReg, walk
 from ..rtl.instr import Assign, Call, Compare, Instr, Ret
 from .cfg import CFG
@@ -43,6 +44,7 @@ def _removable(instr: Instr) -> bool:
 def dce_cfg(cfg: CFG) -> bool:
     """Liveness-based dead assignment removal, to fixpoint."""
     any_change = False
+    removed = 0
     while True:
         liveness = compute_liveness(cfg)
         changed = False
@@ -53,12 +55,15 @@ def dce_cfg(cfg: CFG) -> bool:
                 defs = instr.defs()
                 if defs and _removable(instr) and not (defs & live):
                     changed = True
+                    removed += 1
                     continue
                 keep.append(instr)
             block.instrs = keep
         if not changed:
             break
         any_change = True
+    if removed:
+        get_tracer().count("opt.dce.removed", removed)
     return any_change
 
 

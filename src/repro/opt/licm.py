@@ -16,6 +16,7 @@ paper's Figure 4 (lines 4-9) out of the Livermore loop.
 
 from __future__ import annotations
 
+from ..obs import get_tracer
 from ..rtl.expr import Mem, Reg, VReg, walk
 from ..rtl.instr import Assign, Instr
 from .cfg import CFG
@@ -86,6 +87,13 @@ def _hoist_loop(cfg: CFG, loop: Loop) -> bool:
     if pre.terminator is not None:
         insert_at -= 1
     pre.instrs[insert_at:insert_at] = hoisted
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("opt.licm.hoisted", len(hoisted))
+        tracer.event("rewrite.licm", category="opt",
+                     loop=loop.header.label, hoisted=len(hoisted),
+                     detail=f"hoisted {len(hoisted)} invariant(s) out of "
+                            f"loop {loop.header.label}")
     return True
 
 

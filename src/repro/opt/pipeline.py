@@ -13,15 +13,17 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
+from ..obs import get_tracer
 from ..rtl.module import RtlFunction
-from .cfg import build_cfg
+from .cfg import CFG, build_cfg
 from .combine import combine_cfg
 from .dce import dce_cfg, remove_dead_ivs
 from .licm import licm_cfg
 from .peephole import peephole_cfg, remove_identity_moves
 from .regalloc import allocate_registers, finalize_frame
 
-__all__ = ["OptOptions", "OptReports", "optimize_function", "optimize_module"]
+__all__ = ["OptOptions", "OptReports", "PassStat", "optimize_function",
+           "optimize_module"]
 
 
 @dataclass
@@ -60,12 +62,36 @@ class OptOptions:
 
 
 @dataclass
+class PassStat:
+    """One pass invocation: wall time and RTL count before/after.
+
+    Recorded only while a tracer is installed (``repro.obs``); the
+    default no-op tracer keeps the pipeline's fast path unchanged.
+    """
+
+    name: str
+    seconds: float
+    rtl_before: int
+    rtl_after: int
+
+    @property
+    def delta(self) -> int:
+        return self.rtl_after - self.rtl_before
+
+
+@dataclass
 class OptReports:
     """Per-function transformation reports (for tables and tests)."""
 
     recurrences: list = field(default_factory=list)
     streams: list = field(default_factory=list)
     strength_reduced: int = 0
+    #: per-pass timing/size records (empty unless a tracer is active)
+    passes: list[PassStat] = field(default_factory=list)
+
+
+def _count_rtls(cfg: CFG) -> int:
+    return sum(len(block.instrs) for block in cfg.blocks)
 
 
 def optimize_function(func: RtlFunction, machine: Machine,
@@ -73,47 +99,66 @@ def optimize_function(func: RtlFunction, machine: Machine,
     """Run the pipeline over one function in place."""
     opts = opts or OptOptions()
     reports = OptReports()
+    tracer = get_tracer()
     cfg = build_cfg(func)
-    peephole_cfg(cfg)
+
+    def run(name: str, pass_fn, *args, **kwargs):
+        """Invoke one pass; record a span + PassStat when tracing."""
+        if not tracer.enabled:
+            return pass_fn(cfg, *args, **kwargs)
+        before = _count_rtls(cfg)
+        with tracer.span(f"opt.{name}", category="opt",
+                         function=func.name) as span:
+            out = pass_fn(cfg, *args, **kwargs)
+        after = _count_rtls(cfg)
+        span.args.update(rtl_before=before, rtl_after=after)
+        reports.passes.append(
+            PassStat(name, span.duration, before, after))
+        return out
+
+    run("peephole", peephole_cfg)
     if not opts.naive:
         if opts.combine:
-            combine_cfg(cfg, machine)
+            run("combine", combine_cfg, machine)
         if opts.dce:
-            dce_cfg(cfg)
+            run("dce", dce_cfg)
         if opts.licm:
-            licm_cfg(cfg)
+            run("licm", licm_cfg)
         if opts.combine:
-            combine_cfg(cfg, machine)
+            run("combine", combine_cfg, machine)
         if opts.dce:
-            dce_cfg(cfg)
+            run("dce", dce_cfg)
         if opts.recurrence:
             from ..recurrence.transform import optimize_recurrences
-            reports.recurrences = optimize_recurrences(cfg, machine)
+            reports.recurrences = run("recurrence", optimize_recurrences,
+                                      machine)
             if reports.recurrences and opts.post_recurrence_cleanup:
                 if opts.combine:
-                    combine_cfg(cfg, machine)
+                    run("combine", combine_cfg, machine)
                 if opts.dce:
-                    dce_cfg(cfg)
+                    run("dce", dce_cfg)
         if opts.streaming and machine.has_streams:
             from ..streaming.transform import optimize_streams
-            reports.streams = optimize_streams(
-                cfg, machine, allow_infinite=opts.allow_infinite_streams)
+            reports.streams = run(
+                "streaming", optimize_streams, machine,
+                allow_infinite=opts.allow_infinite_streams)
             if reports.streams:
                 if opts.dce:
-                    dce_cfg(cfg)
-                remove_dead_ivs(cfg)
+                    run("dce", dce_cfg)
+                run("remove_dead_ivs", remove_dead_ivs)
                 if opts.dce:
-                    dce_cfg(cfg)
+                    run("dce", dce_cfg)
         if opts.strength and not machine.has_streams:
             from .strength import strength_reduce
-            reports.strength_reduced = strength_reduce(cfg, machine)
+            reports.strength_reduced = run("strength", strength_reduce,
+                                           machine)
             if opts.combine:
-                combine_cfg(cfg, machine)
+                run("combine", combine_cfg, machine)
             if opts.dce:
-                dce_cfg(cfg)
-        peephole_cfg(cfg)
-    used_callee = allocate_registers(cfg, machine)
-    remove_identity_moves(cfg)
+                run("dce", dce_cfg)
+        run("peephole", peephole_cfg)
+    used_callee = run("regalloc", allocate_registers, machine)
+    run("remove_identity_moves", remove_identity_moves)
     func.instrs = cfg.to_instrs()
     finalize_frame(func, machine, used_callee)
     return reports

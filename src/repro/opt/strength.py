@@ -55,6 +55,9 @@ def strength_reduce(cfg: CFG, machine: Machine) -> int:
                     pre = ensure_preheader(cfg, loop)
                 total += _reduce_ref(cfg, loop, pre, ref, machine, alloc)
         doms = compute_dominators(cfg)
+    if total:
+        from ..obs import get_tracer
+        get_tracer().count("opt.strength.reduced", total)
     return total
 
 

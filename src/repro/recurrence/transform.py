@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
+from ..obs import get_tracer
 from ..opt.cfg import CFG
 from ..opt.dominators import compute_dominators
 from ..opt.emitexpr import VRegAllocator, emit_expr
@@ -160,6 +161,14 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
                             comment=f"initial read ({j + 1} back)"))
     pre.instrs[insert_at:insert_at] = setup
 
+    tracer = get_tracer()
+    tracer.event(
+        "rewrite.recurrence", category="opt",
+        loop=loop.header.label, degree=degree, partition=part.key,
+        eliminated_loads=eliminated,
+        detail=f"recurrence degree {degree} on loop {loop.header.label}: "
+               f"{eliminated} load(s) replaced by register rotation")
+    tracer.count("opt.recurrence.loads_eliminated", eliminated)
     return RecurrenceReport(
         loop_header=loop.header.label,
         partitions_before=[r.vector() for r in part.refs],

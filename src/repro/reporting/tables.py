@@ -24,6 +24,7 @@ from typing import Optional
 from ..benchsuite import PROGRAMS, UTILITY_CORPUS, get_program
 from ..compiler import compile_source, scalar_options
 from ..machine.scalar import MACHINES, make_machine
+from ..obs import get_tracer
 from ..opt import OptOptions
 
 __all__ = [
@@ -114,14 +115,18 @@ def table1(n: int = 2000) -> list[Table1Row]:
     scaled down (the improvement percentage is size-independent once
     the loop dominates) — pass a larger ``n`` to match the paper.
     """
+    tracer = get_tracer()
     rows = []
-    for name in ("sun3/280", "hp9000/345", "vax8600", "m88100"):
-        base = _scalar_kernel_cycles(name, n, recurrence=False)
-        opt = _scalar_kernel_cycles(name, n, recurrence=True)
-        rows.append(Table1Row(name, base, opt, PAPER_TABLE1[name]))
-    base = _wm_kernel_cycles(n, recurrence=False)
-    opt = _wm_kernel_cycles(n, recurrence=True)
-    rows.append(Table1Row("wm", base, opt, PAPER_TABLE1["wm"]))
+    with tracer.span("table1", category="tables", n=n):
+        for name in ("sun3/280", "hp9000/345", "vax8600", "m88100"):
+            with tracer.span(f"table1.{name}", category="tables"):
+                base = _scalar_kernel_cycles(name, n, recurrence=False)
+                opt = _scalar_kernel_cycles(name, n, recurrence=True)
+            rows.append(Table1Row(name, base, opt, PAPER_TABLE1[name]))
+        with tracer.span("table1.wm", category="tables"):
+            base = _wm_kernel_cycles(n, recurrence=False)
+            opt = _wm_kernel_cycles(n, recurrence=True)
+        rows.append(Table1Row("wm", base, opt, PAPER_TABLE1["wm"]))
     return rows
 
 
@@ -147,16 +152,19 @@ def table2(scale: float = 0.25,
     ``scale`` shrinks the problem sizes so full cycle simulation stays
     fast; percentages are stable across scales once loops dominate.
     """
+    tracer = get_tracer()
     table_programs = programs or tuple(
         p for p in PROGRAMS if p in PAPER_TABLE2)
     rows = []
     for name in table_programs:
-        prog = get_program(name, scale=scale)
-        base_res = compile_source(prog.source,
-                                  options=OptOptions.no_streaming())
-        stream_res = compile_source(prog.source, options=OptOptions())
-        base = base_res.simulate()
-        stream = stream_res.simulate()
+        with tracer.span(f"table2.{name}", category="tables", scale=scale):
+            prog = get_program(name, scale=scale)
+            base_res = compile_source(prog.source,
+                                      options=OptOptions.no_streaming())
+            stream_res = compile_source(prog.source, options=OptOptions())
+            with tracer.span(f"table2.{name}.simulate", category="tables"):
+                base = base_res.simulate()
+                stream = stream_res.simulate()
         n_in = sum(r.streams_in for rep in stream_res.reports.values()
                    for r in rep.streams)
         n_out = sum(r.streams_out for rep in stream_res.reports.values()
@@ -191,14 +199,17 @@ def table3_4(scale: float = 0.25) -> tuple[list[SpecRow], float]:
     cc_opts = OptOptions(licm=False, recurrence=False, streaming=False,
                          strength=False)
     vpo_opts = scalar_options()
+    tracer = get_tracer()
     rows = []
     for name in PROGRAMS:
-        prog = get_program(name, scale=scale)
-        cc = compile_source(prog.source, machine=make_machine("generic-risc"),
-                            options=cc_opts).execute()
-        vpo = compile_source(prog.source,
-                             machine=make_machine("generic-risc"),
-                             options=vpo_opts).execute()
+        with tracer.span(f"table34.{name}", category="tables", scale=scale):
+            prog = get_program(name, scale=scale)
+            cc = compile_source(prog.source,
+                                machine=make_machine("generic-risc"),
+                                options=cc_opts).execute()
+            vpo = compile_source(prog.source,
+                                 machine=make_machine("generic-risc"),
+                                 options=vpo_opts).execute()
         assert cc.value == vpo.value, (name, cc.value, vpo.value)
         rows.append(SpecRow(name, cc.cycles, vpo.cycles))
     geomean = math.exp(sum(math.log(r.ratio) for r in rows) / len(rows))
@@ -217,9 +228,11 @@ class DetectionRow:
 def stream_detection() -> list[DetectionRow]:
     """Which utility kernels the optimizer finds streams in (the paper's
     cal/compact/od/sort/diff/nroff/yacc observation)."""
+    tracer = get_tracer()
     rows = []
     for name, source in UTILITY_CORPUS.items():
-        result = compile_source(source, options=OptOptions())
+        with tracer.span(f"detect.{name}", category="tables"):
+            result = compile_source(source, options=OptOptions())
         n_in = n_out = n_inf = 0
         for rep in result.reports.values():
             for stream in rep.streams:

@@ -4,10 +4,12 @@ from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
 from .machine import SimError, SimResult, WMSimulator, simulate
 from .memory import MemError, MemorySystem
+from .telemetry import FifoStats, SimTelemetry, StreamStats, UnitStats
 
 __all__ = [
     "FifoError", "InFifo", "OutFifo", "Reservation",
     "Program", "load_program",
     "SimError", "SimResult", "WMSimulator", "simulate",
     "MemError", "MemorySystem",
+    "FifoStats", "SimTelemetry", "StreamStats", "UnitStats",
 ]

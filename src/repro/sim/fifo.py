@@ -36,14 +36,16 @@ class Reservation:
     (None = unbounded, for infinite streams).
     """
 
-    __slots__ = ("quota", "delivered", "buffer", "closed", "tag")
+    __slots__ = ("quota", "delivered", "buffer", "closed", "tag", "fifo")
 
-    def __init__(self, quota: Optional[int], tag: str = "") -> None:
+    def __init__(self, quota: Optional[int], tag: str = "",
+                 fifo: Optional["InFifo"] = None) -> None:
         self.quota = quota
         self.delivered = 0
         self.buffer: deque = deque()
         self.closed = False
         self.tag = tag
+        self.fifo = fifo
 
     @property
     def exhausted(self) -> bool:
@@ -59,6 +61,11 @@ class Reservation:
             raise FifoError(f"source {self.tag} over-delivered")
         self.delivered += 1
         self.buffer.append(value)
+        fifo = self.fifo
+        if fifo is not None:
+            occupancy = fifo.buffered()
+            if occupancy > fifo.high_water:
+                fifo.high_water = occupancy
 
 
 class InFifo:
@@ -67,10 +74,12 @@ class InFifo:
     def __init__(self, capacity: int = 8, name: str = "") -> None:
         self.capacity = capacity
         self.name = name
+        #: exact maximum simultaneous occupancy ever observed
+        self.high_water = 0
         self._sources: deque[Reservation] = deque()
 
     def reserve(self, quota: Optional[int], tag: str = "") -> Reservation:
-        res = Reservation(quota, tag)
+        res = Reservation(quota, tag, fifo=self)
         self._sources.append(res)
         return res
 
@@ -122,6 +131,8 @@ class OutFifo:
     def __init__(self, capacity: int = 8, name: str = "") -> None:
         self.capacity = capacity
         self.name = name
+        #: exact maximum occupancy ever observed
+        self.high_water = 0
         self._data: deque = deque()
 
     def has_room(self) -> bool:
@@ -131,6 +142,8 @@ class OutFifo:
         if not self.has_room():
             raise FifoError(f"push to full output FIFO {self.name}")
         self._data.append(value)
+        if len(self._data) > self.high_water:
+            self.high_water = len(self._data)
 
     def available(self) -> int:
         return len(self._data)

@@ -46,6 +46,7 @@ from ..rtl.module import RtlModule
 from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
 from .memory import MemError, MemorySystem
+from .telemetry import SimTelemetry, StreamStats
 
 __all__ = ["WMSimulator", "SimResult", "SimError", "simulate"]
 
@@ -69,6 +70,8 @@ class SimResult:
     stream_elements: int
     memory: bytearray
     globals_base: dict[str, int]
+    #: per-unit/FIFO/stream attribution; None unless telemetry was on
+    telemetry: Optional["SimTelemetry"] = None
 
     def global_bytes(self, name: str, size: int) -> bytes:
         base = self.globals_base[name]
@@ -111,9 +114,10 @@ class _StreamState:
 
     __slots__ = ("kind", "bank", "index", "addr", "count", "stride",
                  "width", "fp", "reservation", "remaining", "jni_counter",
-                 "active", "inflight")
+                 "active", "inflight", "stats")
 
     def __init__(self, kind: str, bank: str, index: int) -> None:
+        self.stats = None  # StreamStats, telemetry runs only
         self.kind = kind
         self.bank = bank
         self.index = index
@@ -154,12 +158,19 @@ class WMSimulator:
     def __init__(self, module: RtlModule, mem_size: int = 1 << 23,
                  mem_latency: int = 4, mem_ports: int = 2,
                  fifo_capacity: int = 8,
-                 max_cycles: int = 500_000_000) -> None:
+                 max_cycles: int = 500_000_000,
+                 telemetry: bool = False) -> None:
         self.module = module
         self.program: Program = load_program(module)
         self.memory = MemorySystem(module, size=mem_size,
                                    latency=mem_latency, ports=mem_ports)
         self.max_cycles = max_cycles
+        self.telemetry: Optional[SimTelemetry] = None
+        self._stall_reason: Optional[str] = None
+        self._scu_active = False
+        if telemetry:
+            self.telemetry = SimTelemetry()
+            self.memory.enable_region_stats()
         self.ieu = _Unit("IEU", "r")
         self.feu = _Unit("FEU", "f")
         self.units = {"IEU": self.ieu, "FEU": self.feu}
@@ -197,16 +208,27 @@ class WMSimulator:
 
     # ------------------------------------------------------------------ run --
     def run(self) -> SimResult:
+        tel = self.telemetry
         while not self.halted:
             self.cycle += 1
             if self.cycle > self.max_cycles:
-                raise SimError(f"cycle limit exceeded ({self.max_cycles})")
+                instr = self.program.instrs[self.pc] \
+                    if 0 <= self.pc < len(self.program.instrs) else None
+                raise SimError(
+                    f"cycle limit exceeded at cycle {self.cycle} "
+                    f"(max_cycles={self.max_cycles}): pc={self.pc}"
+                    + (f" ({instr!r})" if instr is not None else "")
+                    + f", IEU queue={len(self.ieu.queue)}, "
+                    f"FEU queue={len(self.feu.queue)}")
             self.memory.begin_cycle()
             self.memory.tick(self.cycle)
             self._tick_store_buffer()
             self._tick_scu()
-            self._tick_unit(self.feu)
-            self._tick_unit(self.ieu)
+            if tel is None:
+                self._tick_unit(self.feu)
+                self._tick_unit(self.ieu)
+            else:
+                self._sample_telemetry(tel)
             self._tick_ifu()
             self._check_done()
             if self.cycle - self._progress_cycle > 10_000:
@@ -214,6 +236,15 @@ class WMSimulator:
                     f"deadlock at cycle {self.cycle}: pc={self.pc}, "
                     f"IEU queue={len(self.ieu.queue)}, "
                     f"FEU queue={len(self.feu.queue)}")
+        if tel is not None:
+            tel.cycles = self.cycle
+            tel.mem_regions = self.memory.region_stats or {}
+            for key, fifo in self.in_fifos.items():
+                tel.fifo(fifo.name, fifo.capacity).high_water = \
+                    fifo.high_water
+            for key, fifo in self.out_fifos.items():
+                tel.fifo(fifo.name, fifo.capacity).high_water = \
+                    fifo.high_water
         ret_int = self.ieu.regs[2]
         return SimResult(
             value=ret_int,
@@ -226,7 +257,28 @@ class WMSimulator:
             stream_elements=self.stream_elements,
             memory=self.memory.data,
             globals_base=dict(self.memory.globals_base),
+            telemetry=tel,
         )
+
+    def _sample_telemetry(self, tel: SimTelemetry) -> None:
+        """Telemetry-mode unit tick + per-cycle sampling.  Performs the
+        exact same unit ticks as the fast path; only the bookkeeping
+        around them differs."""
+        self._stall_reason = None
+        tel.units["FEU"].record(self._tick_unit(self.feu),
+                                self._stall_reason)
+        self._stall_reason = None
+        tel.units["IEU"].record(self._tick_unit(self.ieu),
+                                self._stall_reason)
+        if self._scu_active:
+            tel.scu_busy_cycles += 1
+            self._scu_active = False
+        if self.memory.busy():
+            tel.mem_busy_cycles += 1
+        for key, fifo in self.in_fifos.items():
+            tel.fifo(fifo.name, fifo.capacity).sample(fifo.buffered())
+        for key, fifo in self.out_fifos.items():
+            tel.fifo(fifo.name, fifo.capacity).sample(fifo.available())
 
     def _progress(self) -> None:
         self._progress_cycle = self.cycle
@@ -361,43 +413,57 @@ class WMSimulator:
                             dst, value)
 
     # -------------------------------------------------------------- units --
-    def _tick_unit(self, unit: _Unit) -> None:
-        if not unit.queue or self.cycle < unit.busy_until:
-            return
+    def _tick_unit(self, unit: _Unit) -> str:
+        """Advance one unit a cycle; the returned status ("idle", "busy"
+        or "stall") feeds the telemetry attribution and is ignored on
+        the fast path."""
+        if not unit.queue:
+            return "idle"
+        if self.cycle < unit.busy_until:
+            return "busy"  # occupied by a multi-cycle operation
         kind, payload = unit.queue[0]
         if kind == "link":
             unit.regs[30] = payload
             unit.queue.popleft()
             unit.executed += 1
             self._progress()
-            return
+            return "busy"
         instr: Instr = payload
         if self._execute(unit, instr):
             unit.queue.popleft()
             unit.executed += 1
             self._progress()
+            return "busy"
+        return "stall"
+
+    def _stall(self, reason: str) -> bool:
+        """Record why the current instruction could not execute (read by
+        the telemetry sampler) and report the stall."""
+        self._stall_reason = reason
+        return False
 
     def _execute(self, unit: _Unit, instr: Instr) -> bool:
         """Try to execute; False = stall (retry next cycle)."""
         if isinstance(instr, Compare):
             if len(unit.cc_fifo) >= 8:
-                return False
+                return self._stall("cc-full")
             if not self._operands_ready(unit, [instr.left, instr.right]):
-                return False
+                return self._stall("operand-wait")
             left = self._eval(unit, instr.left)
             right = self._eval(unit, instr.right)
             unit.cc_fifo.append(bool(_CMP[instr.op](left, right)))
             return True
         if isinstance(instr, WMLoadIssue):
             if not self._operands_ready(unit, [instr.addr]):
-                return False
+                return self._stall("operand-wait")
             if not self.memory.can_accept():
-                return False
+                return self._stall("memory-port")
             addr = self._eval(unit, instr.addr)
             if self._store_conflict(addr, instr.width):
-                return False
+                return self._stall("store-conflict")
             if self._out_stream_conflict(addr, instr.width):
-                return False  # an output stream has not written this yet
+                # an output stream has not written this yet
+                return self._stall("stream-drain")
             fifo = self.in_fifos[(instr.bank, 0)]
             reservation = fifo.reserve(1, tag="load")
             ok = self.memory.request_read(
@@ -407,7 +473,7 @@ class WMSimulator:
             return True
         if isinstance(instr, WMStoreIssue):
             if not self._operands_ready(unit, [instr.addr]):
-                return False
+                return self._stall("operand-wait")
             addr = self._eval(unit, instr.addr)
             key = (instr.bank, 0)
             claim = ["store", addr, instr.width, instr.fp]
@@ -435,12 +501,12 @@ class WMSimulator:
     def _exec_assign(self, unit: _Unit, instr: Assign) -> bool:
         dst = instr.dst
         if not self._operands_ready(unit, [instr.src]):
-            return False
+            return self._stall("operand-wait")
         writes_fifo = isinstance(dst, Reg) and dst.index in (0, 1)
         if writes_fifo:
             out = self.out_fifos[(dst.bank, dst.index)]
             if not out.has_room():
-                return False
+                return self._stall("output-full")
         value = self._eval(unit, instr.src)
         cost = self._cost(unit, instr.src)
         if cost > 1:
@@ -564,6 +630,12 @@ class WMSimulator:
             self.out_claims[fifo_key].append(["stream", state])
         self.streams[key] = state
         self._activate_gen[key] = self._activate_gen.get(key, 0) + 1
+        if self.telemetry is not None:
+            state.stats = StreamStats(
+                key=f"{instr.fifo.bank}{instr.fifo.index}", kind=kind,
+                start_cycle=self.cycle, base=base, stride=instr.stride,
+                width=instr.width, count=count)
+            self.telemetry.streams.append(state.stats)
         return True
 
     def _tick_scu(self) -> None:
@@ -603,6 +675,9 @@ class WMSimulator:
                 return  # stream was stopped; drop late arrivals
             reservation.deliver(value)
             self.stream_elements += 1
+            if state.stats is not None:
+                state.stats.elements += 1
+                state.stats.last_cycle = self.cycle
 
         try:
             ok = self.memory.request_read(self.cycle, state.addr,
@@ -624,6 +699,8 @@ class WMSimulator:
             state.addr += state.stride
             if state.remaining is not None:
                 state.remaining -= 1
+            if self.telemetry is not None:
+                self._scu_active = True
             self._progress()
 
     def _tick_stream_out(self, key, state: _StreamState) -> None:
@@ -642,6 +719,10 @@ class WMSimulator:
         self.memory.request_write(self.cycle, state.addr, state.width,
                                   state.fp, value)
         self.stream_elements += 1
+        if state.stats is not None:
+            state.stats.elements += 1
+            state.stats.last_cycle = self.cycle
+            self._scu_active = True
         state.addr += state.stride
         if state.remaining is not None:
             state.remaining -= 1

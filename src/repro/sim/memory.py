@@ -18,6 +18,7 @@ a simple latency/throughput model:
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from typing import Callable, Optional
 
 from ..ir.interp import DATA_BASE
@@ -46,9 +47,13 @@ class MemorySystem:
         self._accepted_this_cycle = 0
         self.reads = 0
         self.writes = 0
+        #: per-region traffic, populated only by enable_region_stats()
+        self.region_stats: Optional[dict[str, dict[str, int]]] = None
+        self._region_bounds: list[tuple[int, int, str]] = []
 
     def _layout(self, module: RtlModule) -> None:
         addr = DATA_BASE
+        self._module_objects = list(module.data.values())
         for obj in module.data.values():
             align = max(obj.align, 1)
             addr = (addr + align - 1) & ~(align - 1)
@@ -57,6 +62,30 @@ class MemorySystem:
             self.data[addr:addr + obj.size] = image
             addr += obj.size
         self.data_end = addr
+
+    # -- telemetry -------------------------------------------------------------
+    def enable_region_stats(self) -> None:
+        """Start classifying each accepted request into a named region
+        (one per global object, plus ``stack`` for everything above the
+        data segment).  Off by default: the classification costs a
+        bisect per request."""
+        self.region_stats = {}
+        bounds = []
+        for obj in self._module_objects:
+            base = self.globals_base[obj.name]
+            bounds.append((base, base + obj.size, obj.name))
+        self._region_bounds = sorted(bounds)
+
+    def _classify(self, addr: int, key: str) -> None:
+        idx = bisect_right(self._region_bounds, (addr, self.size, "")) - 1
+        name = "stack"
+        if idx >= 0:
+            base, end, obj_name = self._region_bounds[idx]
+            if base <= addr < end:
+                name = obj_name
+        stats = self.region_stats.setdefault(
+            name, {"reads": 0, "writes": 0})
+        stats[key] += 1
 
     # -- raw access ------------------------------------------------------------
     def _check(self, addr: int, width: int) -> None:
@@ -101,6 +130,8 @@ class MemorySystem:
             return False
         self._accepted_this_cycle += 1
         self.reads += 1
+        if self.region_stats is not None:
+            self._classify(addr, "reads")
         value = self.read_value(addr, width, fp, signed)
         self._inflight.append((cycle + self.latency, deliver, value))
         return True
@@ -113,6 +144,8 @@ class MemorySystem:
             return False
         self._accepted_this_cycle += 1
         self.writes += 1
+        if self.region_stats is not None:
+            self._classify(addr, "writes")
         self.write_value(addr, width, fp, value)
         return True
 

@@ -1,0 +1,227 @@
+"""Simulator telemetry: per-unit, per-FIFO, per-stream attribution.
+
+Collected only when a simulation is started with ``telemetry=True``
+(``WMSimulator(..., telemetry=True)`` / ``simulate(..., telemetry=True)``
+/ ``CompileResult.simulate(telemetry=True)``); the default path adds a
+single predicted-not-taken branch per cycle, keeping cycle counts and
+timings identical to the uninstrumented simulator.
+
+What is attributed:
+
+* **units** (IEU/FEU) — every cycle is classified as *busy* (an
+  instruction executed or a multi-cycle operation occupied the unit),
+  *stalled* (the queue head could not execute, with a reason:
+  ``operand-wait``, ``output-full``, ``memory-port``, ``store-conflict``,
+  ``stream-drain``, ``cc-full``) or *idle* (empty queue).
+* **FIFOs** — occupancy sampled once per cycle into a per-level
+  histogram plus an exact high-water mark maintained by the FIFOs
+  themselves on every push.
+* **streams** (SCU) — per activated stream: activation/completion
+  cycles and elements transferred, plus SCU busy-cycle count.
+* **memory** — reads/writes classified per region (each global array /
+  the stack) by :class:`~repro.sim.memory.MemorySystem`.
+
+:meth:`SimTelemetry.emit_spans` projects the collected attribution onto
+a :class:`repro.obs.Tracer` as simulated-time spans (one per unit, one
+per stream) so a run can be inspected in ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["UnitStats", "FifoStats", "StreamStats", "SimTelemetry"]
+
+#: occupancy histogram size (FIFO capacities are small; clamp above)
+_MAX_LEVEL = 32
+
+
+@dataclass
+class UnitStats:
+    """Cycle attribution for one in-order execution unit."""
+
+    name: str
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    idle_cycles: int = 0
+    stall_reasons: dict[str, int] = field(default_factory=dict)
+
+    def record(self, status: str, reason: Optional[str]) -> None:
+        if status == "busy":
+            self.busy_cycles += 1
+        elif status == "stall":
+            self.stall_cycles += 1
+            key = reason or "unknown"
+            self.stall_reasons[key] = self.stall_reasons.get(key, 0) + 1
+        else:
+            self.idle_cycles += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "busy_cycles": self.busy_cycles,
+            "stall_cycles": self.stall_cycles,
+            "idle_cycles": self.idle_cycles,
+            "stall_reasons": dict(sorted(self.stall_reasons.items())),
+        }
+
+
+@dataclass
+class FifoStats:
+    """Occupancy statistics for one FIFO (sampled once per cycle)."""
+
+    name: str
+    capacity: int = 0
+    high_water: int = 0
+    samples: int = 0
+    #: occupancy_cycles[n] = cycles the FIFO held exactly n elements
+    occupancy_cycles: list[int] = field(
+        default_factory=lambda: [0] * (_MAX_LEVEL + 1))
+
+    def sample(self, occupancy: int) -> None:
+        self.samples += 1
+        self.occupancy_cycles[min(occupancy, _MAX_LEVEL)] += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(n * c for n, c in enumerate(self.occupancy_cycles)) \
+            / self.samples
+
+    @property
+    def full_cycles(self) -> int:
+        """Cycles spent at capacity (back-pressure on the producer)."""
+        if not self.capacity:
+            return 0
+        return sum(self.occupancy_cycles[self.capacity:])
+
+    def to_dict(self) -> dict:
+        top = max((n for n, c in enumerate(self.occupancy_cycles) if c),
+                  default=0)
+        return {
+            "capacity": self.capacity,
+            "high_water": self.high_water,
+            "mean_occupancy": round(self.mean_occupancy, 3),
+            "full_cycles": self.full_cycles,
+            "occupancy_cycles": self.occupancy_cycles[:top + 1],
+        }
+
+
+@dataclass
+class StreamStats:
+    """Progress record for one activated SCU stream."""
+
+    key: str
+    kind: str                      # "in" | "out"
+    start_cycle: int
+    base: int
+    stride: int
+    width: int
+    count: Optional[int]
+    elements: int = 0
+    last_cycle: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.last_cycle,
+            "elements": self.elements,
+            "base": self.base,
+            "stride": self.stride,
+            "width": self.width,
+            "count": self.count,
+        }
+
+
+class SimTelemetry:
+    """All telemetry of one simulated run."""
+
+    def __init__(self) -> None:
+        self.units: dict[str, UnitStats] = {
+            "IEU": UnitStats("IEU"),
+            "FEU": UnitStats("FEU"),
+        }
+        self.fifos: dict[str, FifoStats] = {}
+        self.streams: list[StreamStats] = []
+        self.scu_busy_cycles = 0
+        self.mem_busy_cycles = 0
+        self.mem_regions: dict[str, dict] = {}
+        self.cycles = 0
+
+    def fifo(self, name: str, capacity: int) -> FifoStats:
+        stats = self.fifos.get(name)
+        if stats is None:
+            stats = self.fifos[name] = FifoStats(name, capacity)
+        return stats
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "units": {n: u.to_dict() for n, u in self.units.items()},
+            "scu_busy_cycles": self.scu_busy_cycles,
+            "mem_busy_cycles": self.mem_busy_cycles,
+            "fifos": {n: f.to_dict()
+                      for n, f in sorted(self.fifos.items())},
+            "streams": [s.to_dict() for s in self.streams],
+            "memory_regions": {n: dict(v) for n, v in
+                               sorted(self.mem_regions.items())},
+        }
+
+    def emit_spans(self, tracer) -> None:
+        """Project the attribution onto ``tracer`` as simulated-time
+        spans: one span per execution unit (IEU/FEU/SCU/MEM) covering
+        the whole run, one per activated stream, plus instant events
+        for FIFO high-water marks."""
+        end = float(self.cycles)
+        for name, unit in self.units.items():
+            tracer.span_at(
+                f"{name} ({unit.busy_cycles} busy / "
+                f"{unit.stall_cycles} stall)",
+                0.0, end, category="sim", track=name, **unit.to_dict())
+        tracer.span_at(f"SCU ({self.scu_busy_cycles} busy)", 0.0, end,
+                       category="sim", track="SCU",
+                       busy_cycles=self.scu_busy_cycles)
+        tracer.span_at(f"MEM ({self.mem_busy_cycles} busy)", 0.0, end,
+                       category="sim", track="MEM",
+                       busy_cycles=self.mem_busy_cycles,
+                       regions=self.mem_regions)
+        for stream in self.streams:
+            tracer.span_at(
+                f"stream-{stream.kind} {stream.key}",
+                float(stream.start_cycle),
+                float(stream.last_cycle or self.cycles),
+                category="sim", track="SCU", **stream.to_dict())
+        for name, fifo in sorted(self.fifos.items()):
+            tracer.event_at(
+                f"fifo {name} hwm={fifo.high_water}", end,
+                category="sim", track="FIFO", **fifo.to_dict())
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest used by the CLI trace/summary output."""
+        lines = [f"simulated cycles: {self.cycles}"]
+        for name, unit in self.units.items():
+            reasons = ", ".join(f"{k}={v}" for k, v in
+                                sorted(unit.stall_reasons.items()))
+            lines.append(
+                f"  {name}: busy {unit.busy_cycles}, "
+                f"stall {unit.stall_cycles}, idle {unit.idle_cycles}"
+                + (f"  [{reasons}]" if reasons else ""))
+        lines.append(f"  SCU: busy {self.scu_busy_cycles}; "
+                     f"MEM: busy {self.mem_busy_cycles}")
+        for name, fifo in sorted(self.fifos.items()):
+            if not fifo.high_water:
+                continue
+            lines.append(f"  fifo {name}: high-water {fifo.high_water}/"
+                         f"{fifo.capacity}, mean {fifo.mean_occupancy:.2f},"
+                         f" full {fifo.full_cycles} cycles")
+        for stream in self.streams:
+            lines.append(
+                f"  stream {stream.key} ({stream.kind}): "
+                f"{stream.elements} elements, cycles "
+                f"{stream.start_cycle}..{stream.last_cycle}")
+        for region, stats in sorted(self.mem_regions.items()):
+            lines.append(f"  mem[{region}]: {stats.get('reads', 0)} reads, "
+                         f"{stats.get('writes', 0)} writes")
+        return lines

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
+from ..obs import get_tracer
 from ..opt.cfg import CFG, Block
 from ..opt.combine import is_fifo_reg
 from ..opt.dataflow import compute_liveness
@@ -204,6 +205,17 @@ def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
     if test is not None and report.loop_test_replaced:
         if _try_delete_iv(cfg, loop, test.iv):
             report.iv_increment_deleted = True
+    tracer = get_tracer()
+    tracer.event(
+        "rewrite.streaming", category="opt",
+        loop=loop.header.label, streams_in=report.streams_in,
+        streams_out=report.streams_out, infinite=infinite,
+        loop_test_replaced=report.loop_test_replaced,
+        detail=f"loop {loop.header.label}: {report.streams_in} in-stream(s),"
+               f" {report.streams_out} out-stream(s)"
+               f"{' (infinite)' if infinite else ''}")
+    tracer.count("opt.streaming.streams",
+                 report.streams_in + report.streams_out)
     return report
 
 

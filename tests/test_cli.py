@@ -1,5 +1,7 @@
 """CLI driver tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -66,6 +68,75 @@ class TestRun:
         for level in ("none", "baseline", "recurrence", "full"):
             assert main(["run", source_file, "--opt", level]) == 0
             assert "result: 100" in capsys.readouterr().out
+
+
+class TestRunJson:
+    def test_run_json_counters(self, source_file, capsys):
+        assert main(["run", source_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["result"] == 100
+        assert data["status"] == "OK"
+        assert data["cycles"] > 0
+        assert set(data["unit_instructions"]) == {"IEU", "FEU"}
+        assert data["telemetry"]["cycles"] == data["cycles"]
+
+    def test_run_json_scalar(self, source_file, capsys):
+        assert main(["run", source_file, "--target", "m88100",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["result"] == 100
+        assert data["memory_refs"] is not None
+        assert "unit_instructions" not in data
+
+    def test_run_trace_out(self, source_file, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main(["run", source_file, "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"].startswith("opt.") for e in events)
+        assert any(e["name"].startswith("IEU") for e in events)
+
+
+class TestTrace:
+    def test_trace_file(self, source_file, tmp_path, capsys):
+        out = tmp_path / "prog.trace.json"
+        assert main(["trace", source_file, "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert str(out) in text
+        assert "span timings" in text
+        data = json.loads(out.read_text())
+        assert data["traceEvents"]
+
+    def test_trace_benchmark_name(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "lloop5", "--scale", "0.1"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "lloop5.trace.json").exists()
+
+    def test_trace_directory_no_run(self, tmp_path, capsys):
+        src_dir = tmp_path / "src"
+        src_dir.mkdir()
+        (src_dir / "one.c").write_text(SOURCE)
+        (src_dir / "two.c").write_text(SOURCE)
+        out_dir = tmp_path / "traces"
+        assert main(["trace", str(src_dir),
+                     "--no-run", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        written = sorted(p.name for p in out_dir.glob("*.trace.json"))
+        assert written == ["one.trace.json", "two.trace.json"]
+
+    def test_trace_json_mode(self, source_file, tmp_path, capsys,
+                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", source_file, "--no-run", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "spans" in next(iter(data.values()))
+
+    def test_trace_empty_directory_exits(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["trace", str(empty)])
 
 
 class TestFigures:

@@ -1,0 +1,282 @@
+"""Observability layer: tracer, metrics, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.obs import (
+    NULL_TRACER, NullTracer, RunCounters, Tracer, chrome_trace,
+    format_run_counters, format_summary, get_tracer, metrics_json,
+    set_tracer, use_tracer, write_chrome_trace,
+)
+
+SOURCE = """
+double a[64]; double b[64];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 64; i++) { a[i] = 1.0; b[i] = 2.0; }
+    s = 0.0;
+    for (i = 0; i < 64; i++) s = s + a[i] * b[i];
+    return (int)s;
+}
+"""
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.end is not None
+        assert span.duration >= 0.0
+        assert tracer.find_spans("work") == [span]
+
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, = tracer.find_spans("outer")
+        inner, = tracer.find_spans("inner")
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_exception_safety(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bang"):
+                raise ValueError("boom")
+        span, = tracer.find_spans("bang")
+        assert span.end is not None, "span must close when the body raises"
+        assert span.args["error"] == "ValueError"
+        assert not tracer.open_spans()
+
+    def test_span_args_recorded(self):
+        tracer = Tracer()
+        with tracer.span("p", function="main") as span:
+            span.args.update(extra=1)
+        assert span.args == {"function": "main", "extra": 1}
+
+    def test_span_at_explicit_timestamps(self):
+        tracer = Tracer()
+        span = tracer.span_at("IEU", 10.0, 50.0, track="IEU", busy=40)
+        assert span.duration == 40.0
+        assert span.track == "IEU"
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def worker(n):
+            for _ in range(200):
+                with tracer.span(f"t{n}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans) == 800
+        assert not tracer.open_spans()
+
+
+class TestNoOpFastPath:
+    def test_null_tracer_is_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", category="c", arg=1)
+        assert a is b, "no allocation per disabled span"
+        with a as inner:
+            assert inner is None
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        tracer.event("e", detail="d")
+        tracer.span_at("s", 0, 1)
+        tracer.count("c", 5)
+        tracer.gauge("g", 2)
+        tracer.observe("h", 3)
+        assert tracer.spans == []
+        assert tracer.events == []
+        assert tracer.metrics.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_exception_passthrough(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError
+
+
+class TestInjection:
+    def test_use_tracer_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with use_tracer(tracer):
+                raise ValueError
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        tracer.gauge("depth", 3)
+        tracer.gauge("depth", 1)
+        data = tracer.metrics.to_dict()
+        assert data["counters"]["hits"] == 5
+        assert data["gauges"]["depth"] == {"value": 1, "high_water": 3}
+
+    def test_histogram(self):
+        tracer = Tracer()
+        for v in (0, 1, 1, 5, 100, 1000):
+            tracer.observe("occ", v)
+        hist = tracer.metrics.histogram("occ")
+        assert hist.count == 6
+        assert hist.minimum == 0 and hist.maximum == 1000
+        assert hist.to_dict()["buckets"]["overflow"] == 1
+
+
+class TestChromeExport:
+    def _traced_compile(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = compile_source(SOURCE)
+            sim = result.simulate(telemetry=True)
+        sim.telemetry.emit_spans(tracer)
+        return tracer
+
+    def test_schema_validity(self, tmp_path):
+        tracer = self._traced_compile()
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(tracer, str(path))
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert event["ph"] in ("X", "i", "M")
+            assert isinstance(event["name"], str)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] in ("t", "p", "g")
+
+    def test_one_span_per_pass_and_unit(self):
+        tracer = self._traced_compile()
+        events = chrome_trace(tracer)["traceEvents"]
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        for expected in ("opt.combine", "opt.dce", "opt.streaming",
+                         "opt.regalloc"):
+            assert any(n == expected for n in names), expected
+        # one span per simulated execution unit on the sim tracks
+        sim_tracks = {e["args"]["name"] for e in events
+                      if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"IEU", "FEU", "SCU", "MEM"} <= sim_tracks
+
+    def test_metrics_json_rollup(self):
+        tracer = self._traced_compile()
+        data = metrics_json(tracer)
+        assert data["spans"]["compile"]["count"] == 1
+        assert data["spans"]["opt.dce"]["count"] >= 2
+        assert json.dumps(data)  # JSON-serializable throughout
+
+    def test_format_summary_nonempty(self):
+        tracer = self._traced_compile()
+        text = format_summary(tracer)
+        assert "span timings" in text
+        assert "opt." in text
+
+
+class TestRunCounters:
+    def test_wm_text_format(self):
+        counters = RunCounters(
+            value=100, oracle=100, cycles=1234, instructions=56,
+            unit_instructions={"IEU": 30, "FEU": 26}, memory_reads=7,
+            memory_writes=8, stream_elements=9)
+        text = format_run_counters(counters)
+        assert text == ("result: 100  (oracle 100: OK)\n"
+                        "cycles: 1234\n"
+                        "instructions: 56 (IEU 30, FEU 26)\n"
+                        "memory: 7 reads, 8 writes, 9 stream elements")
+
+    def test_scalar_text_format(self):
+        counters = RunCounters(
+            value=1, oracle=2, cycles=99.6, instructions=10,
+            memory_refs=4, weighted=True)
+        text = format_run_counters(counters)
+        assert text == ("result: 1  (oracle 2: MISMATCH)\n"
+                        "weighted cycles: 100\n"
+                        "instructions: 10, memory refs: 4")
+        assert not counters.ok
+
+    def test_to_dict(self):
+        counters = RunCounters(
+            value=1, oracle=1, cycles=10, instructions=2,
+            unit_instructions={"IEU": 1, "FEU": 1}, memory_reads=0,
+            memory_writes=0, stream_elements=0)
+        data = counters.to_dict()
+        assert data["status"] == "OK"
+        assert json.dumps(data)
+
+
+class TestPipelineInstrumentation:
+    def test_pass_stats_recorded_under_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = compile_source(SOURCE)
+        for reports in result.reports.values():
+            assert reports.passes, "PassStats recorded while tracing"
+            for stat in reports.passes:
+                assert stat.seconds >= 0.0
+                assert stat.rtl_before >= 0 and stat.rtl_after >= 0
+        names = {p.name for rep in result.reports.values()
+                 for p in rep.passes}
+        assert {"peephole", "combine", "dce", "regalloc"} <= names
+
+    def test_no_pass_stats_by_default(self):
+        result = compile_source(SOURCE)
+        for reports in result.reports.values():
+            assert reports.passes == []
+
+    def test_rewrite_events_emitted(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            compile_source(SOURCE)
+        kinds = {e.name for e in tracer.events}
+        assert "rewrite.streaming" in kinds
+        stream_evt = next(e for e in tracer.events
+                          if e.name == "rewrite.streaming")
+        assert "in-stream" in stream_evt.args["detail"]
+
+    def test_compile_identical_with_and_without_tracer(self):
+        plain = compile_source(SOURCE)
+        with use_tracer(Tracer()):
+            traced = compile_source(SOURCE)
+        assert plain.listing() == traced.listing()
+        assert plain.simulate().cycles == traced.simulate().cycles

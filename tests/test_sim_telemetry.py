@@ -1,0 +1,146 @@
+"""Simulator telemetry: per-unit attribution, FIFO stats, streams."""
+
+import pytest
+
+from repro.benchsuite import get_program
+from repro.compiler import compile_source
+from repro.obs import Tracer
+from repro.sim import SimError, SimTelemetry
+
+
+@pytest.fixture(scope="module")
+def lloop5():
+    prog = get_program("lloop5", scale=0.2)
+    result = compile_source(prog.source)
+    sim = result.simulate(telemetry=True)
+    assert sim.value == result.run_oracle().value
+    return sim
+
+
+class TestUnitAttribution:
+    def test_busy_stall_idle_partition_cycles(self, lloop5):
+        tel = lloop5.telemetry
+        assert tel.cycles == lloop5.cycles
+        for name, unit in tel.units.items():
+            total = unit.busy_cycles + unit.stall_cycles + unit.idle_cycles
+            assert total == tel.cycles, name
+
+    def test_units_do_real_work(self, lloop5):
+        tel = lloop5.telemetry
+        assert tel.units["FEU"].busy_cycles > 0
+        assert tel.units["IEU"].busy_cycles > 0
+        assert tel.scu_busy_cycles > 0, "streams were active"
+        assert tel.mem_busy_cycles > 0
+
+    def test_stall_reasons_attributed(self, lloop5):
+        tel = lloop5.telemetry
+        for unit in tel.units.values():
+            assert sum(unit.stall_reasons.values()) == unit.stall_cycles
+        # the recurrence kernel's FEU waits on streamed operands
+        feu = tel.units["FEU"]
+        if feu.stall_cycles:
+            assert "operand-wait" in feu.stall_reasons
+
+
+class TestFifoStats:
+    def test_high_water_marks(self, lloop5):
+        tel = lloop5.telemetry
+        assert tel.fifos, "fifo stats collected"
+        touched = [f for f in tel.fifos.values() if f.high_water > 0]
+        assert touched, "at least one FIFO actually buffered data"
+        for stats in tel.fifos.values():
+            assert 0 <= stats.high_water <= stats.capacity
+
+    def test_occupancy_histogram(self, lloop5):
+        tel = lloop5.telemetry
+        for stats in tel.fifos.values():
+            assert stats.samples == tel.cycles
+            assert sum(stats.occupancy_cycles) == stats.samples
+            assert 0.0 <= stats.mean_occupancy <= stats.capacity
+            assert stats.full_cycles <= stats.samples
+
+    def test_fill_drain_visible_on_stream_inputs(self, lloop5):
+        tel = lloop5.telemetry
+        # lloop5 streams y[] and z[] in through the f-bank input fifos,
+        # so some input fifo spends cycles at more than one occupancy.
+        in_fifos = {k: v for k, v in tel.fifos.items()
+                    if not k.endswith(".out") and v.high_water > 0}
+        assert in_fifos
+        assert any(sum(1 for c in v.occupancy_cycles if c) > 1
+                   for v in in_fifos.values())
+
+
+class TestStreamProgress:
+    def test_streams_recorded(self, lloop5):
+        tel = lloop5.telemetry
+        kinds = {s.kind for s in tel.streams}
+        assert "in" in kinds and "out" in kinds
+        for stream in tel.streams:
+            assert stream.elements <= stream.count
+            assert stream.last_cycle >= stream.start_cycle
+
+    def test_stream_elements_delivered(self, lloop5):
+        tel = lloop5.telemetry
+        delivered = sum(s.elements for s in tel.streams if s.kind == "in")
+        assert delivered > 0
+
+
+class TestMemoryRegions:
+    def test_traffic_classified_per_region(self, lloop5):
+        tel = lloop5.telemetry
+        assert tel.mem_regions
+        names = set(tel.mem_regions)
+        assert any(n in names for n in ("x", "y", "z"))
+        for stats in tel.mem_regions.values():
+            assert stats.get("reads", 0) >= 0
+            assert stats.get("writes", 0) >= 0
+        total = sum(s.get("reads", 0) + s.get("writes", 0)
+                    for s in tel.mem_regions.values())
+        assert total > 0
+
+
+class TestDeterminism:
+    def test_telemetry_does_not_change_results(self, lloop5):
+        prog = get_program("lloop5", scale=0.2)
+        plain = compile_source(prog.source).simulate()
+        assert plain.cycles == lloop5.cycles
+        assert plain.value == lloop5.value
+        assert plain.instructions == lloop5.instructions
+        assert plain.telemetry is None
+
+    def test_telemetry_off_by_default(self):
+        result = compile_source("""
+        int main(void) { return 3; }
+        """)
+        sim = result.simulate()
+        assert sim.telemetry is None
+
+
+class TestExportAndErrors:
+    def test_emit_spans(self, lloop5):
+        tracer = Tracer()
+        lloop5.telemetry.emit_spans(tracer)
+        tracks = {s.track for s in tracer.spans}
+        assert {"IEU", "FEU", "SCU", "MEM"} <= tracks
+
+    def test_to_dict_round_trip(self, lloop5):
+        import json
+        data = lloop5.telemetry.to_dict()
+        assert json.dumps(data)
+        assert data["cycles"] == lloop5.cycles
+        assert set(data["units"]) == {"IEU", "FEU"}
+
+    def test_summary_lines(self, lloop5):
+        text = "\n".join(lloop5.telemetry.summary_lines())
+        assert "IEU" in text and "FEU" in text
+
+    def test_cycle_limit_error_reports_pc_and_cycle(self):
+        result = compile_source("""
+        int main(void) { int i; i = 0; while (1) i = i + 1; return i; }
+        """)
+        with pytest.raises(SimError) as exc:
+            result.simulate(max_cycles=500)
+        message = str(exc.value)
+        assert "cycle limit exceeded at cycle" in message
+        assert "pc=" in message
+        assert "max_cycles=500" in message
