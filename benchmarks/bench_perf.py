@@ -1,0 +1,268 @@
+"""Fast-path speedup measurement -> BENCH_perf.json.
+
+Times the Livermore-5 compile+simulate pipeline and the simulator in
+isolation, fast path against the in-tree reference loop (``slow=True``
+— the pre-decode interpreter kept verbatim for exactly this purpose),
+plus serial-vs-parallel table regeneration, and records per-benchmark
+fast-vs-reference cycle identity.
+
+Configurations:
+
+``pipeline.cold``
+    ``compile_cached`` cache cleared before every rep: first-run cost,
+    comparable to the BENCH_obs.json ``off`` number.
+
+``pipeline.warm``
+    Cache left hot between reps: the steady-state cost of re-running a
+    benchmark, which is what table regeneration and ``repro bench``
+    actually pay.
+
+``sim.fast`` / ``sim.slow``
+    The simulator alone (compile hoisted out), fast loop vs reference
+    loop, on one pre-compiled program.
+
+``tables.serial`` / ``tables.parallel``
+    Full Table I + Table II + detection regeneration through
+    ``run_jobs``, 1 worker vs ``--workers N``.  (On a single-CPU
+    container the parallel lane only adds fork overhead — the recorded
+    ``cpu_count`` says which case a given BENCH_perf.json shows.)
+
+``tables.baseline`` (optional, ``--baseline-rev REV``)
+    The same regeneration against a pristine worktree of REV (the
+    seed, before pre-decode/fast-forward/caching existed) — the
+    apples-to-apples number for "how much faster is regenerating the
+    tables now".
+
+``--check`` re-runs the equivalence gate (every benchmark, fast vs
+reference, identical cycles) and fails if the measured sim speedup
+regressed more than 5% below the number recorded in BENCH_perf.json.
+``--quick`` shrinks reps/scale for CI.
+
+Usage::
+
+    python benchmarks/bench_perf.py [--reps 15] [--workers 2]
+    python benchmarks/bench_perf.py --quick --check   # CI smoke
+
+Writes BENCH_perf.json at the repository root (not with ``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+REGRESSION_TOLERANCE = 0.95  # --check fails below recorded speedup x this
+
+
+def measure_pipeline(reps: int, scale: float) -> dict:
+    from repro.benchsuite import get_program
+    from repro.perf import clear_cache, compile_cached, time_fn
+
+    prog = get_program("lloop5", scale=scale)
+
+    def run_cold():
+        clear_cache()
+        compile_cached(prog.source).simulate()
+
+    def run_warm():
+        compile_cached(prog.source).simulate()
+
+    def run_slow():
+        clear_cache()
+        compile_cached(prog.source).simulate(slow=True)
+
+    out = {
+        "cold": time_fn(run_cold, reps),
+        "warm": time_fn(run_warm, reps),
+        "slow": time_fn(run_slow, reps),
+    }
+    clear_cache()
+    return out
+
+
+def measure_sim(reps: int, scale: float) -> dict:
+    from repro.benchsuite import get_program
+    from repro.compiler import compile_source
+    from repro.perf import time_fn
+
+    prog = get_program("lloop5", scale=scale)
+    compiled = compile_source(prog.source)
+    return {
+        "fast": time_fn(lambda: compiled.simulate(), reps),
+        "slow": time_fn(lambda: compiled.simulate(slow=True), reps),
+        "telemetry": time_fn(lambda: compiled.simulate(telemetry=True),
+                             reps),
+    }
+
+
+def measure_tables(reps: int, size: int, scale: float,
+                   workers: int) -> dict:
+    from repro.perf import clear_cache, time_fn
+    from repro.reporting import stream_detection, table1, table2
+
+    def regen(n_workers):
+        table1(n=size, workers=n_workers)
+        table2(scale=scale, workers=n_workers)
+        stream_detection(workers=n_workers)
+
+    clear_cache()
+    out = {
+        "serial": time_fn(lambda: regen(None), reps),
+        "parallel": time_fn(lambda: regen(workers), reps),
+        "workers": workers,
+        "table1_n": size,
+        "table2_scale": scale,
+    }
+    clear_cache()
+    return out
+
+
+def measure_tables_rev(rev: str, reps: int, size: int,
+                       scale: float) -> dict:
+    """Time the same table regeneration in a worktree of REV."""
+    script = f"""
+import json, statistics, time
+from repro.reporting import stream_detection, table1, table2
+
+def regen():
+    table1(n={size})
+    table2(scale={scale})
+    stream_detection()
+
+regen()
+times = []
+for _ in range({reps}):
+    start = time.perf_counter()
+    regen()
+    times.append(time.perf_counter() - start)
+print(json.dumps({{
+    "reps": {reps},
+    "median_ms": round(statistics.median(times) * 1000, 3),
+    "min_ms": round(min(times) * 1000, 3),
+    "mean_ms": round(statistics.fmean(times) * 1000, 3),
+}}))
+"""
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "baseline")
+        subprocess.run(["git", "worktree", "add", "--detach", tree, rev],
+                       cwd=ROOT, check=True, capture_output=True)
+        try:
+            env = dict(os.environ, PYTHONPATH=os.path.join(tree, "src"))
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 check=True, capture_output=True, text=True)
+            return json.loads(out.stdout)
+        finally:
+            subprocess.run(["git", "worktree", "remove", "--force", tree],
+                           cwd=ROOT, check=True, capture_output=True)
+
+
+def check_cycle_identity(scale: float) -> dict:
+    """Fast-vs-reference cycle identity on every benchmark program."""
+    from repro.benchsuite import PROGRAMS, get_program
+    from repro.compiler import compile_source
+
+    identical = {}
+    for name in sorted(PROGRAMS):
+        compiled = compile_source(get_program(name, scale=scale).source)
+        fast = compiled.simulate()
+        slow = compiled.simulate(slow=True)
+        identical[name] = (fast.cycles == slow.cycles and
+                           fast.value == slow.value and
+                           fast.instructions == slow.instructions)
+    return identical
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=15)
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="lloop5 problem scale (matches BENCH_obs)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="small reps/sizes for CI")
+    parser.add_argument("--baseline-rev", default=None, metavar="REV",
+                        help="git rev of the pre-fast-path tree to time "
+                             "the same table regeneration against")
+    parser.add_argument("--check", action="store_true",
+                        help="verify cycle identity and that the sim "
+                             "speedup has not regressed >5% vs the "
+                             "recorded BENCH_perf.json; write nothing")
+    parser.add_argument("--out", default=os.path.join(ROOT,
+                                                      "BENCH_perf.json"))
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.quick else args.reps
+    table1_n = 200 if args.quick else 1000
+    table_scale = 0.08 if args.quick else 0.2
+    check_scale = 0.05 if args.quick else 0.1
+
+    report = {
+        "benchmark": f"lloop5 scale={args.scale}: compile + WM cycle "
+                     f"simulation",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "pipeline": measure_pipeline(reps, args.scale),
+        "sim": measure_sim(reps, args.scale),
+        "tables": measure_tables(max(1, reps // 3), table1_n,
+                                 table_scale, args.workers),
+        "cycles_identical": check_cycle_identity(check_scale),
+    }
+    sim = report["sim"]
+    report["sim_speedup"] = round(
+        sim["slow"]["median_ms"] / sim["fast"]["median_ms"], 2)
+    pipe = report["pipeline"]
+    report["pipeline_speedup_cold"] = round(
+        pipe["slow"]["median_ms"] / pipe["cold"]["median_ms"], 2)
+    report["pipeline_speedup_warm"] = round(
+        pipe["slow"]["median_ms"] / pipe["warm"]["median_ms"], 2)
+    tables = report["tables"]
+    report["tables_parallel_speedup"] = round(
+        tables["serial"]["median_ms"] / tables["parallel"]["median_ms"], 2)
+
+    if args.baseline_rev:
+        baseline = measure_tables_rev(
+            args.baseline_rev, max(1, reps // 3), tables["table1_n"],
+            tables["table2_scale"])
+        baseline["rev"] = args.baseline_rev
+        tables["baseline"] = baseline
+        report["tables_speedup_vs_baseline"] = round(
+            baseline["median_ms"] / tables["serial"]["median_ms"], 2)
+
+    print(json.dumps(report, indent=2))
+
+    failed = False
+    not_identical = [n for n, ok in report["cycles_identical"].items()
+                     if not ok]
+    if not_identical:
+        print(f"FAIL: fast/reference cycle mismatch on "
+              f"{', '.join(not_identical)}", file=sys.stderr)
+        failed = True
+
+    if args.check:
+        if os.path.exists(args.out):
+            with open(args.out) as fh:
+                recorded = json.load(fh).get("sim_speedup", 0.0)
+            floor = recorded * REGRESSION_TOLERANCE
+            if report["sim_speedup"] < floor:
+                print(f"FAIL: sim speedup {report['sim_speedup']}x < "
+                      f"{floor:.2f}x (recorded {recorded}x - 5%)",
+                      file=sys.stderr)
+                failed = True
+        return 1 if failed else 0
+
+    if not failed:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

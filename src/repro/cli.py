@@ -23,7 +23,12 @@ Commands
 
 ``tables``
     Regenerate Tables I and II and the detection study (slow-ish;
-    ``--trace-out`` shows where the time goes).
+    ``--trace-out`` shows where the time goes, ``--workers N`` fans
+    the underlying runs out over processes).
+
+``bench``
+    Time compile+simulate over the benchmark suite (fast path vs the
+    reference ``--slow`` loop, serial vs ``--workers N``).
 
 Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
 generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
@@ -260,9 +265,9 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from .reporting import stream_detection, table1, table2
     tracer = _tracer_for(args)
     with use_tracer(tracer):
-        rows1 = table1(n=args.size)
-        rows2 = table2(scale=args.scale)
-        detection = stream_detection()
+        rows1 = table1(n=args.size, workers=args.workers)
+        rows2 = table2(scale=args.scale, workers=args.workers)
+        detection = stream_detection(workers=args.workers)
     if args.json:
         data = {
             "table1": [{"machine": r.machine,
@@ -295,6 +300,30 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             print(f"  {det.kernel:18s} in={det.streams_in} "
                   f"out={det.streams_out} infinite={det.infinite}")
     _finish_trace(tracer, args)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import bench_programs, cache_stats
+    names = args.programs or None
+    out = bench_programs(names=names, scale=args.scale, reps=args.reps,
+                         workers=args.workers, slow=args.slow)
+    out["cache"] = cache_stats()
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        timing = out["timing"]
+        mode = "slow (reference)" if args.slow else "fast path"
+        lane = (f"{args.workers} workers" if args.workers
+                and args.workers > 1 else "serial")
+        print(f"bench: {len(out['programs'])} program(s), "
+              f"scale={out['scale']}, {mode}, {lane}")
+        for name, res in out["programs"].items():
+            print(f"  {name:12s} value={res['value']} "
+                  f"cycles={res['cycles']}")
+        print(f"  batch: median {timing['median_ms']} ms  "
+              f"min {timing['min_ms']} ms  mean {timing['mean_ms']} ms "
+              f"({timing['reps']} reps)")
     return 0
 
 
@@ -354,8 +383,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="Table I array size")
     p_tab.add_argument("--scale", type=float, default=0.2,
                        help="Table II problem scale")
+    p_tab.add_argument("--workers", type=int, default=None,
+                       help="fan runs out over N worker processes")
     add_obs_flags(p_tab)
     p_tab.set_defaults(func=_cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench", help="time compile+simulate over the benchmark suite")
+    p_bench.add_argument("programs", nargs="*",
+                         help="benchmark names (default: all)")
+    p_bench.add_argument("--scale", type=float, default=0.2,
+                         help="problem scale")
+    p_bench.add_argument("--reps", type=int, default=5,
+                         help="timed repetitions (median reported)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="fan runs out over N worker processes")
+    p_bench.add_argument("--slow", action="store_true",
+                         help="use the reference simulator loop")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON on stdout")
+    p_bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

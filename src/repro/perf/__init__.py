@@ -1,0 +1,25 @@
+"""Performance harness: compile cache + parallel compile/simulate jobs.
+
+The reporting tables and the ``repro bench`` CLI funnel their
+(program x options x machine) configurations through this package:
+
+* :mod:`repro.perf.cache` — a content-keyed (source, machine, options)
+  compile cache, so regenerating several tables never compiles the
+  same program twice;
+* :mod:`repro.perf.parallel` — picklable job descriptions and a
+  ``ProcessPoolExecutor`` fan-out with an equivalent serial path
+  (``workers <= 1``), used by ``repro tables --workers`` and
+  ``repro bench``;
+* :mod:`repro.perf.bench` — shared timing helpers for the CLI bench
+  command and ``benchmarks/bench_perf.py``.
+"""
+
+from .cache import cache_stats, clear_cache, compile_cached
+from .parallel import JobResult, SimJob, run_jobs
+from .bench import bench_programs, time_fn
+
+__all__ = [
+    "cache_stats", "clear_cache", "compile_cached",
+    "JobResult", "SimJob", "run_jobs",
+    "bench_programs", "time_fn",
+]

@@ -1,0 +1,72 @@
+"""Content-keyed compile cache.
+
+Table regeneration compiles the same (source, machine, options)
+configuration repeatedly — Table I alone compiles the Livermore-5
+init/full pair under two option sets for five machines, and ``repro
+bench`` re-times pipelines whose compile half never changes.  The cache
+keys on the *content* of the configuration (the source text, the
+machine name, the option flags), so a hit is exact: the returned
+:class:`~repro.compiler.CompileResult` is the same object, and
+``simulate()``/``execute()`` build fresh interpreter state per run.
+
+The cache is per-process (each parallel worker warms its own) and
+bounded LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import astuple
+from typing import Optional
+
+from ..compiler import CompileResult, compile_source
+from ..machine.scalar import make_machine
+from ..opt import OptOptions
+
+__all__ = ["compile_cached", "clear_cache", "cache_stats"]
+
+_CAPACITY = 64
+_cache: OrderedDict[tuple, CompileResult] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def _key(source: str, machine_name: Optional[str],
+         options: Optional[OptOptions]) -> tuple:
+    opts_key = None if options is None else astuple(options)
+    return (machine_name, opts_key, source)
+
+
+def compile_cached(source: str, machine_name: Optional[str] = None,
+                   options: Optional[OptOptions] = None) -> CompileResult:
+    """``compile_source`` behind a content-keyed LRU cache.
+
+    ``machine_name`` is a scalar-machine registry name
+    (:data:`repro.machine.scalar.MACHINES`); ``None`` selects the WM
+    target, as in ``compile_source``.
+    """
+    global _hits, _misses
+    key = _key(source, machine_name, options)
+    cached = _cache.get(key)
+    if cached is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return cached
+    _misses += 1
+    machine = make_machine(machine_name) if machine_name else None
+    result = compile_source(source, machine=machine, options=options)
+    _cache[key] = result
+    if len(_cache) > _CAPACITY:
+        _cache.popitem(last=False)
+    return result
+
+
+def clear_cache() -> None:
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def cache_stats() -> dict:
+    return {"hits": _hits, "misses": _misses, "entries": len(_cache)}

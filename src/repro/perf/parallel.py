@@ -1,0 +1,97 @@
+"""Parallel compile/simulate jobs.
+
+A :class:`SimJob` is a self-contained, picklable description of one
+compile-and-run configuration; :func:`run_jobs` executes a batch either
+serially (``workers <= 1``) or across a ``ProcessPoolExecutor``.  Both
+paths run the identical :func:`_run_job` body — through the compile
+cache — so serial and parallel table regeneration produce the same
+rows, and the equivalence tests compare them directly.
+
+Workers are forked from the parent on Linux, so per-process state the
+compiler depends on (notably the interned-string hash seed, which the
+optimizer's set iteration order — and hence exact cycle counts on a
+few benchmarks — is sensitive to) is inherited, keeping parallel
+results identical to serial ones within a session.
+
+:class:`JobResult` carries the scalars the tables need (value, cycles,
+stream counts) rather than the full ``SimResult`` — combined with
+``SimResult.memory`` being a data-segment-only pickling view, nothing
+megabyte-sized ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from ..opt import OptOptions
+from .cache import compile_cached
+
+__all__ = ["SimJob", "JobResult", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One compile-and-run configuration.
+
+    ``action`` selects what to do with the compiled program:
+    ``"simulate"`` (WM cycle simulator), ``"execute"`` (scalar
+    cost-model executor) or ``"compile"`` (compile only — used by the
+    stream-detection table, which reads optimizer reports).
+    """
+
+    name: str
+    source: str
+    action: str = "simulate"
+    machine: Optional[str] = None     # scalar machine name; None = WM
+    options: Optional[OptOptions] = None
+    sim_kwargs: tuple = ()            # extra WMSimulator settings
+
+
+@dataclass
+class JobResult:
+    """The table-relevant scalars of one job run."""
+
+    name: str
+    value: object = None
+    cycles: float = 0
+    streams_in: int = 0
+    streams_out: int = 0
+    infinite: int = 0
+
+
+def _run_job(job: SimJob) -> JobResult:
+    compiled = compile_cached(job.source, machine_name=job.machine,
+                              options=job.options)
+    out = JobResult(job.name)
+    for report in compiled.reports.values():
+        for stream in report.streams:
+            out.streams_in += stream.streams_in
+            out.streams_out += stream.streams_out
+            out.infinite += 1 if stream.infinite else 0
+    if job.action == "simulate":
+        result = compiled.simulate(**dict(job.sim_kwargs))
+        out.value = result.value
+        out.cycles = result.cycles
+    elif job.action == "execute":
+        result = compiled.execute()
+        out.value = result.value
+        out.cycles = result.cycles
+    elif job.action != "compile":
+        raise ValueError(f"unknown job action {job.action!r}")
+    return out
+
+
+def run_jobs(jobs: list[SimJob],
+             workers: Optional[int] = None) -> list[JobResult]:
+    """Run a batch of jobs, preserving order.
+
+    ``workers`` of ``None``, 0 or 1 runs in-process (sharing the
+    compile cache across jobs); larger values fan out over processes.
+    """
+    jobs = list(jobs)
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_job, jobs))
+    return [_run_job(job) for job in jobs]

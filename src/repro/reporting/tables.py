@@ -18,14 +18,14 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..benchsuite import PROGRAMS, UTILITY_CORPUS, get_program
-from ..compiler import compile_source, scalar_options
-from ..machine.scalar import MACHINES, make_machine
+from ..compiler import scalar_options
 from ..obs import get_tracer
 from ..opt import OptOptions
+from ..perf import SimJob, run_jobs
 
 __all__ = [
     "Table1Row", "table1", "Table2Row", "table2",
@@ -88,45 +88,53 @@ class Table1Row:
             self.baseline_cycles
 
 
-def _scalar_kernel_cycles(machine_name: str, n: int,
-                          recurrence: bool) -> float:
-    machine = make_machine(machine_name)
-    opts = scalar_options(recurrence=recurrence)
-    full = compile_source(_lloop5_source(n, True), machine=machine,
-                          options=opts).execute()
-    machine = make_machine(machine_name)
-    init = compile_source(_lloop5_source(n, False), machine=machine,
-                          options=opts).execute()
-    return full.cycles - init.cycles
+_TABLE1_SCALAR = ("sun3/280", "hp9000/345", "vax8600", "m88100")
 
 
-def _wm_kernel_cycles(n: int, recurrence: bool) -> float:
+def _table1_jobs(n: int) -> list[SimJob]:
+    """The 20 compile-and-run configurations behind Table I.
+
+    Kernel time is isolated by subtraction, so every (machine,
+    recurrence) cell needs a full run and an init-only run; the order
+    here is (base-full, base-init, opt-full, opt-init) per machine,
+    scalar machines first, WM last — matching the row order below.
+    """
+    full = _lloop5_source(n, True)
+    init = _lloop5_source(n, False)
+    jobs = []
+    for name in _TABLE1_SCALAR:
+        for recurrence in (False, True):
+            opts = scalar_options(recurrence=recurrence)
+            jobs.append(SimJob(f"{name}/full", full, action="execute",
+                               machine=name, options=opts))
+            jobs.append(SimJob(f"{name}/init", init, action="execute",
+                               machine=name, options=opts))
     # Table I isolates the recurrence optimization: streaming stays off.
-    opts = OptOptions(recurrence=recurrence, streaming=False)
-    full = compile_source(_lloop5_source(n, True), options=opts).simulate()
-    init = compile_source(_lloop5_source(n, False), options=opts).simulate()
-    return full.cycles - init.cycles
+    for recurrence in (False, True):
+        opts = OptOptions(recurrence=recurrence, streaming=False)
+        jobs.append(SimJob("wm/full", full, options=opts))
+        jobs.append(SimJob("wm/init", init, options=opts))
+    return jobs
 
 
-def table1(n: int = 2000) -> list[Table1Row]:
+def table1(n: int = 2000,
+           workers: Optional[int] = None) -> list[Table1Row]:
     """Effect of recurrence optimization on execution time (Table I).
 
     The paper used an array size of 100,000; the default here is
     scaled down (the improvement percentage is size-independent once
     the loop dominates) — pass a larger ``n`` to match the paper.
+    ``workers`` fans the 20 underlying runs out over processes.
     """
     tracer = get_tracer()
+    with tracer.span("table1", category="tables", n=n, workers=workers):
+        results = run_jobs(_table1_jobs(n), workers=workers)
+    kernel = [results[i].cycles - results[i + 1].cycles
+              for i in range(0, len(results), 2)]
     rows = []
-    with tracer.span("table1", category="tables", n=n):
-        for name in ("sun3/280", "hp9000/345", "vax8600", "m88100"):
-            with tracer.span(f"table1.{name}", category="tables"):
-                base = _scalar_kernel_cycles(name, n, recurrence=False)
-                opt = _scalar_kernel_cycles(name, n, recurrence=True)
-            rows.append(Table1Row(name, base, opt, PAPER_TABLE1[name]))
-        with tracer.span("table1.wm", category="tables"):
-            base = _wm_kernel_cycles(n, recurrence=False)
-            opt = _wm_kernel_cycles(n, recurrence=True)
-        rows.append(Table1Row("wm", base, opt, PAPER_TABLE1["wm"]))
+    for i, name in enumerate(_TABLE1_SCALAR + ("wm",)):
+        base, opt = kernel[2 * i], kernel[2 * i + 1]
+        rows.append(Table1Row(name, base, opt, PAPER_TABLE1[name]))
     return rows
 
 
@@ -145,32 +153,33 @@ class Table2Row:
             self.base_cycles
 
 
-def table2(scale: float = 0.25,
-           programs: Optional[tuple] = None) -> list[Table2Row]:
+def table2(scale: float = 0.25, programs: Optional[tuple] = None,
+           workers: Optional[int] = None) -> list[Table2Row]:
     """Execution performance improvement by streaming (Table II).
 
     ``scale`` shrinks the problem sizes so full cycle simulation stays
     fast; percentages are stable across scales once loops dominate.
+    ``workers`` fans the per-program base/stream runs out over
+    processes.
     """
     tracer = get_tracer()
     table_programs = programs or tuple(
         p for p in PROGRAMS if p in PAPER_TABLE2)
-    rows = []
+    jobs = []
     for name in table_programs:
-        with tracer.span(f"table2.{name}", category="tables", scale=scale):
-            prog = get_program(name, scale=scale)
-            base_res = compile_source(prog.source,
-                                      options=OptOptions.no_streaming())
-            stream_res = compile_source(prog.source, options=OptOptions())
-            with tracer.span(f"table2.{name}.simulate", category="tables"):
-                base = base_res.simulate()
-                stream = stream_res.simulate()
-        n_in = sum(r.streams_in for rep in stream_res.reports.values()
-                   for r in rep.streams)
-        n_out = sum(r.streams_out for rep in stream_res.reports.values()
-                    for r in rep.streams)
+        source = get_program(name, scale=scale).source
+        jobs.append(SimJob(f"{name}/base", source,
+                           options=OptOptions.no_streaming()))
+        jobs.append(SimJob(f"{name}/stream", source, options=OptOptions()))
+    with tracer.span("table2", category="tables", scale=scale,
+                     workers=workers):
+        results = run_jobs(jobs, workers=workers)
+    rows = []
+    for i, name in enumerate(table_programs):
+        base, stream = results[2 * i], results[2 * i + 1]
         rows.append(Table2Row(name, base.cycles, stream.cycles,
-                              n_in, n_out, PAPER_TABLE2.get(name)))
+                              stream.streams_in, stream.streams_out,
+                              PAPER_TABLE2.get(name)))
     return rows
 
 
@@ -185,7 +194,8 @@ class SpecRow:
         return self.cc_cycles / self.vpo_cycles
 
 
-def table3_4(scale: float = 0.25) -> tuple[list[SpecRow], float]:
+def table3_4(scale: float = 0.25,
+             workers: Optional[int] = None) -> tuple[list[SpecRow], float]:
     """SPEC-proxy experiment (stands in for Tables III/IV).
 
     The paper's appendix shows the vpcc/vpo compiler beating the native
@@ -200,16 +210,20 @@ def table3_4(scale: float = 0.25) -> tuple[list[SpecRow], float]:
                          strength=False)
     vpo_opts = scalar_options()
     tracer = get_tracer()
+    names = list(PROGRAMS)
+    jobs = []
+    for name in names:
+        source = get_program(name, scale=scale).source
+        jobs.append(SimJob(f"{name}/cc", source, action="execute",
+                           machine="generic-risc", options=cc_opts))
+        jobs.append(SimJob(f"{name}/vpo", source, action="execute",
+                           machine="generic-risc", options=vpo_opts))
+    with tracer.span("table34", category="tables", scale=scale,
+                     workers=workers):
+        results = run_jobs(jobs, workers=workers)
     rows = []
-    for name in PROGRAMS:
-        with tracer.span(f"table34.{name}", category="tables", scale=scale):
-            prog = get_program(name, scale=scale)
-            cc = compile_source(prog.source,
-                                machine=make_machine("generic-risc"),
-                                options=cc_opts).execute()
-            vpo = compile_source(prog.source,
-                                 machine=make_machine("generic-risc"),
-                                 options=vpo_opts).execute()
+    for i, name in enumerate(names):
+        cc, vpo = results[2 * i], results[2 * i + 1]
         assert cc.value == vpo.value, (name, cc.value, vpo.value)
         rows.append(SpecRow(name, cc.cycles, vpo.cycles))
     geomean = math.exp(sum(math.log(r.ratio) for r in rows) / len(rows))
@@ -225,23 +239,19 @@ class DetectionRow:
     uses_streams: bool
 
 
-def stream_detection() -> list[DetectionRow]:
+def stream_detection(workers: Optional[int] = None) -> list[DetectionRow]:
     """Which utility kernels the optimizer finds streams in (the paper's
     cal/compact/od/sort/diff/nroff/yacc observation)."""
     tracer = get_tracer()
-    rows = []
-    for name, source in UTILITY_CORPUS.items():
-        with tracer.span(f"detect.{name}", category="tables"):
-            result = compile_source(source, options=OptOptions())
-        n_in = n_out = n_inf = 0
-        for rep in result.reports.values():
-            for stream in rep.streams:
-                n_in += stream.streams_in
-                n_out += stream.streams_out
-                n_inf += 1 if stream.infinite else 0
-        rows.append(DetectionRow(name, n_in, n_out, n_inf,
-                                 (n_in + n_out) > 0))
-    return rows
+    names = list(UTILITY_CORPUS)
+    jobs = [SimJob(name, UTILITY_CORPUS[name], action="compile",
+                   options=OptOptions()) for name in names]
+    with tracer.span("detect", category="tables", workers=workers):
+        results = run_jobs(jobs, workers=workers)
+    return [DetectionRow(res.name, res.streams_in, res.streams_out,
+                         res.infinite,
+                         (res.streams_in + res.streams_out) > 0)
+            for res in results]
 
 
 def format_rows(rows, columns: list[tuple]) -> str:

@@ -1,15 +1,18 @@
 """Cycle-level WM architecture simulator."""
 
+from .decode import DOp, decode_module, decode_program
+from .errors import SimError
 from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
-from .machine import SimError, SimResult, WMSimulator, simulate
-from .memory import MemError, MemorySystem
+from .machine import SimResult, WMSimulator, simulate
+from .memory import MemError, MemorySystem, SimMemoryView
 from .telemetry import FifoStats, SimTelemetry, StreamStats, UnitStats
 
 __all__ = [
+    "DOp", "decode_module", "decode_program",
     "FifoError", "InFifo", "OutFifo", "Reservation",
     "Program", "load_program",
     "SimError", "SimResult", "WMSimulator", "simulate",
-    "MemError", "MemorySystem",
+    "MemError", "MemorySystem", "SimMemoryView",
     "FifoStats", "SimTelemetry", "StreamStats", "UnitStats",
 ]

@@ -1,0 +1,14 @@
+"""Simulator error types.
+
+Kept in their own module so the instruction pre-decoder
+(:mod:`repro.sim.decode`) can raise simulation errors without importing
+the simulator itself.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimError"]
+
+
+class SimError(Exception):
+    """Simulation failure: deadlock, trap, or protocol violation."""

@@ -63,9 +63,17 @@ class Reservation:
         self.buffer.append(value)
         fifo = self.fifo
         if fifo is not None:
-            occupancy = fifo.buffered()
+            occupancy = fifo._buffered = fifo._buffered + 1
             if occupancy > fifo.high_water:
                 fifo.high_water = occupancy
+
+    def close(self) -> None:
+        """Stop the source: drop buffered data, refuse late arrivals."""
+        self.closed = True
+        fifo = self.fifo
+        if fifo is not None:
+            fifo._buffered -= len(self.buffer)
+        self.buffer.clear()
 
 
 class InFifo:
@@ -77,6 +85,9 @@ class InFifo:
         #: exact maximum simultaneous occupancy ever observed
         self.high_water = 0
         self._sources: deque[Reservation] = deque()
+        #: total buffered elements, maintained by deliver/pop/close so
+        #: the per-cycle occupancy checks are O(1)
+        self._buffered = 0
 
     def reserve(self, quota: Optional[int], tag: str = "") -> Reservation:
         res = Reservation(quota, tag, fifo=self)
@@ -110,15 +121,16 @@ class InFifo:
         if not self._sources or not self._sources[0].buffer:
             raise FifoError(f"read from empty input FIFO {self.name}")
         value = self._sources[0].buffer.popleft()
+        self._buffered -= 1
         self._advance()
         return value
 
     def buffered(self) -> int:
         """Total elements buffered across sources (for capacity checks)."""
-        return sum(len(s.buffer) for s in self._sources)
+        return self._buffered
 
     def has_room(self) -> bool:
-        return self.buffered() < self.capacity
+        return self._buffered < self.capacity
 
     def pending_sources(self) -> int:
         self._advance()

@@ -38,23 +38,27 @@ from typing import Optional
 from ..ir.interp import c_div, c_rem, wrap32
 from ..machine.wm import CVT_OPS, WMLoadIssue, WMStoreIssue, unit_of
 from ..rtl.expr import BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg
+from ..rtl.expr import walk as _walk
 from ..rtl.instr import (
     Assign, Call, Compare, CondJump, Instr, Jump, JumpStreamNotDone, Label,
     Ret, StreamIn, StreamOut, StreamStop,
 )
 from ..rtl.module import RtlModule
+from .decode import (
+    _CMP, _INT_BIN, _OP_COST,
+    E_ASSIGN, E_COMPARE, E_LOAD, E_SIN, E_SOUT, E_SSTOP, E_STORE,
+    K_CALL, K_CONDJUMP, K_CVT, K_EXEC, K_JNI, K_JUMP, K_LABEL, K_RET,
+    decode_module,
+)
+from .errors import SimError
 from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
-from .memory import MemError, MemorySystem
+from .memory import MemError, MemorySystem, SimMemoryView
 from .telemetry import SimTelemetry, StreamStats
 
 __all__ = ["WMSimulator", "SimResult", "SimError", "simulate"]
 
 HALT_PC = -1
-
-
-class SimError(Exception):
-    """Simulation failure: deadlock, trap, or protocol violation."""
 
 
 @dataclass
@@ -68,7 +72,8 @@ class SimResult:
     memory_reads: int
     memory_writes: int
     stream_elements: int
-    memory: bytearray
+    #: final memory image; a view that pickles only the data segment
+    memory: SimMemoryView
     globals_base: dict[str, int]
     #: per-unit/FIFO/stream attribution; None unless telemetry was on
     telemetry: Optional["SimTelemetry"] = None
@@ -78,35 +83,9 @@ class SimResult:
         return bytes(self.memory[base:base + size])
 
 
-# -- operator tables ----------------------------------------------------------
-
-_INT_BIN = {
-    "+": lambda a, b: wrap32(a + b),
-    "-": lambda a, b: wrap32(a - b),
-    "*": lambda a, b: wrap32(a * b),
-    "/": lambda a, b: wrap32(c_div(a, b)),
-    "%": lambda a, b: wrap32(c_rem(a, b)),
-    "<<": lambda a, b: wrap32(a << (b & 31)),
-    ">>": lambda a, b: a >> (b & 31),
-    "&": lambda a, b: wrap32(a & b),
-    "|": lambda a, b: wrap32(a | b),
-    "^": lambda a, b: wrap32(a ^ b),
-}
-
-_CMP = {
-    "==": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
-
-#: extra occupancy cycles for expensive operators
-_OP_COST = {
-    ("r", "*"): 3, ("r", "/"): 15, ("r", "%"): 15,
-    ("f", "*"): 1, ("f", "/"): 10,
-}
+# The operator tables (_INT_BIN / _CMP / _OP_COST) live in
+# repro.sim.decode, where the pre-decoder builds closures over them;
+# they are re-imported above so the reference path shares them.
 
 
 class _StreamState:
@@ -159,15 +138,24 @@ class WMSimulator:
                  mem_latency: int = 4, mem_ports: int = 2,
                  fifo_capacity: int = 8,
                  max_cycles: int = 500_000_000,
-                 telemetry: bool = False) -> None:
+                 telemetry: bool = False,
+                 slow: bool = False) -> None:
         self.module = module
-        self.program: Program = load_program(module)
+        #: slow=True runs the original tree-walking interpreter loop —
+        #: the reference the decoded fast path is equivalence-tested
+        #: against (tests/test_perf_equivalence.py)
+        self.slow = slow
+        self.program, self._dops = decode_module(module, load_program)
         self.memory = MemorySystem(module, size=mem_size,
                                    latency=mem_latency, ports=mem_ports)
         self.max_cycles = max_cycles
         self.telemetry: Optional[SimTelemetry] = None
         self._stall_reason: Optional[str] = None
         self._scu_active = False
+        #: set by state changes that bypass _progress() (the infinite-
+        #: stream dummy prefetch, FIFO pops by a load that then stalls);
+        #: blocks fast-forward for the cycle
+        self._activity = False
         if telemetry:
             self.telemetry = SimTelemetry()
             self.memory.enable_region_stats()
@@ -208,18 +196,39 @@ class WMSimulator:
 
     # ------------------------------------------------------------------ run --
     def run(self) -> SimResult:
+        if self.slow:
+            self._run_reference()
+        elif self.telemetry is None:
+            self._run_fast()
+        else:
+            self._run_fast_telemetry()
+        return self._finish()
+
+    def _raise_cycle_limit(self) -> None:
+        instr = self.program.instrs[self.pc] \
+            if 0 <= self.pc < len(self.program.instrs) else None
+        raise SimError(
+            f"cycle limit exceeded at cycle {self.cycle} "
+            f"(max_cycles={self.max_cycles}): pc={self.pc}"
+            + (f" ({instr!r})" if instr is not None else "")
+            + f", IEU queue={len(self.ieu.queue)}, "
+            f"FEU queue={len(self.feu.queue)}")
+
+    def _raise_deadlock(self) -> None:
+        raise SimError(
+            f"deadlock at cycle {self.cycle}: pc={self.pc}, "
+            f"IEU queue={len(self.ieu.queue)}, "
+            f"FEU queue={len(self.feu.queue)}")
+
+    def _run_reference(self) -> None:
+        """The original cycle loop: every cycle ticked, instructions
+        interpreted from their RTL form.  Kept as the correctness
+        reference for the decoded fast path."""
         tel = self.telemetry
         while not self.halted:
             self.cycle += 1
             if self.cycle > self.max_cycles:
-                instr = self.program.instrs[self.pc] \
-                    if 0 <= self.pc < len(self.program.instrs) else None
-                raise SimError(
-                    f"cycle limit exceeded at cycle {self.cycle} "
-                    f"(max_cycles={self.max_cycles}): pc={self.pc}"
-                    + (f" ({instr!r})" if instr is not None else "")
-                    + f", IEU queue={len(self.ieu.queue)}, "
-                    f"FEU queue={len(self.feu.queue)}")
+                self._raise_cycle_limit()
             self.memory.begin_cycle()
             self.memory.tick(self.cycle)
             self._tick_store_buffer()
@@ -232,10 +241,10 @@ class WMSimulator:
             self._tick_ifu()
             self._check_done()
             if self.cycle - self._progress_cycle > 10_000:
-                raise SimError(
-                    f"deadlock at cycle {self.cycle}: pc={self.pc}, "
-                    f"IEU queue={len(self.ieu.queue)}, "
-                    f"FEU queue={len(self.feu.queue)}")
+                self._raise_deadlock()
+
+    def _finish(self) -> SimResult:
+        tel = self.telemetry
         if tel is not None:
             tel.cycles = self.cycle
             tel.mem_regions = self.memory.region_stats or {}
@@ -255,10 +264,371 @@ class WMSimulator:
             memory_reads=self.memory.reads,
             memory_writes=self.memory.writes,
             stream_elements=self.stream_elements,
-            memory=self.memory.data,
+            memory=SimMemoryView(self.memory.data, self.memory.data_end),
             globals_base=dict(self.memory.globals_base),
             telemetry=tel,
         )
+
+    # ----------------------------------------------------------- fast path --
+    #
+    # The fast loops run the pre-decoded program (repro.sim.decode) and
+    # fast-forward over stalls.  Soundness of the skip: a cycle in which
+    # *nothing* changed (no memory delivery, no _progress, no PC motion,
+    # no bypass activity) leaves the machine in exactly the state it
+    # started in, so every following cycle is identical until the next
+    # clock-sensitive event — a memory completion coming due or a
+    # multi-cycle operation retiring.  The clock can therefore jump to
+    # min(next event, deadlock horizon, cycle limit); clamping to the
+    # latter two makes the error paths raise at the same cycle with the
+    # same message as the ticked reference loop.
+
+    def _next_event(self, cycle: int) -> int:
+        target = self._progress_cycle + 10_001  # deadlock raise cycle
+        due = self.memory.next_due()
+        if due is not None and due < target:
+            target = due
+        feu = self.feu
+        if feu.queue and cycle < feu.busy_until < target:
+            target = feu.busy_until
+        ieu = self.ieu
+        if ieu.queue and cycle < ieu.busy_until < target:
+            target = ieu.busy_until
+        limit = self.max_cycles + 1  # cycle-limit raise cycle
+        if limit < target:
+            target = limit
+        return target
+
+    def _run_fast(self) -> None:
+        memory = self.memory
+        feu = self.feu
+        ieu = self.ieu
+        store_buffer = self.store_buffer
+        streams = self.streams
+        max_cycles = self.max_cycles
+        while not self.halted:
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if cycle > max_cycles:
+                self._raise_cycle_limit()
+            memory._accepted_this_cycle = 0
+            delivered = memory.tick(cycle)
+            self._activity = False
+            if store_buffer:
+                self._tick_store_buffer()
+            if streams:
+                self._tick_scu_fast()
+            if feu.queue:
+                self._tick_unit_fast(feu)
+            if ieu.queue:
+                self._tick_unit_fast(ieu)
+            pc_before = self.pc
+            self._tick_ifu_fast()
+            self._check_done()
+            if cycle - self._progress_cycle > 10_000:
+                self._raise_deadlock()
+            if self.halted or delivered or \
+                    self._progress_cycle == cycle or self._activity or \
+                    self.pc != pc_before:
+                continue
+            target = self._next_event(cycle)
+            if target > cycle + 1:
+                self.cycle = target - 1
+
+    def _run_fast_telemetry(self) -> None:
+        """The fast loop with per-cycle attribution.  The satellite
+        bookkeeping is hoisted out of the loop (stats objects, FIFO
+        pairings); skipped cycles are attributed in bulk with the
+        statuses of the skip-initiating cycle, which an inactive machine
+        reproduces verbatim every cycle."""
+        tel = self.telemetry
+        memory = self.memory
+        feu = self.feu
+        ieu = self.ieu
+        store_buffer = self.store_buffer
+        streams = self.streams
+        max_cycles = self.max_cycles
+        feu_stats = tel.units["FEU"]
+        ieu_stats = tel.units["IEU"]
+        in_pairs = [(fifo, tel.fifo(fifo.name, fifo.capacity))
+                    for fifo in self.in_fifos.values()]
+        out_pairs = [(fifo, tel.fifo(fifo.name, fifo.capacity))
+                     for fifo in self.out_fifos.values()]
+        while not self.halted:
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if cycle > max_cycles:
+                self._raise_cycle_limit()
+            memory._accepted_this_cycle = 0
+            delivered = memory.tick(cycle)
+            self._activity = False
+            if store_buffer:
+                self._tick_store_buffer()
+            if streams:
+                self._tick_scu_fast()
+            self._stall_reason = None
+            feu_status = self._tick_unit_fast(feu)
+            feu_reason = self._stall_reason
+            self._stall_reason = None
+            ieu_status = self._tick_unit_fast(ieu)
+            ieu_reason = self._stall_reason
+            feu_stats.record(feu_status, feu_reason)
+            ieu_stats.record(ieu_status, ieu_reason)
+            if self._scu_active:
+                tel.scu_busy_cycles += 1
+                self._scu_active = False
+            mem_busy = bool(memory._inflight)
+            if mem_busy:
+                tel.mem_busy_cycles += 1
+            for fifo, stats in in_pairs:
+                stats.sample(fifo.buffered())
+            for fifo, stats in out_pairs:
+                stats.sample(fifo.available())
+            pc_before = self.pc
+            self._tick_ifu_fast()
+            self._check_done()
+            if cycle - self._progress_cycle > 10_000:
+                self._raise_deadlock()
+            if self.halted or delivered or \
+                    self._progress_cycle == cycle or self._activity or \
+                    self.pc != pc_before:
+                continue
+            target = self._next_event(cycle)
+            if target > cycle + 1:
+                skipped = target - 1 - cycle
+                feu_stats.record_many(feu_status, feu_reason, skipped)
+                ieu_stats.record_many(ieu_status, ieu_reason, skipped)
+                if mem_busy:
+                    tel.mem_busy_cycles += skipped
+                for fifo, stats in in_pairs:
+                    stats.sample_many(fifo.buffered(), skipped)
+                for fifo, stats in out_pairs:
+                    stats.sample_many(fifo.available(), skipped)
+                self.cycle = target - 1
+
+    def _tick_ifu_fast(self) -> None:
+        """Decoded-program IFU: same protocol as _tick_ifu, driven by
+        DOp opcodes instead of isinstance chains."""
+        dops = self._dops
+        pc = self.pc
+        for _ in range(64):  # bounded chain of free control instructions
+            if pc == HALT_PC:
+                self.pc = pc
+                return
+            d = dops[pc]
+            kind = d.kind
+            if kind == K_EXEC:
+                target = self.feu if d.feu else self.ieu
+                if len(target.queue) >= target.queue_size:
+                    self.pc = pc
+                    return
+                key = d.stream_key
+                if key is not None:
+                    self._dispatch_gen[key] = \
+                        self._dispatch_gen.get(key, 0) + 1
+                target.queue.append(d)
+                self.pc = pc + 1
+                self.dispatched += 1
+                self._progress_cycle = self.cycle
+                return
+            if kind == K_LABEL:
+                pc += 1
+                continue
+            if kind == K_JUMP:
+                pc = d.target
+                self._progress_cycle = self.cycle
+                continue
+            if kind == K_CONDJUMP:
+                producer = self.feu if d.feu else self.ieu
+                if not producer.cc_fifo:
+                    self.pc = pc
+                    return  # stall: wait for the compare result
+                flag = producer.cc_fifo.popleft()
+                self._progress_cycle = self.cycle
+                pc = d.target if flag == d.sense else pc + 1
+                continue
+            if kind == K_JNI:
+                key = d.key
+                if self._activate_gen.get(key, 0) < \
+                        self._dispatch_gen.get(key, 0):
+                    self.pc = pc
+                    return  # stall: the current stream is not active yet
+                state = self.streams.get(key)
+                if state is None or state.jni_counter is None:
+                    self.pc = pc
+                    return  # stall until the stream is activated
+                state.jni_counter -= 1
+                self._progress_cycle = self.cycle
+                pc = d.target if state.jni_counter > 0 else pc + 1
+                continue
+            if kind == K_CALL:
+                ieu = self.ieu
+                if len(ieu.queue) >= ieu.queue_size:
+                    self.pc = pc
+                    return
+                ieu.queue.append(("link", pc + 1))
+                self.pc = d.target
+                self.dispatched += 1
+                self._progress_cycle = self.cycle
+                return  # dispatching the link write uses the cycle
+            if kind == K_RET:
+                if self.ieu.queue or self.memory.busy() or \
+                        self.store_buffer:
+                    self.pc = pc
+                    return
+                pc = self.ieu.regs[30]
+                self._progress_cycle = self.cycle
+                continue
+            # K_CVT: synchronize the execution units, then convert.
+            if self.ieu.queue or self.feu.queue:
+                self.pc = pc
+                return
+            src_unit = self.feu if d.d2i else self.ieu
+            in_fifos = self.in_fifos
+            ready = True
+            for fkey, count in d.needs:
+                if in_fifos[fkey].available() < count:
+                    ready = False
+                    break
+            if not ready:
+                self.pc = pc
+                return  # FIFO operand has not arrived yet
+            fifo_key = d.fifo_key
+            if fifo_key is not None and \
+                    not self.out_fifos[fifo_key].has_room():
+                self.pc = pc
+                return
+            raw = d.ev(src_unit, self)
+            if d.d2i:
+                try:
+                    value = wrap32(int(raw))
+                except (OverflowError, ValueError) as exc:
+                    raise SimError(f"d2i conversion trap: {exc}") from exc
+            else:
+                value = float(raw)
+            if fifo_key is not None:
+                self.out_fifos[fifo_key].push(value)
+            elif d.dst_bank is not None:
+                if d.dst_bank == "f":
+                    self.feu.regs[d.dst_index] = float(value)
+                else:
+                    self.ieu.regs[d.dst_index] = wrap32(int(value))
+            self.pc = pc + 1
+            self.dispatched += 1
+            self._progress_cycle = self.cycle
+            return
+        self.pc = pc
+
+    def _tick_unit_fast(self, unit: _Unit) -> str:
+        if not unit.queue:
+            return "idle"
+        if self.cycle < unit.busy_until:
+            return "busy"  # occupied by a multi-cycle operation
+        head = unit.queue[0]
+        if type(head) is tuple:  # ("link", return_pc)
+            unit.regs[30] = head[1]
+            unit.queue.popleft()
+            unit.executed += 1
+            self._progress_cycle = self.cycle
+            return "busy"
+        if self._execute_fast(unit, head):
+            unit.queue.popleft()
+            unit.executed += 1
+            self._progress_cycle = self.cycle
+            return "busy"
+        return "stall"
+
+    def _execute_fast(self, unit: _Unit, d) -> bool:
+        """Decoded execute; mirrors _execute stall-for-stall."""
+        ekind = d.ekind
+        in_fifos = self.in_fifos
+        if ekind == E_ASSIGN:
+            for key, count in d.needs:
+                if in_fifos[key].available() < count:
+                    return self._stall("operand-wait")
+            fifo_key = d.fifo_key
+            if fifo_key is not None:
+                out = self.out_fifos[fifo_key]
+                if len(out._data) >= out.capacity:
+                    return self._stall("output-full")
+                value = d.ev(unit, self)
+                extra = d.busy_extra
+                if extra:
+                    unit.busy_until = self.cycle + extra
+                out.push(value)
+                return True
+            value = d.ev(unit, self)
+            extra = d.busy_extra
+            if extra:
+                unit.busy_until = self.cycle + extra
+            bank = d.dst_bank
+            if bank is not None:
+                if bank == "f":
+                    self.feu.regs[d.dst_index] = float(value)
+                else:
+                    self.ieu.regs[d.dst_index] = wrap32(int(value))
+            return True
+        if ekind == E_LOAD:
+            needs = d.needs
+            for key, count in needs:
+                if in_fifos[key].available() < count:
+                    return self._stall("operand-wait")
+            if not self.memory.can_accept():
+                return self._stall("memory-port")
+            addr = d.ev(unit, self)
+            if self._store_conflict(addr, d.width):
+                if needs:
+                    self._activity = True  # the address pop consumed state
+                return self._stall("store-conflict")
+            if self._out_stream_conflict(addr, d.width):
+                # an output stream has not written this yet
+                if needs:
+                    self._activity = True
+                return self._stall("stream-drain")
+            fifo = in_fifos[d.fifo_key]
+            reservation = fifo.reserve(1, tag="load")
+            ok = self.memory.request_read(
+                self.cycle, addr, d.width, d.fp, d.signed,
+                reservation.deliver)
+            assert ok
+            return True
+        if ekind == E_STORE:
+            for key, count in d.needs:
+                if in_fifos[key].available() < count:
+                    return self._stall("operand-wait")
+            addr = d.ev(unit, self)
+            fifo_key = d.fifo_key
+            claim = ["store", addr, d.width, d.fp]
+            self.out_claims[fifo_key].append(claim)
+            self.store_buffer.append((fifo_key, claim))
+            return True
+        if ekind == E_COMPARE:
+            if len(unit.cc_fifo) >= 8:
+                return self._stall("cc-full")
+            for key, count in d.needs:
+                if in_fifos[key].available() < count:
+                    return self._stall("operand-wait")
+            unit.cc_fifo.append(d.ev(unit, self))
+            return True
+        if ekind == E_SIN or ekind == E_SOUT:
+            base = d.ev(unit, self)
+            count = None
+            if d.ev2 is not None:
+                count = d.ev2(unit, self)
+                if count <= 0:
+                    raise SimError(
+                        f"stream with non-positive count {count}")
+            self._activate_stream_with(
+                d.instr, "in" if ekind == E_SIN else "out", base, count)
+            return True
+        if ekind == E_SSTOP:
+            state = self.streams.get(d.key)
+            if state is not None and state.active:
+                if state.reservation is not None:
+                    state.reservation.close()
+                state.active = False
+                state.remaining = 0
+            return True
+        raise SimError(f"unit {unit.name} cannot execute {d.instr!r}")
 
     def _sample_telemetry(self, tel: SimTelemetry) -> None:
         """Telemetry-mode unit tick + per-cycle sampling.  Performs the
@@ -489,8 +859,7 @@ class WMSimulator:
             state = self.streams.get(key)
             if state is not None and state.active:
                 if state.reservation is not None:
-                    state.reservation.closed = True
-                    state.reservation.buffer.clear()
+                    state.reservation.close()
                 state.active = False
                 state.remaining = 0
             return True
@@ -612,6 +981,9 @@ class WMSimulator:
             count = self._eval(unit, instr.count)
             if count <= 0:
                 raise SimError(f"stream with non-positive count {count}")
+        return self._activate_stream_with(instr, kind, base, count)
+
+    def _activate_stream_with(self, instr, kind: str, base, count) -> bool:
         key = (instr.fifo.bank, instr.fifo.index, kind)
         fifo_key = (instr.fifo.bank, instr.fifo.index)
         state = _StreamState(kind, instr.fifo.bank, instr.fifo.index)
@@ -637,6 +1009,18 @@ class WMSimulator:
                 width=instr.width, count=count)
             self.telemetry.streams.append(state.stats)
         return True
+
+    def _tick_scu_fast(self) -> None:
+        # Same protocol as _tick_scu; stream ticks never add or remove
+        # dict entries, so the defensive copy is dropped.
+        for state in self.streams.values():
+            if not state.active:
+                continue
+            fifo_key = (state.bank, state.index)
+            if state.kind == "in":
+                self._tick_stream_in(fifo_key, state)
+            else:
+                self._tick_stream_out(fifo_key, state)
 
     def _tick_scu(self) -> None:
         for state in list(self.streams.values()):
@@ -781,11 +1165,6 @@ class WMSimulator:
             if lo < addr + width and addr < hi:
                 return True
         return False
-
-
-def _walk(expr: Expr):
-    from ..rtl.expr import walk
-    return walk(expr)
 
 
 def _iter_ops(expr: Expr):

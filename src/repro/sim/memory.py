@@ -19,16 +19,70 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_right
+from collections import deque
 from typing import Callable, Optional
 
 from ..ir.interp import DATA_BASE
 from ..rtl.module import RtlModule
 
-__all__ = ["MemorySystem", "MemError"]
+__all__ = ["MemorySystem", "MemError", "SimMemoryView"]
 
 
 class MemError(Exception):
     """Out-of-range access or similar runtime trap."""
+
+
+class SimMemoryView:
+    """Read-only view of the final memory image of a simulation.
+
+    Indexes and slices like the underlying ``bytearray``, but pickles
+    only the data segment (globals), not the full ``1 << 23`` address
+    space — a :class:`~repro.sim.machine.SimResult` crossing a process
+    boundary (the parallel table harness) ships kilobytes instead of
+    8 MB.  After unpickling, reads above ``data_end`` raise
+    :class:`MemError` rather than silently returning zeros; checksum
+    globals (``SimResult.global_bytes``) always live below ``data_end``.
+    """
+
+    __slots__ = ("_data", "data_end", "_size")
+
+    def __init__(self, data, data_end: int, size: Optional[int] = None):
+        self._data = data
+        self.data_end = data_end
+        self._size = len(data) if size is None else size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _trimmed(self, addr) -> MemError:
+        return MemError(
+            f"access at {addr:#x} beyond the data segment "
+            f"(end {self.data_end:#x}): stack bytes were dropped when "
+            f"this result crossed a process boundary")
+
+    def __getitem__(self, key):
+        data = self._data
+        if isinstance(key, slice):
+            start, stop, _step = key.indices(self._size)
+            if stop > len(data) and start < stop:
+                raise self._trimmed(stop)
+            return data[key]
+        if key < 0:
+            key += self._size
+        if key >= len(data):
+            if key < self._size:
+                raise self._trimmed(key)
+            raise IndexError("memory index out of range")
+        return data[key]
+
+    def tobytes(self) -> bytes:
+        """The retained image (full before pickling, data segment after)."""
+        return bytes(self._data)
+
+    def __reduce__(self):
+        return (SimMemoryView,
+                (bytes(self._data[:self.data_end]), self.data_end,
+                 self._size))
 
 
 class MemorySystem:
@@ -42,8 +96,10 @@ class MemorySystem:
         self.data = bytearray(size)
         self.globals_base: dict[str, int] = {}
         self._layout(module)
-        #: (due_cycle, callback, value) completions
-        self._inflight: list[tuple[int, Callable, object]] = []
+        #: (due_cycle, callback, value) completions; due cycles are
+        #: monotone (fixed latency, appended in cycle order), so the
+        #: front entry is always the next to complete
+        self._inflight: deque[tuple[int, Callable, object]] = deque()
         self._accepted_this_cycle = 0
         self.reads = 0
         self.writes = 0
@@ -149,16 +205,22 @@ class MemorySystem:
         self.write_value(addr, width, fp, value)
         return True
 
-    def tick(self, cycle: int) -> None:
-        """Deliver completions due at ``cycle``."""
-        if not self._inflight:
-            return
-        due = [item for item in self._inflight if item[0] <= cycle]
-        if not due:
-            return
-        self._inflight = [item for item in self._inflight if item[0] > cycle]
-        for _due_cycle, deliver, value in due:
+    def tick(self, cycle: int) -> int:
+        """Deliver completions due at ``cycle``; returns how many."""
+        inflight = self._inflight
+        if not inflight or inflight[0][0] > cycle:
+            return 0
+        count = 0
+        while inflight and inflight[0][0] <= cycle:
+            _due_cycle, deliver, value = inflight.popleft()
             deliver(value)
+            count += 1
+        return count
+
+    def next_due(self) -> Optional[int]:
+        """Cycle of the earliest pending completion, or None."""
+        inflight = self._inflight
+        return inflight[0][0] if inflight else None
 
     def busy(self) -> bool:
         return bool(self._inflight)

@@ -57,6 +57,21 @@ class UnitStats:
         else:
             self.idle_cycles += 1
 
+    def record_many(self, status: str, reason: Optional[str],
+                    count: int) -> None:
+        """Attribute ``count`` identical cycles at once (the simulator's
+        stall fast-forward replays the skip-initiating cycle's status
+        for every skipped cycle)."""
+        if status == "busy":
+            self.busy_cycles += count
+        elif status == "stall":
+            self.stall_cycles += count
+            key = reason or "unknown"
+            self.stall_reasons[key] = \
+                self.stall_reasons.get(key, 0) + count
+        else:
+            self.idle_cycles += count
+
     def to_dict(self) -> dict:
         return {
             "busy_cycles": self.busy_cycles,
@@ -81,6 +96,12 @@ class FifoStats:
     def sample(self, occupancy: int) -> None:
         self.samples += 1
         self.occupancy_cycles[min(occupancy, _MAX_LEVEL)] += 1
+
+    def sample_many(self, occupancy: int, count: int) -> None:
+        """Record ``count`` cycles at a constant occupancy (stall
+        fast-forward: the FIFO cannot change while nothing moves)."""
+        self.samples += count
+        self.occupancy_cycles[min(occupancy, _MAX_LEVEL)] += count
 
     @property
     def mean_occupancy(self) -> float:

@@ -1,0 +1,118 @@
+"""The perf harness: compile cache, parallel jobs, picklable results."""
+
+import pickle
+
+import pytest
+
+from repro.benchsuite import get_program
+from repro.compiler import compile_source
+from repro.opt import OptOptions
+from repro.perf import (
+    SimJob, bench_programs, cache_stats, clear_cache, compile_cached,
+    run_jobs,
+)
+from repro.reporting import stream_detection, table2
+from repro.sim.memory import MemError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCompileCache:
+    SOURCE = "int main(void) { return 41 + 1; }"
+
+    def test_hit_returns_same_object(self):
+        first = compile_cached(self.SOURCE)
+        second = compile_cached(self.SOURCE)
+        assert second is first
+        assert cache_stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_key_includes_machine_and_options(self):
+        compile_cached(self.SOURCE)
+        compile_cached(self.SOURCE, machine_name="generic-risc")
+        compile_cached(self.SOURCE, options=OptOptions.no_streaming())
+        assert cache_stats()["misses"] == 3
+        assert cache_stats()["hits"] == 0
+
+    def test_clear_cache_resets(self):
+        compile_cached(self.SOURCE)
+        clear_cache()
+        assert cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestRunJobs:
+    def _jobs(self):
+        source = get_program("dot-product", scale=0.1).source
+        return [
+            SimJob("stream", source, options=OptOptions()),
+            SimJob("base", source, options=OptOptions.no_streaming()),
+            SimJob("scalar", source, action="execute",
+                   machine="generic-risc"),
+            SimJob("detect", source, action="compile",
+                   options=OptOptions()),
+        ]
+
+    def test_serial_matches_parallel(self):
+        serial = run_jobs(self._jobs())
+        parallel = run_jobs(self._jobs(), workers=2)
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        results = run_jobs(self._jobs(), workers=2)
+        assert [r.name for r in results] == ["stream", "base", "scalar",
+                                             "detect"]
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown job action"):
+            run_jobs([SimJob("x", "int main(void) { return 0; }",
+                             action="frobnicate")])
+
+    def test_bench_programs_slow_matches_fast_cycles(self):
+        fast = bench_programs(names=["dot-product"], scale=0.1, reps=1)
+        slow = bench_programs(names=["dot-product"], scale=0.1, reps=1,
+                              slow=True)
+        assert fast["programs"] == slow["programs"]
+
+
+class TestMemoryViewPickle:
+    def test_roundtrip_ships_data_segment_only(self):
+        source = get_program("dot-product", scale=0.1).source
+        res = compile_source(source, options=OptOptions()).simulate()
+        blob = pickle.dumps(res.memory)
+        # the live image is 8 MB; the pickled view is data segment only
+        assert len(blob) < 64 * 1024
+        view = pickle.loads(blob)
+        assert len(view) == len(res.memory)
+        end = res.memory.data_end
+        assert view[0:end] == res.memory[0:end]
+        base = res.globals_base["a"]
+        assert view[base:base + 8] == res.memory[base:base + 8]
+
+    def test_trimmed_access_raises(self):
+        source = get_program("dot-product", scale=0.1).source
+        res = compile_source(source, options=OptOptions()).simulate()
+        view = pickle.loads(pickle.dumps(res.memory))
+        with pytest.raises(MemError, match="beyond the data segment"):
+            view[len(view) - 4]
+        with pytest.raises(MemError, match="beyond the data segment"):
+            view[view.data_end:view.data_end + 4]
+
+    def test_whole_result_pickles(self):
+        source = get_program("dot-product", scale=0.1).source
+        res = compile_source(source, options=OptOptions()).simulate()
+        clone = pickle.loads(pickle.dumps(res))
+        assert (clone.value, clone.cycles) == (res.value, res.cycles)
+
+
+class TestTablesWorkers:
+    def test_table2_workers_matches_serial(self):
+        serial = table2(scale=0.1, programs=("dot-product",))
+        parallel = table2(scale=0.1, programs=("dot-product",), workers=2)
+        assert serial == parallel
+
+    def test_stream_detection_workers_matches_serial(self):
+        assert stream_detection() == stream_detection(workers=2)
