@@ -33,10 +33,19 @@ Configurations:
     apples-to-apples number for "how much faster is regenerating the
     tables now".
 
+``compile``
+    The compile half alone (no simulation): cold ``compile_source``
+    timing plus a per-pass breakdown aggregated from the pipeline's
+    ``PassStat`` records under an active tracer — which optimizer pass
+    the compile milliseconds actually go to.
+
 ``--check`` re-runs the equivalence gate (every benchmark, fast vs
-reference, identical cycles) and fails if the measured sim speedup
-regressed more than 5% below the number recorded in BENCH_perf.json.
-``--quick`` shrinks reps/scale for CI.
+reference, identical cycles) and fails if either recorded ratio
+regressed more than 5%: the sim speedup (``sim_speedup``) or the
+compile path relative to the simulator (``compile_vs_sim`` — compile
+cold median over sim fast median, a machine-speed-independent number,
+so a *rise* beyond tolerance means the compile path itself got
+slower).  ``--quick`` shrinks reps/scale for CI.
 
 Usage::
 
@@ -85,6 +94,36 @@ def measure_pipeline(reps: int, scale: float) -> dict:
     }
     clear_cache()
     return out
+
+
+def measure_compile(reps: int, scale: float) -> dict:
+    """Cold compile-only timing plus a per-pass PassStat breakdown."""
+    from repro.benchsuite import get_program
+    from repro.compiler import compile_source
+    from repro.obs import Tracer, use_tracer
+    from repro.perf import time_fn
+
+    prog = get_program("lloop5", scale=scale)
+    cold = time_fn(lambda: compile_source(prog.source), reps)
+
+    # One traced compile for the breakdown (tracing adds overhead, so
+    # it is kept out of the timed reps above).
+    tracer = Tracer()
+    with use_tracer(tracer):
+        compiled = compile_source(prog.source)
+    agg: dict = {}
+    for report in compiled.reports.values():
+        for stat in report.passes:
+            entry = agg.setdefault(stat.name,
+                                   {"calls": 0, "ms": 0.0, "rtl_delta": 0})
+            entry["calls"] += 1
+            entry["ms"] += stat.seconds * 1000
+            entry["rtl_delta"] += stat.delta
+    passes = {name: {"calls": e["calls"], "ms": round(e["ms"], 3),
+                     "rtl_delta": e["rtl_delta"]}
+              for name, e in sorted(agg.items(),
+                                    key=lambda kv: -kv[1]["ms"])}
+    return {"cold": cold, "passes": passes}
 
 
 def measure_sim(reps: int, scale: float) -> dict:
@@ -209,6 +248,7 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "pipeline": measure_pipeline(reps, args.scale),
+        "compile": measure_compile(reps, args.scale),
         "sim": measure_sim(reps, args.scale),
         "tables": measure_tables(max(1, reps // 3), table1_n,
                                  table_scale, args.workers),
@@ -225,6 +265,11 @@ def main(argv=None) -> int:
     tables = report["tables"]
     report["tables_parallel_speedup"] = round(
         tables["serial"]["median_ms"] / tables["parallel"]["median_ms"], 2)
+    # compile path relative to the simulator: the two halves of the
+    # same rep, so machine speed and external load largely cancel
+    report["compile_vs_sim"] = round(
+        report["compile"]["cold"]["median_ms"] / sim["fast"]["median_ms"],
+        2)
 
     if args.baseline_rev:
         baseline = measure_tables_rev(
@@ -248,13 +293,23 @@ def main(argv=None) -> int:
     if args.check:
         if os.path.exists(args.out):
             with open(args.out) as fh:
-                recorded = json.load(fh).get("sim_speedup", 0.0)
+                recorded_report = json.load(fh)
+            recorded = recorded_report.get("sim_speedup", 0.0)
             floor = recorded * REGRESSION_TOLERANCE
             if report["sim_speedup"] < floor:
                 print(f"FAIL: sim speedup {report['sim_speedup']}x < "
                       f"{floor:.2f}x (recorded {recorded}x - 5%)",
                       file=sys.stderr)
                 failed = True
+            recorded_ratio = recorded_report.get("compile_vs_sim")
+            if recorded_ratio:
+                ceiling = recorded_ratio / REGRESSION_TOLERANCE
+                if report["compile_vs_sim"] > ceiling:
+                    print(f"FAIL: compile/sim ratio "
+                          f"{report['compile_vs_sim']} > {ceiling:.2f} "
+                          f"(recorded {recorded_ratio} + 5%) — the "
+                          f"compile path regressed", file=sys.stderr)
+                    failed = True
         return 1 if failed else 0
 
     if not failed:

@@ -49,28 +49,38 @@ class WMLoadIssue(Instr):
     Executed by the IEU.
     """
 
-    __slots__ = ("addr", "width", "fp", "signed")
+    __slots__ = ("_addr", "width", "fp", "signed")
 
     def __init__(self, addr: Expr, width: int, fp: bool, signed: bool = True,
                  comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
-        self.addr = addr
+        self._addr = addr
         self.width = width
         self.fp = fp
         self.signed = signed
 
     @property
+    def addr(self) -> Expr:
+        return self._addr
+
+    @addr.setter
+    def addr(self, value: Expr) -> None:
+        if value is not self._addr:
+            self._addr = value
+            self._df = None
+
+    @property
     def bank(self) -> str:
         return "f" if self.fp else "r"
 
-    def uses(self) -> set:
-        return regs_in(self.addr)
+    def _compute_uses(self) -> set:
+        return regs_in(self._addr)
 
     def use_exprs(self) -> list[Expr]:
-        return [self.addr]
+        return [self._addr]
 
     def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
-        self.addr = fn(self.addr)
+        self.addr = fn(self._addr)
 
     def __repr__(self) -> str:
         return f"l{self.width * 8}{'f' if self.fp else ''} r[31] := {self.addr!r}"
@@ -83,27 +93,37 @@ class WMStoreIssue(Instr):
     Executed by the IEU.
     """
 
-    __slots__ = ("addr", "width", "fp")
+    __slots__ = ("_addr", "width", "fp")
 
     def __init__(self, addr: Expr, width: int, fp: bool,
                  comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
-        self.addr = addr
+        self._addr = addr
         self.width = width
         self.fp = fp
+
+    @property
+    def addr(self) -> Expr:
+        return self._addr
+
+    @addr.setter
+    def addr(self, value: Expr) -> None:
+        if value is not self._addr:
+            self._addr = value
+            self._df = None
 
     @property
     def bank(self) -> str:
         return "f" if self.fp else "r"
 
-    def uses(self) -> set:
-        return regs_in(self.addr)
+    def _compute_uses(self) -> set:
+        return regs_in(self._addr)
 
     def use_exprs(self) -> list[Expr]:
-        return [self.addr]
+        return [self._addr]
 
     def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
-        self.addr = fn(self.addr)
+        self.addr = fn(self._addr)
 
     def __repr__(self) -> str:
         return f"s{self.width * 8}{'f' if self.fp else ''} r[31] := {self.addr!r}"

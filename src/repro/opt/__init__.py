@@ -1,8 +1,9 @@
 """The vpo-style RTL optimizer: CFG, dataflow, loops, and phases."""
 
+from .analysis import AnalysisManager
 from .cfg import CFG, Block, build_cfg
 from .combine import combine_cfg, simplify_expr
-from .dataflow import Liveness, compute_liveness
+from .dataflow import Liveness, compute_liveness, compute_liveness_reference
 from .dce import dce_cfg, remove_dead_ivs
 from .dominators import Dominators, compute_dominators
 from .induction import (
@@ -16,9 +17,10 @@ from .pipeline import OptOptions, OptReports, optimize_function, optimize_module
 from .regalloc import allocate_registers, finalize_frame
 
 __all__ = [
+    "AnalysisManager",
     "CFG", "Block", "build_cfg",
     "combine_cfg", "simplify_expr",
-    "Liveness", "compute_liveness",
+    "Liveness", "compute_liveness", "compute_liveness_reference",
     "dce_cfg", "remove_dead_ivs",
     "Dominators", "compute_dominators",
     "Affine", "BasicIV", "analyze_affine", "count_defs", "find_basic_ivs",

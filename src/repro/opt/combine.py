@@ -18,7 +18,8 @@ from typing import Optional
 
 from ..machine.base import Machine
 from ..rtl.expr import (
-    BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg, fold, regs_in, subst, walk,
+    BinOp, Expr, Imm, Mem, Reg, Sym, UnOp, VReg, _iter_bits, cell_index,
+    fifo_reg_mask, fold, regs_in, subst, walk,
 )
 from ..rtl.instr import Assign, Call, Instr
 from .cfg import CFG
@@ -34,13 +35,11 @@ def is_fifo_reg(expr: Expr) -> bool:
 
 
 def _touches_fifo(instr: Instr) -> bool:
-    for e in instr.use_exprs():
-        if any(is_fifo_reg(sub) for sub in walk(e)):
-            return True
-    for d in instr.defs():
-        if is_fifo_reg(d):
-            return True
-    return False
+    # Equivalent to scanning every use expression (and the defs) for a
+    # FIFO register: the cached use/def masks cover exactly the register
+    # occurrences of the operand trees, and the fifo mask only carries
+    # hard-register (Reg) bits.
+    return bool((instr.uses_mask() | instr.defs_mask()) & fifo_reg_mask())
 
 
 def _is_pow2(value: int) -> bool:
@@ -52,14 +51,30 @@ def _has_fp_reg(expr: Expr) -> bool:
                for e in walk(expr))
 
 
+#: Expressions already known to be their own simplification fixpoint,
+#: keyed by object id (the dict holds a strong reference, so an id can
+#: never be reused while its entry is present).  Expression nodes are
+#: immutable and heavily shared, and the combine pass re-simplifies the
+#: same operand trees on every invocation — the common no-change case
+#: becomes one dict probe instead of a full tree walk.
+_SIMPLIFY_FIXPOINTS: dict[int, Expr] = {}
+
+
 def simplify_expr(expr: Expr) -> Expr:
     """Fold constants and apply integer algebraic rewrites.
 
     Multiplication by a power of two becomes a shift (only for integer
     expressions — floating-point multiplies are left alone).
     """
-    expr = fold(expr)
-    return _rewrite(expr)
+    memo = _SIMPLIFY_FIXPOINTS
+    if memo.get(id(expr)) is expr:
+        return expr
+    out = _rewrite(fold(expr))
+    if out is expr:
+        if len(memo) > 1 << 16:   # unbounded growth guard
+            memo.clear()
+        memo[id(expr)] = expr
+    return out
 
 
 def _rewrite(expr: Expr) -> Expr:
@@ -92,71 +107,99 @@ def _rewrite(expr: Expr) -> Expr:
 
 class _DefRecord:
     """A forward-substitution candidate: reg := expr, with the version of
-    every operand register captured at definition time."""
+    every operand register (by interned-cell index) captured at
+    definition time."""
 
-    __slots__ = ("expr", "operand_versions")
+    __slots__ = ("reg", "expr", "operand_versions")
 
-    def __init__(self, expr: Expr, operand_versions: dict) -> None:
+    def __init__(self, reg: Expr, expr: Expr,
+                 operand_versions: dict) -> None:
+        self.reg = reg
         self.expr = expr
         self.operand_versions = operand_versions
 
 
 def combine_block(block, machine: Machine) -> bool:
-    """One forward-substitution walk over a block; True if changed."""
-    changed = False
-    versions: dict = {}
-    defs: dict = {}
+    """One forward-substitution walk over a block; True if changed.
 
-    def version_of(reg) -> int:
-        return versions.get(reg, 0)
+    All bookkeeping is keyed by interned-cell index (small ints), so
+    the hot loop never hashes an expression cell: versions, candidate
+    defs and staleness checks are integer dict/bitmask operations.
+    """
+    changed = False
+    versions: dict[int, int] = {}
+    defs: dict[int, _DefRecord] = {}
+    # Bitmask over interned cells of ``defs``'s keys, so consumers with
+    # no substitutable operand bail on a single integer test.
+    defs_mask = 0
+    fifo_mask = fifo_reg_mask()
 
     for instr in block.instrs:
-        if not isinstance(instr, (Assign,)) or True:
-            # All instruction kinds participate as *consumers* via
-            # map_exprs; only Assigns produce candidates.
-            pass
-        if not _touches_fifo(instr):
-            changed |= _substitute_into(instr, machine, defs, version_of)
+        # All instruction kinds participate as *consumers* via
+        # map_exprs; only Assigns produce candidates.
+        umask = instr.uses_mask()
+        dmask = instr.defs_mask()
+        if defs_mask & umask and not ((umask | dmask) & fifo_mask):
+            if _substitute_into(instr, machine, defs, defs_mask, versions):
+                changed = True
+                umask = instr.uses_mask()
+                dmask = instr.defs_mask()
         # Record/invalidate definitions.
-        for d in instr.defs():
-            versions[d] = version_of(d) + 1
-            defs.pop(d, None)
-        if isinstance(instr, Assign) and isinstance(instr.dst, (Reg, VReg)):
-            src = instr.src
-            pure = not any(isinstance(e, Mem) for e in walk(src))
-            has_fifo = any(is_fifo_reg(e) for e in walk(src)) or \
-                is_fifo_reg(instr.dst)
-            if pure and not has_fifo:
+        for i in _iter_bits(dmask):
+            versions[i] = versions.get(i, 0) + 1
+            if defs_mask & (1 << i):
+                del defs[i]
+                defs_mask &= ~(1 << i)
+        if dmask and isinstance(instr, Assign) and \
+                isinstance(instr.dst, (Reg, VReg)):
+            # ``dst`` is a Reg/VReg, so a FIFO register anywhere in the
+            # instruction shows up in the use/def masks; a memory cell
+            # anywhere shows up in the cached mem-operand flag.
+            if not instr.has_mem_operand() and not ((umask | dmask) & fifo_mask):
+                # A single-bit defs mask: exactly the dst cell.
+                dst_idx = dmask.bit_length() - 1
                 op_versions = {}
-                usable = True
-                for r in regs_in(src):
-                    if r == instr.dst:
-                        # self-referential defs recorded with the *old*
-                        # version, which the def itself just bumped, so
-                        # they will never substitute — correct.
-                        pass
-                    op_versions[r] = version_of(r) - (1 if r == instr.dst else 0)
-                if usable:
-                    defs[instr.dst] = _DefRecord(src, op_versions)
+                for i in _iter_bits(umask):
+                    # Self-referential defs are recorded with the *old*
+                    # version, which the def itself just bumped, so
+                    # they will never substitute — correct.
+                    op_versions[i] = versions.get(i, 0) - \
+                        (1 if i == dst_idx else 0)
+                defs[dst_idx] = _DefRecord(instr.dst, instr.src, op_versions)
+                defs_mask |= dmask
     return changed
 
 
 def _substitute_into(instr: Instr, machine: Machine, defs: dict,
-                     version_of) -> bool:
+                     defs_mask: int, versions: dict) -> bool:
     """Try substituting known defs into ``instr``'s operands."""
+    # For every instruction kind with operand expressions (Assign,
+    # Compare, stream and WM issue instructions) the cached uses mask
+    # covers exactly the registers occurring in use_exprs(); the kinds
+    # where uses() carries extras (Call args, Ret live-out, CondJump
+    # CC) have no operand expressions at all.
+    if not instr.use_exprs():
+        return False
     changed = False
     for _round in range(8):
-        used = set()
-        for e in instr.use_exprs():
-            used |= regs_in(e)
         progress = False
-        for reg in used:
-            record = defs.get(reg)
-            if record is None:
+        if not (instr.uses_mask() & defs_mask):
+            break
+        # Candidate order deliberately follows the uses() set iteration
+        # order (not ascending cell index) to keep the chosen
+        # substitution — and therefore the emitted code — identical to
+        # the original set-based implementation.
+        for reg in instr.uses():
+            i = cell_index(reg)
+            if not (defs_mask >> i) & 1:
                 continue
+            record = defs[i]
             # operand registers must be unchanged since the definition
-            stale = any(version_of(r) != v
-                        for r, v in record.operand_versions.items())
+            stale = False
+            for r, v in record.operand_versions.items():
+                if versions.get(r, 0) != v:
+                    stale = True
+                    break
             if stale:
                 continue
             if not _try_substitution(instr, machine, reg, record.expr):
@@ -180,20 +223,24 @@ def _try_substitution(instr: Instr, machine: Machine, reg, expr: Expr) -> bool:
 
 
 def _snapshot(instr: Instr):
+    # The cached dataflow tuple is part of the snapshot: a restore puts
+    # back the exact original operand objects, so the tuple saved here
+    # is still valid afterwards and need not be recomputed.
     if isinstance(instr, Assign):
-        return ("assign", instr.dst, instr.src)
+        return ("assign", instr.dst, instr.src, instr._df)
     state = {}
     for slot in getattr(type(instr), "__slots__", ()):
         state[slot] = getattr(instr, slot)
-    return ("slots", state)
+    return ("slots", state, instr._df)
 
 
 def _restore(instr: Instr, saved) -> None:
     if saved[0] == "assign":
-        instr.dst, instr.src = saved[1], saved[2]
+        instr._dst, instr._src, instr._df = saved[1], saved[2], saved[3]
     else:
         for slot, value in saved[1].items():
             setattr(instr, slot, value)
+        instr._df = saved[2]
 
 
 def _same_or_better(saved, instr: Instr) -> bool:
@@ -217,9 +264,14 @@ def combine_cfg(cfg: CFG, machine: Machine, max_rounds: int = 4) -> bool:
     if rounds:
         get_tracer().count("opt.combine.block_rounds", rounds)
     # Always at least simplify in place (fold constants) even when no
-    # substitution fired.
+    # substitution fired.  Sweep mutations count as changes too — the
+    # pipeline's pass-skipping relies on an accurate report, and a
+    # simplification is visible as the cached dataflow being dropped.
     for block in cfg.blocks:
         for instr in block.instrs:
             if not _touches_fifo(instr):
+                before = instr._df
                 instr.map_exprs(simplify_expr)
+                if instr._df is not before:
+                    any_change = True
     return any_change

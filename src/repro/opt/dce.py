@@ -9,13 +9,21 @@ the paper's streaming Step j generalized.
 Loads may be deleted (memory reads have no side effects at the
 mid-level); stores, calls, branches, stream instructions and anything
 touching the WM FIFO registers are always kept.
+
+The fixpoint loop no longer re-solves liveness from scratch per round:
+it solves once (or takes the pipeline's cached solution via the
+:class:`~repro.opt.analysis.AnalysisManager`) and after each round
+incrementally refreshes it for just the blocks that lost instructions,
+leaving the cached analysis valid for the next pass.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..obs import get_tracer
-from ..rtl.expr import Mem, Reg, VReg, walk
-from ..rtl.instr import Assign, Call, Compare, Instr, Ret
+from ..rtl.expr import Mem, Reg, VReg, fifo_reg_mask
+from ..rtl.instr import Assign, Compare, Instr, Ret
 from .cfg import CFG
 from .combine import is_fifo_reg
 from .dataflow import compute_liveness
@@ -26,14 +34,14 @@ __all__ = ["dce_cfg", "remove_dead_ivs"]
 def _removable(instr: Instr) -> bool:
     """Instructions that may be deleted when their definition is dead."""
     if isinstance(instr, Assign):
-        if isinstance(instr.dst, Mem):
+        dst = instr.dst
+        if isinstance(dst, Mem):
             return False
-        if is_fifo_reg(instr.dst):
+        if is_fifo_reg(dst):
             return False
-        for e in instr.use_exprs():
-            if any(is_fifo_reg(sub) for sub in walk(e)):
-                return False
-        return True
+        # A FIFO register anywhere in the operand trees (a dequeue is a
+        # side effect) shows up in the cached use mask.
+        return not (instr.uses_mask() & fifo_reg_mask())
     if isinstance(instr, Compare):
         # A compare with no consuming conditional jump must be removed:
         # WM requires exactly one condition-code producer per jump.
@@ -41,33 +49,43 @@ def _removable(instr: Instr) -> bool:
     return False
 
 
-def dce_cfg(cfg: CFG) -> bool:
-    """Liveness-based dead assignment removal, to fixpoint."""
+def dce_cfg(cfg: CFG, am=None) -> bool:
+    """Liveness-based dead assignment removal, to fixpoint.
+
+    With an :class:`~repro.opt.analysis.AnalysisManager`, the cached
+    liveness is used and kept consistent (refreshed after every round
+    that deleted something), so DCE *preserves* the liveness analysis.
+    """
     any_change = False
     removed = 0
+    liveness = am.liveness() if am is not None else compute_liveness(cfg)
     while True:
-        liveness = compute_liveness(cfg)
-        changed = False
+        changed_blocks = []
         for block in cfg.blocks:
-            live_after = liveness.per_instr_live_out(block)
+            live_after = liveness.per_instr_live_out_masks(block)
             keep = []
             for instr, live in zip(block.instrs, live_after):
-                defs = instr.defs()
-                if defs and _removable(instr) and not (defs & live):
-                    changed = True
+                dmask = instr.defs_mask()
+                if dmask and not (dmask & live) and _removable(instr):
                     removed += 1
                     continue
                 keep.append(instr)
-            block.instrs = keep
-        if not changed:
+            if len(keep) != len(block.instrs):
+                block.instrs = keep
+                changed_blocks.append(block)
+        if not changed_blocks:
             break
         any_change = True
+        if am is not None:
+            am.refresh_liveness(changed_blocks)
+        else:
+            liveness.refresh(changed_blocks)
     if removed:
         get_tracer().count("opt.dce.removed", removed)
     return any_change
 
 
-def remove_dead_ivs(cfg: CFG) -> bool:
+def remove_dead_ivs(cfg: CFG, am=None) -> bool:
     """Delete registers used only to recompute themselves.
 
     After the streaming transformation replaces a loop's exit test with
@@ -95,6 +113,7 @@ def remove_dead_ivs(cfg: CFG) -> bool:
             if isinstance(instr, Ret):
                 external_use.update(instr.live_out)
     changed = False
+    changed_blocks = []
     for reg, sites in self_defs.items():
         if reg in external_use:
             continue
@@ -102,4 +121,7 @@ def remove_dead_ivs(cfg: CFG) -> bool:
             if instr in block.instrs:
                 block.instrs.remove(instr)
                 changed = True
+                changed_blocks.append(block)
+    if changed and am is not None:
+        am.refresh_liveness(changed_blocks)
     return changed

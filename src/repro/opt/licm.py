@@ -17,37 +17,43 @@ paper's Figure 4 (lines 4-9) out of the Livermore loop.
 from __future__ import annotations
 
 from ..obs import get_tracer
-from ..rtl.expr import Mem, Reg, VReg, walk
+from ..rtl.expr import Reg, VReg, fifo_reg_mask
 from ..rtl.instr import Assign, Instr
+from .analysis import AnalysisManager
 from .cfg import CFG
-from .combine import is_fifo_reg
-from .dataflow import compute_liveness
-from .dominators import compute_dominators
-from .loops import Loop, ensure_preheader, find_loops
+from .loops import Loop, ensure_preheader
 
 __all__ = ["licm_cfg"]
 
 
-def licm_cfg(cfg: CFG) -> bool:
-    """Hoist invariants out of every loop, innermost first."""
+def licm_cfg(cfg: CFG, am=None) -> bool:
+    """Hoist invariants out of every loop, innermost first.
+
+    Self-managing with respect to the analysis cache: analyses are
+    requested through the manager and everything is invalidated after a
+    round that moved code, so the manager handed back to the pipeline is
+    always consistent.
+    """
     changed = False
+    if am is None:
+        am = AnalysisManager(cfg)
     # Loop structures are recomputed after each loop's transformation
     # because preheader insertion changes the graph.
     for _ in range(8):
-        doms = compute_dominators(cfg)
-        loops = find_loops(cfg, doms)
+        loops = am.loops()
         round_changed = False
         for loop in loops:
-            if _hoist_loop(cfg, loop):
+            if _hoist_loop(cfg, loop, am):
                 round_changed = True
                 break  # graph changed; recompute structures
         if not round_changed:
             break
         changed = True
+        am.invalidate()
     return changed
 
 
-def _hoist_loop(cfg: CFG, loop: Loop) -> bool:
+def _hoist_loop(cfg: CFG, loop: Loop, am: AnalysisManager) -> bool:
     defs_in_loop: dict = {}
     multi_def: set = set()
     for block in loop.block_list:
@@ -56,8 +62,7 @@ def _hoist_loop(cfg: CFG, loop: Loop) -> bool:
                 if d in defs_in_loop:
                     multi_def.add(d)
                 defs_in_loop[d] = instr
-    liveness = compute_liveness(cfg)
-    live_into_header = liveness.live_in(loop.header)
+    live_into_header = am.liveness().live_in(loop.header)
     hoisted: list[Instr] = []
     invariant_regs: set = set()
     changed = True
@@ -102,11 +107,11 @@ def _hoistable(instr: Instr) -> bool:
         return False
     if not isinstance(instr.dst, (Reg, VReg)):
         return False
-    if is_fifo_reg(instr.dst):
+    # dst is a Reg/VReg, so FIFO registers anywhere in the instruction
+    # appear in the use/def masks; memory cells in the cached mem flag.
+    if instr.has_mem_operand() or \
+            (instr.uses_mask() | instr.defs_mask()) & fifo_reg_mask():
         return False
-    for e in walk(instr.src):
-        if isinstance(e, Mem) or is_fifo_reg(e):
-            return False
     # Never hoist writes to ABI special registers.
     if isinstance(instr.dst, Reg) and instr.dst.index >= 28:
         return False

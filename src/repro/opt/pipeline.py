@@ -15,12 +15,42 @@ from typing import Optional
 from ..machine.base import Machine
 from ..obs import get_tracer
 from ..rtl.module import RtlFunction
+from .analysis import AnalysisManager
 from .cfg import CFG, build_cfg
 from .combine import combine_cfg
 from .dce import dce_cfg, remove_dead_ivs
 from .licm import licm_cfg
 from .peephole import peephole_cfg, remove_identity_moves
 from .regalloc import allocate_registers, finalize_frame
+
+#: What each pass leaves valid in the AnalysisManager.  A pass absent
+#: from this table manages the cache itself (it receives ``am`` and
+#: invalidates exactly when it mutates); a pass mapped to a frozenset
+#: has everything *else* invalidated after it runs.
+_PRESERVES: dict[str, frozenset] = {
+    # removes empty blocks / rewrites branch chains: everything stale
+    "peephole": frozenset(),
+    # rewrites operand expressions in place; the graph is untouched but
+    # the cells instructions read change
+    "combine": frozenset({"dominators", "loops"}),
+    # maintains liveness incrementally through its own deletions, and
+    # never touches the graph
+    "dce": frozenset({"liveness", "dominators", "loops"}),
+    # deletes instructions (refreshing liveness itself via ``am``)
+    "remove_dead_ivs": frozenset({"liveness", "dominators", "loops"}),
+    # rewrites address arithmetic and may add preheaders
+    "strength": frozenset(),
+    # runs after allocation; nothing downstream queries analyses
+    "remove_identity_moves": frozenset(),
+}
+
+#: Passes whose boolean(ish) return value is a *reliable* did-I-mutate
+#: report, making them safe to skip when the CFG hasn't changed since
+#: they last found nothing.  Self-managing passes (recurrence,
+#: streaming, regalloc) and passes with non-change return values stay
+#: out and are conservatively assumed to always mutate.
+_TRACKED = frozenset({"peephole", "combine", "dce", "licm",
+                      "remove_dead_ivs", "strength"})
 
 __all__ = ["OptOptions", "OptReports", "PassStat", "optimize_function",
            "optimize_module"]
@@ -101,19 +131,47 @@ def optimize_function(func: RtlFunction, machine: Machine,
     reports = OptReports()
     tracer = get_tracer()
     cfg = build_cfg(func)
+    am = AnalysisManager(cfg)
+    # Change-version skip: every pass invocation that reports a change
+    # (passes outside _TRACKED are assumed to always change) bumps the
+    # CFG version.  A tracked pass that last ran at the current version
+    # and found nothing is skipped outright — it is deterministic, the
+    # CFG is bit-identical to what it already saw, so it would find
+    # nothing again.  For the same reason a tracked pass reporting no
+    # change invalidates no analyses.
+    version = 0
+    clean_at: dict[str, int] = {}
 
     def run(name: str, pass_fn, *args, **kwargs):
-        """Invoke one pass; record a span + PassStat when tracing."""
+        """Invoke one pass; record a span + PassStat when tracing.
+
+        Afterwards the analysis cache keeps only what the pass declared
+        preserved (``_PRESERVES``); passes missing from the table took
+        ``am`` themselves and are trusted to have kept it consistent.
+        """
+        nonlocal version
+        tracked = name in _TRACKED
+        if tracked and clean_at.get(name) == version:
+            return None
         if not tracer.enabled:
-            return pass_fn(cfg, *args, **kwargs)
-        before = _count_rtls(cfg)
-        with tracer.span(f"opt.{name}", category="opt",
-                         function=func.name) as span:
             out = pass_fn(cfg, *args, **kwargs)
-        after = _count_rtls(cfg)
-        span.args.update(rtl_before=before, rtl_after=after)
-        reports.passes.append(
-            PassStat(name, span.duration, before, after))
+        else:
+            before = _count_rtls(cfg)
+            with tracer.span(f"opt.{name}", category="opt",
+                             function=func.name) as span:
+                out = pass_fn(cfg, *args, **kwargs)
+            after = _count_rtls(cfg)
+            span.args.update(rtl_before=before, rtl_after=after)
+            reports.passes.append(
+                PassStat(name, span.duration, before, after))
+        changed = bool(out) if tracked else True
+        if changed:
+            version += 1
+            preserved = _PRESERVES.get(name)
+            if preserved is not None:
+                am.invalidate(preserved)
+        else:
+            clean_at[name] = version
         return out
 
     run("peephole", peephole_cfg)
@@ -121,33 +179,33 @@ def optimize_function(func: RtlFunction, machine: Machine,
         if opts.combine:
             run("combine", combine_cfg, machine)
         if opts.dce:
-            run("dce", dce_cfg)
+            run("dce", dce_cfg, am=am)
         if opts.licm:
-            run("licm", licm_cfg)
+            run("licm", licm_cfg, am=am)
         if opts.combine:
             run("combine", combine_cfg, machine)
         if opts.dce:
-            run("dce", dce_cfg)
+            run("dce", dce_cfg, am=am)
         if opts.recurrence:
             from ..recurrence.transform import optimize_recurrences
             reports.recurrences = run("recurrence", optimize_recurrences,
-                                      machine)
+                                      machine, am=am)
             if reports.recurrences and opts.post_recurrence_cleanup:
                 if opts.combine:
                     run("combine", combine_cfg, machine)
                 if opts.dce:
-                    run("dce", dce_cfg)
+                    run("dce", dce_cfg, am=am)
         if opts.streaming and machine.has_streams:
             from ..streaming.transform import optimize_streams
             reports.streams = run(
                 "streaming", optimize_streams, machine,
-                allow_infinite=opts.allow_infinite_streams)
+                allow_infinite=opts.allow_infinite_streams, am=am)
             if reports.streams:
                 if opts.dce:
-                    run("dce", dce_cfg)
-                run("remove_dead_ivs", remove_dead_ivs)
+                    run("dce", dce_cfg, am=am)
+                run("remove_dead_ivs", remove_dead_ivs, am=am)
                 if opts.dce:
-                    run("dce", dce_cfg)
+                    run("dce", dce_cfg, am=am)
         if opts.strength and not machine.has_streams:
             from .strength import strength_reduce
             reports.strength_reduced = run("strength", strength_reduce,
@@ -155,9 +213,9 @@ def optimize_function(func: RtlFunction, machine: Machine,
             if opts.combine:
                 run("combine", combine_cfg, machine)
             if opts.dce:
-                run("dce", dce_cfg)
+                run("dce", dce_cfg, am=am)
         run("peephole", peephole_cfg)
-    used_callee = run("regalloc", allocate_registers, machine)
+    used_callee = run("regalloc", allocate_registers, machine, am=am)
     run("remove_identity_moves", remove_identity_moves)
     func.instrs = cfg.to_instrs()
     finalize_frame(func, machine, used_callee)

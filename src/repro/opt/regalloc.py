@@ -17,7 +17,10 @@ from __future__ import annotations
 from typing import Optional
 
 from ..machine.base import Machine
-from ..rtl.expr import BinOp, Imm, Mem, Reg, VReg, subst
+from ..rtl.expr import (
+    BinOp, Imm, Mem, Reg, VReg, bank_reg_mask, bank_vreg_mask,
+    cell_index, cells_of_mask, subst,
+)
 from ..rtl.instr import Assign, Call, Instr, Ret
 from ..rtl.module import RtlFunction
 from .cfg import CFG, build_cfg
@@ -26,21 +29,26 @@ from .emitexpr import VRegAllocator
 
 __all__ = ["allocate_registers", "finalize_frame", "RegAllocError"]
 
+#: Analyses untouched by coloring/spilling (the CFG shape never changes).
+_KEEPS_GRAPH = frozenset({"dominators", "loops"})
+
 
 class RegAllocError(Exception):
     """Allocation failed (ran out of registers even after spilling)."""
 
 
-def allocate_registers(cfg: CFG, machine: Machine) -> set[Reg]:
+def allocate_registers(cfg: CFG, machine: Machine, am=None) -> set[Reg]:
     """Color every virtual register; returns callee-saved regs used.
 
     Rewrites the CFG in place.  Spills are rewritten with load/store
-    around each use/def and coloring is retried (bounded).
+    around each use/def and coloring is retried (bounded).  Liveness in
+    the analysis manager is invalidated whenever the code was rewritten
+    (coloring one bank changes the cells the next solve must track).
     """
     used_callee: set[Reg] = set()
     for _ in range(24):
-        spilled = _color_bank(cfg, machine, "r", used_callee)
-        spilled |= _color_bank(cfg, machine, "f", used_callee)
+        spilled = _color_bank(cfg, machine, "r", used_callee, am)
+        spilled |= _color_bank(cfg, machine, "f", used_callee, am)
         if not spilled:
             return used_callee
     raise RegAllocError("register allocation did not converge")
@@ -53,9 +61,22 @@ def _vregs_of(instr: Instr, bank: str) -> set[VReg]:
 
 
 def _color_bank(cfg: CFG, machine: Machine, bank: str,
-                used_callee: set[Reg]) -> bool:
+                used_callee: set[Reg], am=None) -> bool:
     """Color one bank; returns True if a spill round was necessary."""
-    liveness = compute_liveness(cfg)
+    # Cheap bail before solving liveness: scan the cached use/def masks
+    # for any virtual register of this bank.  Scalar code has no 'f'
+    # vregs at all, and retry rounds after a clean coloring are common.
+    # The scan must come before the bank-mask read: computing the masks
+    # is what interns this function's cells, and regalloc can be the
+    # first mask consumer in a pipeline that skipped the optimizers.
+    present = 0
+    for block in cfg.blocks:
+        for instr in block.instrs:
+            present |= instr.uses_mask() | instr.defs_mask()
+    vmask = bank_vreg_mask(bank)
+    if not (present & vmask):
+        return False
+    liveness = am.liveness() if am is not None else compute_liveness(cfg)
     vregs: set[VReg] = set()
     adj: dict = {}
     move_hints: dict = {}
@@ -75,14 +96,23 @@ def _color_bank(cfg: CFG, machine: Machine, bank: str,
     def in_bank(cell) -> bool:
         return isinstance(cell, (Reg, VReg)) and cell.bank == bank
 
+    bmask = bank_reg_mask(bank)
     for block in cfg.blocks:
-        live_after = liveness.per_instr_live_out(block)
-        for instr, live in zip(block.instrs, live_after):
-            for v in _vregs_of(instr, bank):
+        live_masks = liveness.per_instr_live_out_masks(block)
+        for instr, live_mask in zip(block.instrs, live_masks):
+            umask = instr.uses_mask()
+            dmask = instr.defs_mask()
+            # No cell of this bank is used, defined, or live across the
+            # instruction: it cannot contribute nodes, edges, move hints
+            # (operands would be in the masks) or call-crossing records
+            # (the live set is empty).
+            if not ((umask | dmask | live_mask) & bmask):
+                continue
+            for v in cells_of_mask((umask | dmask) & vmask):
                 vregs.add(v)
                 ensure(v)
-            defs = {d for d in instr.defs() if in_bank(d)}
-            live_bank = {c for c in live if in_bank(c)}
+            defs = cells_of_mask(dmask & bmask)
+            live_bank = cells_of_mask(live_mask & bmask)
             move_src = None
             if isinstance(instr, Assign) and \
                     isinstance(instr.src, (Reg, VReg)) and \
@@ -152,13 +182,24 @@ def _color_bank(cfg: CFG, machine: Machine, bank: str,
 
     if actually_spilled:
         _spill(cfg, actually_spilled, bank)
+        if am is not None:
+            am.invalidate(preserved=_KEEPS_GRAPH)
         return True
 
     mapping = {v: r for v, r in assignment.items()}
+    map_mask = 0
+    for v in mapping:
+        map_mask |= 1 << cell_index(v)
     for block in cfg.blocks:
         for instr in block.instrs:
+            # Every cell the rewrite could touch (operand uses, Assign
+            # dsts, Ret live-out) is in the use/def masks.
+            if not ((instr.uses_mask() | instr.defs_mask()) & map_mask):
+                continue
             instr.map_exprs(lambda e: subst(e, mapping))
             _rewrite_defs(instr, mapping)
+    if am is not None:
+        am.invalidate(preserved=_KEEPS_GRAPH)
     return False
 
 

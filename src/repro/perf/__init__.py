@@ -14,12 +14,12 @@ The reporting tables and the ``repro bench`` CLI funnel their
   command and ``benchmarks/bench_perf.py``.
 """
 
-from .cache import cache_stats, clear_cache, compile_cached
+from .cache import cache_stats, clear_cache, compile_cached, is_cached
 from .parallel import JobResult, SimJob, run_jobs
 from .bench import bench_programs, time_fn
 
 __all__ = [
-    "cache_stats", "clear_cache", "compile_cached",
+    "cache_stats", "clear_cache", "compile_cached", "is_cached",
     "JobResult", "SimJob", "run_jobs",
     "bench_programs", "time_fn",
 ]

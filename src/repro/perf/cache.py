@@ -23,7 +23,7 @@ from ..compiler import CompileResult, compile_source
 from ..machine.scalar import make_machine
 from ..opt import OptOptions
 
-__all__ = ["compile_cached", "clear_cache", "cache_stats"]
+__all__ = ["compile_cached", "clear_cache", "cache_stats", "is_cached"]
 
 _CAPACITY = 64
 _cache: OrderedDict[tuple, CompileResult] = OrderedDict()
@@ -59,6 +59,13 @@ def compile_cached(source: str, machine_name: Optional[str] = None,
     if len(_cache) > _CAPACITY:
         _cache.popitem(last=False)
     return result
+
+
+def is_cached(source: str, machine_name: Optional[str] = None,
+              options: Optional[OptOptions] = None) -> bool:
+    """Is this configuration a guaranteed cache hit?  Pure probe: does
+    not touch hit/miss statistics or the LRU order."""
+    return _key(source, machine_name, options) in _cache
 
 
 def clear_cache() -> None:

@@ -21,12 +21,13 @@ megabyte-sized ever crosses the process boundary.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
 from ..opt import OptOptions
-from .cache import compile_cached
+from .cache import compile_cached, is_cached
 
 __all__ = ["SimJob", "JobResult", "run_jobs"]
 
@@ -83,15 +84,49 @@ def _run_job(job: SimJob) -> JobResult:
     return out
 
 
+#: Minimum batch size worth paying pool startup for.  Below this the
+#: fork/teardown overhead dominates even on a multi-core machine.
+_MIN_POOL_JOBS = 4
+
+
+def _should_parallelize(jobs: list[SimJob],
+                        workers: Optional[int]) -> bool:
+    """Would a process pool plausibly beat the in-process loop?
+
+    Serial fallback applies when any of these hold:
+
+    * ``workers`` is ``None``, 0 or 1 — parallelism wasn't requested;
+    * the batch is smaller than :data:`_MIN_POOL_JOBS` — pool startup
+      cannot amortize;
+    * the host has a single CPU — workers only time-slice, adding fork
+      overhead to the exact same serial schedule;
+    * every job is already in the in-process compile cache — the
+      per-job cost is a cache probe plus simulation, and shipping jobs
+      to workers re-pays result pickling for no compile saved.
+    """
+    if workers is None or workers <= 1:
+        return False
+    if len(jobs) < _MIN_POOL_JOBS:
+        return False
+    if (os.cpu_count() or 1) < 2:
+        return False
+    if all(is_cached(job.source, machine_name=job.machine,
+                     options=job.options) for job in jobs):
+        return False
+    return True
+
+
 def run_jobs(jobs: list[SimJob],
              workers: Optional[int] = None) -> list[JobResult]:
     """Run a batch of jobs, preserving order.
 
     ``workers`` of ``None``, 0 or 1 runs in-process (sharing the
-    compile cache across jobs); larger values fan out over processes.
+    compile cache across jobs); larger values fan out over processes
+    when the batch can plausibly win from it (see
+    :func:`_should_parallelize` for the serial-fallback conditions).
     """
     jobs = list(jobs)
-    if workers is not None and workers > 1 and len(jobs) > 1:
+    if _should_parallelize(jobs, workers):
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_run_job, jobs))
     return [_run_job(job) for job in jobs]

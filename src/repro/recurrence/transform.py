@@ -50,15 +50,18 @@ class RecurrenceReport:
     hold_regs: list = field(default_factory=list)
 
 
-def optimize_recurrences(cfg: CFG, machine: Machine) -> list[RecurrenceReport]:
+def optimize_recurrences(cfg: CFG, machine: Machine,
+                         am=None) -> list[RecurrenceReport]:
     """Run recurrence detection/optimization over every loop of ``cfg``.
 
     Returns a report per transformed partition (empty when nothing was
-    found).  The CFG is modified in place.
+    found).  The CFG is modified in place.  Dominators and the loop
+    forest come from the analysis manager when one is provided; every
+    transformation (preheader insertion, load rewriting) invalidates it.
     """
     reports: list[RecurrenceReport] = []
-    doms = compute_dominators(cfg)
-    loops = find_loops(cfg, doms)
+    doms = am.dominators() if am is not None else compute_dominators(cfg)
+    loops = am.loops() if am is not None else find_loops(cfg, doms)
     for loop in loops:
         # Only innermost loops are transformed (references in nested
         # loops are not per-iteration references of the outer loop).
@@ -69,12 +72,19 @@ def optimize_recurrences(cfg: CFG, machine: Machine) -> list[RecurrenceReport]:
             if inner:
                 continue
         info = partition_loop(cfg, loop, doms)
+        transformed = False
         for part in info.partitions:
             report = _transform_partition(cfg, machine, loop, info, part)
             if report is not None:
                 reports.append(report)
+                transformed = True
         # The graph may have gained a preheader; recompute dominators.
-        doms = compute_dominators(cfg)
+        if am is not None:
+            if transformed:
+                am.invalidate()
+            doms = am.dominators()
+        else:
+            doms = compute_dominators(cfg)
     return reports
 
 

@@ -35,6 +35,13 @@ __all__ = [
     "contains_mem",
     "BINOPS",
     "COMPARE_OPS",
+    "cell_index",
+    "cell_of_index",
+    "cells_of_mask",
+    "mask_of_cells",
+    "bank_reg_mask",
+    "bank_vreg_mask",
+    "fifo_reg_mask",
 ]
 
 
@@ -157,6 +164,105 @@ BINOPS = {
 
 #: The subset of operators that produce a condition-code value.
 COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+# ---------------------------------------------------------------------------
+# cell interning
+# ---------------------------------------------------------------------------
+#
+# Every dataflow cell (Reg, VReg, or the CCCell defined in rtl.instr) gets a
+# process-wide small-integer index on first sight.  A *set of cells* is then
+# representable as a Python int bitmask, which turns the liveness transfer
+# functions into single OR/AND-NOT machine-word operations and makes set
+# membership a one-bit test.  The table only ever grows (a compiler run
+# touches a few hundred distinct cells at most), so indices are stable for
+# the lifetime of the process and masks from different functions compose.
+
+_CELL_INDEX: dict = {}
+_CELL_BY_INDEX: list = []
+_BANK_REG_MASKS: dict[str, int] = {}
+_BANK_VREG_MASKS: dict[str, int] = {}
+_FIFO_MASK = 0
+
+#: FIFO register indices on WM (r0/r1/f0/f1) — mirrored from opt.combine,
+#: kept here so interning can maintain the fifo mask without an import cycle.
+_FIFO_INDICES = (0, 1)
+
+
+def cell_index(cell) -> int:
+    """The process-wide small-int index of a dataflow cell (interning)."""
+    idx = _CELL_INDEX.get(cell)
+    if idx is None:
+        global _FIFO_MASK
+        idx = len(_CELL_BY_INDEX)
+        _CELL_INDEX[cell] = idx
+        _CELL_BY_INDEX.append(cell)
+        if isinstance(cell, (Reg, VReg)):
+            _BANK_REG_MASKS[cell.bank] = \
+                _BANK_REG_MASKS.get(cell.bank, 0) | (1 << idx)
+            if isinstance(cell, VReg):
+                _BANK_VREG_MASKS[cell.bank] = \
+                    _BANK_VREG_MASKS.get(cell.bank, 0) | (1 << idx)
+            elif cell.index in _FIFO_INDICES:
+                _FIFO_MASK |= 1 << idx
+    return idx
+
+
+def cell_of_index(idx: int):
+    """The cell a :func:`cell_index` value stands for."""
+    return _CELL_BY_INDEX[idx]
+
+
+def mask_of_cells(cells) -> int:
+    """Encode an iterable of cells as an int bitmask."""
+    mask = 0
+    for cell in cells:
+        mask |= 1 << cell_index(cell)
+    return mask
+
+
+_DECODE_CACHE: dict[int, frozenset] = {}
+
+
+def cells_of_mask(mask: int) -> frozenset:
+    """Decode a bitmask back to the frozenset of cells it encodes.
+
+    Distinct mask values repeat heavily across instructions (liveness
+    changes slowly along a block), so decoded sets are memoized.  The
+    memo is only correct because the interning table never reassigns
+    indices.
+    """
+    cached = _DECODE_CACHE.get(mask)
+    if cached is None:
+        table = _CELL_BY_INDEX
+        cached = _DECODE_CACHE[mask] = frozenset(
+            table[i] for i in _iter_bits(mask))
+        if len(_DECODE_CACHE) > 1 << 16:   # unbounded growth guard
+            _DECODE_CACHE.clear()
+            _DECODE_CACHE[mask] = cached
+    return cached
+
+
+def _iter_bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bank_reg_mask(bank: str) -> int:
+    """Mask of every interned Reg/VReg of ``bank`` (CC cells excluded)."""
+    return _BANK_REG_MASKS.get(bank, 0)
+
+
+def bank_vreg_mask(bank: str) -> int:
+    """Mask of every interned virtual register of ``bank``."""
+    return _BANK_VREG_MASKS.get(bank, 0)
+
+
+def fifo_reg_mask() -> int:
+    """Mask of every interned WM FIFO register (r0/r1/f0/f1)."""
+    return _FIFO_MASK
 
 
 def walk(expr: Expr) -> Iterator[Expr]:

@@ -11,11 +11,31 @@ expressions in place via :meth:`Instr.map_exprs` and the CFG tracks them
 by identity.  Every instruction carries a ``comment`` (mirroring the
 listings in the paper) and an optional ``lno`` tag used by the recurrence
 partition vectors ``(lno, acc, iv, cee, dee, roffset)``.
+
+Dataflow caching
+----------------
+
+``uses()``/``defs()`` are queried constantly by liveness, DCE, LICM,
+register allocation and the WM lowering, and each call used to rebuild a
+set by walking operand expression trees.  They are now computed once per
+instruction and cached — both as frozensets and as int *bitmasks* over
+the process-wide cell interning table (:func:`repro.rtl.expr.cell_index`)
+— and invalidated through the mutation funnel: every operand field that
+feeds ``uses``/``defs`` (``Assign.dst``/``src``, ``Compare.left``/
+``right``, ``Ret.live_out``, stream ``base``/``count``, …) is a property
+whose setter drops the cache, so :meth:`map_exprs` and the handful of
+in-place operand writers in the passes invalidate automatically.  Code
+that bypasses the setters (e.g. restoring ``__slots__`` state wholesale)
+must call :meth:`Instr.invalidate_dataflow` itself.
+
+The cached sets are frozen; callers must not mutate them.  List/set
+valued operands (``Call.arg_regs``/``ret_regs``/``clobbers``) must be
+replaced, never mutated in place.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
 from .expr import (
@@ -27,6 +47,7 @@ from .expr import (
     Sym,
     UnOp,
     VReg,
+    cell_index,
     contains_mem,
     regs_in,
 )
@@ -68,24 +89,81 @@ class CCCell:
 
 Cell = Union[Reg, VReg, CCCell]
 
+_EMPTY_FROZEN: frozenset = frozenset()
+
 
 class Instr:
     """Base class for RTL instructions."""
 
-    __slots__ = ("comment", "lno")
+    __slots__ = ("comment", "lno", "_df")
 
     def __init__(self, comment: str = "", lno: int = 0) -> None:
         self.comment = comment
         self.lno = lno
+        self._df = None
 
     # -- dataflow interface -------------------------------------------------
-    def defs(self) -> set[Cell]:
-        """Register/CC cells written by this instruction."""
-        return set()
+    def _dataflow(self) -> tuple:
+        """(uses, defs, uses_mask, defs_mask, mem), computed once and
+        cached.  ``mem`` is True when any operand tree contains a memory
+        cell (including a store destination)."""
+        df = self._df
+        if df is None:
+            u = frozenset(self._compute_uses())
+            d = frozenset(self._compute_defs())
+            um = 0
+            for c in u:
+                um |= 1 << cell_index(c)
+            dm = 0
+            for c in d:
+                dm |= 1 << cell_index(c)
+            mem = self.writes_mem() is not None
+            if not mem:
+                for e in self.use_exprs():
+                    if contains_mem(e):
+                        mem = True
+                        break
+            df = self._df = (u, d, um, dm, mem)
+        return df
 
-    def uses(self) -> set[Cell]:
-        """Register/CC cells read by this instruction."""
-        return set()
+    def defs(self) -> frozenset:
+        """Register/CC cells written by this instruction (frozen)."""
+        df = self._df
+        return df[1] if df is not None else self._dataflow()[1]
+
+    def uses(self) -> frozenset:
+        """Register/CC cells read by this instruction (frozen)."""
+        df = self._df
+        return df[0] if df is not None else self._dataflow()[0]
+
+    def uses_mask(self) -> int:
+        """``uses()`` as an interned-cell bitmask."""
+        df = self._df
+        return df[2] if df is not None else self._dataflow()[2]
+
+    def defs_mask(self) -> int:
+        """``defs()`` as an interned-cell bitmask."""
+        df = self._df
+        return df[3] if df is not None else self._dataflow()[3]
+
+    def has_mem_operand(self) -> bool:
+        """True when any operand tree touches a memory cell."""
+        df = self._df
+        return df[4] if df is not None else self._dataflow()[4]
+
+    def invalidate_dataflow(self) -> None:
+        """Drop the cached use/def sets after an operand mutation.
+
+        Operand property setters call this automatically; only code
+        writing private slots directly needs to call it by hand.
+        """
+        self._df = None
+
+    def _compute_uses(self):
+        return _EMPTY_FROZEN
+
+    def _compute_defs(self):
+        return _EMPTY_FROZEN
 
     def use_exprs(self) -> list[Expr]:
         """The operand expressions evaluated by this instruction."""
@@ -129,49 +207,70 @@ class Assign(Instr):
     at most one memory access.
     """
 
-    __slots__ = ("dst", "src")
+    __slots__ = ("_dst", "_src")
 
     def __init__(self, dst: Expr, src: Expr, comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
-        self.dst = dst
-        self.src = src
+        self._dst = dst
+        self._src = src
 
-    def defs(self) -> set[Cell]:
-        if isinstance(self.dst, (Reg, VReg)):
-            return {self.dst}
-        return set()
+    @property
+    def dst(self) -> Expr:
+        return self._dst
 
-    def uses(self) -> set[Cell]:
-        used = regs_in(self.src)
-        if isinstance(self.dst, Mem):
-            used |= regs_in(self.dst.addr)
+    @dst.setter
+    def dst(self, value: Expr) -> None:
+        if value is not self._dst:
+            self._dst = value
+            self._df = None
+
+    @property
+    def src(self) -> Expr:
+        return self._src
+
+    @src.setter
+    def src(self, value: Expr) -> None:
+        if value is not self._src:
+            self._src = value
+            self._df = None
+
+    def _compute_defs(self):
+        if isinstance(self._dst, (Reg, VReg)):
+            return (self._dst,)
+        return _EMPTY_FROZEN
+
+    def _compute_uses(self):
+        used = regs_in(self._src)
+        if isinstance(self._dst, Mem):
+            used |= regs_in(self._dst.addr)
         return used
 
     def use_exprs(self) -> list[Expr]:
-        exprs = [self.src]
-        if isinstance(self.dst, Mem):
-            exprs.append(self.dst.addr)
+        exprs = [self._src]
+        if isinstance(self._dst, Mem):
+            exprs.append(self._dst.addr)
         return exprs
 
     def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
-        self.src = fn(self.src)
-        if isinstance(self.dst, Mem):
-            new_addr = fn(self.dst.addr)
-            if new_addr is not self.dst.addr:
-                self.dst = Mem(new_addr, self.dst.width, self.dst.fp, self.dst.signed)
+        self.src = fn(self._src)
+        if isinstance(self._dst, Mem):
+            new_addr = fn(self._dst.addr)
+            if new_addr is not self._dst.addr:
+                self.dst = Mem(new_addr, self._dst.width, self._dst.fp,
+                               self._dst.signed)
 
     def reads_mem(self) -> Optional[Mem]:
-        if isinstance(self.src, Mem):
-            return self.src
+        if isinstance(self._src, Mem):
+            return self._src
         return None
 
     def writes_mem(self) -> Optional[Mem]:
-        if isinstance(self.dst, Mem):
-            return self.dst
+        if isinstance(self._dst, Mem):
+            return self._dst
         return None
 
     def __repr__(self) -> str:
-        return f"{self.dst!r} := {self.src!r}"
+        return f"{self._dst!r} := {self._src!r}"
 
 
 def is_load(instr: Instr) -> bool:
@@ -191,37 +290,57 @@ class Compare(Instr):
     by the ``bank`` unit and its boolean result is buffered for the IFU.
     """
 
-    __slots__ = ("bank", "op", "left", "right")
+    __slots__ = ("bank", "op", "_left", "_right")
 
     def __init__(self, bank: str, op: str, left: Expr, right: Expr,
                  comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
         self.bank = bank
         self.op = op
-        self.left = left
-        self.right = right
+        self._left = left
+        self._right = right
 
-    def defs(self) -> set[Cell]:
-        return {CCCell(self.bank)}
+    @property
+    def left(self) -> Expr:
+        return self._left
 
-    def uses(self) -> set[Cell]:
-        return regs_in(self.left) | regs_in(self.right)
+    @left.setter
+    def left(self, value: Expr) -> None:
+        if value is not self._left:
+            self._left = value
+            self._df = None
+
+    @property
+    def right(self) -> Expr:
+        return self._right
+
+    @right.setter
+    def right(self, value: Expr) -> None:
+        if value is not self._right:
+            self._right = value
+            self._df = None
+
+    def _compute_defs(self):
+        return (CCCell(self.bank),)
+
+    def _compute_uses(self):
+        return regs_in(self._left) | regs_in(self._right)
 
     def use_exprs(self) -> list[Expr]:
-        return [self.left, self.right]
+        return [self._left, self._right]
 
     def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
-        self.left = fn(self.left)
-        self.right = fn(self.right)
+        self.left = fn(self._left)
+        self.right = fn(self._right)
 
     def reads_mem(self) -> Optional[Mem]:
-        for e in (self.left, self.right):
+        for e in (self._left, self._right):
             if isinstance(e, Mem):
                 return e
         return None
 
     def __repr__(self) -> str:
-        return f"{self.bank}cc := ({self.left!r} {self.op} {self.right!r})"
+        return f"{self.bank}cc := ({self._left!r} {self.op} {self._right!r})"
 
 
 class Jump(Instr):
@@ -262,8 +381,8 @@ class CondJump(Instr):
         self.sense = sense
         self.target = target
 
-    def uses(self) -> set[Cell]:
-        return {CCCell(self.bank)}
+    def _compute_uses(self):
+        return (CCCell(self.bank),)
 
     def is_branch(self) -> bool:
         return True
@@ -281,7 +400,9 @@ class Call(Instr):
 
     ``arg_regs`` are the ABI registers carrying arguments (uses);
     ``ret_regs`` the registers defined by the call; ``clobbers`` the
-    caller-saved set additionally killed.
+    caller-saved set additionally killed.  These containers must be
+    *replaced*, never mutated in place (the use/def cache would go
+    stale).
     """
 
     __slots__ = ("func", "arg_regs", "ret_regs", "clobbers")
@@ -295,10 +416,10 @@ class Call(Instr):
         self.ret_regs = list(ret_regs)
         self.clobbers = set(clobbers or ())
 
-    def defs(self) -> set[Cell]:
+    def _compute_defs(self):
         return set(self.ret_regs) | set(self.clobbers)
 
-    def uses(self) -> set[Cell]:
+    def _compute_uses(self):
         return set(self.arg_regs)
 
     def reads_mem(self) -> Optional[Mem]:
@@ -314,15 +435,24 @@ class Ret(Instr):
     """Return from the current function. ``live_out`` lists ABI registers
     (return value, callee-saved) that must be treated as used."""
 
-    __slots__ = ("live_out",)
+    __slots__ = ("_live_out",)
 
     def __init__(self, live_out: Optional[set[Expr]] = None,
                  comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
-        self.live_out = set(live_out or ())
+        self._live_out = set(live_out or ())
 
-    def uses(self) -> set[Cell]:
-        return set(self.live_out)
+    @property
+    def live_out(self) -> set:
+        return self._live_out
+
+    @live_out.setter
+    def live_out(self, value) -> None:
+        self._live_out = set(value)
+        self._df = None
+
+    def _compute_uses(self):
+        return set(self._live_out)
 
     def is_branch(self) -> bool:
         return True
@@ -356,40 +486,60 @@ class _StreamBase(Instr):
     which is an immediate in the instruction word).
     """
 
-    __slots__ = ("fifo", "base", "count", "stride", "width", "fp")
+    __slots__ = ("fifo", "_base", "_count", "stride", "width", "fp")
 
     def __init__(self, fifo: Reg, base: Expr, count: Expr, stride: int,
                  width: int, fp: bool, comment: str = "", lno: int = 0) -> None:
         super().__init__(comment, lno)
         self.fifo = fifo
-        self.base = base
-        self.count = count
+        self._base = base
+        self._count = count
         self.stride = stride
         self.width = width
         self.fp = fp
 
-    def uses(self) -> set[Cell]:
-        used = regs_in(self.base)
-        if self.count is not None:
-            used |= regs_in(self.count)
+    @property
+    def base(self) -> Expr:
+        return self._base
+
+    @base.setter
+    def base(self, value: Expr) -> None:
+        if value is not self._base:
+            self._base = value
+            self._df = None
+
+    @property
+    def count(self):
+        return self._count
+
+    @count.setter
+    def count(self, value) -> None:
+        if value is not self._count:
+            self._count = value
+            self._df = None
+
+    def _compute_uses(self):
+        used = regs_in(self._base)
+        if self._count is not None:
+            used |= regs_in(self._count)
         return used
 
     def use_exprs(self) -> list[Expr]:
-        if self.count is None:
-            return [self.base]
-        return [self.base, self.count]
+        if self._count is None:
+            return [self._base]
+        return [self._base, self._count]
 
     def map_exprs(self, fn: Callable[[Expr], Expr]) -> None:
-        self.base = fn(self.base)
-        if self.count is not None:
-            self.count = fn(self.count)
+        self.base = fn(self._base)
+        if self._count is not None:
+            self.count = fn(self._count)
 
 
 class StreamIn(_StreamBase):
     """``SinD fifo,base,count,stride`` — stream memory into an input FIFO."""
 
     def __repr__(self) -> str:
-        return (f"SIN {self.fifo!r},{self.base!r},{self.count!r},"
+        return (f"SIN {self.fifo!r},{self._base!r},{self._count!r},"
                 f"{self.stride}")
 
 
@@ -397,7 +547,7 @@ class StreamOut(_StreamBase):
     """``SoutD fifo,base,count,stride`` — stream an output FIFO to memory."""
 
     def __repr__(self) -> str:
-        return (f"SOUT {self.fifo!r},{self.base!r},{self.count!r},"
+        return (f"SOUT {self.fifo!r},{self._base!r},{self._count!r},"
                 f"{self.stride}")
 
 

@@ -75,13 +75,19 @@ class _LoopTest:
 
 
 def optimize_streams(cfg: CFG, machine: Machine,
-                     allow_infinite: bool = True) -> list[StreamReport]:
-    """Run the streaming algorithm over every innermost loop."""
+                     allow_infinite: bool = True,
+                     am=None) -> list[StreamReport]:
+    """Run the streaming algorithm over every innermost loop.
+
+    The top-level dominator/loop-forest queries go through the analysis
+    manager when one is provided; a transformed loop (the only case that
+    mutates the graph) invalidates it.
+    """
     if not machine.has_streams:
         return []
     reports: list[StreamReport] = []
-    doms = compute_dominators(cfg)
-    loops = find_loops(cfg, doms)
+    doms = am.dominators() if am is not None else compute_dominators(cfg)
+    loops = am.loops() if am is not None else find_loops(cfg, doms)
     innermost = [
         loop for loop in loops
         if not any(other is not loop and other.blocks < loop.blocks
@@ -91,7 +97,10 @@ def optimize_streams(cfg: CFG, machine: Machine,
         report = _stream_loop(cfg, machine, loop, doms, allow_infinite)
         if report is not None:
             reports.append(report)
-        doms = compute_dominators(cfg)
+            if am is not None:
+                am.invalidate()
+        doms = am.dominators() if am is not None else \
+            compute_dominators(cfg)
     return reports
 
 

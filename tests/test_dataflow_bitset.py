@@ -1,0 +1,230 @@
+"""Bitset liveness: edge-case CFG shapes, differential equivalence with
+the original set solver, and the AnalysisManager solve-count discipline.
+"""
+
+import pytest
+
+from repro.benchsuite import PROGRAMS, UTILITY_CORPUS, get_program
+from repro.compiler import compile_to_ir
+from repro.expander import expand
+from repro.machine.wm import WM
+from repro.opt import build_cfg, compute_liveness, dce_cfg
+from repro.opt import dataflow
+from repro.opt.analysis import AnalysisManager
+from repro.opt.dataflow import compute_liveness_reference
+from repro.opt.pipeline import optimize_function
+from repro.rtl import (
+    Assign, BinOp, Compare, CondJump, Imm, Jump, Label, Mem, Reg, Ret, Sym,
+    VReg,
+)
+from repro.rtl.module import RtlFunction
+
+
+R = lambda i: Reg("r", i)
+V = lambda i: VReg("r", i)
+
+
+def make_fn(instrs, name="f"):
+    return RtlFunction(name=name, instrs=list(instrs))
+
+
+def assert_same_liveness(cfg):
+    """The bitset worklist and the reference set solver must reach the
+    identical fixpoint, block by block and instruction by instruction."""
+    new = compute_liveness(cfg)
+    ref = compute_liveness_reference(cfg)
+    for block in cfg.blocks:
+        assert new.live_in(block) == ref.live_in(block), block.label
+        assert new.live_out(block) == ref.live_out(block), block.label
+        assert new.per_instr_live_out(block) == \
+            ref.per_instr_live_out(block), block.label
+
+
+class TestEdgeCases:
+    def test_empty_function(self):
+        cfg = build_cfg(make_fn([Ret()]))
+        live = compute_liveness(cfg)
+        for block in cfg.blocks:
+            assert live.live_in(block) == frozenset()
+            assert live.live_out(block) == frozenset()
+        assert_same_liveness(cfg)
+
+    def test_ret_live_out_reaches_entry(self):
+        cfg = build_cfg(make_fn([Ret(live_out={R(29)})]))
+        live = compute_liveness(cfg)
+        assert R(29) in live.live_in(cfg.entry)
+        assert_same_liveness(cfg)
+
+    def test_single_block_self_loop(self):
+        """A one-block loop: the block is its own successor, so its
+        live-out must feed its own live-in around the back edge."""
+        cfg = build_cfg(make_fn([
+            Assign(V(0), Imm(0)),
+            Label("l"),
+            Assign(V(0), BinOp("+", V(0), Imm(1))),
+            Compare("r", "<", V(0), Imm(10)),
+            CondJump("r", True, "l"),
+            Ret(live_out={R(29)}),
+        ]))
+        loop = cfg.block_of("l")
+        assert loop in loop.succs
+        live = compute_liveness(cfg)
+        assert V(0) in live.live_in(loop)
+        assert V(0) in live.live_out(loop)
+        assert_same_liveness(cfg)
+
+    def test_unreachable_block_still_solved(self):
+        """Blocks unreachable from the entry are outside the RPO seed
+        order but must still get a (correct) solution."""
+        cfg = build_cfg(make_fn([
+            Assign(V(0), Imm(1)),
+            Jump("end"),
+            Label("dead"),
+            Assign(V(1), BinOp("+", V(0), Imm(2))),
+            Jump("end"),
+            Label("end"),
+            Ret(live_out={R(29)}),
+        ]))
+        dead = cfg.block_of("dead")
+        assert not dead.preds
+        assert dead not in cfg.rpo()
+        live = compute_liveness(cfg)
+        # the dead block reads v0 upward-exposed, so its live-in has it
+        assert V(0) in live.live_in(dead)
+        assert_same_liveness(cfg)
+
+    def test_unreachable_self_loop(self):
+        """An unreachable block that loops on itself: the nastiest seed
+        case — no RPO position *and* a back edge."""
+        cfg = build_cfg(make_fn([
+            Jump("end"),
+            Label("spin"),
+            Assign(V(0), BinOp("+", V(0), Imm(1))),
+            Jump("spin"),
+            Label("end"),
+            Ret(live_out={R(29)}),
+        ]))
+        spin = cfg.block_of("spin")
+        assert spin in spin.succs
+        live = compute_liveness(cfg)
+        assert V(0) in live.live_in(spin)
+        assert_same_liveness(cfg)
+
+    def test_diamond_with_memory(self):
+        cfg = build_cfg(make_fn([
+            Assign(V(0), Sym("a")),
+            Compare("r", "<", V(0), Imm(8)),
+            CondJump("r", True, "then"),
+            Assign(Mem(V(0), 4, False), Imm(1)),
+            Jump("join"),
+            Label("then"),
+            Assign(V(1), Mem(V(0), 4, False)),
+            Assign(Mem(V(0), 4, False), V(1)),
+            Label("join"),
+            Ret(live_out={R(29)}),
+        ]))
+        assert_same_liveness(cfg)
+
+
+_CORPUS = {name: get_program(name, scale=0.1).source for name in PROGRAMS}
+_CORPUS.update(UTILITY_CORPUS)
+
+
+@pytest.mark.parametrize("name", sorted(_CORPUS))
+def test_differential_on_real_functions(name):
+    """Bitset vs reference solver over every benchmark and utility
+    kernel, both on naive RTL and after the full optimizer."""
+    machine = WM()
+    module = expand(machine, compile_to_ir(_CORPUS[name]))
+    for fn in module.functions.values():
+        assert_same_liveness(build_cfg(fn))
+    for fn in module.functions.values():
+        optimize_function(fn, machine)
+        assert_same_liveness(build_cfg(fn))
+
+
+class TestAnalysisCounters:
+    def _dead_chain_cfg(self):
+        """v5 := 1; v6 := v5; v7 := v6 — all dead, needing three DCE
+        rounds to peel from the back."""
+        return build_cfg(make_fn([
+            Assign(V(5), Imm(1)),
+            Assign(V(6), V(5)),
+            Assign(V(7), V(6)),
+            Ret(live_out={R(29)}),
+        ]))
+
+    def test_manager_solves_once_per_segment(self):
+        cfg = self._dead_chain_cfg()
+        am = AnalysisManager(cfg)
+        first = am.liveness()
+        assert am.liveness() is first
+        assert am.liveness_solves == 1
+        # preserving liveness across an invalidation keeps the cache
+        am.invalidate(frozenset({"liveness"}))
+        assert am.liveness() is first
+        assert am.liveness_solves == 1
+        # a full invalidation starts a new segment
+        am.invalidate(frozenset())
+        assert am.liveness() is not first
+        assert am.liveness_solves == 2
+
+    def test_dce_full_solves_bounded_without_manager(self):
+        """DCE's fixpoint must not re-solve from scratch per round: one
+        full solve, then incremental refreshes only."""
+        cfg = self._dead_chain_cfg()
+        solves = dataflow.solve_count()
+        refreshes = dataflow.refresh_count()
+        assert dce_cfg(cfg)
+        assert sum(len(b.instrs) for b in cfg.blocks) == 1  # just Ret
+        assert dataflow.solve_count() - solves == 1
+        assert dataflow.refresh_count() - refreshes >= 2  # multi-round
+
+    def test_dce_zero_full_solves_with_manager(self):
+        """With a pre-solved AnalysisManager, DCE performs *no* full
+        liveness solve — only incremental refreshes through ``am``."""
+        cfg = self._dead_chain_cfg()
+        am = AnalysisManager(cfg)
+        am.liveness()
+        solves = dataflow.solve_count()
+        assert dce_cfg(cfg, am=am)
+        assert dataflow.solve_count() == solves
+        assert am.liveness_solves == 1
+        assert am.liveness_refreshes >= 2
+        # and the preserved analysis is still the live object (valid)
+        live = am.liveness()
+        assert am.liveness_solves == 1
+        assert live.live_in(cfg.entry) == frozenset({R(29)})
+
+    def test_pipeline_resolves_only_after_invalidation(self, monkeypatch):
+        """Across a real ``optimize_function`` run, every liveness solve
+        after the first must be justified by an invalidation that
+        actually dropped a cached solution — at most one solve per
+        pipeline segment."""
+        from repro.opt import pipeline
+
+        instances = []
+
+        class CountingAM(AnalysisManager):
+            __slots__ = ("liveness_drops",)
+
+            def __init__(self, cfg):
+                super().__init__(cfg)
+                self.liveness_drops = 0
+                instances.append(self)
+
+            def invalidate(self, preserved=frozenset()):
+                if "liveness" not in preserved and \
+                        self._liveness is not None:
+                    self.liveness_drops += 1
+                super().invalidate(preserved)
+
+        monkeypatch.setattr(pipeline, "AnalysisManager", CountingAM)
+        machine = WM()
+        source = get_program("dot-product", scale=0.1).source
+        module = expand(machine, compile_to_ir(source))
+        for fn in module.functions.values():
+            pipeline.optimize_function(fn, machine)
+        assert instances
+        for am in instances:
+            assert am.liveness_solves <= am.liveness_drops + 1

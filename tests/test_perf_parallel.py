@@ -78,6 +78,60 @@ class TestRunJobs:
         assert fast["programs"] == slow["programs"]
 
 
+class TestSerialFallback:
+    """run_jobs must not pay pool startup when a pool cannot win."""
+
+    SOURCE = "int main(void) { return 7; }"
+
+    def _batch(self, n):
+        return [SimJob(f"j{i}", self.SOURCE, action="compile")
+                for i in range(n)]
+
+    def test_no_workers_requested_is_serial(self):
+        from repro.perf import parallel
+        assert not parallel._should_parallelize(self._batch(8), None)
+        assert not parallel._should_parallelize(self._batch(8), 0)
+        assert not parallel._should_parallelize(self._batch(8), 1)
+
+    def test_small_batch_is_serial(self, monkeypatch):
+        from repro.perf import parallel
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        small = self._batch(parallel._MIN_POOL_JOBS - 1)
+        assert not parallel._should_parallelize(small, 4)
+
+    def test_single_cpu_is_serial(self, monkeypatch):
+        from repro.perf import parallel
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        assert not parallel._should_parallelize(self._batch(8), 4)
+
+    def test_all_cached_is_serial(self, monkeypatch):
+        from repro.perf import parallel
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        batch = self._batch(parallel._MIN_POOL_JOBS)
+        assert parallel._should_parallelize(batch, 4)
+        for job in batch:
+            compile_cached(job.source, machine_name=job.machine,
+                           options=job.options)
+        assert not parallel._should_parallelize(batch, 4)
+
+    def test_fallback_path_never_builds_a_pool(self, monkeypatch):
+        """End to end: the serial fallback runs jobs without ever
+        constructing a ProcessPoolExecutor."""
+        from repro.perf import parallel
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pool constructed on the fallback path")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        results = run_jobs(self._jobs_real(), workers=4)
+        assert [r.name for r in results] == ["a", "b", "c", "d"]
+
+    def _jobs_real(self):
+        return [SimJob(name, self.SOURCE, action="compile")
+                for name in ("a", "b", "c", "d")]
+
+
 class TestMemoryViewPickle:
     def test_roundtrip_ships_data_segment_only(self):
         source = get_program("dot-product", scale=0.1).source
