@@ -4,13 +4,18 @@ Times the full Livermore-5 pipeline (compile + cycle simulation) in
 three configurations:
 
 ``off``
-    The default path: global tracer is the shared no-op ``NullTracer``
-    and simulator telemetry is disabled.  This is what every user of
-    the library pays for the instrumentation existing at all.
+    The default path: global tracer is the shared no-op ``NullTracer``,
+    the remark sink is the shared no-op ``NullRemarkSink``, and
+    simulator telemetry is disabled.  This is what every user of the
+    library pays for the instrumentation existing at all.
 
 ``on``
     Full observability: recording ``Tracer`` installed and
     ``simulate(telemetry=True)`` (per-cycle unit/FIFO sampling).
+
+``remarks``
+    A ``RemarkCollector`` installed during compilation (what ``repro
+    explain`` pays), no tracer, default simulation.
 
 ``baseline`` (optional, ``--baseline-rev REV``)
     The same ``off`` measurement against a pristine checkout of REV in
@@ -53,25 +58,33 @@ def run_off():
 """
 
 
-def _time(fn, reps: int) -> dict:
-    fn()  # warm-up: imports, caches
-    times = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
+def _stats(times: list) -> dict:
     return {
-        "reps": reps,
+        "reps": len(times),
         "median_ms": round(statistics.median(times) * 1000, 3),
         "min_ms": round(min(times) * 1000, 3),
         "mean_ms": round(statistics.fmean(times) * 1000, 3),
     }
 
 
+def _time_interleaved(fns: dict, reps: int) -> dict:
+    """Time every config round-robin so machine-load drift hits them all
+    equally instead of biasing whichever ran last."""
+    for fn in fns.values():
+        fn()  # warm-up: imports, caches
+    times: dict = {name: [] for name in fns}
+    for _ in range(reps):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - start)
+    return {name: _stats(ts) for name, ts in times.items()}
+
+
 def measure_here(reps: int) -> dict:
     from repro.benchsuite import get_program
     from repro.compiler import compile_source
-    from repro.obs import Tracer, use_tracer
+    from repro.obs import RemarkCollector, Tracer, use_remarks, use_tracer
 
     prog = get_program("lloop5", scale=0.2)
 
@@ -85,7 +98,12 @@ def measure_here(reps: int) -> dict:
             sim = result.simulate(telemetry=True)
         sim.telemetry.emit_spans(tracer)
 
-    return {"off": _time(run_off, reps), "on": _time(run_on, reps)}
+    def run_remarks():
+        with use_remarks(RemarkCollector()):
+            compile_source(prog.source).simulate()
+
+    return _time_interleaved(
+        {"off": run_off, "on": run_on, "remarks": run_remarks}, reps)
 
 
 def measure_rev(rev: str, reps: int) -> dict:
@@ -129,14 +147,20 @@ def main(argv=None) -> int:
                                                       "BENCH_obs.json"))
     args = parser.parse_args(argv)
 
+    from repro.obs import run_manifest
+
     report = {
         "benchmark": "lloop5 scale=0.2: compile + WM cycle simulation",
         "python": sys.version.split()[0],
+        "manifest": run_manifest(sys.argv),
     }
     report.update(measure_here(args.reps))
     report["tracing_on_overhead_percent"] = round(
         100.0 * (report["on"]["median_ms"] / report["off"]["median_ms"]
                  - 1.0), 1)
+    report["remarks_on_overhead_percent"] = round(
+        100.0 * (report["remarks"]["median_ms"]
+                 / report["off"]["median_ms"] - 1.0), 1)
 
     if args.baseline_rev:
         report["baseline"] = measure_rev(args.baseline_rev, args.reps)

@@ -242,11 +242,14 @@ def main(argv=None) -> int:
     table_scale = 0.08 if args.quick else 0.2
     check_scale = 0.05 if args.quick else 0.1
 
+    from repro.obs import run_manifest
+
     report = {
         "benchmark": f"lloop5 scale={args.scale}: compile + WM cycle "
                      f"simulation",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
+        "manifest": run_manifest(sys.argv),
         "pipeline": measure_pipeline(reps, args.scale),
         "compile": measure_compile(reps, args.scale),
         "sim": measure_sim(reps, args.scale),

@@ -18,6 +18,13 @@ Commands
     https://ui.perfetto.dev).  TARGET is a Mini-C file, a directory of
     ``.c`` files, or a benchmark name from the suite (e.g. ``lloop5``).
 
+``explain FILE``
+    Compile with optimization remarks on and report, per loop, every
+    memory reference's final disposition (streamed, rotated, or the
+    stable reason code for why not) with its decision chain.
+    ``--json`` / ``--sarif`` for tooling, ``--asm`` appends the
+    provenance-annotated assembly.
+
 ``figures``
     Print the regenerated Figures 4-7.
 
@@ -48,8 +55,10 @@ from .compiler import compile_source, scalar_options
 from .machine.base import Machine
 from .machine.wm import WM
 from .obs import (
-    NULL_TRACER, RunCounters, Tracer, format_run_counters, format_summary,
-    metrics_json, use_tracer, write_chrome_trace,
+    NULL_TRACER, RemarkCollector, RunCounters, Tracer, annotated_listing,
+    build_explain_report, format_explain_report, format_run_counters,
+    format_summary, metrics_json, run_manifest, sarif_report, use_remarks,
+    use_tracer, write_chrome_trace,
 )
 from .opt import OptOptions
 
@@ -111,6 +120,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                                 options=_make_options(args.opt, machine))
     if args.json:
         report = {
+            "manifest": run_manifest(),
             "functions": {
                 name: {
                     "passes": [{"name": p.name,
@@ -176,7 +186,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if telemetry is not None and tracer.enabled:
         telemetry.emit_spans(tracer)
     if args.json:
-        data = counters.to_dict()
+        data = {"manifest": run_manifest(), **counters.to_dict()}
         if telemetry is not None:
             data["telemetry"] = telemetry.to_dict()
         print(json.dumps(data, indent=2))
@@ -237,7 +247,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             out_path = f"{name}.trace.json"
         write_chrome_trace(tracer, out_path)
         if args.json:
-            data = metrics_json(tracer)
+            data = {"manifest": run_manifest(), **metrics_json(tracer)}
             if telemetry is not None:
                 data["telemetry"] = telemetry.to_dict()
             print(json.dumps({name: data}, indent=2))
@@ -246,6 +256,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(format_summary(tracer))
             if telemetry is not None:
                 print("\n".join(telemetry.summary_lines()))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    machine = _make_machine(args.target)
+    collector = RemarkCollector()
+    with use_remarks(collector):
+        result = compile_source(source, machine=machine,
+                                options=_make_options(args.opt, machine))
+    remarks = collector.remarks
+    if args.function:
+        remarks = [r for r in remarks if r.function == args.function]
+    if args.sarif:
+        print(json.dumps(sarif_report(remarks, source=args.file), indent=2))
+        return 0
+    report = build_explain_report(remarks, source=args.file,
+                                  target=args.target, opt=args.opt)
+    if args.json:
+        if args.asm:
+            report["asm"] = annotated_listing(result, args.function)
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_explain_report(report))
+        if args.asm:
+            print("\n=== provenance-annotated assembly ===")
+            print(annotated_listing(result, args.function))
     return 0
 
 
@@ -270,6 +307,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         detection = stream_detection(workers=args.workers)
     if args.json:
         data = {
+            "manifest": run_manifest(),
             "table1": [{"machine": r.machine,
                         "percent": round(r.percent, 2),
                         "paper_percent": r.paper_percent}
@@ -309,6 +347,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out = bench_programs(names=names, scale=args.scale, reps=args.reps,
                          workers=args.workers, slow=args.slow)
     out["cache"] = cache_stats()
+    out["manifest"] = run_manifest()
     if args.json:
         print(json.dumps(out, indent=2))
     else:
@@ -375,6 +414,22 @@ def main(argv: list[str] | None = None) -> int:
                          help="compile only; skip the simulation")
     p_trace.set_defaults(func=_cmd_trace, run=True)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="per-reference optimization decisions with reason codes")
+    p_explain.add_argument("file")
+    p_explain.add_argument("--target", choices=targets, default="wm")
+    p_explain.add_argument("--opt", choices=levels, default="full")
+    p_explain.add_argument("--function", default=None,
+                           help="restrict the report to one function")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+    p_explain.add_argument("--sarif", action="store_true",
+                           help="emit SARIF 2.1.0 (reason codes as rules)")
+    p_explain.add_argument("--asm", action="store_true",
+                           help="append the provenance-annotated assembly")
+    p_explain.set_defaults(func=_cmd_explain)
+
     p_fig = sub.add_parser("figures", help="print Figures 4-7")
     p_fig.set_defaults(func=_cmd_figures)
 
@@ -405,6 +460,10 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
+    # One process can serve several invocations (tests drive main()
+    # directly): start each from a clean shared-metrics slate so counts
+    # from one run cannot leak into the next run's report.
+    NULL_TRACER.metrics.reset()
     return args.func(args)
 
 

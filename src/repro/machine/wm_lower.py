@@ -56,11 +56,12 @@ def reg_reads_in_order(instr: Instr) -> list[Expr]:
 class _Pending:
     """A load whose dequeue has not been placed yet."""
 
-    __slots__ = ("dst", "fp")
+    __slots__ = ("dst", "fp", "origin")
 
-    def __init__(self, dst, fp: bool) -> None:
+    def __init__(self, dst, fp: bool, origin=None) -> None:
         self.dst = dst
         self.fp = fp
+        self.origin = origin
 
 
 def lower_wm_function(func: RtlFunction, machine: Optional[WM] = None) -> None:
@@ -78,11 +79,14 @@ def lower_wm_function(func: RtlFunction, machine: Optional[WM] = None) -> None:
                 _consume(instr, pending, new, live)
                 mem = instr.src
                 bank = "f" if mem.fp else "r"
-                new.append(WMLoadIssue(mem.addr, mem.width, mem.fp,
-                                       mem.signed, comment=instr.comment or
-                                       "generate memory request",
-                                       lno=instr.lno))
-                pending[bank].append(_Pending(instr.dst, mem.fp))
+                issue = WMLoadIssue(mem.addr, mem.width, mem.fp,
+                                    mem.signed, comment=instr.comment or
+                                    "generate memory request",
+                                    lno=instr.lno)
+                issue.origin = instr.origin
+                new.append(issue)
+                pending[bank].append(
+                    _Pending(instr.dst, mem.fp, origin=instr.origin))
                 continue
             if isinstance(instr, (Call, Ret, StreamIn, StreamOut,
                                   StreamStop)):
@@ -110,7 +114,9 @@ def _drain_all(pending: dict[str, deque], new: list[Instr],
     for bank in ("r", "f"):
         while pending[bank]:
             p = pending[bank].popleft()
-            dequeues.append(Assign(p.dst, Reg(bank, 0), comment="dequeue"))
+            dq = Assign(p.dst, Reg(bank, 0), comment="dequeue")
+            dq.origin = p.origin
+            dequeues.append(dq)
     new[at:at] = dequeues
 
 
@@ -158,7 +164,9 @@ def _consume(instr: Instr, pending: dict[str, deque], new: list[Instr],
             next_pos = positions[k]
             split = k
         for p in entries[:split]:
-            new.append(Assign(p.dst, fifo, comment="dequeue"))
+            dq = Assign(p.dst, fifo, comment="dequeue")
+            dq.origin = p.origin
+            new.append(dq)
         fused = {p.dst: fifo for p in entries[split:]}
         if fused:
             instr.map_exprs(lambda e: subst(e, fused))
@@ -185,12 +193,16 @@ def _lower_store(instr: Assign, new: list[Instr], live_after: set) -> None:
             prev.comment = prev.comment or "compute and enqueue"
             fused = True
     if not fused:
-        new.append(Assign(fifo, src, comment="enqueue store data",
-                          lno=instr.lno))
-    new.append(WMStoreIssue(mem.addr, mem.width, mem.fp,
-                            comment=instr.comment or
-                            "generate memory request to store",
-                            lno=instr.lno))
+        enq = Assign(fifo, src, comment="enqueue store data",
+                     lno=instr.lno)
+        enq.origin = instr.origin
+        new.append(enq)
+    issue = WMStoreIssue(mem.addr, mem.width, mem.fp,
+                         comment=instr.comment or
+                         "generate memory request to store",
+                         lno=instr.lno)
+    issue.origin = instr.origin
+    new.append(issue)
 
 
 def _addr_uses(addr: Expr, reg) -> bool:

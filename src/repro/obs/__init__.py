@@ -12,20 +12,34 @@ use::
     write_chrome_trace(tracer, "compile.trace.json")
 """
 
+from .explain import (
+    annotated_listing, build_explain_report, format_explain_report,
+    sarif_report,
+)
 from .export import (
     RunCounters, chrome_trace, format_run_counters, format_summary,
-    metrics_json, write_chrome_trace,
+    metrics_json, run_manifest, write_chrome_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .remarks import (
+    NULL_REMARKS, REASONS, NullRemarkSink, Remark, RemarkCollector,
+    get_remark_sink, set_remark_sink, use_remarks,
+)
 from .tracer import (
     NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, get_tracer,
     set_tracer, use_tracer,
 )
 
 __all__ = [
+    "annotated_listing", "build_explain_report", "format_explain_report",
+    "sarif_report",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "NULL_TRACER", "NullTracer", "Span", "TraceEvent", "Tracer",
     "get_tracer", "set_tracer", "use_tracer",
+    "NULL_REMARKS", "REASONS", "NullRemarkSink", "Remark",
+    "RemarkCollector", "get_remark_sink", "set_remark_sink",
+    "use_remarks",
     "RunCounters", "chrome_trace", "format_run_counters",
-    "format_summary", "metrics_json", "write_chrome_trace",
+    "format_summary", "metrics_json", "run_manifest",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,254 @@
+"""``repro explain``: the per-reference optimization decision report.
+
+Builds, from the remark stream a :class:`~repro.obs.remarks.RemarkCollector`
+captured during compilation, a per-function / per-loop account of what
+happened to every memory reference — its final *disposition* (``streamed``,
+``rotated``, ``fifo-pressure``, ``not-affine``, …) plus the full chain of
+remarks that led there — and renders it as text, JSON, or SARIF 2.1.0.
+
+Reference identity: per-reference remarks carry the paper's partition
+vector ``(lno, acc, iv^dir, cee, dee, roffset)`` in their ``args``;
+remarks about the same vector in the same loop are folded into one
+reference entry whose ``chain`` lists every decision in emission order.
+Loop-level remarks (``loop-test-replaced``, ``unknown-loop-count``,
+partition-safety analyses) and function-level remarks (DCE counts) are
+reported alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .export import run_manifest
+from .remarks import REASONS, Remark
+
+__all__ = [
+    "build_explain_report", "format_explain_report", "sarif_report",
+    "annotated_listing",
+]
+
+#: Passes whose lno/block-anchored remarks describe one memory reference.
+_REF_PASSES = frozenset({"streaming", "recurrence", "strength"})
+
+
+def _is_reference_remark(remark: Remark) -> bool:
+    return (remark.pass_name in _REF_PASSES and
+            remark.kind in ("applied", "missed") and
+            (remark.lno or remark.block) and
+            remark.reason not in ("loop-test-replaced", "iv-deleted",
+                                  "iv-not-dead"))
+
+
+def _ref_key(remark: Remark):
+    vector = remark.args.get("vector")
+    if vector is not None:
+        return ("vec", tuple(vector))
+    return ("anchor", remark.pass_name, remark.lno, remark.block,
+            remark.reason)
+
+
+def build_explain_report(remarks: list[Remark], source: str = "",
+                         target: str = "", opt: str = "",
+                         argv: Optional[list] = None) -> dict:
+    """Fold a remark stream into the explain report structure."""
+    functions: dict = {}
+    for remark in remarks:
+        fn = functions.setdefault(
+            remark.function or "<module>",
+            {"loops": {}, "remarks": []})
+        if not remark.loop:
+            fn["remarks"].append(remark.to_dict())
+            continue
+        loop = fn["loops"].setdefault(
+            remark.loop, {"references": [], "remarks": [], "_refs": {}})
+        if not _is_reference_remark(remark):
+            loop["remarks"].append(remark.to_dict())
+            continue
+        key = _ref_key(remark)
+        ref = loop["_refs"].get(key)
+        if ref is None:
+            ref = {
+                "line": remark.lno,
+                "block": remark.block,
+                "vector": remark.args.get("vector"),
+                "disposition": "",
+                "chain": [],
+            }
+            loop["_refs"][key] = ref
+            loop["references"].append(ref)
+        ref["chain"].append(remark.to_dict())
+    # Final disposition: the applied reason when any pass fired on the
+    # reference, otherwise the last (most downstream) missed reason.
+    counts: dict = {}
+    for remark in remarks:
+        per = counts.setdefault(remark.pass_name, {})
+        per[remark.kind] = per.get(remark.kind, 0) + 1
+    for fn in functions.values():
+        for loop in fn["loops"].values():
+            for ref in loop["references"]:
+                applied = [c for c in ref["chain"] if c["kind"] == "applied"]
+                final = applied[-1] if applied else ref["chain"][-1]
+                ref["disposition"] = final["reason"]
+                ref["applied"] = bool(applied)
+                ref["pass"] = final["pass"]
+            del loop["_refs"]
+    return {
+        "manifest": run_manifest(argv),
+        "source": source,
+        "target": target,
+        "opt": opt,
+        "functions": functions,
+        "counts": counts,
+    }
+
+
+def format_explain_report(report: dict) -> str:
+    """Human-readable rendering of :func:`build_explain_report`."""
+    lines: list[str] = []
+    header = f"explain: {report['source'] or '<source>'}"
+    extras = [x for x in (report.get("target"), report.get("opt")) if x]
+    if extras:
+        header += f" ({', '.join(extras)})"
+    lines.append(header)
+    for fn_name, fn in report["functions"].items():
+        lines.append(f"\nfunction {fn_name}")
+        for loop_name, loop in fn["loops"].items():
+            lines.append(f"  loop {loop_name}")
+            for ref in loop["references"]:
+                anchor = f"line {ref['line']}" if ref["line"] \
+                    else (ref["block"] or "?")
+                vector = ""
+                if ref.get("vector"):
+                    vector = " " + _fmt_vector(ref["vector"])
+                marker = "+" if ref["applied"] else "-"
+                lines.append(f"    {marker} {anchor}{vector}: "
+                             f"{ref['disposition']} [{ref['pass']}]")
+                for link in ref["chain"]:
+                    text = link.get("detail") or \
+                        REASONS.get(link["reason"], "")
+                    lines.append(f"        {link['pass']} {link['kind']} "
+                                 f"{link['reason']}"
+                                 f"{': ' + text if text else ''}")
+            for item in loop["remarks"]:
+                text = item.get("detail") or REASONS.get(item["reason"], "")
+                lines.append(f"    . {item['pass']} {item['kind']} "
+                             f"{item['reason']}"
+                             f"{': ' + text if text else ''}")
+        for item in fn["remarks"]:
+            text = item.get("detail") or REASONS.get(item["reason"], "")
+            lines.append(f"  . {item['pass']} {item['kind']} "
+                         f"{item['reason']}"
+                         f"{': ' + text if text else ''}")
+    if not report["functions"]:
+        lines.append("(no remarks were emitted)")
+    return "\n".join(lines)
+
+
+def _fmt_vector(vector) -> str:
+    lno, acc, iv, cee, dee, roffset = tuple(vector)
+    return f"({lno}, {acc}, {iv}, {cee}, {dee}, {roffset})"
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0
+# ---------------------------------------------------------------------------
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+_SARIF_LEVELS = {"applied": "note", "missed": "warning",
+                 "analysis": "note"}
+
+
+def sarif_report(remarks: list[Remark], source: str = "",
+                 argv: Optional[list] = None) -> dict:
+    """Render a remark stream as a SARIF 2.1.0 log.
+
+    The stable reason codes become the rule set; each remark becomes one
+    result located at its source-line anchor.  ``applied`` remarks map to
+    level ``note``, ``missed`` to ``warning``.
+    """
+    from .. import __version__
+    used = sorted({r.reason for r in remarks})
+    rule_index = {code: i for i, code in enumerate(used)}
+    rules = [{
+        "id": code,
+        "shortDescription": {"text": REASONS[code]},
+    } for code in used]
+    results = []
+    for remark in remarks:
+        anchor = ""
+        if remark.loop:
+            anchor = f" (loop {remark.loop})"
+        message = (remark.detail or REASONS[remark.reason]) + anchor
+        result = {
+            "ruleId": remark.reason,
+            "ruleIndex": rule_index[remark.reason],
+            "level": _SARIF_LEVELS[remark.kind],
+            "message": {"text": f"{remark.pass_name}: {message}"},
+            "properties": {
+                "pass": remark.pass_name,
+                "kind": remark.kind,
+                "function": remark.function,
+                "loop": remark.loop,
+            },
+        }
+        if source:
+            region = {"startLine": remark.lno} if remark.lno else {}
+            location = {"physicalLocation":
+                        {"artifactLocation": {"uri": source}}}
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro",
+                "version": __version__,
+                "informationUri":
+                    "https://dl.acm.org/doi/10.1145/106972.106981",
+                "rules": rules,
+            }},
+            "results": results,
+            "properties": {"manifest": run_manifest(argv)},
+        }],
+    }
+
+
+# ---------------------------------------------------------------------------
+# provenance-annotated assembly
+# ---------------------------------------------------------------------------
+
+def annotated_listing(result, function: Optional[str] = None) -> str:
+    """The assembly listing with each line carrying its provenance tag.
+
+    Lines created or last rewritten by an optimization pass are marked
+    ``<<pass:what>>`` (the :attr:`repro.rtl.instr.Instr.origin` tag);
+    unmarked lines came straight from the expander.  Formatting goes
+    through ``machine.format_instr`` so the mnemonics match ``repro
+    compile`` (back-end listing fusions like m68020 auto-increment are
+    not re-applied here — this view is about provenance, not final
+    syntax).
+    """
+    from ..rtl.instr import Label
+    machine = result.machine
+    lines: list[str] = []
+    for name, func in result.rtl.functions.items():
+        if function is not None and name != function:
+            continue
+        lines.append(f"{name}:")
+        for instr in func.instrs:
+            tag = f"  <<{instr.origin}>>" if instr.origin else ""
+            note = f" -- {instr.comment}" if instr.comment else ""
+            for text in machine.format_instr(instr):
+                if isinstance(instr, Label):
+                    lines.append(text)
+                else:
+                    lines.append(f"        {text:<42}{note}{tag}")
+                note = ""  # annotate only the first rendered line
+                tag = ""
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -22,7 +24,28 @@ from .tracer import Tracer
 __all__ = [
     "chrome_trace", "write_chrome_trace", "metrics_json",
     "format_summary", "RunCounters", "format_run_counters",
+    "run_manifest",
 ]
+
+
+def run_manifest(argv: Optional[list] = None) -> dict:
+    """A self-describing header for every machine-readable artifact.
+
+    Perf numbers and remark streams are only comparable when the
+    producing environment is known; the manifest pins the repro
+    version, interpreter, hash seed (set-iteration order affects
+    codegen identity across seeds), platform and command line, and is
+    embedded in every ``--json``/``--trace-out`` export and the
+    ``BENCH_*.json`` files.
+    """
+    from .. import __version__
+    return {
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
+        "platform": platform.platform(),
+        "argv": list(sys.argv if argv is None else argv),
+    }
 
 _WALL_PID = 1
 _SIM_PID = 2
@@ -75,7 +98,8 @@ def chrome_trace(tracer: Tracer) -> dict:
                        "tid": 0,
                        "args": {"name": "simulation (1us = 1 cycle)"}})
     events.sort(key=lambda e: (e["pid"], e["tid"], e.get("ts", 0.0)))
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"manifest": run_manifest()}}
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> None:

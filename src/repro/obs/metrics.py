@@ -136,6 +136,19 @@ class MetricsRegistry:
                 metric = self._histograms[name] = Histogram(name, bounds)
             return metric
 
+    def reset(self) -> None:
+        """Drop every metric, returning the registry to its initial
+        (empty) state.
+
+        Entry points that serve many runs from one process (the CLI,
+        test drivers) reset the registry per invocation so counts from
+        one run can never leak into the next's report.
+        """
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
     def to_dict(self) -> dict:
         """Flat JSON-ready snapshot of every metric."""
         with self._lock:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..obs import get_tracer
+from ..obs import Remark, get_remark_sink, get_tracer
 from ..rtl.expr import Mem, Reg, VReg, fifo_reg_mask
 from ..rtl.instr import Assign, Compare, Instr, Ret
 from .cfg import CFG
@@ -82,6 +82,13 @@ def dce_cfg(cfg: CFG, am=None) -> bool:
             liveness.refresh(changed_blocks)
     if removed:
         get_tracer().count("opt.dce.removed", removed)
+        sink = get_remark_sink()
+        if sink.enabled:
+            sink.emit(Remark(
+                "dce", "applied", "dead-code-removed",
+                function=cfg.func.name,
+                detail=f"{removed} dead assignment(s) deleted",
+                args={"count": removed}))
     return any_change
 
 
@@ -114,6 +121,7 @@ def remove_dead_ivs(cfg: CFG, am=None) -> bool:
                 external_use.update(instr.live_out)
     changed = False
     changed_blocks = []
+    swept = 0
     for reg, sites in self_defs.items():
         if reg in external_use:
             continue
@@ -121,7 +129,16 @@ def remove_dead_ivs(cfg: CFG, am=None) -> bool:
             if instr in block.instrs:
                 block.instrs.remove(instr)
                 changed = True
+                swept += 1
                 changed_blocks.append(block)
     if changed and am is not None:
         am.refresh_liveness(changed_blocks)
+    if swept:
+        sink = get_remark_sink()
+        if sink.enabled:
+            sink.emit(Remark(
+                "dce", "applied", "dead-iv-removed",
+                function=cfg.func.name,
+                detail=f"{swept} self-recomputing update(s) deleted",
+                args={"count": swept}))
     return changed

@@ -187,9 +187,30 @@ def _only_def(reg: Expr, cfg: CFG) -> Optional[Instr]:
     return None
 
 
+def _fail(why: Optional[list], code: str) -> None:
+    """Record a stable reason code for a ``return None`` (innermost wins:
+    consumers read ``why[0]``, so already-explained failures must not be
+    re-explained by outer frames)."""
+    if why is not None and not why:
+        why.append(code)
+
+
+def _plus_code(left: "Affine", right: "Affine") -> str:
+    """Why ``left.plus(right)`` returned None, as a reason code."""
+    if left.iv is not None and right.iv is not None:
+        if left.iv != right.iv:
+            return "two-ivs"
+        if left.anchor is not right.anchor:
+            return "iv-order-ambiguous"
+    if left.base is not None and right.base is not None:
+        return "two-base-terms"
+    return "not-affine"
+
+
 def analyze_affine(expr: Expr, loop: Loop, ivs: dict, cfg: CFG,
                    def_counts: dict, depth: int = 12,
-                   anchor=None) -> Optional[Affine]:
+                   anchor=None, why: Optional[list] = None
+                   ) -> Optional[Affine]:
     """Express ``expr`` as an affine function of one basic IV of ``loop``.
 
     In-loop single-definition registers are chased (e.g. the
@@ -199,12 +220,18 @@ def analyze_affine(expr: Expr, loop: Loop, ivs: dict, cfg: CFG,
     ``anchor`` is the instruction whose evaluation context ``expr``
     belongs to; it is updated while chasing in-loop definition chains so
     the IV leaf records where the IV was read.
+
+    ``why``, when given as an empty list, receives one stable reason
+    code (a key of :data:`repro.obs.remarks.REASONS`) on failure —
+    the innermost cause, for optimization remarks.
     """
     if depth <= 0:
+        _fail(why, "depth-limit")
         return None
     expr = fold(expr)
     if isinstance(expr, Imm):
         if not isinstance(expr.value, int):
+            _fail(why, "not-affine")
             return None
         return Affine(None, 0, None, expr.value)
     if isinstance(expr, Sym):
@@ -217,8 +244,9 @@ def analyze_affine(expr: Expr, loop: Loop, ivs: dict, cfg: CFG,
                 and in_loop_def[0].dst == expr:
             return analyze_affine(in_loop_def[0].src, loop, ivs, cfg,
                                   def_counts, depth - 1,
-                                  anchor=in_loop_def[0])
+                                  anchor=in_loop_def[0], why=why)
         if in_loop_def:
+            _fail(why, "multi-def-temp")
             return None  # multiple in-loop defs: not analyzable
         # Loop-invariant register: resolve to a symbol if possible,
         # otherwise keep as an opaque invariant base.
@@ -231,48 +259,71 @@ def analyze_affine(expr: Expr, loop: Loop, ivs: dict, cfg: CFG,
     if isinstance(expr, BinOp):
         if expr.op == "+":
             left = analyze_affine(expr.left, loop, ivs, cfg, def_counts,
-                                  depth - 1, anchor)
+                                  depth - 1, anchor, why)
             right = analyze_affine(expr.right, loop, ivs, cfg, def_counts,
-                                   depth - 1, anchor)
+                                   depth - 1, anchor, why)
             if left is None or right is None:
                 return None
-            return left.plus(right)
+            combined = left.plus(right)
+            if combined is None:
+                _fail(why, _plus_code(left, right))
+            return combined
         if expr.op == "-":
             left = analyze_affine(expr.left, loop, ivs, cfg, def_counts,
-                                  depth - 1, anchor)
+                                  depth - 1, anchor, why)
             right = analyze_affine(expr.right, loop, ivs, cfg, def_counts,
-                                   depth - 1, anchor)
+                                   depth - 1, anchor, why)
             if left is None or right is None:
                 return None
             negated = right.negate()
             if isinstance(negated.base, NegBase):
+                _fail(why, "two-base-terms")
                 return None
-            return left.plus(negated)
+            combined = left.plus(negated)
+            if combined is None:
+                _fail(why, _plus_code(left, negated))
+            return combined
         if expr.op == "*":
             return _scaled(expr.left, expr.right, loop, ivs, cfg,
-                           def_counts, depth, anchor)
+                           def_counts, depth, anchor, why)
         if expr.op == "<<" and isinstance(expr.right, Imm) and \
                 isinstance(expr.right.value, int) and \
                 0 <= expr.right.value < 31:
             factor = 1 << expr.right.value
             inner = analyze_affine(expr.left, loop, ivs, cfg, def_counts,
-                                   depth - 1, anchor)
+                                   depth - 1, anchor, why)
             if inner is None:
                 return None
-            return inner.scale(factor)
+            scaled = inner.scale(factor)
+            if scaled is None:
+                _fail(why, "non-constant-scale")
+            return scaled
+    _fail(why, "unsupported-op")
     return None
 
 
 def _scaled(a: Expr, b: Expr, loop: Loop, ivs: dict, cfg: CFG,
-            def_counts: dict, depth: int, anchor=None) -> Optional[Affine]:
+            def_counts: dict, depth: int, anchor=None,
+            why: Optional[list] = None) -> Optional[Affine]:
     if isinstance(b, Imm) and isinstance(b.value, int):
         inner = analyze_affine(a, loop, ivs, cfg, def_counts, depth - 1,
-                               anchor)
-        return inner.scale(b.value) if inner else None
+                               anchor, why)
+        if inner is None:
+            return None
+        scaled = inner.scale(b.value)
+        if scaled is None:
+            _fail(why, "non-constant-scale")
+        return scaled
     if isinstance(a, Imm) and isinstance(a.value, int):
         inner = analyze_affine(b, loop, ivs, cfg, def_counts, depth - 1,
-                               anchor)
-        return inner.scale(a.value) if inner else None
+                               anchor, why)
+        if inner is None:
+            return None
+        scaled = inner.scale(a.value)
+        if scaled is None:
+            _fail(why, "non-constant-scale")
+        return scaled
+    _fail(why, "non-constant-scale")
     return None
 
 

@@ -16,7 +16,7 @@ paper's Figure 4 (lines 4-9) out of the Livermore loop.
 
 from __future__ import annotations
 
-from ..obs import get_tracer
+from ..obs import Remark, get_remark_sink, get_tracer
 from ..rtl.expr import Reg, VReg, fifo_reg_mask
 from ..rtl.instr import Assign, Instr
 from .analysis import AnalysisManager
@@ -99,6 +99,15 @@ def _hoist_loop(cfg: CFG, loop: Loop, am: AnalysisManager) -> bool:
                      loop=loop.header.label, hoisted=len(hoisted),
                      detail=f"hoisted {len(hoisted)} invariant(s) out of "
                             f"loop {loop.header.label}")
+    sink = get_remark_sink()
+    if sink.enabled:
+        sink.emit(Remark(
+            "licm", "applied", "hoisted",
+            function=cfg.func.name, loop=loop.header.label,
+            lno=hoisted[0].lno,
+            detail=f"{len(hoisted)} loop-invariant assignment(s) moved "
+                   f"to the preheader",
+            args={"count": len(hoisted)}))
     return True
 
 

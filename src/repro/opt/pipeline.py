@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
-from ..obs import get_tracer
+from ..obs import get_remark_sink, get_tracer
 from ..rtl.module import RtlFunction
 from .analysis import AnalysisManager
 from .cfg import CFG, build_cfg
@@ -118,6 +118,17 @@ class OptReports:
     strength_reduced: int = 0
     #: per-pass timing/size records (empty unless a tracer is active)
     passes: list[PassStat] = field(default_factory=list)
+    #: optimization remarks this function's passes emitted (empty unless
+    #: a RemarkCollector is installed; see repro.obs.remarks)
+    remarks: list = field(default_factory=list)
+
+    def remark_counts(self) -> dict:
+        """``{pass: {kind: n}}`` rollup of this function's remarks."""
+        out: dict[str, dict[str, int]] = {}
+        for r in self.remarks:
+            per = out.setdefault(r.pass_name, {})
+            per[r.kind] = per.get(r.kind, 0) + 1
+        return out
 
 
 def _count_rtls(cfg: CFG) -> int:
@@ -130,6 +141,8 @@ def optimize_function(func: RtlFunction, machine: Machine,
     opts = opts or OptOptions()
     reports = OptReports()
     tracer = get_tracer()
+    sink = get_remark_sink()
+    remarks_from = sink.position()
     cfg = build_cfg(func)
     am = AnalysisManager(cfg)
     # Change-version skip: every pass invocation that reports a change
@@ -219,6 +232,11 @@ def optimize_function(func: RtlFunction, machine: Machine,
     run("remove_identity_moves", remove_identity_moves)
     func.instrs = cfg.to_instrs()
     finalize_frame(func, machine, used_callee)
+    if sink.enabled:
+        # Slice this function's remarks off the process-global stream
+        # (the collector already mirrored each to the tracer as counters
+        # and instant events at emit time).
+        reports.remarks = sink.since(remarks_from)
     return reports
 
 

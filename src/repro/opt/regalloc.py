@@ -263,8 +263,10 @@ def _spill(cfg: CFG, victims: list[VReg], bank: str) -> None:
             reload_map = {}
             for u in used:
                 tmp = alloc.new(bank)
-                new_instrs.append(Assign(tmp, slot_addr(u),
-                                         comment="reload spilled"))
+                reload = Assign(tmp, slot_addr(u),
+                                comment="reload spilled")
+                reload.origin = "regalloc:reload"
+                new_instrs.append(reload)
                 reload_map[u] = tmp
             if reload_map:
                 instr.map_exprs(lambda e: subst(e, reload_map))
@@ -275,8 +277,9 @@ def _spill(cfg: CFG, victims: list[VReg], bank: str) -> None:
                 tmp = alloc.new(bank)
                 instr.dst = tmp
                 new_instrs.append(instr)
-                new_instrs.append(Assign(slot_addr(victim), tmp,
-                                         comment="spill"))
+                spill = Assign(slot_addr(victim), tmp, comment="spill")
+                spill.origin = "regalloc:spill"
+                new_instrs.append(spill)
             else:
                 new_instrs.append(instr)
         block.instrs = new_instrs
@@ -367,8 +370,12 @@ def finalize_frame(func: RtlFunction, machine: Machine,
         offset = save_base + 8 * idx
         width = 8 if reg.bank == "f" else 4
         cell = Mem(BinOp("+", sp, Imm(offset)), width, reg.bank == "f")
-        saves.append(Assign(cell, reg, comment=f"save {reg!r}"))
-        restores.append(Assign(reg, cell, comment=f"restore {reg!r}"))
+        save = Assign(cell, reg, comment=f"save {reg!r}")
+        save.origin = "regalloc:frame"
+        saves.append(save)
+        restore = Assign(reg, cell, comment=f"restore {reg!r}")
+        restore.origin = "regalloc:frame"
+        restores.append(restore)
     if saves:
         pos = func.instrs.index(func.sp_adjust) + 1
         func.instrs[pos:pos] = saves

@@ -41,6 +41,8 @@ def strength_reduce(cfg: CFG, machine: Machine) -> int:
         if not any(other is not loop and other.blocks < loop.blocks
                    for other in loops)
     ]
+    from ..obs import Remark, get_remark_sink
+    sink = get_remark_sink()
     for loop in innermost:
         info = partition_loop(cfg, loop, doms)
         alloc = VRegAllocator(cfg.func)
@@ -49,11 +51,30 @@ def strength_reduce(cfg: CFG, machine: Machine) -> int:
             if not part.safe:
                 continue
             for ref in part.refs:
-                if not _reducible(ref):
+                reason = _reducible_reason(ref)
+                if reason is not None:
+                    if sink.enabled and reason != "already-reduced":
+                        sink.emit(Remark(
+                            "strength", "missed", reason,
+                            function=cfg.func.name,
+                            loop=loop.header.label, lno=ref.instr.lno,
+                            block=ref.block.label,
+                            args={"partition": part.key,
+                                  "vector": ref.vector()}))
                     continue
                 if pre is None:
                     pre = ensure_preheader(cfg, loop)
                 total += _reduce_ref(cfg, loop, pre, ref, machine, alloc)
+                if sink.enabled:
+                    sink.emit(Remark(
+                        "strength", "applied", "strength-reduced",
+                        function=cfg.func.name, loop=loop.header.label,
+                        lno=ref.instr.lno, block=ref.block.label,
+                        detail=f"address arithmetic replaced by a "
+                               f"pointer stepping by {ref.stride}",
+                        args={"partition": part.key,
+                              "stride": ref.stride,
+                              "vector": ref.vector()}))
         doms = compute_dominators(cfg)
     if total:
         from ..obs import get_tracer
@@ -61,17 +82,25 @@ def strength_reduce(cfg: CFG, machine: Machine) -> int:
     return total
 
 
-def _reducible(ref) -> bool:
-    if not ref.region_known or ref.iv is None or ref.stride == 0:
-        return False
+def _reducible_reason(ref) -> Optional[str]:
+    """None when strength reduction applies, else a stable reason code
+    ("already-reduced" is internal: a pointer walk needs no remark)."""
+    if not ref.region_known or ref.iv is None:
+        return ref.analysis_note or "not-affine"
+    if ref.stride == 0:
+        return "zero-stride"
     if not ref.every_iteration:
-        return False
+        return "not-every-iteration"
     if not isinstance(ref.instr, Assign):
-        return False
+        return "not-simple-assign"
     # Already a pointer walk (the address register IS the stepping IV)?
     if isinstance(ref.mem.addr, (Reg, VReg)) and ref.mem.addr == ref.iv:
-        return False
-    return True
+        return "already-reduced"
+    return None
+
+
+def _reducible(ref) -> bool:
+    return _reducible_reason(ref) is None
 
 
 def _reduce_ref(cfg: CFG, loop: Loop, pre, ref, machine: Machine,
@@ -90,6 +119,8 @@ def _reduce_ref(cfg: CFG, loop: Loop, pre, ref, machine: Machine,
     else:
         setup.append(Assign(pointer, leaf,
                             comment="strength-reduced pointer"))
+    for s in setup:
+        s.origin = "strength:setup"
     insert_at = len(pre.instrs) - (1 if pre.terminator is not None else 0)
     pre.instrs[insert_at:insert_at] = setup
     # Rewrite the reference to use the pointer; bump it right after.
@@ -102,7 +133,8 @@ def _reduce_ref(cfg: CFG, loop: Loop, pre, ref, machine: Machine,
         instr.src = new_mem
     block = ref.block
     pos = block.instrs.index(instr)
-    block.instrs.insert(pos + 1, Assign(
-        pointer, BinOp("+", pointer, Imm(ref.stride)),
-        comment="advance pointer"))
+    advance = Assign(pointer, BinOp("+", pointer, Imm(ref.stride)),
+                     comment="advance pointer")
+    advance.origin = "strength:reduce"
+    block.instrs.insert(pos + 1, advance)
     return 1

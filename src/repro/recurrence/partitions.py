@@ -62,6 +62,9 @@ class MemRef:
     addr_base: Optional[Expr] = None
     #: constant part of the address relative to ``cee*iv + addr_base``
     raw_offset: int = 0
+    #: stable reason code (see repro.obs.remarks.REASONS) explaining why
+    #: the analysis gave up on this reference ("" when fully analyzed)
+    analysis_note: str = ""
 
     @property
     def acc(self) -> str:
@@ -89,11 +92,14 @@ class Partition:
     refs: list[MemRef] = field(default_factory=list)
     safe: bool = True
     unsafe_reason: str = ""
+    #: stable reason code for the unsafety (see repro.obs.remarks.REASONS)
+    unsafe_code: str = ""
 
-    def mark_unsafe(self, reason: str) -> None:
+    def mark_unsafe(self, reason: str, code: str = "region-unknown") -> None:
         if self.safe:
             self.safe = False
             self.unsafe_reason = reason
+            self.unsafe_code = code
 
     @property
     def reads(self) -> list[MemRef]:
@@ -209,12 +215,15 @@ def partition_loop(cfg: CFG, loop: Loop,
     if unknown_refs or has_call:
         for part in partitions.values():
             part.refs.extend(unknown_refs)
-            part.mark_unsafe("call in loop" if has_call
-                             else "unanalyzable reference may alias")
+            if has_call:
+                part.mark_unsafe("call in loop", code="call-in-loop")
+            else:
+                part.mark_unsafe("unanalyzable reference may alias",
+                                 code="region-alias")
         if unknown_refs:
             bucket = Partition("<unknown>")
             bucket.refs = list(unknown_refs)
-            bucket.mark_unsafe("region unknown")
+            bucket.mark_unsafe("region unknown", code="region-unknown")
             partitions["<unknown>"] = bucket
     # Step 3: safety within each partition.
     for part in partitions.values():
@@ -230,9 +239,11 @@ def _describe(instr: Instr, block: Block, is_store: bool, mem: Mem,
               def_counts: dict, every: bool) -> MemRef:
     ref = MemRef(instr=instr, block=block, is_store=is_store, mem=mem,
                  every_iteration=every)
+    why: list[str] = []
     affine = analyze_affine(mem.addr, loop, ivs, cfg, def_counts,
-                            anchor=instr)
+                            anchor=instr, why=why)
     if affine is None:
+        ref.analysis_note = why[0] if why else "not-affine"
         return ref
     # Raw reconstruction pieces (used by the recurrence pre-header and
     # the streaming base-address generator).
@@ -252,6 +263,8 @@ def _describe(instr: Instr, block: Block, is_store: bool, mem: Mem,
             ref.cee = 0
             ref.stride = 0
             ref.direction = "+"
+        else:
+            ref.analysis_note = "region-unknown"
         return ref
     iv_info: BasicIV = ivs[affine.iv]
     ref.iv = affine.iv
@@ -266,6 +279,7 @@ def _describe(instr: Instr, block: Block, is_store: bool, mem: Mem,
     if adjust is None:
         ref.iv = None
         ref.region_known = False
+        ref.analysis_note = "iv-order-ambiguous"
         return ref
     ref.raw_offset += adjust
     base = affine.base
@@ -294,7 +308,9 @@ def _describe(instr: Instr, block: Block, is_store: bool, mem: Mem,
     if base is None and isinstance(initial, Imm):
         # Numeric base: known region only in the trivial sense; treat as
         # unknown (no symbol to anchor a disjointness claim).
+        ref.analysis_note = "numeric-base"
         return ref
+    ref.analysis_note = "region-unknown"
     return ref
 
 
@@ -357,24 +373,27 @@ def _check_safety(part: Partition) -> None:
         return
     known = [r for r in part.refs if r.region_known]
     if not known:
-        part.mark_unsafe("region unknown")
+        part.mark_unsafe("region unknown", code="region-unknown")
         return
     first = known[0]
     for ref in known[1:]:
         if ref.iv != first.iv:
-            part.mark_unsafe("references use different induction variables")
+            part.mark_unsafe("references use different induction variables",
+                             code="mixed-iv")
             return
         if ref.cee != first.cee:
-            part.mark_unsafe("references have different 'cee' values")
+            part.mark_unsafe("references have different 'cee' values",
+                             code="mixed-cee")
             return
     if first.iv is None:
         return  # loop-invariant scalar accesses; trivially consistent
     stride = abs(first.stride)
     if stride == 0:
-        part.mark_unsafe("zero stride")
+        part.mark_unsafe("zero stride", code="zero-stride")
         return
     base_offset = min(r.origin_offset for r in known)
     for ref in known:
         if (ref.origin_offset - base_offset) % stride != 0:
-            part.mark_unsafe("relative offset not divisible by stride")
+            part.mark_unsafe("relative offset not divisible by stride",
+                             code="offset-misaligned")
             return

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
-from ..obs import get_tracer
+from ..obs import Remark, get_remark_sink, get_tracer
 from ..opt.cfg import CFG
 from ..opt.dominators import compute_dominators
 from ..opt.emitexpr import VRegAllocator, emit_expr
@@ -72,6 +72,21 @@ def optimize_recurrences(cfg: CFG, machine: Machine,
             if inner:
                 continue
         info = partition_loop(cfg, loop, doms)
+        sink = get_remark_sink()
+        if sink.enabled:
+            # One analysis remark per unsafe partition: the fact that
+            # constrains both this pass and streaming.  (partition_loop
+            # itself only records codes — it runs once per consumer pass
+            # and emitting there would double-count.)
+            for part in info.partitions:
+                if part.safe:
+                    continue
+                sink.emit(Remark(
+                    "recurrence", "analysis",
+                    part.unsafe_code or "region-unknown",
+                    function=cfg.func.name, loop=loop.header.label,
+                    detail=part.unsafe_reason,
+                    args={"partition": part.key}))
         transformed = False
         for part in info.partitions:
             report = _transform_partition(cfg, machine, loop, info, part)
@@ -92,20 +107,36 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
                          info: LoopMemoryInfo,
                          part: Partition) -> Optional[RecurrenceReport]:
     if not part.safe:
-        return None
+        return None  # analysis remark already emitted at loop level
     pairs = part.flow_pairs()
     if not pairs:
-        return None
+        return None  # no recurrence: nothing missed, nothing to report
+    sink = get_remark_sink()
+
+    def _missed(reason: str, ref: Optional[MemRef] = None, **args) -> None:
+        if sink.enabled:
+            sink.emit(Remark(
+                "recurrence", "missed", reason,
+                function=cfg.func.name, loop=loop.header.label,
+                lno=ref.instr.lno if ref is not None else 0,
+                block=ref.block.label if ref is not None else "",
+                args={"partition": part.key, **args}))
+
     writes = part.writes
     if len(writes) != 1:
+        _missed("multiple-writes", writes[0], writes=len(writes))
         return None
     write = writes[0]
     if not write.every_iteration:
+        _missed("write-conditional", write)
         return None
     if not isinstance(write.instr, Assign):
+        _missed("not-simple-assign", write)
         return None
     degree = max(k for (_r, _w, k) in pairs)
     if degree > MAX_DEGREE:
+        _missed("degree-too-high", write, degree=degree,
+                limit=MAX_DEGREE)
         return None
     def_counts = count_defs(cfg)
     # Each paired read's destination must be a single-definition register
@@ -115,8 +146,10 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
         instr = read.instr
         if not isinstance(instr, Assign) or not isinstance(
                 instr.dst, (Reg, VReg)):
+            _missed("not-simple-assign", read)
             return None
         if def_counts.get(instr.dst, 0) != 1:
+            _missed("multi-def-dst", read)
             return None
         paired.append((read, k))
     fp = write.mem.fp
@@ -129,8 +162,9 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
     src = store_instr.src
     block = write.block
     pos = block.instrs.index(store_instr)
-    block.instrs.insert(pos, Assign(hold[0], src,
-                                    comment="retain stored value"))
+    retain = Assign(hold[0], src, comment="retain stored value")
+    retain.origin = "recurrence:retain"
+    block.instrs.insert(pos, retain)
     store_instr.src = hold[0]
 
     # 2. Replace paired loads with hold registers.
@@ -144,11 +178,23 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
             for instr in b.instrs:
                 instr.map_exprs(lambda e: subst(e, mapping))
         eliminated += 1
+        if sink.enabled:
+            sink.emit(Remark(
+                "recurrence", "applied", "rotated",
+                function=cfg.func.name, loop=loop.header.label,
+                lno=load.lno, block=read.block.label,
+                detail=f"load of value written {k} iteration(s) ago "
+                       f"replaced by hold register",
+                args={"partition": part.key, "degree": degree,
+                      "iterations_back": k, "vector": read.vector()}))
 
     # 3. Rotation copies at the top of the loop, descending order.
-    copies = [Assign(hold[k], hold[k - 1],
-                     comment=f"copy value from {k - 1} iterations ago")
-              for k in range(degree, 0, -1)]
+    copies = []
+    for k in range(degree, 0, -1):
+        copy = Assign(hold[k], hold[k - 1],
+                      comment=f"copy value from {k - 1} iterations ago")
+        copy.origin = "recurrence:rotate"
+        copies.append(copy)
     loop.header.instrs[0:0] = copies
 
     # 4. Pre-header initial reads: hold[j] := M[write_addr(-(j+1))].
@@ -169,6 +215,8 @@ def _transform_partition(cfg: CFG, machine: Machine, loop: Loop,
         setup.append(Assign(hold[j],
                             Mem(leaf, write.mem.width, fp, write.mem.signed),
                             comment=f"initial read ({j + 1} back)"))
+    for instr in setup:
+        instr.origin = "recurrence:setup"
     pre.instrs[insert_at:insert_at] = setup
 
     tracer = get_tracer()

@@ -95,11 +95,19 @@ _EMPTY_FROZEN: frozenset = frozenset()
 class Instr:
     """Base class for RTL instructions."""
 
-    __slots__ = ("comment", "lno", "_df")
+    __slots__ = ("comment", "lno", "origin", "_df")
 
     def __init__(self, comment: str = "", lno: int = 0) -> None:
         self.comment = comment
         self.lno = lno
+        #: Provenance tag: the pass that created (or last structurally
+        #: rewrote) this instruction, e.g. ``"streaming"``,
+        #: ``"recurrence:rotate"``, ``"regalloc:spill"``.  None for
+        #: instructions straight out of the expander.  Carried through
+        #: in-place rewrites automatically (map_exprs mutates operands,
+        #: not the instruction object) and surfaced per-line by
+        #: ``repro explain --asm``.
+        self.origin: Optional[str] = None
         self._df = None
 
     # -- dataflow interface -------------------------------------------------

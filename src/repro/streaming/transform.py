@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
-from ..obs import get_tracer
+from ..obs import Remark, get_remark_sink, get_tracer
 from ..opt.cfg import CFG, Block
 from ..opt.combine import is_fifo_reg
 from ..opt.dataflow import compute_liveness
@@ -107,21 +107,52 @@ def optimize_streams(cfg: CFG, machine: Machine,
 def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
                  allow_infinite: bool) -> Optional[StreamReport]:
     info = partition_loop(cfg, loop, doms)
-    test = _find_loop_test(cfg, loop, info)
+    all_refs = [ref for part in info.partitions for ref in part.refs]
+    sink = get_remark_sink()
+
+    def _remark(kind: str, reason: str, ref: Optional[MemRef] = None,
+                detail: str = "", **args) -> None:
+        if sink.enabled:
+            sink.emit(Remark(
+                "streaming", kind, reason,
+                function=cfg.func.name, loop=loop.header.label,
+                lno=ref.instr.lno if ref is not None else 0,
+                block=ref.block.label if ref is not None else "",
+                detail=detail, args=args))
+
+    def _reject_loop(reason: str, detail: str = "") -> None:
+        # The whole loop is out: give every reference a final
+        # disposition so `repro explain` covers 100% of them.
+        for ref in all_refs:
+            _remark("missed", reason, ref, detail=detail)
+
+    test_why: list[str] = []
+    test = _find_loop_test(cfg, loop, info, why=test_why)
     count_expr = _loop_count_expr(test) if test is not None else None
+    if count_expr is None and sink.enabled and all_refs:
+        _remark("analysis", "unknown-loop-count",
+                detail=test_why[0] if test_why else
+                "loop test gives no closed-form iteration count")
     # A finite (count-based) stream requires the bottom test to be the
     # loop's ONLY exit: an early break would leave the streams partially
     # consumed and the JNI counter out of sync.
     if count_expr is not None and len(loop.exit_edges()) != 1:
         count_expr = None
+        _remark("analysis", "multi-exit",
+                detail=f"{len(loop.exit_edges())} exit edges: counted "
+                       f"stream forfeited, falling back to infinite")
     infinite = count_expr is None
     if infinite and not allow_infinite:
+        _reject_loop("infinite-disallowed")
         return None
     if infinite and not _infinite_streams_ok(cfg, loop):
+        _reject_loop("no-exit-edges")
         return None
     if not infinite:
         known = _constant_count(cfg, loop, test, count_expr)
         if known is not None and known < MIN_ITERATIONS:
+            _reject_loop("short-trip-count",
+                         detail=f"{known} iterations")
             return None  # Step 1: 3 or fewer iterations
 
     # Step 2: choose the references to stream.
@@ -132,21 +163,42 @@ def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
         for ref in part.refs:
             if ref in candidates or ref in normals:
                 continue
-            if part_ok and _streamable(ref, loop, doms, cfg) and \
-                    not (infinite and ref.is_store):
+            ref_reason = None
+            if not part.safe:
+                ref_reason = part.unsafe_code or "region-unknown"
+                if ref_reason == "region-unknown" and ref.analysis_note:
+                    # The per-reference affine failure (non-constant
+                    # scale, two IVs, ...) is sharper than the
+                    # partition-level "region unknown" it caused.
+                    ref_reason = ref.analysis_note
+            elif part.has_recurrence():
+                ref_reason = "recurrence-present"
+            else:
+                ref_reason = _streamable_reason(ref, loop, doms, cfg)
+            if ref_reason is None and infinite and ref.is_store:
                 # Output streams need a definite element count: an
                 # infinite out-stream could not drain deterministically
                 # at a data-dependent exit, so stores in unbounded loops
                 # stay ordinary FIFO stores.
+                ref_reason = "infinite-store"
+            if ref_reason is None:
                 candidates.append(ref)
             else:
+                _remark("missed", ref_reason, ref,
+                        partition=part.key, vector=ref.vector())
                 normals.append(ref)
     if not candidates:
+        if all_refs:
+            _remark("analysis", "no-stream-candidates")
         return None
     # Step e: FIFO allocation. Normal loads/stores always use FIFO 0 of
     # their bank/direction, so a stream may take FIFO 0 only when no
     # normal reference of that class remains in the loop.
     chosen = _allocate_fifos(machine, candidates, normals)
+    chosen_refs = {id(ref) for ref, _fifo in chosen}
+    for ref in candidates:
+        if id(ref) not in chosen_refs:
+            _remark("missed", "fifo-pressure", ref, vector=ref.vector())
     if not chosen:
         return None
 
@@ -185,6 +237,15 @@ def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
             if first_in_fifo is None:
                 first_in_fifo = fifo
         report.refs.append(ref.vector() + (f"fifo{fifo_index}",))
+        _remark("applied",
+                "streamed-infinite" if infinite else "streamed", ref,
+                detail=f"{'out' if ref.is_store else 'in'}-stream on "
+                       f"{fifo!r}, stride {ref.stride}",
+                fifo=f"fifo{fifo_index}", stride=ref.stride,
+                direction="out" if ref.is_store else "in",
+                vector=ref.vector())
+    for instr in setup:
+        instr.origin = "streaming:setup"
     insert_at = len(pre.instrs) - (1 if pre.terminator is not None else 0)
     pre.instrs[insert_at:insert_at] = setup
 
@@ -198,22 +259,43 @@ def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
     if not infinite and test is not None:
         test.block.instrs.remove(test.compare)
         jpos = test.block.instrs.index(test.jump)
-        test.block.instrs[jpos] = JumpStreamNotDone(
+        jni = JumpStreamNotDone(
             jni_fifo, test.jump.target, kind=jni_kind,
             comment="jump if stream count not zero")
+        jni.origin = "streaming:loop-test"
+        test.block.instrs[jpos] = jni
         report.loop_test_replaced = True
+        if sink.enabled:
+            sink.emit(Remark(
+                "streaming", "applied", "loop-test-replaced",
+                function=cfg.func.name, loop=loop.header.label,
+                block=test.block.label,
+                detail=f"compare/branch replaced by JNI on {jni_fifo!r}"))
     elif infinite:
         for inside, outside in loop.exit_edges():
-            stops = [StreamStop(Reg("f" if r.mem.fp else "r", fi),
-                                kind="out" if r.is_store else "in",
-                                comment="stop stream at loop exit")
-                     for r, fi in chosen]
+            stops = []
+            for r, fi in chosen:
+                stop = StreamStop(Reg("f" if r.mem.fp else "r", fi),
+                                  kind="out" if r.is_store else "in",
+                                  comment="stop stream at loop exit")
+                stop.origin = "streaming:stop"
+                stops.append(stop)
             _insert_on_exit_edge(cfg, inside, outside, stops)
 
     # Step j: delete the induction-variable update if the IV is dead.
     if test is not None and report.loop_test_replaced:
         if _try_delete_iv(cfg, loop, test.iv):
             report.iv_increment_deleted = True
+            if sink.enabled:
+                sink.emit(Remark(
+                    "streaming", "applied", "iv-deleted",
+                    function=cfg.func.name, loop=loop.header.label,
+                    detail=f"dead update of {test.iv!r} deleted"))
+        elif sink.enabled:
+            sink.emit(Remark(
+                "streaming", "missed", "iv-not-dead",
+                function=cfg.func.name, loop=loop.header.label,
+                detail=f"{test.iv!r} still used or live after the loop"))
     tracer = get_tracer()
     tracer.event(
         "rewrite.streaming", category="opt",
@@ -232,14 +314,25 @@ def _stream_loop(cfg: CFG, machine: Machine, loop: Loop, doms: Dominators,
 # loop-count analysis
 # ---------------------------------------------------------------------------
 
-def _find_loop_test(cfg: CFG, loop: Loop,
-                    info: LoopMemoryInfo) -> Optional[_LoopTest]:
-    """Recognize the bottom-test Compare/CondJump pair driving the loop."""
+def _find_loop_test(cfg: CFG, loop: Loop, info: LoopMemoryInfo,
+                    why: Optional[list] = None) -> Optional[_LoopTest]:
+    """Recognize the bottom-test Compare/CondJump pair driving the loop.
+
+    ``why``, when given as an empty list, receives a one-line human
+    explanation on failure (remark ``unknown-loop-count`` detail).
+    """
+
+    def _fail(detail: str) -> None:
+        if why is not None and not why:
+            why.append(detail)
+
     if len(loop.back_tails) != 1:
+        _fail(f"{len(loop.back_tails)} back edges: no single bottom test")
         return None
     tail = loop.back_tails[0]
     term = tail.terminator
     if not isinstance(term, CondJump) or term.target != loop.header.label:
+        _fail("back edge is not a conditional jump to the header")
         return None
     compare = None
     for instr in reversed(tail.body()):
@@ -251,6 +344,7 @@ def _find_loop_test(cfg: CFG, loop: Loop,
             # second compare would desynchronize; keep scanning.
             continue
     if compare is None:
+        _fail("no compare feeds the bottom-test jump")
         return None
     # Identify which operand is the IV.
     from ..opt.induction import find_basic_ivs
@@ -265,11 +359,13 @@ def _find_loop_test(cfg: CFG, loop: Loop,
         iv, bound = right, left
         op = _flip_op(op)
     else:
+        _fail("neither compare operand is a basic induction variable")
         return None
     # The bound must be loop-invariant.
     for block in loop.block_list:
         for instr in block.instrs:
             if isinstance(bound, (Reg, VReg)) and bound in instr.defs():
+                _fail("loop bound is redefined inside the loop")
                 return None
     step = ivs[iv].step
     return _LoopTest(compare=compare, jump=term, block=tail, iv=iv,
@@ -370,22 +466,34 @@ def _insert_on_exit_edge(cfg: CFG, inside: Block, outside: Block,
 # reference selection and rewriting
 # ---------------------------------------------------------------------------
 
-def _streamable(ref: MemRef, loop: Loop, doms: Dominators, cfg: CFG) -> bool:
+def _streamable_reason(ref: MemRef, loop: Loop, doms: Dominators,
+                       cfg: CFG) -> Optional[str]:
+    """None when ``ref`` qualifies for streaming, else the stable reason
+    code (a key of :data:`repro.obs.remarks.REASONS`) for the rejection."""
     if not ref.region_known or ref.iv is None:
-        return False
+        # The partition analysis recorded why it gave up on this address.
+        return ref.analysis_note or "not-affine"
     if ref.stride == 0:
-        return False
+        return "zero-stride"
     if not ref.every_iteration:
-        return False  # Step c: must execute every time through the loop
+        return "not-every-iteration"  # Step c: must run every iteration
     instr = ref.instr
     if not isinstance(instr, Assign):
-        return False
+        return "not-simple-assign"
     if ref.is_store:
-        return isinstance(instr.src, (Reg, VReg, Imm))
+        if isinstance(instr.src, (Reg, VReg, Imm)):
+            return None
+        return "store-src-not-reg"
     if not isinstance(instr.dst, (Reg, VReg)):
-        return False
+        return "not-simple-assign"
     def_counts = count_defs(cfg)
-    return def_counts.get(instr.dst, 0) == 1
+    if def_counts.get(instr.dst, 0) != 1:
+        return "multi-def-dst"
+    return None
+
+
+def _streamable(ref: MemRef, loop: Loop, doms: Dominators, cfg: CFG) -> bool:
+    return _streamable_reason(ref, loop, doms, cfg) is None
 
 
 def _allocate_fifos(machine: Machine, candidates: list[MemRef],
@@ -444,9 +552,11 @@ def _rewrite_reference(cfg: CFG, loop: Loop, ref: MemRef, fifo: Reg,
     block = ref.block
     if ref.is_store:
         pos = block.instrs.index(instr)
-        block.instrs[pos] = Assign(fifo, instr.src,
-                                   comment="enqueue to output stream",
-                                   lno=instr.lno)
+        enqueue = Assign(fifo, instr.src,
+                         comment="enqueue to output stream",
+                         lno=instr.lno)
+        enqueue.origin = "streaming:fifo"
+        block.instrs[pos] = enqueue
         return
     dst = instr.dst
     # Count in-loop uses; the FIFO register dequeues on every read, so a
@@ -475,8 +585,10 @@ def _rewrite_reference(cfg: CFG, loop: Loop, ref: MemRef, fifo: Reg,
         block.instrs.remove(instr)
     else:
         pos = block.instrs.index(instr)
-        block.instrs[pos] = Assign(dst, fifo, comment="dequeue from stream",
-                                   lno=instr.lno)
+        dequeue = Assign(dst, fifo, comment="dequeue from stream",
+                         lno=instr.lno)
+        dequeue.origin = "streaming:fifo"
+        block.instrs[pos] = dequeue
 
 
 def _walk(expr: Expr):
