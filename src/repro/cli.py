@@ -37,10 +37,26 @@ Commands
     Time compile+simulate over the benchmark suite (fast path vs the
     reference ``--slow`` loop, serial vs ``--workers N``).
 
+``fuzz``
+    Differentially test generated Mini-C programs (every backend vs
+    the IR oracle at every optimization level).  ``--seed``/``--count``
+    select the seed range; ``--out DIR`` writes a reproducer bundle
+    per failure; ``--replay FILE`` re-checks one program instead.
+
+``reduce``
+    Delta-debug a failing program (a bundle directory from ``fuzz
+    --out``, or a bare ``.c`` file) down to a minimal reproducer.
+
 Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
 generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
 ``--function NAME`` (listing selection), and on most commands
 ``--json`` / ``--trace-out PATH``.
+
+Exit codes are distinct per failure class: 0 success, 1 result
+mismatch / fuzz findings, 2 lex or parse error, 3 semantic error,
+4 runtime failure (simulation/execution), 5 optimization-pass crash
+(strict mode).  Diagnostics are one-line ``error:`` messages on
+stderr — never raw tracebacks.
 """
 
 from __future__ import annotations
@@ -52,6 +68,10 @@ import sys
 from typing import Optional
 
 from .compiler import compile_source, scalar_options
+from .frontend.lexer import LexError
+from .frontend.parser import ParseError
+from .frontend.types import TypeError_
+from .ir.interp import TrapError
 from .machine.base import Machine
 from .machine.wm import WM
 from .obs import (
@@ -60,9 +80,22 @@ from .obs import (
     format_summary, metrics_json, run_manifest, sarif_report, use_remarks,
     use_tracer, write_chrome_trace,
 )
-from .opt import OptOptions
+from .opt import OptOptions, PassCrashError
+from .sim.errors import SimError
+from .sim.fifo import FifoError
+from .sim.memory import MemError
 
 __all__ = ["main"]
+
+#: Distinct exit codes per failure class (documented in the module
+#: docstring and README): tooling can branch on them without parsing
+#: stderr.
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_PARSE = 2
+EXIT_SEMANTIC = 3
+EXIT_RUNTIME = 4
+EXIT_PASS_CRASH = 5
 
 
 def _make_machine(name: str) -> Machine:
@@ -111,13 +144,20 @@ def _finish_trace(tracer, args: argparse.Namespace) -> None:
         print(f"trace written to {trace_out}", file=sys.stderr)
 
 
+def _options_for(args: argparse.Namespace, machine: Machine) -> OptOptions:
+    options = _make_options(args.opt, machine)
+    if getattr(args, "strict", False):
+        options.strict = True
+    return options
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     source = open(args.file).read()
     machine = _make_machine(args.target)
     tracer = _tracer_for(args)
     with use_tracer(tracer):
         result = compile_source(source, machine=machine,
-                                options=_make_options(args.opt, machine))
+                                options=_options_for(args, machine))
     if args.json:
         report = {
             "manifest": run_manifest(),
@@ -165,10 +205,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = None
     with use_tracer(tracer):
         result = compile_source(source, machine=machine,
-                                options=_make_options(args.opt, machine))
+                                options=_options_for(args, machine))
         oracle = result.run_oracle()
         if isinstance(machine, WM):
-            sim = result.simulate(telemetry=tracer.enabled)
+            sim_kwargs: dict = {"telemetry": tracer.enabled}
+            if args.max_cycles:
+                sim_kwargs["max_cycles"] = args.max_cycles
+            sim = result.simulate(**sim_kwargs)
             telemetry = sim.telemetry
             counters = RunCounters(
                 value=sim.value, oracle=oracle.value, cycles=sim.cycles,
@@ -366,6 +409,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .qa import check_program, run_fuzz
+    from .qa.bundle import write_bundle
+    if args.replay:
+        source = open(args.replay).read()
+        failure = check_program(source)
+        if failure is None:
+            print(f"{args.replay}: all backends agree")
+            return EXIT_OK
+        print(f"{args.replay}: {failure.kind} [{failure.config}] "
+              f"{failure.detail}", file=sys.stderr)
+        if args.out:
+            bundle = write_bundle(args.out, failure)
+            print(f"reproducer bundle written to {bundle}",
+                  file=sys.stderr)
+        return EXIT_MISMATCH
+
+    def on_failure(failure):
+        print(f"seed {failure.seed}: {failure.kind} [{failure.config}] "
+              f"{failure.detail}", file=sys.stderr)
+        if args.out:
+            bundle = write_bundle(
+                os.path.join(args.out, f"seed-{failure.seed}"), failure)
+            print(f"  bundle: {bundle}", file=sys.stderr)
+
+    def progress(done, total):
+        if args.progress and done % args.progress == 0:
+            print(f"fuzz: {done}/{total} programs checked",
+                  file=sys.stderr)
+
+    report = run_fuzz(args.count, seed=args.seed, on_failure=on_failure,
+                      progress=progress)
+    if args.json:
+        print(json.dumps({
+            "manifest": run_manifest(),
+            "count": report.count,
+            "seed": args.seed,
+            "failures": [f.manifest() for f in report.failures],
+        }, indent=2))
+    else:
+        verdict = "OK" if report.ok else \
+            f"{len(report.failures)} failure(s)"
+        print(f"fuzz: {report.count} program(s) from seed {args.seed}: "
+              f"{verdict}")
+    return EXIT_OK if report.ok else EXIT_MISMATCH
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from .qa import check_program, reduce_source
+    from .qa.bundle import load_bundle, write_bundle
+    from .qa.reduce import failure_predicate
+    is_bundle = os.path.isdir(args.target)
+    if is_bundle:
+        source, _manifest = load_bundle(args.target)
+    else:
+        source = open(args.target).read()
+    failure = check_program(source)
+    if failure is None:
+        print(f"error: {args.target} does not fail — nothing to reduce",
+              file=sys.stderr)
+        return EXIT_MISMATCH
+    print(f"reducing {failure.kind} [{failure.config}]: {failure.detail}",
+          file=sys.stderr)
+    reduced = reduce_source(source, failure_predicate(failure),
+                            max_tests=args.max_tests)
+    final = check_program(reduced)
+    if final is None:  # cannot happen (reducer verifies), but be safe
+        final = failure
+    final.source = reduced
+    lines = len([ln for ln in reduced.splitlines() if ln.strip()])
+    print(f"reduced to {lines} line(s)", file=sys.stderr)
+    if is_bundle:
+        write_bundle(args.target, final, original=source)
+        print(f"bundle {args.target} updated", file=sys.stderr)
+    elif args.out:
+        write_bundle(args.out, final, original=source)
+        print(f"reproducer bundle written to {args.out}", file=sys.stderr)
+    print(reduced, end="")
+    return EXIT_OK
+
+
+#: Exception class -> (exit code, diagnostic label).  Order matters:
+#: the first matching entry wins (LexError/ParseError before their
+#: SyntaxError base would, say, shadow them).
+_ERROR_EXITS: list = [
+    (LexError, EXIT_PARSE, "lex error"),
+    (ParseError, EXIT_PARSE, "parse error"),
+    (TypeError_, EXIT_SEMANTIC, "semantic error"),
+    (PassCrashError, EXIT_PASS_CRASH, "pass crash"),
+    (SimError, EXIT_RUNTIME, "simulation error"),
+    (FifoError, EXIT_RUNTIME, "simulation error"),
+    (MemError, EXIT_RUNTIME, "simulation error"),
+    (TrapError, EXIT_RUNTIME, "runtime trap"),
+]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -382,11 +521,18 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON to PATH")
 
+    def add_strict_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--strict", action="store_true",
+                       help="a crashing optimization pass aborts the "
+                            "compile (exit 5) instead of degrading to "
+                            "the pre-pass IR")
+
     p_compile = sub.add_parser("compile", help="compile and print assembly")
     p_compile.add_argument("file")
     p_compile.add_argument("--target", choices=targets, default="wm")
     p_compile.add_argument("--opt", choices=levels, default="full")
     p_compile.add_argument("--function", default=None)
+    add_strict_flag(p_compile)
     add_obs_flags(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
@@ -394,6 +540,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("file")
     p_run.add_argument("--target", choices=targets, default="wm")
     p_run.add_argument("--opt", choices=levels, default="full")
+    p_run.add_argument("--max-cycles", type=int, default=None,
+                       help="simulation cycle budget (exit 4 with a "
+                            "structured report when exceeded)")
+    add_strict_flag(p_run)
     add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -459,12 +609,56 @@ def main(argv: list[str] | None = None) -> int:
                          help="emit machine-readable JSON on stdout")
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differentially test generated Mini-C programs")
+    p_fuzz.add_argument("--count", type=int, default=200,
+                        help="number of programs to generate (default 200)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first generator seed (seeds run "
+                             "consecutively)")
+    p_fuzz.add_argument("--out", default=None, metavar="DIR",
+                        help="write a reproducer bundle per failure "
+                             "under DIR (seed-N subdirectories)")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-check one Mini-C file instead of "
+                             "generating programs")
+    p_fuzz.add_argument("--progress", type=int, default=0, metavar="N",
+                        help="print progress every N programs (stderr)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the fuzz report as JSON")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_reduce = sub.add_parser(
+        "reduce", help="delta-debug a failing program to a minimal "
+                       "reproducer")
+    p_reduce.add_argument("target",
+                          help="a bundle directory (from fuzz --out) or "
+                               "a Mini-C file")
+    p_reduce.add_argument("--out", default=None, metavar="DIR",
+                          help="write the reduced reproducer bundle to "
+                               "DIR (file targets)")
+    p_reduce.add_argument("--max-tests", type=int, default=2000,
+                          help="reduction budget: maximum predicate "
+                               "invocations")
+    p_reduce.set_defaults(func=_cmd_reduce)
+
     args = parser.parse_args(argv)
     # One process can serve several invocations (tests drive main()
     # directly): start each from a clean shared-metrics slate so counts
     # from one run cannot leak into the next run's report.
     NULL_TRACER.metrics.reset()
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # Distinct exit codes, one-line diagnostics, no tracebacks.
+        for klass, code, label in _ERROR_EXITS:
+            if isinstance(exc, klass):
+                print(f"error: {label}: {exc}", file=sys.stderr)
+                if isinstance(exc, SimError):
+                    print(json.dumps(exc.report(), sort_keys=True),
+                          file=sys.stderr)
+                return code
+        raise
 
 
 if __name__ == "__main__":

@@ -30,19 +30,34 @@ _OPERATORS = [
 
 
 class LexError(SyntaxError):
-    """Raised on malformed Mini-C source."""
+    """Raised on malformed Mini-C source.
+
+    Carries the structured position (``line``, ``col``) alongside the
+    rendered message, so drivers can point at the offending character
+    without parsing the message text.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        if line:
+            message = f"line {line}:{col}: {message}" if col \
+                else f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
 
 
 @dataclass(frozen=True)
 class Token:
     """One lexical token. ``kind`` is one of 'id', 'intlit', 'fplit',
     'charlit', 'strlit', 'kw', 'op', or 'eof'; ``text`` is the raw lexeme
-    and ``value`` the decoded literal value where applicable."""
+    and ``value`` the decoded literal value where applicable.  ``col``
+    is the 1-based column of the token's first character."""
 
     kind: str
     text: str
     line: int
     value: object = None
+    col: int = 0
 
     def __repr__(self) -> str:
         return f"Token({self.kind},{self.text!r},l{self.line})"
@@ -54,7 +69,8 @@ _ESCAPES = {
 }
 
 
-def _decode_escape(src: str, i: int, line: int) -> tuple[str, int]:
+def _decode_escape(src: str, i: int, line: int,
+                   col: int = 0) -> tuple[str, int]:
     """Decode the escape sequence starting at ``src[i]`` (after the
     backslash). Returns (character, next index)."""
     ch = src[i]
@@ -65,9 +81,9 @@ def _decode_escape(src: str, i: int, line: int) -> tuple[str, int]:
         while j < len(src) and src[j] in "0123456789abcdefABCDEF":
             j += 1
         if j == i + 1:
-            raise LexError(f"line {line}: bad hex escape")
+            raise LexError("bad hex escape", line, col)
         return chr(int(src[i + 1:j], 16)), j
-    raise LexError(f"line {line}: unknown escape '\\{ch}'")
+    raise LexError(f"unknown escape '\\{ch}'", line, col)
 
 
 def tokenize(source: str) -> list[Token]:
@@ -75,12 +91,15 @@ def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
     line = 1
+    line_start = 0  # index of the current line's first character
     n = len(source)
     while i < n:
         ch = source[i]
+        col = i - line_start + 1
         if ch == "\n":
             line += 1
             i += 1
+            line_start = i
             continue
         if ch in " \t\r":
             i += 1
@@ -93,8 +112,11 @@ def tokenize(source: str) -> list[Token]:
         if source.startswith("/*", i):
             j = source.find("*/", i + 2)
             if j < 0:
-                raise LexError(f"line {line}: unterminated comment")
-            line += source.count("\n", i, j)
+                raise LexError("unterminated comment", line, col)
+            newlines = source.count("\n", i, j)
+            if newlines:
+                line += newlines
+                line_start = source.rfind("\n", i, j) + 1
             i = j + 2
             continue
         # Identifiers and keywords.
@@ -104,7 +126,7 @@ def tokenize(source: str) -> list[Token]:
                 j += 1
             text = source[i:j]
             kind = "kw" if text in KEYWORDS else "id"
-            tokens.append(Token(kind, text, line))
+            tokens.append(Token(kind, text, line, col=col))
             i = j
             continue
         # Numeric literals.
@@ -116,7 +138,7 @@ def tokenize(source: str) -> list[Token]:
                 while j < n and source[j] in "0123456789abcdefABCDEF":
                     j += 1
                 tokens.append(Token("intlit", source[i:j], line,
-                                    int(source[i:j], 16)))
+                                    int(source[i:j], 16), col=col))
                 i = j
                 continue
             while j < n and source[j].isdigit():
@@ -135,24 +157,27 @@ def tokenize(source: str) -> list[Token]:
                     j += 1
             text = source[i:j]
             if is_fp:
-                tokens.append(Token("fplit", text, line, float(text)))
+                tokens.append(Token("fplit", text, line, float(text),
+                                    col=col))
             else:
-                tokens.append(Token("intlit", text, line, int(text)))
+                tokens.append(Token("intlit", text, line, int(text),
+                                    col=col))
             i = j
             continue
         # Character literals.
         if ch == "'":
             j = i + 1
             if j < n and source[j] == "\\":
-                c, j = _decode_escape(source, j + 1, line)
+                c, j = _decode_escape(source, j + 1, line, col)
             elif j < n:
                 c = source[j]
                 j += 1
             else:
-                raise LexError(f"line {line}: unterminated char literal")
+                raise LexError("unterminated char literal", line, col)
             if j >= n or source[j] != "'":
-                raise LexError(f"line {line}: unterminated char literal")
-            tokens.append(Token("charlit", source[i:j + 1], line, ord(c)))
+                raise LexError("unterminated char literal", line, col)
+            tokens.append(Token("charlit", source[i:j + 1], line, ord(c),
+                                col=col))
             i = j + 1
             continue
         # String literals.
@@ -161,25 +186,26 @@ def tokenize(source: str) -> list[Token]:
             chars: list[str] = []
             while j < n and source[j] != '"':
                 if source[j] == "\\":
-                    c, j = _decode_escape(source, j + 1, line)
+                    c, j = _decode_escape(source, j + 1, line, col)
                     chars.append(c)
                 elif source[j] == "\n":
-                    raise LexError(f"line {line}: newline in string literal")
+                    raise LexError("newline in string literal", line, col)
                 else:
                     chars.append(source[j])
                     j += 1
             if j >= n:
-                raise LexError(f"line {line}: unterminated string literal")
-            tokens.append(Token("strlit", source[i:j + 1], line, "".join(chars)))
+                raise LexError("unterminated string literal", line, col)
+            tokens.append(Token("strlit", source[i:j + 1], line,
+                                "".join(chars), col=col))
             i = j + 1
             continue
         # Operators and punctuation.
         for op in _OPERATORS:
             if source.startswith(op, i):
-                tokens.append(Token("op", op, line))
+                tokens.append(Token("op", op, line, col=col))
                 i += len(op)
                 break
         else:
-            raise LexError(f"line {line}: unexpected character {ch!r}")
-    tokens.append(Token("eof", "", line))
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col=n - line_start + 1))
     return tokens

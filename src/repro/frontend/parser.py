@@ -19,7 +19,20 @@ __all__ = ["ParseError", "Parser", "parse"]
 
 
 class ParseError(SyntaxError):
-    """Raised on syntactically invalid Mini-C."""
+    """Raised on syntactically invalid Mini-C.
+
+    Carries the structured position (``line``, ``col``) alongside the
+    rendered message, so drivers can point at the offending token
+    without parsing the message text.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        if line:
+            message = f"line {line}:{col}: {message}" if col \
+                else f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
 
 
 # binary operator precedence (higher binds tighter); && and || handled here
@@ -71,8 +84,8 @@ class Parser:
         tok = self._peek()
         if not self._check(kind, text):
             want = text or kind
-            raise ParseError(
-                f"line {tok.line}: expected {want!r}, found {tok.text!r}")
+            raise ParseError(f"expected {want!r}, found {tok.text!r}",
+                             tok.line, tok.col)
         return self._next()
 
     def _at_type(self) -> bool:
@@ -90,7 +103,7 @@ class Parser:
             return DOUBLE
         if tok.text == "void":
             return VOID
-        raise ParseError(f"line {tok.line}: not a type: {tok.text}")
+        raise ParseError(f"not a type: {tok.text}", tok.line, tok.col)
 
     def _declarator(self, base: CType) -> tuple[CType, str, int]:
         """Parse ``*``* name ``[n]``* and return (type, name, line)."""
@@ -408,8 +421,8 @@ class Parser:
             expr = self._expression()
             self._expect("op", ")")
             return expr
-        raise ParseError(
-            f"line {tok.line}: unexpected token {tok.text!r} in expression")
+        raise ParseError(f"unexpected token {tok.text!r} in expression",
+                         tok.line, tok.col)
 
 
 def _single(stmts: list[A.Stmt]) -> A.Stmt:

@@ -18,12 +18,17 @@ __all__ = [
 
 
 class TypeError_(Exception):
-    """A Mini-C semantic (type) error, with a source line if known."""
+    """A Mini-C semantic (type) error, with a source line if known.
+
+    The structured ``line`` is kept as an attribute so drivers can
+    report the position without parsing the message text.
+    """
 
     def __init__(self, message: str, line: int = 0) -> None:
         if line:
             message = f"line {line}: {message}"
         super().__init__(message)
+        self.line = line
 
 
 class CType:

@@ -125,6 +125,29 @@ REASONS: dict[str, str] = {
                             "streaming",
     "iv-not-dead":
         "induction variable still has uses or is live after the loop",
+    # -- robustness: pipeline degradation and harness recovery ------------
+    "pass-crashed":
+        "an optimization pass raised; the pipeline rolled the function "
+        "back to the pre-pass IR and continued (degraded compile)",
+    "job-retried":
+        "a parallel job's worker failed; the job was retried serially "
+        "in the parent process",
+    "job-quarantined":
+        "a job failed both its worker run and the serial retry; its "
+        "result row carries the error instead of values",
+    # -- robustness: injected simulator faults (repro.qa.faults) ----------
+    "fault-mem-delay":
+        "fault injection delayed in-flight memory responses",
+    "fault-mem-drop":
+        "fault injection dropped an in-flight memory response",
+    "fault-fifo-overflow":
+        "fault injection filled a FIFO and pushed past capacity",
+    "fault-fifo-underflow":
+        "fault injection popped from an empty FIFO",
+    "fault-stream-close":
+        "fault injection closed an active stream reservation early",
+    "fault-worker-kill":
+        "fault injection hard-killed a parallel worker process",
 }
 
 

@@ -13,7 +13,10 @@ from .induction import (
 from .licm import licm_cfg
 from .loops import Loop, ensure_preheader, find_loops
 from .peephole import peephole_cfg, remove_identity_moves
-from .pipeline import OptOptions, OptReports, optimize_function, optimize_module
+from .pipeline import (
+    BREAK_PASS_ENV, OptOptions, OptReports, PassCrashError,
+    optimize_function, optimize_module,
+)
 from .regalloc import allocate_registers, finalize_frame
 
 __all__ = [

@@ -9,11 +9,12 @@ detection and optimization, streaming, cleanup, register allocation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..machine.base import Machine
-from ..obs import get_remark_sink, get_tracer
+from ..obs import Remark, get_remark_sink, get_tracer
 from ..rtl.module import RtlFunction
 from .analysis import AnalysisManager
 from .cfg import CFG, build_cfg
@@ -52,8 +53,38 @@ _PRESERVES: dict[str, frozenset] = {
 _TRACKED = frozenset({"peephole", "combine", "dce", "licm",
                       "remove_dead_ivs", "strength"})
 
-__all__ = ["OptOptions", "OptReports", "PassStat", "optimize_function",
-           "optimize_module"]
+#: Passes whose failure the pipeline can absorb: rolling back to the
+#: pre-pass IR leaves a *less optimized but correct* program.  The
+#: mandatory phases (register allocation, identity-move cleanup) are
+#: excluded — without them the function is not runnable, so their
+#: exceptions always surface as :class:`PassCrashError`.
+_DEGRADABLE = frozenset({"peephole", "combine", "dce", "licm",
+                         "remove_dead_ivs", "strength", "recurrence",
+                         "streaming"})
+
+#: Test fixture hook: name a pass here (or in the REPRO_QA_BREAK_PASS
+#: environment variable) and every invocation of it raises — the
+#: fuzz/reduce harness and the sandbox tests use this to exercise the
+#: degradation and strict paths on demand.
+BREAK_PASS_ENV = "REPRO_QA_BREAK_PASS"
+
+__all__ = ["BREAK_PASS_ENV", "OptOptions", "OptReports", "PassCrashError",
+           "PassStat", "optimize_function", "optimize_module"]
+
+
+class PassCrashError(Exception):
+    """An optimization pass raised and the pipeline could not degrade
+    (strict mode, or a mandatory pass).  Chains the original exception.
+    """
+
+    def __init__(self, function: str, pass_name: str,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"optimization pass {pass_name!r} crashed in function "
+            f"{function!r}: {type(cause).__name__}: {cause}")
+        self.function = function
+        self.pass_name = pass_name
+        self.cause = cause
 
 
 @dataclass
@@ -75,6 +106,9 @@ class OptOptions:
     #: (disable to see the paper's Figure 5 intermediate state)
     post_recurrence_cleanup: bool = True
     naive: bool = False
+    #: strict mode (CI): a crashing pass raises :class:`PassCrashError`
+    #: instead of degrading to the pre-pass IR with a remark
+    strict: bool = False
 
     @classmethod
     def baseline(cls) -> "OptOptions":
@@ -121,6 +155,9 @@ class OptReports:
     #: optimization remarks this function's passes emitted (empty unless
     #: a RemarkCollector is installed; see repro.obs.remarks)
     remarks: list = field(default_factory=list)
+    #: passes that crashed and were rolled back (graceful degradation):
+    #: ``{"pass": name, "error": "ExcType: message"}`` records
+    crashed: list = field(default_factory=list)
 
     def remark_counts(self) -> dict:
         """``{pass: {kind: n}}`` rollup of this function's remarks."""
@@ -154,6 +191,28 @@ def optimize_function(func: RtlFunction, machine: Machine,
     # change invalidates no analyses.
     version = 0
     clean_at: dict[str, int] = {}
+    broken = os.environ.get(BREAK_PASS_ENV) or None
+    # Sandbox snapshot cache, keyed by CFG version: consecutive
+    # sandboxed passes that report no change see a bit-identical CFG,
+    # so the pre-pass snapshot of the first serves them all.  A
+    # version bump (change or rollback) invalidates it implicitly.
+    snap_version = -1
+    snap_instrs: Optional[list] = None
+
+    def crashed(name: str, exc: BaseException, degraded: bool) -> None:
+        """Record a pass crash in the reports and as a remark."""
+        reports.crashed.append({
+            "pass": name,
+            "error": f"{type(exc).__name__}: {exc}",
+            "degraded": degraded,
+        })
+        if sink.enabled:
+            sink.emit(Remark(
+                "pipeline", "analysis", "pass-crashed",
+                function=func.name,
+                detail=f"{name}: {type(exc).__name__}: {exc}",
+                args={"pass": name, "exception": type(exc).__name__,
+                      "degraded": degraded}))
 
     def run(name: str, pass_fn, *args, **kwargs):
         """Invoke one pass; record a span + PassStat when tracing.
@@ -161,22 +220,53 @@ def optimize_function(func: RtlFunction, machine: Machine,
         Afterwards the analysis cache keeps only what the pass declared
         preserved (``_PRESERVES``); passes missing from the table took
         ``am`` themselves and are trusted to have kept it consistent.
+
+        Degradable passes run *sandboxed*: the pre-pass IR is
+        snapshotted (instruction clones over shared immutable operand
+        expressions — cheap), and an exception rolls the function back
+        to it, downgrading the crash to a ``pass-crashed`` remark.  In
+        strict mode, or for a mandatory pass, the exception surfaces as
+        :class:`PassCrashError`.
         """
-        nonlocal version
+        nonlocal version, cfg, am, snap_version, snap_instrs
         tracked = name in _TRACKED
         if tracked and clean_at.get(name) == version:
             return None
-        if not tracer.enabled:
-            out = pass_fn(cfg, *args, **kwargs)
-        else:
-            before = _count_rtls(cfg)
-            with tracer.span(f"opt.{name}", category="opt",
-                             function=func.name) as span:
+        snapshot = None
+        if name in _DEGRADABLE and not opts.strict:
+            if snap_version == version:
+                snapshot = snap_instrs
+            else:
+                snapshot = [i.clone() for i in cfg.to_instrs()]
+                snap_version, snap_instrs = version, snapshot
+        try:
+            if broken is not None and name == broken:
+                raise RuntimeError(
+                    f"injected fault in pass {name!r} ({BREAK_PASS_ENV})")
+            if not tracer.enabled:
                 out = pass_fn(cfg, *args, **kwargs)
-            after = _count_rtls(cfg)
-            span.args.update(rtl_before=before, rtl_after=after)
-            reports.passes.append(
-                PassStat(name, span.duration, before, after))
+            else:
+                before = _count_rtls(cfg)
+                with tracer.span(f"opt.{name}", category="opt",
+                                 function=func.name) as span:
+                    out = pass_fn(cfg, *args, **kwargs)
+                after = _count_rtls(cfg)
+                span.args.update(rtl_before=before, rtl_after=after)
+                reports.passes.append(
+                    PassStat(name, span.duration, before, after))
+        except Exception as exc:
+            if snapshot is None:
+                crashed(name, exc, degraded=False)
+                raise PassCrashError(func.name, name, exc) from exc
+            # Roll back to the pre-pass IR and carry on with the next
+            # pass: a skipped optimization, not a failed compile.
+            func.instrs = snapshot
+            cfg = build_cfg(func)
+            am = AnalysisManager(cfg)
+            version += 1
+            clean_at.clear()
+            crashed(name, exc, degraded=True)
+            return None
         changed = bool(out) if tracked else True
         if changed:
             version += 1

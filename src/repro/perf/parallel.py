@@ -17,15 +17,24 @@ results identical to serial ones within a session.
 stream counts) rather than the full ``SimResult`` — combined with
 ``SimResult.memory`` being a data-segment-only pickling view, nothing
 megabyte-sized ever crosses the process boundary.
+
+Worker failures never lose jobs: a job whose worker crashes (or whose
+pool is poisoned by a sibling's death — ``BrokenProcessPool`` fails
+every pending future) is retried once serially in the parent; a job
+that fails twice is *quarantined* — returned in order with ``error``
+set and ``quarantined=True`` — so one pathological configuration
+cannot take down a whole table regeneration.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import Remark, get_remark_sink
 from ..opt import OptOptions
 from .cache import compile_cached, is_cached
 
@@ -52,7 +61,13 @@ class SimJob:
 
 @dataclass
 class JobResult:
-    """The table-relevant scalars of one job run."""
+    """The table-relevant scalars of one job run.
+
+    ``error`` is ``None`` on success; a quarantined job (failed in a
+    worker *and* in the serial retry) instead carries the exception
+    summary and ``quarantined=True``, with the value fields left at
+    their defaults.
+    """
 
     name: str
     value: object = None
@@ -60,6 +75,8 @@ class JobResult:
     streams_in: int = 0
     streams_out: int = 0
     infinite: int = 0
+    error: Optional[str] = None
+    quarantined: bool = False
 
 
 def _run_job(job: SimJob) -> JobResult:
@@ -116,17 +133,83 @@ def _should_parallelize(jobs: list[SimJob],
     return True
 
 
-def run_jobs(jobs: list[SimJob],
-             workers: Optional[int] = None) -> list[JobResult]:
-    """Run a batch of jobs, preserving order.
+def _run_job_indexed(index: int, job: SimJob,
+                     kill: frozenset) -> JobResult:
+    """Pool entry point: run one job, honouring kill-fault injection.
+
+    A job index named in ``kill`` hard-exits the *worker* process
+    (``os._exit`` — no exception, no cleanup: the most hostile death a
+    pool can see).  The ``parent_process()`` guard makes the kill inert
+    when this body runs in the parent — i.e. during the serial retry —
+    so an injected death is recoverable by design.
+    """
+    if index in kill and multiprocessing.parent_process() is not None:
+        os._exit(17)
+    return _run_job(job)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _retry_serially(job: SimJob, first: BaseException) -> JobResult:
+    """One in-parent retry; a second failure quarantines the job."""
+    sink = get_remark_sink()
+    if sink.enabled:
+        sink.emit(Remark("harness", "analysis", "job-retried",
+                         function=job.name, detail=_describe(first),
+                         args={"job": job.name}))
+    try:
+        return _run_job(job)
+    except Exception as exc:
+        if sink.enabled:
+            sink.emit(Remark("harness", "analysis", "job-quarantined",
+                             function=job.name, detail=_describe(exc),
+                             args={"job": job.name}))
+        return JobResult(job.name, error=_describe(exc), quarantined=True)
+
+
+def run_jobs(jobs: list[SimJob], workers: Optional[int] = None,
+             kill_jobs=()) -> list[JobResult]:
+    """Run a batch of jobs, preserving order and losing none.
 
     ``workers`` of ``None``, 0 or 1 runs in-process (sharing the
     compile cache across jobs); larger values fan out over processes
     when the batch can plausibly win from it (see
     :func:`_should_parallelize` for the serial-fallback conditions).
+
+    Failures degrade instead of propagating: any job whose future
+    raises — its own exception, or ``BrokenProcessPool`` because a
+    sibling's worker died and poisoned the pool — is retried once
+    serially in the parent; a job that also fails the retry comes back
+    as a quarantined :class:`JobResult` (``error`` set, value fields
+    defaulted) in its original position.  The serial path applies the
+    same retry-once-then-quarantine policy.
+
+    ``kill_jobs`` is the fault-injection hook: a set of job *indexes*
+    whose worker process is hard-killed mid-batch (no-op outside a
+    pool, and on the serial retry — see :func:`_run_job_indexed`).
     """
     jobs = list(jobs)
+    kill = frozenset(kill_jobs)
     if _should_parallelize(jobs, workers):
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        failed: list[tuple[int, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_job, jobs))
-    return [_run_job(job) for job in jobs]
+            futures = [pool.submit(_run_job_indexed, i, job, kill)
+                       for i, job in enumerate(jobs)]
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except Exception as exc:
+                    failed.append((i, exc))
+        for i, exc in failed:
+            results[i] = _retry_serially(jobs[i], exc)
+        return results
+    out = []
+    for job in jobs:
+        try:
+            out.append(_run_job(job))
+        except Exception as exc:
+            out.append(_retry_serially(job, exc))
+    return out

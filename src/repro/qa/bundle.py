@@ -1,0 +1,65 @@
+"""Self-contained reproducer bundles.
+
+A bundle is one directory holding everything needed to replay a
+failure with no access to the fuzz run that found it::
+
+    <dir>/
+      program.c        the failing Mini-C source (reduced if available)
+      original.c       pre-reduction source (only when reduced)
+      manifest.json    seed, failure kind/config, expected vs actual,
+                       fault plan (when one was involved), repro command
+      report.json      the structured SimError report, when the failure
+                       carried one
+
+``repro fuzz --out DIR`` writes one bundle per failure (``seed-N``
+subdirectories); ``repro reduce BUNDLE`` reads ``manifest.json`` +
+``program.c`` back, shrinks the program, and rewrites the bundle in
+place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .differential import Failure
+
+__all__ = ["load_bundle", "write_bundle"]
+
+
+def write_bundle(directory: str, failure: Failure,
+                 fault_plan: Optional[dict] = None,
+                 sim_report: Optional[dict] = None,
+                 original: Optional[str] = None) -> str:
+    """Write ``failure`` as a reproducer bundle; returns the directory."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "program.c"), "w") as fh:
+        fh.write(failure.source)
+    if original is not None and original != failure.source:
+        with open(os.path.join(directory, "original.c"), "w") as fh:
+            fh.write(original)
+    manifest = failure.manifest()
+    manifest["repro_command"] = "python -m repro fuzz --replay program.c"
+    if fault_plan:
+        manifest["fault_plan"] = fault_plan
+    with open(os.path.join(directory, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if sim_report is not None:
+        with open(os.path.join(directory, "report.json"), "w") as fh:
+            json.dump(sim_report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return directory
+
+
+def load_bundle(directory: str) -> tuple[str, dict]:
+    """Read a bundle back: (source, manifest)."""
+    with open(os.path.join(directory, "program.c")) as fh:
+        source = fh.read()
+    manifest_path = os.path.join(directory, "manifest.json")
+    manifest: dict = {}
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    return source, manifest

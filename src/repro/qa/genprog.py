@@ -1,0 +1,243 @@
+"""Seeded random Mini-C program generator for differential fuzzing.
+
+:func:`gen_program` maps a seed to a self-contained Mini-C program:
+global arrays, deterministic initialization, a random selection of
+loop kernels (affine maps, recurrences of varying degree, nested
+loops, aliasing shifts, reductions, strided and conditional accesses,
+bounded ``while`` loops, double-precision kernels), and a final
+checksum loop folding every array and scalar into the returned ``int``.
+Same seed, same program — the generator draws only from its own
+``random.Random`` instance.
+
+The output is constrained to the subset of Mini-C on which every
+backend is *defined to agree*, so any disagreement the differential
+harness finds is a real bug, not semantic slack:
+
+* integer arithmetic wraps to 32 bits in all backends and ``/``/``%``
+  follow C (truncate toward zero), so any values are fair game — but
+  divisors are always non-zero constants;
+* shift counts are masked to 5 bits everywhere, so shifts are safe;
+* doubles stay bounded (multipliers of magnitude <= 1, no FP division,
+  trip counts <= the largest array) so double-to-int conversions at
+  the checksum never overflow;
+* every array index is provably in range: kernels derive loop bounds
+  from the array sizes they index (which is also how the generator
+  produces the interesting edge cases — a derived bound of 0 or 1
+  yields zero- and single-trip loops).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["gen_program"]
+
+#: Array-size pool: small primes and powers of two, plus degenerate
+#: sizes that force zero/one-trip loops downstream.
+_SIZES = (1, 2, 3, 5, 8, 13, 16, 24, 33, 48, 64)
+
+_INT_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+class _Gen:
+    """One program's worth of generator state."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.lines: list[str] = []
+        #: (name, size) for int arrays / double arrays
+        self.int_arrays: list[tuple[str, int]] = []
+        self.dbl_arrays: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------ helpers --
+    def pick_int_array(self) -> tuple[str, int]:
+        return self.rng.choice(self.int_arrays)
+
+    def const(self, lo: int = -9, hi: int = 9) -> int:
+        return self.rng.randint(lo, hi)
+
+    def emit(self, line: str, indent: int = 1) -> None:
+        self.lines.append("    " * indent + line)
+
+    # ------------------------------------------------------------ kernels --
+    def k_affine_map(self) -> None:
+        """dst[i*s1+o1] = src[i*s2+o2] op c  over a derived safe range."""
+        rng = self.rng
+        dst, dn = self.pick_int_array()
+        src, sn = self.pick_int_array()
+        s1, s2 = rng.randint(1, 3), rng.randint(1, 3)
+        o1, o2 = rng.randint(0, 2), rng.randint(0, 2)
+        hi = min((dn - o1 + s1 - 1) // s1, (sn - o2 + s2 - 1) // s2)
+        op = rng.choice(_INT_BINOPS)
+        c = self.const()
+        def idx(s, o):
+            term = "i" if s == 1 else f"i * {s}"
+            return term if o == 0 else f"{term} + {o}"
+        self.emit(f"for (i = 0; i < {hi}; i++)")
+        self.emit(f"{dst}[{idx(s1, o1)}] = {src}[{idx(s2, o2)}] {op} {c};", 2)
+
+    def k_recurrence(self) -> None:
+        """a[i] = a[i-d] op b[i]: a memory recurrence of degree d."""
+        rng = self.rng
+        a, an = self.pick_int_array()
+        b, bn = self.pick_int_array()
+        d = rng.randint(1, 3)
+        hi = min(an, bn)
+        op = rng.choice(("+", "-", "^"))
+        if hi <= d:
+            hi = d  # zero-trip: the loop header still exercises bounds
+        self.emit(f"for (i = {d}; i < {hi}; i++)")
+        self.emit(f"{a}[i] = {a}[i - {d}] {op} {b}[i];", 2)
+
+    def k_nested(self) -> None:
+        """Row/column walk with 2D-style flattened indexing."""
+        rng = self.rng
+        a, an = self.pick_int_array()
+        b, bn = self.pick_int_array()
+        n = min(an, bn)
+        cols = rng.randint(1, max(1, min(6, n)))
+        rows = n // cols
+        self.emit(f"for (i = 0; i < {rows}; i++)")
+        self.emit(f"for (j = 0; j < {cols}; j++)", 2)
+        self.emit(f"{a}[i * {cols} + j] = {b}[i * {cols} + j] + i - j;", 3)
+
+    def k_alias_shift(self) -> None:
+        """In-place overlapping read/write: a[i±1] from a[i]."""
+        rng = self.rng
+        a, an = self.pick_int_array()
+        if rng.random() < 0.5:
+            self.emit(f"for (i = 1; i < {an}; i++)")
+            self.emit(f"{a}[i - 1] = {a}[i] + 1;", 2)
+        else:
+            self.emit(f"for (i = {an} - 1; i > 0; i--)")
+            self.emit(f"{a}[i] = {a}[i - 1] - 1;", 2)
+
+    def k_reduction(self) -> None:
+        rng = self.rng
+        a, an = self.pick_int_array()
+        k = self.const(-5, 5)
+        step = rng.choice((1, 1, 2, 3))
+        self.emit(f"for (i = 0; i < {an}; i += {step})"
+                  if step > 1 else f"for (i = 0; i < {an}; i++)")
+        self.emit(f"s = s + {a}[i] * {k};", 2)
+
+    def k_while(self) -> None:
+        a, an = self.pick_int_array()
+        step = self.rng.randint(1, 3)
+        self.emit("k = 0;")
+        self.emit(f"while (k < {an} && s < 100000) {{")
+        self.emit(f"s = s + {a}[k];", 2)
+        self.emit(f"k = k + {step};", 2)
+        self.emit("}")
+
+    def k_conditional(self) -> None:
+        a, an = self.pick_int_array()
+        t = self.const()
+        self.emit(f"for (i = 0; i < {an}; i++)")
+        self.emit(f"if ({a}[i] > {t}) s = s + 1; else s = s - {a}[i];", 2)
+
+    def k_strided_store(self) -> None:
+        rng = self.rng
+        a, an = self.pick_int_array()
+        st = rng.randint(2, 4)
+        o = rng.randint(0, 1)
+        hi = max(0, (an - o + st - 1) // st)
+        self.emit(f"for (i = 0; i < {hi}; i++)")
+        self.emit(f"{a}[i * {st} + {o}] = i * 2 - s % 7;", 2)
+
+    def k_shift_mix(self) -> None:
+        a, an = self.pick_int_array()
+        sh = self.rng.randint(1, 4)
+        self.emit(f"for (i = 0; i < {an}; i++)")
+        self.emit(f"{a}[i] = ({a}[i] << {sh}) ^ ({a}[i] >> 1);", 2)
+
+    def k_division(self) -> None:
+        a, an = self.pick_int_array()
+        d = self.rng.choice((2, 3, 4, 5, 7))
+        self.emit(f"for (i = 0; i < {an}; i++)")
+        self.emit(f"{a}[i] = {a}[i] / {d} + {a}[i] % {d};", 2)
+
+    def k_double(self) -> None:
+        """First-order FP recurrence with decaying coefficients."""
+        rng = self.rng
+        x, xn = rng.choice(self.dbl_arrays)
+        y, yn = rng.choice(self.dbl_arrays)
+        hi = min(xn, yn)
+        c1 = rng.choice(("0.5", "0.25", "0.75"))
+        c2 = rng.choice(("0.25", "0.125", "0.0625"))
+        self.emit(f"for (i = 1; i < {hi}; i++)")
+        self.emit(f"{x}[i] = {y}[i] * {c1} + {x}[i - 1] * {c2};", 2)
+
+    def k_double_map(self) -> None:
+        rng = self.rng
+        x, xn = rng.choice(self.dbl_arrays)
+        y, yn = rng.choice(self.dbl_arrays)
+        hi = min(xn, yn)
+        op = rng.choice(("+", "-"))
+        c = rng.choice(("0.5", "1.0", "0.125"))
+        self.emit(f"for (i = 0; i < {hi}; i++)")
+        self.emit(f"{x}[i] = {y}[i] {op} i * {c};", 2)
+
+    def k_zero_trip(self) -> None:
+        """Edge-case bounds: loops that run zero or one time."""
+        a, an = self.pick_int_array()
+        lo = self.rng.choice((an, an - 1, 0))
+        hi = self.rng.choice((lo, lo + 1, 0))
+        hi = min(hi, an)
+        self.emit(f"for (i = {lo}; i < {hi}; i++)")
+        self.emit(f"{a}[i] = {a}[i] + 100;", 2)
+
+    # ----------------------------------------------------------- assembly --
+    def generate(self) -> str:
+        rng = self.rng
+        for n in range(rng.randint(2, 3)):
+            self.int_arrays.append((f"ga{n}", rng.choice(_SIZES)))
+        for n in range(rng.randint(0, 2)):
+            self.dbl_arrays.append((f"gx{n}", rng.choice(_SIZES)))
+
+        decls = [f"int {name}[{size}];" for name, size in self.int_arrays]
+        decls += [f"double {name}[{size}];" for name, size in self.dbl_arrays]
+
+        self.emit("int i; int j; int k; int s;")
+        self.emit("double fs;")
+        self.emit("s = 0; fs = 0.0; j = 0; k = 0;")
+        for name, size in self.int_arrays:
+            m = rng.choice((7, 11, 13, 17))
+            c1, c2 = rng.randint(1, 9), rng.randint(0, 9)
+            off = rng.randint(0, m // 2)
+            self.emit(f"for (i = 0; i < {size}; i++)")
+            self.emit(f"{name}[i] = (i * {c1} + {c2}) % {m} - {off};", 2)
+        for name, size in self.dbl_arrays:
+            c = rng.choice(("0.125", "0.25", "0.0625"))
+            self.emit(f"for (i = 0; i < {size}; i++)")
+            self.emit(f"{name}[i] = i * {c} + 1.0;", 2)
+
+        kernels = [self.k_affine_map, self.k_recurrence, self.k_nested,
+                   self.k_alias_shift, self.k_reduction, self.k_while,
+                   self.k_conditional, self.k_strided_store,
+                   self.k_shift_mix, self.k_division, self.k_zero_trip]
+        if self.dbl_arrays:
+            kernels += [self.k_double, self.k_double_map]
+        for _ in range(rng.randint(2, 5)):
+            rng.choice(kernels)()
+
+        for pos, (name, size) in enumerate(self.int_arrays):
+            self.emit(f"for (i = 0; i < {size}; i++)")
+            self.emit(f"s = s * 31 + {name}[i] * {pos + 1};", 2)
+        for name, size in self.dbl_arrays:
+            self.emit(f"for (i = 0; i < {size}; i++)")
+            self.emit(f"fs = fs + {name}[i];", 2)
+        if self.dbl_arrays:
+            # fs is a sum of <= a few thousand bounded terms: the
+            # double-to-int conversion cannot overflow
+            self.emit("s = s + (int)(fs * 16.0);")
+        self.emit("return s;")
+
+        body = "\n".join(self.lines)
+        header = "\n".join(decls)
+        return f"{header}\n\nint main(void) {{\n{body}\n}}\n"
+
+
+def gen_program(seed: int) -> str:
+    """Deterministically generate one Mini-C program from ``seed``."""
+    return _Gen(random.Random(seed)).generate()

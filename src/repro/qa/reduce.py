@@ -1,0 +1,115 @@
+"""Delta-debugging source reducer (ddmin over lines).
+
+Given a failing Mini-C program and an *interestingness* predicate —
+"does this candidate still exhibit the failure?" — :func:`reduce_source`
+shrinks the program with the classic ddmin algorithm of Zeller &
+Hildebrandt: partition the line list into ``n`` chunks, try removing
+each chunk and each chunk's complement, double granularity when stuck,
+stop at single-line granularity with no removable line.  A final
+sweep retries individual lines until a fixed point, which catches
+removals that only become possible after other lines are gone.
+
+The predicate sees candidate *source text* and must return ``True``
+only when the candidate still fails *the same way* (same mismatch, or
+same crash signature); candidates that fail to parse simply return
+``False`` inside the predicate, so the reducer needs no grammar
+knowledge.  :func:`failure_predicate` builds the standard predicate
+from a :class:`~repro.qa.differential.Failure`: same ``kind`` and, for
+crashes, the same exception signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .differential import Failure, check_program
+
+__all__ = ["failure_predicate", "reduce_source"]
+
+
+def failure_predicate(failure: Failure) -> Callable[[str], bool]:
+    """Does a candidate still exhibit ``failure``'s failure?
+
+    Matches on the failure ``kind``; crash findings additionally pin
+    the exception signature (type + message) so reduction cannot drift
+    from the original crash to an unrelated one introduced by an
+    ill-formed candidate (those raise parse errors — different
+    signature — and are rejected).
+    """
+    def interesting(candidate: str) -> bool:
+        got = check_program(candidate)
+        if got is None or got.kind != failure.kind:
+            return False
+        if failure.kind == "crash":
+            return got.detail == failure.detail
+        return True
+    return interesting
+
+
+def _join(lines: list) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def reduce_source(source: str, interesting: Callable[[str], bool],
+                  max_tests: int = 2000) -> str:
+    """Shrink ``source`` while ``interesting`` keeps returning True.
+
+    Returns the smallest found variant (the original if nothing could
+    be removed, or if the original itself is not interesting —
+    non-reproducible failures are returned unreduced rather than
+    reduced to an empty program).  ``max_tests`` bounds the number of
+    predicate invocations; the reducer returns its best-so-far when
+    the budget runs out.
+    """
+    lines = [ln for ln in source.splitlines() if ln.strip()]
+    if not lines or not interesting(_join(lines)):
+        return source
+    tests = 1
+
+    def check(candidate: list) -> bool:
+        nonlocal tests
+        if tests >= max_tests:
+            return False
+        tests += 1
+        return interesting(_join(candidate))
+
+    n = 2
+    while len(lines) >= 2:
+        chunk = max(1, len(lines) // n)
+        starts = range(0, len(lines), chunk)
+        reduced = False
+        # try each complement (remove one chunk)
+        for start in starts:
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and check(candidate):
+                lines = candidate
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            # try each chunk alone (keep one chunk)
+            for start in starts:
+                candidate = lines[start:start + chunk]
+                if len(candidate) < len(lines) and check(candidate):
+                    lines = candidate
+                    n = 2
+                    reduced = True
+                    break
+        if not reduced:
+            if chunk <= 1:
+                break
+            n = min(len(lines), n * 2)
+        if tests >= max_tests:
+            break
+    # fixed-point single-line elimination
+    changed = True
+    while changed and tests < max_tests:
+        changed = False
+        for i in range(len(lines) - 1, -1, -1):
+            if len(lines) < 2:
+                break
+            candidate = lines[:i] + lines[i + 1:]
+            if check(candidate):
+                lines = candidate
+                changed = True
+    return _join(lines)

@@ -91,6 +91,9 @@ Cell = Union[Reg, VReg, CCCell]
 
 _EMPTY_FROZEN: frozenset = frozenset()
 
+#: per-class flattened slot list used by :meth:`Instr.clone`
+_CLONE_SLOTS: dict = {}
+
 
 class Instr:
     """Base class for RTL instructions."""
@@ -166,6 +169,31 @@ class Instr:
         writing private slots directly needs to call it by hand.
         """
         self._df = None
+
+    def clone(self) -> "Instr":
+        """A structurally independent copy of this instruction.
+
+        Operand *expressions* are shared (passes replace them, never
+        mutate them in place), mutable containers (``Call.arg_regs``,
+        ``Ret.live_out``, …) are copied, and the dataflow cache is
+        carried over (it only refers to shared immutable values).  Used
+        by the pipeline's pass sandbox to snapshot the pre-pass IR —
+        once per degradable pass, so the per-class slot list is cached
+        to keep the walk off the MRO.
+        """
+        cls = type(self)
+        slots = _CLONE_SLOTS.get(cls)
+        if slots is None:
+            slots = tuple(slot for klass in cls.__mro__
+                          for slot in getattr(klass, "__slots__", ()))
+            _CLONE_SLOTS[cls] = slots
+        new = object.__new__(cls)
+        for slot in slots:
+            value = getattr(self, slot)
+            if isinstance(value, (list, set)):
+                value = type(value)(value)
+            setattr(new, slot, value)
+        return new
 
     def _compute_uses(self):
         return _EMPTY_FROZEN

@@ -3,12 +3,73 @@
 Kept in their own module so the instruction pre-decoder
 (:mod:`repro.sim.decode`) can raise simulation errors without importing
 the simulator itself.
+
+:class:`SimError` is *structured*: beyond the human-readable message it
+carries the machine state needed to triage a failure — the failing
+``kind`` (``cycle-limit``, ``deadlock``, ``fifo-overflow``, …), the
+``cycle`` and ``pc`` at the raise point, and the per-unit ``queues``
+snapshot — plus free-form ``details``.  :meth:`SimError.report` renders
+all of it as a JSON-stable dict; the fault-injection harness
+(:mod:`repro.qa.faults`) asserts that the same fault plan yields a
+byte-identical report, and the fuzz reducer embeds reports in
+reproducer bundles.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = ["SimError"]
 
 
+def _rebuild(message, kind, cycle, pc, queues, details):
+    return SimError(message, kind=kind, cycle=cycle, pc=pc,
+                    queues=queues, **details)
+
+
 class SimError(Exception):
-    """Simulation failure: deadlock, trap, or protocol violation."""
+    """Simulation failure: deadlock, trap, or protocol violation.
+
+    ``kind`` is a stable short code classifying the failure (empty for
+    legacy/unclassified raises); ``cycle``/``pc`` locate it; ``queues``
+    snapshots the unit queue depths; everything else lands in
+    ``details``.
+    """
+
+    def __init__(self, message: str, *, kind: str = "",
+                 cycle: Optional[int] = None, pc: Optional[int] = None,
+                 queues: Optional[dict] = None, **details) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.cycle = cycle
+        self.pc = pc
+        self.queues = dict(queues) if queues else {}
+        self.details = details
+
+    def report(self) -> dict:
+        """A deterministic, JSON-serializable failure record.
+
+        Only stable values are included (no object reprs or addresses),
+        so the same failure produces a byte-identical
+        ``json.dumps(err.report(), sort_keys=True)`` run to run.
+        """
+        out: dict = {"error": "SimError", "message": str(self)}
+        if self.kind:
+            out["kind"] = self.kind
+        if self.cycle is not None:
+            out["cycle"] = self.cycle
+        if self.pc is not None:
+            out["pc"] = self.pc
+        if self.queues:
+            out["queues"] = dict(self.queues)
+        for key in sorted(self.details):
+            value = self.details[key]
+            if isinstance(value, (int, float, str, bool, type(None))):
+                out[key] = value
+            else:
+                out[key] = str(value)
+        return out
+
+    def __reduce__(self):
+        return (_rebuild, (str(self), self.kind, self.cycle, self.pc,
+                           self.queues, self.details))

@@ -26,7 +26,23 @@ __all__ = ["InFifo", "OutFifo", "Reservation", "FifoError"]
 
 
 class FifoError(Exception):
-    """FIFO protocol violation (a compiler bug surfaced at simulation)."""
+    """FIFO protocol violation (a compiler bug surfaced at simulation).
+
+    Carries the structured context of the violation: ``fifo`` (the queue
+    name), ``capacity``, and ``kind`` — ``overflow`` (push into a full
+    queue), ``underflow`` (pop from an empty queue) or ``protocol``
+    (reservation misuse).  The simulator's run loop re-raises these as
+    :class:`~repro.sim.errors.SimError` with the cycle/pc/queue snapshot
+    attached.
+    """
+
+    def __init__(self, message: str, *, fifo: str = "",
+                 capacity: Optional[int] = None,
+                 kind: str = "protocol") -> None:
+        super().__init__(message)
+        self.fifo = fifo
+        self.capacity = capacity
+        self.kind = kind
 
 
 class Reservation:
@@ -58,7 +74,9 @@ class Reservation:
 
     def deliver(self, value) -> None:
         if self.quota is not None and self.delivered >= self.quota:
-            raise FifoError(f"source {self.tag} over-delivered")
+            raise FifoError(f"source {self.tag} over-delivered",
+                            fifo=self.fifo.name if self.fifo else "",
+                            kind="protocol")
         self.delivered += 1
         self.buffer.append(value)
         fifo = self.fifo
@@ -119,7 +137,9 @@ class InFifo:
     def pop(self):
         self._advance()
         if not self._sources or not self._sources[0].buffer:
-            raise FifoError(f"read from empty input FIFO {self.name}")
+            raise FifoError(f"read from empty input FIFO {self.name}",
+                            fifo=self.name, capacity=self.capacity,
+                            kind="underflow")
         value = self._sources[0].buffer.popleft()
         self._buffered -= 1
         self._advance()
@@ -152,7 +172,9 @@ class OutFifo:
 
     def push(self, value) -> None:
         if not self.has_room():
-            raise FifoError(f"push to full output FIFO {self.name}")
+            raise FifoError(f"push to full output FIFO {self.name}",
+                            fifo=self.name, capacity=self.capacity,
+                            kind="overflow")
         self._data.append(value)
         if len(self._data) > self.high_water:
             self.high_water = len(self._data)
@@ -162,5 +184,7 @@ class OutFifo:
 
     def pop(self):
         if not self._data:
-            raise FifoError(f"read from empty output FIFO {self.name}")
+            raise FifoError(f"read from empty output FIFO {self.name}",
+                            fifo=self.name, capacity=self.capacity,
+                            kind="underflow")
         return self._data.popleft()

@@ -93,10 +93,11 @@ class _StreamState:
 
     __slots__ = ("kind", "bank", "index", "addr", "count", "stride",
                  "width", "fp", "reservation", "remaining", "jni_counter",
-                 "active", "inflight", "stats")
+                 "active", "inflight", "stats", "seq")
 
     def __init__(self, kind: str, bank: str, index: int) -> None:
         self.stats = None  # StreamStats, telemetry runs only
+        self.seq = 0       # global activation order (consistency interlock)
         self.kind = kind
         self.bank = bank
         self.index = index
@@ -139,12 +140,20 @@ class WMSimulator:
                  fifo_capacity: int = 8,
                  max_cycles: int = 500_000_000,
                  telemetry: bool = False,
-                 slow: bool = False) -> None:
+                 slow: bool = False,
+                 fault_plan=None) -> None:
         self.module = module
         #: slow=True runs the original tree-walking interpreter loop —
         #: the reference the decoded fast path is equivalence-tested
         #: against (tests/test_perf_equivalence.py)
         self.slow = slow
+        #: a repro.qa.faults.FaultPlan (duck-typed: anything with an
+        #: ``apply(sim, cycle)`` method).  Fault injection needs every
+        #: cycle ticked — the stall fast-forward would jump over the
+        #: chosen fire cycles — so a plan forces the reference loop.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self.slow = True
         self.program, self._dops = decode_module(module, load_program)
         self.memory = MemorySystem(module, size=mem_size,
                                    latency=mem_latency, ports=mem_ports)
@@ -179,6 +188,8 @@ class WMSimulator:
         self.out_claims: dict[tuple, deque] = {key: deque()
                                                for key in self.out_fifos}
         self.streams: dict[tuple, _StreamState] = {}
+        #: next stream activation sequence number (dispatch order)
+        self._stream_seq = 0
         #: stream-instruction dispatch vs activation generations per FIFO,
         #: so a JNI never consults a stale stream from an earlier loop
         self._dispatch_gen: dict[tuple, int] = {}
@@ -196,13 +207,27 @@ class WMSimulator:
 
     # ------------------------------------------------------------------ run --
     def run(self) -> SimResult:
-        if self.slow:
-            self._run_reference()
-        elif self.telemetry is None:
-            self._run_fast()
-        else:
-            self._run_fast_telemetry()
+        try:
+            if self.slow:
+                self._run_reference()
+            elif self.telemetry is None:
+                self._run_fast()
+            else:
+                self._run_fast_telemetry()
+        except FifoError as exc:
+            # Surface FIFO capacity/protocol violations with the machine
+            # state attached (kind 'fifo-overflow' / 'fifo-underflow' /
+            # 'fifo-protocol'): the structured report is what the fault
+            # harness and reproducer bundles key on.
+            raise SimError(
+                f"FIFO violation at cycle {self.cycle}: {exc}",
+                kind=f"fifo-{exc.kind}", cycle=self.cycle, pc=self.pc,
+                queues=self._queue_snapshot(), fifo=exc.fifo,
+                capacity=exc.capacity) from exc
         return self._finish()
+
+    def _queue_snapshot(self) -> dict:
+        return {"IEU": len(self.ieu.queue), "FEU": len(self.feu.queue)}
 
     def _raise_cycle_limit(self) -> None:
         instr = self.program.instrs[self.pc] \
@@ -212,23 +237,32 @@ class WMSimulator:
             f"(max_cycles={self.max_cycles}): pc={self.pc}"
             + (f" ({instr!r})" if instr is not None else "")
             + f", IEU queue={len(self.ieu.queue)}, "
-            f"FEU queue={len(self.feu.queue)}")
+            f"FEU queue={len(self.feu.queue)}",
+            kind="cycle-limit", cycle=self.cycle, pc=self.pc,
+            queues=self._queue_snapshot(), max_cycles=self.max_cycles)
 
     def _raise_deadlock(self) -> None:
         raise SimError(
             f"deadlock at cycle {self.cycle}: pc={self.pc}, "
             f"IEU queue={len(self.ieu.queue)}, "
-            f"FEU queue={len(self.feu.queue)}")
+            f"FEU queue={len(self.feu.queue)}",
+            kind="deadlock", cycle=self.cycle, pc=self.pc,
+            queues=self._queue_snapshot(), horizon=10_000,
+            last_progress=self._progress_cycle)
 
     def _run_reference(self) -> None:
         """The original cycle loop: every cycle ticked, instructions
         interpreted from their RTL form.  Kept as the correctness
-        reference for the decoded fast path."""
+        reference for the decoded fast path (and as the only loop that
+        supports fault injection — every cycle is observed)."""
         tel = self.telemetry
+        faults = self.fault_plan
         while not self.halted:
             self.cycle += 1
             if self.cycle > self.max_cycles:
                 self._raise_cycle_limit()
+            if faults is not None:
+                faults.apply(self, self.cycle)
             self.memory.begin_cycle()
             self.memory.tick(self.cycle)
             self._tick_store_buffer()
@@ -995,6 +1029,8 @@ class WMSimulator:
         state.fp = instr.fp
         state.active = True
         state.jni_counter = count
+        state.seq = self._stream_seq
+        self._stream_seq += 1
         if kind == "in":
             state.reservation = self.in_fifos[fifo_key].reserve(
                 count, tag=f"stream:{key}")
@@ -1046,7 +1082,7 @@ class WMSimulator:
         # covered by an output stream still draining or by a pending
         # (data-incomplete) scalar store.
         if self._out_stream_conflict(state.addr, state.width,
-                                     exclude=state):
+                                     exclude=state, before=state.seq):
             return
         if self._store_conflict(state.addr, state.width):
             return
@@ -1144,16 +1180,31 @@ class WMSimulator:
         return False
 
     def _out_stream_conflict(self, addr: int, width: int,
-                             exclude: Optional[_StreamState] = None) -> bool:
+                             exclude: Optional[_StreamState] = None,
+                             before: Optional[int] = None) -> bool:
         """Does [addr, addr+width) fall inside the not-yet-written range
         of an active output stream?
 
         This is the memory-consistency interlock between the SCUs and
         the scalar pipeline: reads of a region an output stream is still
         draining must wait until the covering elements are written.
+
+        ``before`` restricts the check to output streams activated
+        *earlier* than the given dispatch sequence number.  An input
+        stream defers only to out-streams dispatched before it (a flow
+        dependence from an earlier loop still draining); an out-stream
+        dispatched *after* it sits later in program order — the paper's
+        partitioning guarantees no flow dependence within a loop, so
+        the in-stream's reads must not wait for it (waiting would both
+        invert an anti-dependence and deadlock: the out-stream's data
+        comes from the very reads being held up).  Scalar loads pass no
+        ``before`` — they issue after every announced stream and defer
+        to all of them.
         """
         for state in self.streams.values():
             if state is exclude or state.kind != "out" or not state.active:
+                continue
+            if before is not None and state.seq > before:
                 continue
             remaining = state.remaining
             if not remaining:

@@ -145,3 +145,62 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "Figure 4" in out and "Figure 7" in out
         assert "SinD" in out and "@+" in out
+
+
+class TestExitCodes:
+    """Error class -> distinct exit code, one-line stderr, no traceback."""
+
+    def _file(self, tmp_path, text):
+        path = tmp_path / "prog.c"
+        path.write_text(text)
+        return str(path)
+
+    def test_lex_error_exits_2(self, tmp_path, capsys):
+        path = self._file(tmp_path, "int main(void) { return 0; } @\n")
+        assert main(["compile", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        path = self._file(tmp_path, "int main(void) { int x = ; }\n")
+        assert main(["compile", path]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "line 1:" in err  # position, with column
+        assert "Traceback" not in err
+
+    def test_semantic_error_exits_3(self, tmp_path, capsys):
+        path = self._file(
+            tmp_path,
+            "int main(void) { double d; int *p; p = p + d; return 0; }\n")
+        assert main(["compile", path]) == 3
+        err = capsys.readouterr().err
+        assert "semantic error" in err
+        assert "line 1" in err
+
+    def test_simulation_error_exits_4(self, tmp_path, capsys):
+        path = self._file(tmp_path, SOURCE)
+        assert main(["run", path, "--max-cycles", "10"]) == 4
+        err = capsys.readouterr().err
+        assert "simulation error" in err
+        # the structured report follows on its own line as JSON
+        report = json.loads(err.splitlines()[1])
+        assert report["kind"] == "cycle-limit"
+        assert report["max_cycles"] == 10
+
+    def test_pass_crash_exits_5_under_strict(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_QA_BREAK_PASS", "dce")
+        path = self._file(tmp_path, SOURCE)
+        assert main(["compile", path, "--strict"]) == 5
+        err = capsys.readouterr().err
+        assert "pass crash" in err
+        assert "dce" in err
+
+    def test_broken_pass_degrades_without_strict(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_QA_BREAK_PASS", "dce")
+        path = self._file(tmp_path, SOURCE)
+        assert main(["run", path]) == 0
+        assert "result: 100" in capsys.readouterr().out

@@ -66,10 +66,20 @@ class TestRunJobs:
         assert [r.name for r in results] == ["stream", "base", "scalar",
                                              "detect"]
 
-    def test_unknown_action_rejected(self):
-        with pytest.raises(ValueError, match="unknown job action"):
-            run_jobs([SimJob("x", "int main(void) { return 0; }",
-                             action="frobnicate")])
+    def test_unknown_action_quarantined(self):
+        results = run_jobs([SimJob("x", "int main(void) { return 0; }",
+                                   action="frobnicate")])
+        assert len(results) == 1
+        assert results[0].quarantined
+        assert "unknown job action" in results[0].error
+
+    def test_quarantined_job_keeps_its_position(self):
+        good = "int main(void) { return 0; }"
+        results = run_jobs([SimJob("a", good, action="compile"),
+                            SimJob("bad", good, action="frobnicate"),
+                            SimJob("c", good, action="compile")])
+        assert [r.name for r in results] == ["a", "bad", "c"]
+        assert [r.quarantined for r in results] == [False, True, False]
 
     def test_bench_programs_slow_matches_fast_cycles(self):
         fast = bench_programs(names=["dot-product"], scale=0.1, reps=1)
@@ -130,6 +140,54 @@ class TestSerialFallback:
     def _jobs_real(self):
         return [SimJob(name, self.SOURCE, action="compile")
                 for name in ("a", "b", "c", "d")]
+
+
+class TestWorkerDeath:
+    """Fault injection: hard-killed workers must not lose jobs."""
+
+    @pytest.fixture
+    def pooled(self, monkeypatch):
+        # Force the pool path even on a single-CPU host so the kill
+        # fault actually lands in a worker process.
+        from repro.perf import parallel
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+
+    def _batch(self):
+        # Distinct sources: each job does real compile work, and each
+        # result's value identifies its job.
+        return [SimJob(f"j{n}", f"int main(void) {{ return {n}; }}")
+                for n in range(6)]
+
+    def test_killed_worker_loses_no_jobs(self, pooled):
+        results = run_jobs(self._batch(), workers=2, kill_jobs={1})
+        assert [r.name for r in results] == [f"j{n}" for n in range(6)]
+        # every job — including the killed one — produced its value via
+        # the in-parent serial retry; none were quarantined
+        assert [r.value for r in results] == list(range(6))
+        assert not any(r.quarantined for r in results)
+        assert not any(r.error for r in results)
+
+    def test_every_worker_killed_still_completes(self, pooled):
+        kill = set(range(6))
+        results = run_jobs(self._batch(), workers=2, kill_jobs=kill)
+        assert [r.value for r in results] == list(range(6))
+        assert not any(r.quarantined for r in results)
+
+    def test_kill_is_inert_on_serial_path(self):
+        # workers=None never enters a pool, so the kill plan is a no-op
+        # (the parent process must never os._exit).
+        results = run_jobs(self._batch(), kill_jobs={0, 1, 2})
+        assert [r.value for r in results] == list(range(6))
+
+    def test_kill_emits_retry_remark(self, pooled):
+        from repro.obs import RemarkCollector, use_remarks
+        collector = RemarkCollector()
+        with use_remarks(collector):
+            run_jobs(self._batch(), workers=2, kill_jobs={2})
+        retried = [r for r in collector.remarks
+                   if r.reason == "job-retried"]
+        assert retried
+        assert any(r.args["job"] == "j2" for r in retried)
 
 
 class TestMemoryViewPickle:

@@ -1,0 +1,97 @@
+"""Structured SimError reports: stable kinds, fields, and round-trips."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.qa import FaultPlan
+from repro.sim.errors import SimError
+
+SOURCE = """
+int a[64];
+int main(void) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 64; i++) a[i] = i;
+    for (i = 0; i < 64; i++) s = s + a[i];
+    return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE)
+
+
+def raised(compiled, **kwargs) -> SimError:
+    with pytest.raises(SimError) as info:
+        compiled.simulate(**kwargs)
+    return info.value
+
+
+class TestCycleLimit:
+    def test_structured_fields(self, compiled):
+        err = raised(compiled, max_cycles=10)
+        assert err.kind == "cycle-limit"
+        assert err.cycle == 11
+        assert isinstance(err.pc, int)
+        assert set(err.queues) == {"IEU", "FEU"}
+        assert err.details["max_cycles"] == 10
+
+    def test_message_names_the_limit(self, compiled):
+        err = raised(compiled, max_cycles=10)
+        assert "max_cycles=10" in str(err)
+
+
+class TestDeadlock:
+    def test_structured_fields(self, compiled):
+        err = raised(compiled, fault_plan=FaultPlan(mem_drop=(154,)),
+                     mem_latency=16, max_cycles=200_000)
+        assert err.kind == "deadlock"
+        assert err.details["horizon"] == 10_000
+        assert err.details["last_progress"] < err.cycle
+
+
+class TestFifoViolation:
+    def test_overflow_names_the_fifo(self, compiled):
+        err = raised(compiled, fault_plan=FaultPlan(
+            fifo_overflow=((60, "r0"),)), max_cycles=200_000)
+        assert err.kind == "fifo-overflow"
+        assert err.details["fifo"]
+        assert err.details["capacity"] > 0
+
+    def test_underflow(self, compiled):
+        err = raised(compiled, fault_plan=FaultPlan(
+            fifo_underflow=((60, "r0"),)), max_cycles=200_000)
+        assert err.kind == "fifo-underflow"
+
+
+class TestReport:
+    def test_json_stable(self, compiled):
+        err = raised(compiled, max_cycles=10)
+        report = err.report()
+        assert report["error"] == "SimError"
+        assert report["kind"] == "cycle-limit"
+        assert report["cycle"] == 11
+        # must serialize deterministically
+        assert (json.dumps(report, sort_keys=True)
+                == json.dumps(err.report(), sort_keys=True))
+
+    def test_report_has_no_object_reprs(self, compiled):
+        err = raised(compiled, max_cycles=10)
+        blob = json.dumps(err.report())
+        assert "0x" not in blob  # no id()-style addresses
+
+    def test_pickle_roundtrip(self, compiled):
+        err = raised(compiled, max_cycles=10)
+        back = pickle.loads(pickle.dumps(err))
+        assert back.kind == err.kind
+        assert back.cycle == err.cycle
+        assert back.report() == err.report()
+
+    def test_legacy_unclassified_raise(self):
+        err = SimError("boom")
+        assert err.report() == {"error": "SimError", "message": "boom"}
