@@ -17,6 +17,11 @@ three configurations:
     A ``RemarkCollector`` installed during compilation (what ``repro
     explain`` pays), no tracer, default simulation.
 
+``profile``
+    ``simulate(profile=True)`` plus the static bounds pass and report
+    build (what ``repro profile`` pays): per-cycle loop/cause ledger,
+    ResMII/RecMII, steady-II detection.
+
 ``baseline`` (optional, ``--baseline-rev REV``)
     The same ``off`` measurement against a pristine checkout of REV in
     a temporary git worktree — used to bound the *disabled*
@@ -102,8 +107,16 @@ def measure_here(reps: int) -> dict:
         with use_remarks(RemarkCollector()):
             compile_source(prog.source).simulate()
 
+    def run_profile():
+        from repro.obs.profile import build_profile_report
+        from repro.opt.bounds import compute_module_bounds
+        result = compile_source(prog.source)
+        sim = result.simulate(profile=True)
+        build_profile_report(sim, compute_module_bounds(result.rtl))
+
     return _time_interleaved(
-        {"off": run_off, "on": run_on, "remarks": run_remarks}, reps)
+        {"off": run_off, "on": run_on, "remarks": run_remarks,
+         "profile": run_profile}, reps)
 
 
 def measure_rev(rev: str, reps: int) -> dict:
@@ -160,6 +173,9 @@ def main(argv=None) -> int:
                  - 1.0), 1)
     report["remarks_on_overhead_percent"] = round(
         100.0 * (report["remarks"]["median_ms"]
+                 / report["off"]["median_ms"] - 1.0), 1)
+    report["profile_on_overhead_percent"] = round(
+        100.0 * (report["profile"]["median_ms"]
                  / report["off"]["median_ms"] - 1.0), 1)
 
     if args.baseline_rev:

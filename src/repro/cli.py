@@ -302,6 +302,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    machine = _make_machine(args.target)
+    if not isinstance(machine, WM):
+        raise SystemExit("profile requires the wm target "
+                         "(the cycle ledger lives in the WM simulator)")
+    from .obs import build_profile_report, format_profile_report
+    from .opt.bounds import compute_module_bounds
+    tracer = Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
+    with use_tracer(tracer):
+        result = compile_source(source, machine=machine,
+                                options=_options_for(args, machine))
+        bounds = compute_module_bounds(result.rtl)
+        sim_kwargs: dict = {"profile": True, "slow": args.slow}
+        if args.max_cycles:
+            sim_kwargs["max_cycles"] = args.max_cycles
+        sim = result.simulate(**sim_kwargs)
+    report = build_profile_report(sim, bounds=bounds, source=args.file,
+                                  target=args.target, opt=args.opt)
+    if tracer.enabled:
+        sim.telemetry.emit_spans(tracer)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_profile_report(report))
+    _finish_trace(tracer, args)
+    return 0 if report["invariant"]["ok"] else 1
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     source = open(args.file).read()
     machine = _make_machine(args.target)
@@ -357,7 +386,10 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                        for r in rows1],
             "table2": [{"program": r.program,
                         "percent": round(r.percent, 2),
-                        "paper_percent": r.paper_percent}
+                        "paper_percent": r.paper_percent,
+                        "measured_ii": r.measured_ii,
+                        "bound_ii": r.bound_ii,
+                        "headroom": r.headroom}
                        for r in rows2],
             "detection": [{"kernel": d.kernel, "in": d.streams_in,
                            "out": d.streams_out,
@@ -374,8 +406,11 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                   f"(paper {row.paper_percent}%)")
         print("\nTable II — % cycle reduction by streaming")
         for row in rows2:
+            headroom = (f"  II {row.measured_ii:g} >= {row.bound_ii:g} "
+                        f"({row.headroom:g}x headroom)"
+                        if row.headroom is not None else "")
             print(f"  {row.program:12s} {row.percent:5.1f}%  "
-                  f"(paper {row.paper_percent}%)")
+                  f"(paper {row.paper_percent}%){headroom}")
         print("\nStream detection over the utility corpus")
         for det in detection:
             print(f"  {det.kernel:18s} in={det.streams_in} "
@@ -563,6 +598,23 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--no-run", dest="run", action="store_false",
                          help="compile only; skip the simulation")
     p_trace.set_defaults(func=_cmd_trace, run=True)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="loop-level cycle profile: stall attribution, measured II "
+             "vs ResMII/RecMII headroom")
+    p_profile.add_argument("file")
+    p_profile.add_argument("--target", choices=targets, default="wm")
+    p_profile.add_argument("--opt", choices=levels, default="full")
+    p_profile.add_argument("--max-cycles", type=int, default=None,
+                           help="simulation cycle budget")
+    p_profile.add_argument("--slow", action="store_true",
+                           help="profile on the reference simulator loop "
+                                "(attribution is bit-identical; this "
+                                "only trades speed for auditability)")
+    add_strict_flag(p_profile)
+    add_obs_flags(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_explain = sub.add_parser(
         "explain",

@@ -27,8 +27,9 @@ from .ir import run as run_ir
 from .machine.base import Machine
 from .machine.wm import WM
 from .machine.wm_lower import lower_wm_module
-from .obs import get_tracer
+from .obs import get_remark_sink, get_tracer
 from .opt import OptOptions, OptReports, optimize_module
+from .opt.bounds import emit_headroom_remarks
 from .rtl.module import RtlModule
 
 __all__ = ["CompileResult", "compile_source", "compile_to_ir"]
@@ -113,5 +114,10 @@ def compile_source(source: str, machine: Optional[Machine] = None,
         if isinstance(machine, WM):
             with tracer.span("lower_wm", category="compile"):
                 lower_wm_module(rtl, machine)
+            if get_remark_sink().enabled:
+                # Static ResMII/RecMII bounds on the scheduled loops;
+                # analysis-only, so gated on an active remark sink.
+                with tracer.span("headroom", category="compile"):
+                    emit_headroom_remarks(rtl, reports)
     return CompileResult(source=source, machine=machine, options=options,
                          ir=ir, rtl=rtl, reports=reports)

@@ -21,6 +21,9 @@ from .export import (
     metrics_json, run_manifest, write_chrome_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    build_profile_report, format_profile_report, profile_schema_errors,
+)
 from .remarks import (
     NULL_REMARKS, REASONS, NullRemarkSink, Remark, RemarkCollector,
     get_remark_sink, set_remark_sink, use_remarks,
@@ -42,4 +45,6 @@ __all__ = [
     "RunCounters", "chrome_trace", "format_run_counters",
     "format_summary", "metrics_json", "run_manifest",
     "write_chrome_trace",
+    "build_profile_report", "format_profile_report",
+    "profile_schema_errors",
 ]

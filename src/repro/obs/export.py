@@ -82,6 +82,13 @@ def chrome_trace(tracer: Tracer) -> dict:
         pid, tid = _tid(evt.track, evt.thread_id)
         ts = (evt.timestamp - epoch) * 1e6 if evt.track is None \
             else float(evt.timestamp)
+        if evt.category == "counter":
+            # Counter sample (e.g. FIFO occupancy): rendered by Chrome
+            # as a stacked value lane rather than an instant marker.
+            events.append({"name": evt.name, "cat": "counter", "ph": "C",
+                           "ts": ts, "pid": pid, "tid": tid,
+                           "args": dict(evt.args)})
+            continue
         event = {"name": evt.name, "cat": evt.category or "repro",
                  "ph": "i", "ts": ts, "s": "t", "pid": pid, "tid": tid}
         if evt.args:

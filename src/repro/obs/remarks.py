@@ -148,6 +148,18 @@ REASONS: dict[str, str] = {
         "fault injection closed an active stream reservation early",
     "fault-worker-kill":
         "fault injection hard-killed a parallel worker process",
+    # -- headroom (static pipeline bounds on the scheduled loop) --
+    "headroom-res-mii":
+        "resource-minimum initiation interval: per-iteration pressure "
+        "on the busiest resource (IFU dispatch, IEU/FEU occupancy, or "
+        "memory ports)",
+    "headroom-rec-mii":
+        "recurrence-minimum initiation interval: the critical "
+        "latency/distance circuit through loop-carried register "
+        "dependences",
+    "headroom-bound":
+        "combined lower bound max(ResMII, RecMII) on the steady-state "
+        "initiation interval of the scheduled loop",
 }
 
 

@@ -1,6 +1,10 @@
 """The vpo-style RTL optimizer: CFG, dataflow, loops, and phases."""
 
 from .analysis import AnalysisManager
+from .bounds import (
+    LoopBounds, compute_function_bounds, compute_module_bounds,
+    emit_headroom_remarks,
+)
 from .cfg import CFG, Block, build_cfg
 from .combine import combine_cfg, simplify_expr
 from .dataflow import Liveness, compute_liveness, compute_liveness_reference
@@ -21,6 +25,8 @@ from .regalloc import allocate_registers, finalize_frame
 
 __all__ = [
     "AnalysisManager",
+    "LoopBounds", "compute_function_bounds", "compute_module_bounds",
+    "emit_headroom_remarks",
     "CFG", "Block", "build_cfg",
     "combine_cfg", "simplify_expr",
     "Liveness", "compute_liveness", "compute_liveness_reference",

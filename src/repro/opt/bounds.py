@@ -1,0 +1,304 @@
+"""Static pipeline bounds for scheduled WM loops: ResMII and RecMII.
+
+The profiler (:mod:`repro.obs.profile`) reports the *measured*
+steady-state initiation interval of each streamed loop; this pass
+computes the machine's *lower bound* on that interval so the report can
+show headroom — how far the achieved schedule sits from the best any
+scheduler could do on this hardware.  The two classic components
+(software-pipelining terminology, cf. Roorda's SMT formulation in
+PAPERS.md):
+
+``ResMII``
+    Resource pressure: each loop iteration must dispatch its
+    instructions through the single-issue IFU, occupy the in-order
+    IEU/FEU for the operations' latencies, and move its memory traffic
+    (scalar loads/stores plus one element per active stream) through
+    the memory ports.  The busiest resource's per-iteration demand is a
+    floor on the interval.  The memory term is kept as an exact
+    fraction (requests / ports) — the measured II is an average over
+    iterations and may legitimately be fractional.
+
+``RecMII``
+    Recurrence circuits: a loop-carried register dependence chain of
+    total latency L spanning D iterations forces II >= L/D.  Computed
+    on single-block loop bodies (the shape the WM lowering emits) from
+    reaching definitions; the maximum cycle ratio is found by binary
+    search with Bellman-Ford positive-cycle detection.
+
+Both are *static lower bounds*, deliberately optimistic: FIFO-capacity
+coupling, memory latency (as opposed to bandwidth), and inter-unit
+synchronization can all push the measured II above ``max(ResMII,
+RecMII)`` — that gap is exactly the headroom the profiler surfaces.
+The bounds are emitted as ``headroom-*`` analysis remarks through
+:mod:`repro.obs.remarks` and joined against profiler rows by
+``(function, loop label)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.wm import WMLoadIssue, WMStoreIssue, unit_of
+from ..rtl.expr import Reg, Sym
+from ..rtl.instr import Assign, Label, StreamIn, StreamOut
+from ..sim.decode import _cost_extra
+from .cfg import build_cfg
+from .dominators import compute_dominators
+from .loops import find_loops
+
+__all__ = ["LoopBounds", "compute_function_bounds", "compute_module_bounds",
+           "emit_headroom_remarks"]
+
+#: memory ports (requests accepted per cycle); mirrors MemorySystem
+_MEM_PORTS = 2
+
+
+@dataclass
+class LoopBounds:
+    """Static lower bounds for one natural loop of a lowered function."""
+
+    function: str
+    label: str                  # header label; joins profiler/remark rows
+    res_mii: float
+    rec_mii: float
+    #: ResMII breakdown: resource name -> per-iteration demand
+    terms: dict = field(default_factory=dict)
+    #: critical recurrence circuit: (latency, distance) or None
+    circuit: Optional[tuple] = None
+    single_block: bool = True
+    streamed: bool = False
+    lno: int = 0
+
+    @property
+    def bound(self) -> float:
+        return max(self.res_mii, self.rec_mii)
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "loop": self.label,
+            "res_mii": self.res_mii,
+            "rec_mii": self.rec_mii,
+            "bound": self.bound,
+            "terms": dict(sorted(self.terms.items())),
+            "circuit": list(self.circuit) if self.circuit else None,
+            "single_block": self.single_block,
+            "streamed": self.streamed,
+        }
+
+
+def _occupancy(instr) -> int:
+    """Cycles the executing unit is occupied by ``instr``.
+
+    Matches the simulator's busy_until accounting exactly: an operation
+    with ``busy_extra`` executes in its issue cycle and blocks the unit
+    while ``cycle < busy_until`` — i.e. for ``busy_extra - 1`` further
+    cycles — so total occupancy is ``max(1, busy_extra)``.
+    """
+    if isinstance(instr, Assign):
+        dst = instr.dst
+        bank = dst.bank if isinstance(dst, Reg) else "r"
+        extra = 1 if isinstance(instr.src, Sym) \
+            else _cost_extra(instr.src, bank)
+        return max(1, extra)
+    return 1
+
+
+def _loop_label(header) -> str:
+    for instr in header.instrs:
+        if isinstance(instr, Label):
+            return instr.name
+    return header.label
+
+
+def _res_mii(body_blocks, pre_blocks) -> tuple[float, dict]:
+    dispatch = 0
+    ieu = 0
+    feu = 0
+    mem = 0
+    streams = 0
+    for block in pre_blocks:
+        for instr in block.instrs:
+            if isinstance(instr, (StreamIn, StreamOut)):
+                streams += 1
+    for block in body_blocks:
+        for instr in block.instrs:
+            unit = unit_of(instr)
+            if unit == "IFU":
+                continue  # free control instructions
+            dispatch += 1
+            if isinstance(instr, (WMLoadIssue, WMStoreIssue)):
+                mem += 1
+            if isinstance(instr, (StreamIn, StreamOut)):
+                streams += 1
+            if unit == "CVT":
+                # synchronizes both pipelines; charge one cycle to each
+                ieu += 1
+                feu += 1
+            elif unit == "FEU":
+                feu += _occupancy(instr)
+            else:  # IEU (stream activations execute on the IEU too)
+                ieu += _occupancy(instr)
+    terms = {
+        "dispatch": float(dispatch),
+        "ieu": float(ieu),
+        "feu": float(feu),
+        "memory": (mem + streams) / _MEM_PORTS,
+        "streams": float(streams),
+    }
+    res = max(terms["dispatch"], terms["ieu"], terms["feu"],
+              terms["memory"])
+    return res, terms
+
+
+def _reg_key(cell) -> Optional[tuple]:
+    """Dataflow key for a loop-carried register cell; FIFO registers
+    (0/1) carry stream data, not recurrences, and r31 reads as zero."""
+    if isinstance(cell, Reg) and cell.index not in (0, 1, 31):
+        return (cell.bank, cell.index)
+    return None
+
+
+def _rec_mii(body) -> tuple[float, Optional[tuple]]:
+    """Maximum cycle ratio latency/distance over the register dependence
+    graph of a single-block loop body."""
+    nodes = [i for i, instr in enumerate(body)
+             if not isinstance(instr, Label)]
+    if not nodes:
+        return 0.0, None
+    latency = {i: _occupancy(body[i]) for i in nodes}
+    final_def: dict[tuple, int] = {}
+    for i in nodes:
+        for cell in body[i].defs():
+            key = _reg_key(cell)
+            if key is not None:
+                final_def[key] = i
+    edges = []  # (src, dst, latency, distance)
+    last_def: dict[tuple, int] = {}
+    for i in nodes:
+        for cell in body[i].uses():
+            key = _reg_key(cell)
+            if key is None:
+                continue
+            if key in last_def:
+                edges.append((last_def[key], i, latency[last_def[key]], 0))
+            elif key in final_def:
+                # loop-carried: the value comes from the prior iteration
+                edges.append((final_def[key], i, latency[final_def[key]], 1))
+        for cell in body[i].defs():
+            key = _reg_key(cell)
+            if key is not None:
+                last_def[key] = i
+    carried = [e for e in edges if e[3] == 1]
+    if not carried:
+        return 0.0, None
+
+    def has_cycle_at(ii: float) -> bool:
+        # Positive cycle of (lat - ii*dist) == recurrence forcing II > ii.
+        dist = {i: 0.0 for i in nodes}
+        for _ in range(len(nodes)):
+            changed = False
+            for src, dst, lat, d in edges:
+                w = lat - ii * d
+                if dist[src] + w > dist[dst] + 1e-12:
+                    dist[dst] = dist[src] + w
+                    changed = True
+            if not changed:
+                return False
+        return True
+
+    lo, hi = 0.0, float(sum(latency[i] for i in nodes)) + 1.0
+    for _ in range(48):
+        mid = (lo + hi) / 2.0
+        if has_cycle_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    # The search converges to the true (rational) cycle ratio from
+    # below; snapping to 4 decimals recovers exact small ratios while
+    # keeping any residual error far below a measurable II difference.
+    rec = max(0.0, round(lo, 4))
+    # Report the critical carried edge set compactly: total latency and
+    # distance of the binding circuit approximated by the bound itself.
+    best = max(carried, key=lambda e: e[2])
+    return rec, (best[2], best[3])
+
+
+def compute_function_bounds(name: str, func) -> list[LoopBounds]:
+    """Bounds for every natural loop of a lowered WM function."""
+    cfg = build_cfg(func)
+    doms = compute_dominators(cfg)
+    loops = find_loops(cfg, doms)
+    results = []
+    for loop in loops:
+        # Blocks that execute on every iteration: dominate all back
+        # edges (a conditionally-guarded half of the body does not add
+        # mandatory per-iteration pressure).
+        body_blocks = [b for b in loop.block_list
+                       if all(doms.dominates(b, t)
+                              for t in loop.back_tails)]
+        pre_blocks = loop.outside_preds()
+        res, terms = _res_mii(body_blocks, pre_blocks)
+        single = len(loop.block_list) == 1
+        if single:
+            rec, circuit = _rec_mii(loop.header.body())
+        else:
+            rec, circuit = 0.0, None
+        streamed = terms["streams"] > 0
+        lno = 0
+        for block in loop.block_list:
+            for instr in block.instrs:
+                if instr.lno:
+                    lno = instr.lno if not lno else min(lno, instr.lno)
+        results.append(LoopBounds(
+            function=name, label=_loop_label(loop.header),
+            res_mii=res, rec_mii=rec, terms=terms, circuit=circuit,
+            single_block=single, streamed=streamed, lno=lno))
+    results.sort(key=lambda b: b.label)
+    return results
+
+
+def compute_module_bounds(rtl) -> list[LoopBounds]:
+    bounds = []
+    for name, func in rtl.functions.items():
+        bounds.extend(compute_function_bounds(name, func))
+    return bounds
+
+
+def emit_headroom_remarks(rtl, reports=None) -> list[LoopBounds]:
+    """Compute module bounds and emit them as ``headroom-*`` analysis
+    remarks.  When per-function ``reports`` are given, the new remarks
+    are appended to each function's slice so report totals stay exact
+    (tested by the per-function slicing guard)."""
+    from ..obs import Remark, get_remark_sink
+
+    sink = get_remark_sink()
+    bounds = compute_module_bounds(rtl)
+    if not sink.enabled:
+        return bounds
+    for b in bounds:
+        pos = sink.position()
+        sink.emit(Remark(
+            "headroom", "analysis", "headroom-res-mii",
+            function=b.function, loop=b.label, lno=b.lno,
+            detail=f"ResMII {b.res_mii:g} (binding: "
+                   + max(("dispatch", "ieu", "feu", "memory"),
+                         key=lambda k: b.terms[k]) + ")",
+            args={"res_mii": b.res_mii, "terms": b.terms}))
+        sink.emit(Remark(
+            "headroom", "analysis", "headroom-rec-mii",
+            function=b.function, loop=b.label, lno=b.lno,
+            detail=(f"RecMII {b.rec_mii:g}" if b.circuit else
+                    "RecMII 0 (no loop-carried register circuit)"),
+            args={"rec_mii": b.rec_mii,
+                  "circuit": list(b.circuit) if b.circuit else None,
+                  "single_block": b.single_block}))
+        sink.emit(Remark(
+            "headroom", "analysis", "headroom-bound",
+            function=b.function, loop=b.label, lno=b.lno,
+            detail=f"steady-state II >= {b.bound:g}",
+            args={"bound": b.bound, "streamed": b.streamed}))
+        if reports is not None and b.function in reports:
+            reports[b.function].remarks.extend(sink.since(pos))
+    return bounds

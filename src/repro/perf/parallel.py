@@ -75,6 +75,9 @@ class JobResult:
     streams_in: int = 0
     streams_out: int = 0
     infinite: int = 0
+    #: measured-II-vs-bound rows per streamed loop; populated when the
+    #: job was simulated with ``sim_kwargs`` requesting ``profile``
+    profile: Optional[list] = None
     error: Optional[str] = None
     quarantined: bool = False
 
@@ -89,9 +92,15 @@ def _run_job(job: SimJob) -> JobResult:
             out.streams_out += stream.streams_out
             out.infinite += 1 if stream.infinite else 0
     if job.action == "simulate":
-        result = compiled.simulate(**dict(job.sim_kwargs))
+        sim_kwargs = dict(job.sim_kwargs)
+        result = compiled.simulate(**sim_kwargs)
         out.value = result.value
         out.cycles = result.cycles
+        if sim_kwargs.get("profile"):
+            from ..obs.profile import headroom_summary
+            from ..opt.bounds import compute_module_bounds
+            out.profile = headroom_summary(
+                result, compute_module_bounds(compiled.rtl))
     elif job.action == "execute":
         result = compiled.execute()
         out.value = result.value

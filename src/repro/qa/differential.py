@@ -6,13 +6,18 @@
 * the WM cycle simulator at four optimization levels (O0 unoptimized,
   O1 baseline, O2 recurrence, O3 full streaming), via the decoded fast
   path,
-* the WM *reference* loop at O3 (``slow=True`` — the fast path must be
-  bit-identical: same value, same globals, same cycle count),
+* the WM simulator at O3 with the cycle profiler on (``profile=True``
+  — observation must not perturb the machine: same value, same cycle
+  count as the unprofiled run),
+* the WM *reference* loop at O3 (``slow=True``, also profiled — the
+  fast path must be bit-identical: same value, same globals, same
+  cycle count, and the same cycle-ledger attribution),
 * the scalar cost-model executor (generic-risc),
 
 and reports the first disagreement as a :class:`Failure` — a value or
 global mismatch, a cycle divergence between the fast and slow
-simulator loops, or a crash anywhere in the stack (lexer to simulator).
+simulator loops, a cycle-ledger attribution divergence between them,
+or a crash anywhere in the stack (lexer to simulator).
 Uncaught exception types are *not* absorbed: a crash inside the
 harness is a finding, recorded with its exception signature so the
 reducer can preserve it.
@@ -53,7 +58,7 @@ class Failure:
 
     seed: Optional[int]
     kind: str          # value-mismatch | global-mismatch | cycle-mismatch
-    #                  # | crash
+    #                  # | ledger-mismatch | crash
     config: str        # which backend/level disagreed (e.g. "O3/sim")
     detail: str        # human-readable one-liner
     source: str
@@ -112,8 +117,10 @@ def check_program(source: str,
 
     The oracle (IR interpreter) runs once; each backend result is
     compared to it value-first, then global-by-global.  At O3 the
-    simulator additionally runs the slow reference loop, which must
-    match the fast path's value *and* cycle count exactly.
+    simulator additionally runs with the cycle profiler on (observation
+    must not change value or cycle count) and runs the slow reference
+    loop profiled, which must match the fast path's value, cycle count
+    *and* cycle-ledger attribution exactly.
     """
     try:
         oracle = None
@@ -129,7 +136,20 @@ def check_program(source: str,
             if failure is not None:
                 return failure
             if config == "O3":
-                slow = res.simulate(max_cycles=MAX_FUZZ_CYCLES, slow=True)
+                prof = res.simulate(max_cycles=MAX_FUZZ_CYCLES,
+                                    profile=True)
+                failure = _compare(prof, oracle, ir_module,
+                                   "O3/sim-profile", seed, source)
+                if failure is not None:
+                    return failure
+                if prof.cycles != sim.cycles:
+                    return Failure(
+                        seed, "cycle-mismatch", "O3/sim-profile",
+                        f"profiled run {prof.cycles} cycles, "
+                        f"unprofiled {sim.cycles}", source,
+                        expected=sim.cycles, actual=prof.cycles)
+                slow = res.simulate(max_cycles=MAX_FUZZ_CYCLES,
+                                    slow=True, profile=True)
                 failure = _compare(slow, oracle, ir_module,
                                    "O3/sim-reference", seed, source)
                 if failure is not None:
@@ -140,6 +160,16 @@ def check_program(source: str,
                         f"fast path {sim.cycles} cycles, reference "
                         f"{slow.cycles}", source,
                         expected=slow.cycles, actual=sim.cycles)
+                fast_ledger = prof.telemetry.ledger.to_dict()
+                slow_ledger = slow.telemetry.ledger.to_dict()
+                if fast_ledger != slow_ledger:
+                    keys = [k for k in fast_ledger
+                            if fast_ledger[k] != slow_ledger.get(k)]
+                    return Failure(
+                        seed, "ledger-mismatch", "O3/sim-profile",
+                        "cycle-ledger attribution differs between fast "
+                        f"and reference loops (keys: {', '.join(keys)})",
+                        source)
         scalar = compile_source(source, machine=make_machine("generic-risc"),
                                 options=scalar_options())
         out = scalar.execute()

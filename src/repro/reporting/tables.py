@@ -146,6 +146,11 @@ class Table2Row:
     streams_in: int = 0
     streams_out: int = 0
     paper_percent: Optional[int] = None
+    #: dominant streamed loop: measured steady-state II, the static
+    #: lower bound max(ResMII, RecMII), and their ratio (headroom)
+    measured_ii: Optional[float] = None
+    bound_ii: Optional[float] = None
+    headroom: Optional[float] = None
 
     @property
     def percent(self) -> float:
@@ -170,16 +175,25 @@ def table2(scale: float = 0.25, programs: Optional[tuple] = None,
         source = get_program(name, scale=scale).source
         jobs.append(SimJob(f"{name}/base", source,
                            options=OptOptions.no_streaming()))
-        jobs.append(SimJob(f"{name}/stream", source, options=OptOptions()))
+        # The streamed run carries the cycle profiler so the row can
+        # report measured II against the static ResMII/RecMII bound.
+        jobs.append(SimJob(f"{name}/stream", source, options=OptOptions(),
+                           sim_kwargs=(("profile", True),)))
     with tracer.span("table2", category="tables", scale=scale,
                      workers=workers):
         results = run_jobs(jobs, workers=workers)
     rows = []
     for i, name in enumerate(table_programs):
         base, stream = results[2 * i], results[2 * i + 1]
-        rows.append(Table2Row(name, base.cycles, stream.cycles,
-                              stream.streams_in, stream.streams_out,
-                              PAPER_TABLE2.get(name)))
+        row = Table2Row(name, base.cycles, stream.cycles,
+                        stream.streams_in, stream.streams_out,
+                        PAPER_TABLE2.get(name))
+        if stream.profile:
+            top = stream.profile[0]  # dominant streamed loop
+            row.measured_ii = top["measured_ii"]
+            row.bound_ii = top["bound"]
+            row.headroom = top["headroom"]
+        rows.append(row)
     return rows
 
 

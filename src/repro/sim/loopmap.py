@@ -1,0 +1,159 @@
+"""Compile-time pc -> loop table for the cycle profiler.
+
+The ledger (:mod:`repro.sim.telemetry`) attributes every simulated cycle
+to a ``(loop, cause)`` pair.  The *loop* half of the key comes from this
+module: a static map from absolute instruction index to the innermost
+enclosing loop, derived from the flattened program alone — backward
+branches (``Jump``/``CondJump``/``JNIf`` whose resolved target is at or
+before the branch) delimit loop bodies, exactly the spans the IFU
+re-traverses at run time.  Building the table at decode time keeps the
+per-cycle attribution a single list index in the simulator, identical
+on the fast and the reference paths.
+
+Loop identity is the header label, which matches the ``loop`` anchor of
+optimization remarks (``loop.header.label`` in the passes) so profiler
+rows join against ``repro explain`` output and the static headroom
+bounds (:mod:`repro.opt.bounds`) by name.
+
+Loop id 0 is the ``<outside>`` sentinel: cycles spent at instructions
+not enclosed by any loop (prologue, epilogue, straight-line glue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.instr import Label, StreamIn, StreamOut
+from .decode import K_CONDJUMP, K_JNI, K_JUMP
+
+__all__ = ["LoopInfo", "LoopMap", "build_loop_map", "loop_map_for"]
+
+
+@dataclass
+class LoopInfo:
+    """One natural loop of the flattened program."""
+
+    lid: int
+    function: str
+    label: str          # header label name ("<outside>" for lid 0)
+    header: int         # absolute index of the header label (-1 for lid 0)
+    end: int            # absolute index of the last back-edge instruction
+    depth: int = 0      # nesting depth (1 = outermost)
+    parent: int = 0     # lid of the enclosing loop (0 = outside)
+    streamed: bool = False
+    #: source-line span covered by the body (0, 0) when unknown
+    lno_range: tuple = (0, 0)
+    #: provenance histogram: Instr.origin tag -> count over the body
+    origins: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "lid": self.lid,
+            "function": self.function,
+            "label": self.label,
+            "depth": self.depth,
+            "parent": self.parent,
+            "streamed": self.streamed,
+            "lines": list(self.lno_range),
+            "origins": dict(sorted(self.origins.items())),
+        }
+
+
+class LoopMap:
+    """The pc -> loop table plus the loop records themselves."""
+
+    def __init__(self, loops: list[LoopInfo], loop_of: list[int]) -> None:
+        self.loops = loops          # indexed by lid; loops[0] is <outside>
+        self.loop_of = loop_of      # absolute index -> innermost lid
+
+    def loop_at(self, index: int) -> LoopInfo:
+        if 0 <= index < len(self.loop_of):
+            return self.loops[self.loop_of[index]]
+        return self.loops[0]
+
+
+def build_loop_map(program, dops) -> LoopMap:
+    """Derive the loop table from a loaded program + its decode."""
+    n = len(program.instrs)
+    # Function ranges: entry index -> name, sorted by start.
+    starts = sorted((index, name) for name, index in program.entry_of.items())
+
+    def function_of(index: int) -> str:
+        name = ""
+        for start, fn in starts:
+            if start > index:
+                break
+            name = fn
+        return name
+
+    # Backward branches delimit loop bodies; merge spans per header.
+    spans: dict[int, int] = {}
+    for i, d in enumerate(dops):
+        if d.kind in (K_JUMP, K_CONDJUMP, K_JNI) and d.target <= i:
+            spans[d.target] = max(spans.get(d.target, -1), i)
+
+    sentinel = LoopInfo(0, "", "<outside>", -1, -1)
+    loops = [sentinel]
+    # Outermost first (larger spans), stable on header order.
+    ordered = sorted(spans.items(), key=lambda hv: (hv[1] - hv[0], -hv[0]),
+                     reverse=True)
+    for header, end in ordered:
+        instr = program.instrs[header]
+        label = instr.name if isinstance(instr, Label) else f"@{header}"
+        loops.append(LoopInfo(len(loops), function_of(header), label,
+                              header, end))
+
+    # Innermost-wins paint (outer loops were appended first).
+    loop_of = [0] * n
+    for info in loops[1:]:
+        for index in range(info.header, info.end + 1):
+            loop_of[index] = info.lid
+
+    # Nesting: the parent is the smallest strictly-containing span.
+    for info in loops[1:]:
+        parent = 0
+        for other in loops[1:]:
+            if other is info:
+                continue
+            if other.header <= info.header and info.end <= other.end:
+                if parent == 0 or \
+                        (other.header >= loops[parent].header and
+                         other.end <= loops[parent].end):
+                    parent = other.lid
+        info.parent = parent
+    for info in loops[1:]:
+        depth = 1
+        walk = info
+        while walk.parent:
+            depth += 1
+            walk = loops[walk.parent]
+        info.depth = depth
+
+    # Body facts: streamed flag, source lines, provenance histogram.
+    for info in loops[1:]:
+        lo = hi = 0
+        for index in range(info.header, info.end + 1):
+            d = dops[index]
+            if d.kind == K_JNI or isinstance(d.instr, (StreamIn, StreamOut)):
+                info.streamed = True
+            origin = d.instr.origin
+            if origin:
+                info.origins[origin] = info.origins.get(origin, 0) + 1
+                if origin.startswith("streaming"):
+                    info.streamed = True
+            lno = d.instr.lno
+            if lno:
+                lo = lno if not lo else min(lo, lno)
+                hi = max(hi, lno)
+        info.lno_range = (lo, hi)
+    return LoopMap(loops, loop_of)
+
+
+def loop_map_for(module, program, dops) -> LoopMap:
+    """The module's loop map, cached beside the decode cache (the table
+    depends only on the instruction list, like the decode itself)."""
+    cached = getattr(module, "_loopmap_cache", None)
+    if cached is None:
+        cached = build_loop_map(program, dops)
+        module._loopmap_cache = cached
+    return cached

@@ -53,12 +53,23 @@ from .decode import (
 from .errors import SimError
 from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
+from .loopmap import loop_map_for
 from .memory import MemError, MemorySystem, SimMemoryView
-from .telemetry import SimTelemetry, StreamStats
+from .telemetry import CycleLedger, SimTelemetry, StreamStats
 
 __all__ = ["WMSimulator", "SimResult", "SimError", "simulate"]
 
 HALT_PC = -1
+
+#: unit stall reason (repro.sim._stall) -> cycle-ledger cause
+_STALL_CAUSE = {
+    "operand-wait": "fifo-empty",
+    "output-full": "fifo-full",
+    "cc-full": "fifo-full",
+    "memory-port": "memory-latency",
+    "store-conflict": "memory-latency",
+    "stream-drain": "memory-latency",
+}
 
 
 @dataclass
@@ -140,6 +151,7 @@ class WMSimulator:
                  fifo_capacity: int = 8,
                  max_cycles: int = 500_000_000,
                  telemetry: bool = False,
+                 profile: bool = False,
                  slow: bool = False,
                  fault_plan=None) -> None:
         self.module = module
@@ -165,9 +177,18 @@ class WMSimulator:
         #: stream dummy prefetch, FIFO pops by a load that then stalls);
         #: blocks fast-forward for the cycle
         self._activity = False
-        if telemetry:
+        if telemetry or profile:
             self.telemetry = SimTelemetry()
             self.memory.enable_region_stats()
+        #: cycle ledger (profile=True): per-loop, per-cause attribution
+        #: of every unit cycle, plus back-edge iteration tracking
+        self._ledger: Optional[CycleLedger] = None
+        self._loop_of: Optional[list] = None
+        if profile:
+            loopmap = loop_map_for(module, self.program, self._dops)
+            self._ledger = CycleLedger(loopmap)
+            self._loop_of = loopmap.loop_of
+            self.telemetry.ledger = self._ledger
         self.ieu = _Unit("IEU", "r")
         self.feu = _Unit("FEU", "f")
         self.units = {"IEU": self.ieu, "FEU": self.feu}
@@ -212,6 +233,8 @@ class WMSimulator:
                 self._run_reference()
             elif self.telemetry is None:
                 self._run_fast()
+            elif self._ledger is not None:
+                self._run_fast_profile()
             else:
                 self._run_fast_telemetry()
         except FifoError as exc:
@@ -438,6 +461,283 @@ class WMSimulator:
                 for fifo, stats in out_pairs:
                     stats.sample_many(fifo.available(), skipped)
                 self.cycle = target - 1
+
+    def _run_fast_profile(self) -> None:
+        """The fast telemetry loop plus the cycle ledger.  A separate
+        copy (rather than branches inside _run_fast_telemetry /
+        _tick_ifu_fast) so the profiling-disabled paths stay untouched
+        — the <5% overhead gate in benchmarks/bench_obs.py covers them.
+
+        Attribution point: after the unit ticks, before the IFU tick —
+        the same point _sample_telemetry uses on the reference loop, so
+        the loop id (from the pre-IFU pc) and every cause are computed
+        from identical machine state on both paths.  A skipped window
+        replays the initiating cycle's charges in bulk; nothing moves
+        during a skip (no retire, no SCU transfer, no FIFO level or pc
+        change), so the per-cycle charges of the reference loop are the
+        same constants.
+        """
+        tel = self.telemetry
+        ledger = self._ledger
+        loop_of = self._loop_of
+        memory = self.memory
+        feu = self.feu
+        ieu = self.ieu
+        store_buffer = self.store_buffer
+        streams = self.streams
+        max_cycles = self.max_cycles
+        feu_stats = tel.units["FEU"]
+        ieu_stats = tel.units["IEU"]
+        in_pairs = [(fifo, tel.fifo(fifo.name, fifo.capacity))
+                    for fifo in self.in_fifos.values()]
+        out_pairs = [(fifo, tel.fifo(fifo.name, fifo.capacity))
+                     for fifo in self.out_fifos.values()]
+        while not self.halted:
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if cycle > max_cycles:
+                self._raise_cycle_limit()
+            memory._accepted_this_cycle = 0
+            delivered = memory.tick(cycle)
+            self._activity = False
+            if store_buffer:
+                self._tick_store_buffer()
+            if streams:
+                self._tick_scu_fast()
+            feu_exec = feu.executed
+            ieu_exec = ieu.executed
+            self._stall_reason = None
+            feu_status = self._tick_unit_fast(feu)
+            feu_reason = self._stall_reason
+            self._stall_reason = None
+            ieu_status = self._tick_unit_fast(ieu)
+            ieu_reason = self._stall_reason
+            feu_stats.record(feu_status, feu_reason)
+            ieu_stats.record(ieu_status, ieu_reason)
+            scu_active = self._scu_active
+            if scu_active:
+                tel.scu_busy_cycles += 1
+                self._scu_active = False
+            mem_busy = bool(memory._inflight)
+            if mem_busy:
+                tel.mem_busy_cycles += 1
+            for fifo, stats in in_pairs:
+                stats.sample(fifo.buffered())
+            for fifo, stats in out_pairs:
+                stats.sample(fifo.available())
+            pc_before = self.pc
+            lid = loop_of[pc_before] if pc_before >= 0 else 0
+            feu_cause = self._unit_cause(
+                feu_status, feu_reason, feu.executed - feu_exec)
+            ieu_cause = self._unit_cause(
+                ieu_status, ieu_reason, ieu.executed - ieu_exec)
+            scu_cause = "execute" if scu_active else self._scu_cause()
+            ledger.charge("FEU", lid, feu_cause)
+            ledger.charge("IEU", lid, ieu_cause)
+            ledger.charge("SCU", lid, scu_cause)
+            for fifo, stats in in_pairs:
+                ledger.track_fifo(fifo.name, cycle, fifo.buffered())
+            for fifo, stats in out_pairs:
+                ledger.track_fifo(fifo.name, cycle, fifo.available())
+            self._tick_ifu_profile()
+            self._check_done()
+            if cycle - self._progress_cycle > 10_000:
+                self._raise_deadlock()
+            if self.halted or delivered or \
+                    self._progress_cycle == cycle or self._activity or \
+                    self.pc != pc_before:
+                continue
+            target = self._next_event(cycle)
+            if target > cycle + 1:
+                skipped = target - 1 - cycle
+                feu_stats.record_many(feu_status, feu_reason, skipped)
+                ieu_stats.record_many(ieu_status, ieu_reason, skipped)
+                if mem_busy:
+                    tel.mem_busy_cycles += skipped
+                for fifo, stats in in_pairs:
+                    stats.sample_many(fifo.buffered(), skipped)
+                for fifo, stats in out_pairs:
+                    stats.sample_many(fifo.available(), skipped)
+                ledger.charge("FEU", lid, feu_cause, skipped)
+                ledger.charge("IEU", lid, ieu_cause, skipped)
+                ledger.charge("SCU", lid, scu_cause, skipped)
+                self.cycle = target - 1
+
+    def _unit_cause(self, status: str, reason: Optional[str],
+                    retired: int) -> str:
+        """Ledger cause for one unit-cycle, from the tick's status."""
+        if status == "busy":
+            return "execute" if retired else "unit-busy"
+        if status == "stall":
+            return _STALL_CAUSE.get(reason, "unit-busy")
+        # Idle: classify by what the IFU is blocked on at this pc.
+        pc = self.pc
+        if pc == HALT_PC:
+            return "drain"
+        kind = self._dops[pc].kind
+        if kind == K_CONDJUMP or kind == K_JNI:
+            return "branch"
+        if kind == K_RET:
+            return "drain"
+        return "idle"
+
+    def _scu_cause(self) -> str:
+        """Ledger cause for an SCU cycle with no transfer: what the
+        first active stream is blocked on (pure function of machine
+        state, so the fast path's bulk replay matches the reference
+        loop's per-cycle recomputation over a frozen window)."""
+        for state in self.streams.values():
+            if not state.active:
+                continue
+            key = (state.bank, state.index)
+            if state.kind == "in":
+                if state.remaining is not None and state.remaining <= 0:
+                    return "memory-latency"  # draining in-flight reads
+                fifo = self.in_fifos[key]
+                if fifo.buffered() + state.inflight >= fifo.capacity:
+                    return "fifo-full"
+                return "memory-latency"
+            claims = self.out_claims[key]
+            if claims and (claims[0][0] != "stream" or
+                           claims[0][1] is not state):
+                return "memory-latency"  # behind an older scalar store
+            if not self.out_fifos[key].available():
+                return "fifo-empty"
+            return "memory-latency"
+        return "drain" if self.pc == HALT_PC else "idle"
+
+    def _note_back_edge(self, target: int) -> None:
+        """Record one loop iteration when the IFU takes a back edge."""
+        lid = self._loop_of[target]
+        if lid and self._ledger.loopmap.loops[lid].header == target:
+            self._ledger.note_iteration(
+                lid, self.cycle,
+                len(self.ieu.queue) + len(self.feu.queue))
+
+    def _tick_ifu_profile(self) -> None:
+        """_tick_ifu_fast plus back-edge iteration recording — a copy so
+        the non-profiled fast paths keep their unconditional hot loop."""
+        dops = self._dops
+        pc = self.pc
+        for _ in range(64):  # bounded chain of free control instructions
+            if pc == HALT_PC:
+                self.pc = pc
+                return
+            d = dops[pc]
+            kind = d.kind
+            if kind == K_EXEC:
+                target = self.feu if d.feu else self.ieu
+                if len(target.queue) >= target.queue_size:
+                    self.pc = pc
+                    return
+                key = d.stream_key
+                if key is not None:
+                    self._dispatch_gen[key] = \
+                        self._dispatch_gen.get(key, 0) + 1
+                target.queue.append(d)
+                self.pc = pc + 1
+                self.dispatched += 1
+                self._progress_cycle = self.cycle
+                return
+            if kind == K_LABEL:
+                pc += 1
+                continue
+            if kind == K_JUMP:
+                if d.target <= pc:
+                    self._note_back_edge(d.target)
+                pc = d.target
+                self._progress_cycle = self.cycle
+                continue
+            if kind == K_CONDJUMP:
+                producer = self.feu if d.feu else self.ieu
+                if not producer.cc_fifo:
+                    self.pc = pc
+                    return  # stall: wait for the compare result
+                flag = producer.cc_fifo.popleft()
+                self._progress_cycle = self.cycle
+                if flag == d.sense:
+                    if d.target <= pc:
+                        self._note_back_edge(d.target)
+                    pc = d.target
+                else:
+                    pc = pc + 1
+                continue
+            if kind == K_JNI:
+                key = d.key
+                if self._activate_gen.get(key, 0) < \
+                        self._dispatch_gen.get(key, 0):
+                    self.pc = pc
+                    return  # stall: the current stream is not active yet
+                state = self.streams.get(key)
+                if state is None or state.jni_counter is None:
+                    self.pc = pc
+                    return  # stall until the stream is activated
+                state.jni_counter -= 1
+                self._progress_cycle = self.cycle
+                if state.jni_counter > 0:
+                    if d.target <= pc:
+                        self._note_back_edge(d.target)
+                    pc = d.target
+                else:
+                    pc = pc + 1
+                continue
+            if kind == K_CALL:
+                ieu = self.ieu
+                if len(ieu.queue) >= ieu.queue_size:
+                    self.pc = pc
+                    return
+                ieu.queue.append(("link", pc + 1))
+                self.pc = d.target
+                self.dispatched += 1
+                self._progress_cycle = self.cycle
+                return  # dispatching the link write uses the cycle
+            if kind == K_RET:
+                if self.ieu.queue or self.memory.busy() or \
+                        self.store_buffer:
+                    self.pc = pc
+                    return
+                pc = self.ieu.regs[30]
+                self._progress_cycle = self.cycle
+                continue
+            # K_CVT: synchronize the execution units, then convert.
+            if self.ieu.queue or self.feu.queue:
+                self.pc = pc
+                return
+            src_unit = self.feu if d.d2i else self.ieu
+            in_fifos = self.in_fifos
+            ready = True
+            for fkey, count in d.needs:
+                if in_fifos[fkey].available() < count:
+                    ready = False
+                    break
+            if not ready:
+                self.pc = pc
+                return  # FIFO operand has not arrived yet
+            fifo_key = d.fifo_key
+            if fifo_key is not None and \
+                    not self.out_fifos[fifo_key].has_room():
+                self.pc = pc
+                return
+            raw = d.ev(src_unit, self)
+            if d.d2i:
+                try:
+                    value = wrap32(int(raw))
+                except (OverflowError, ValueError) as exc:
+                    raise SimError(f"d2i conversion trap: {exc}") from exc
+            else:
+                value = float(raw)
+            if fifo_key is not None:
+                self.out_fifos[fifo_key].push(value)
+            elif d.dst_bank is not None:
+                if d.dst_bank == "f":
+                    self.feu.regs[d.dst_index] = float(value)
+                else:
+                    self.ieu.regs[d.dst_index] = wrap32(int(value))
+            self.pc = pc + 1
+            self.dispatched += 1
+            self._progress_cycle = self.cycle
+            return
+        self.pc = pc
 
     def _tick_ifu_fast(self) -> None:
         """Decoded-program IFU: same protocol as _tick_ifu, driven by
@@ -667,14 +967,22 @@ class WMSimulator:
     def _sample_telemetry(self, tel: SimTelemetry) -> None:
         """Telemetry-mode unit tick + per-cycle sampling.  Performs the
         exact same unit ticks as the fast path; only the bookkeeping
-        around them differs."""
+        around them differs.  When profiling, also charges the cycle
+        ledger — at the same pre-IFU attribution point the fast profile
+        loop uses, so both paths see identical machine state."""
+        ledger = self._ledger
+        feu_exec = self.feu.executed
+        ieu_exec = self.ieu.executed
         self._stall_reason = None
-        tel.units["FEU"].record(self._tick_unit(self.feu),
-                                self._stall_reason)
+        feu_status = self._tick_unit(self.feu)
+        feu_reason = self._stall_reason
         self._stall_reason = None
-        tel.units["IEU"].record(self._tick_unit(self.ieu),
-                                self._stall_reason)
-        if self._scu_active:
+        ieu_status = self._tick_unit(self.ieu)
+        ieu_reason = self._stall_reason
+        tel.units["FEU"].record(feu_status, feu_reason)
+        tel.units["IEU"].record(ieu_status, ieu_reason)
+        scu_active = self._scu_active
+        if scu_active:
             tel.scu_busy_cycles += 1
             self._scu_active = False
         if self.memory.busy():
@@ -683,6 +991,20 @@ class WMSimulator:
             tel.fifo(fifo.name, fifo.capacity).sample(fifo.buffered())
         for key, fifo in self.out_fifos.items():
             tel.fifo(fifo.name, fifo.capacity).sample(fifo.available())
+        if ledger is not None:
+            pc = self.pc
+            lid = self._loop_of[pc] if pc >= 0 else 0
+            ledger.charge("FEU", lid, self._unit_cause(
+                feu_status, feu_reason, self.feu.executed - feu_exec))
+            ledger.charge("IEU", lid, self._unit_cause(
+                ieu_status, ieu_reason, self.ieu.executed - ieu_exec))
+            ledger.charge("SCU", lid,
+                          "execute" if scu_active else self._scu_cause())
+            cycle = self.cycle
+            for key, fifo in self.in_fifos.items():
+                ledger.track_fifo(fifo.name, cycle, fifo.buffered())
+            for key, fifo in self.out_fifos.items():
+                ledger.track_fifo(fifo.name, cycle, fifo.available())
 
     def _progress(self) -> None:
         self._progress_cycle = self.cycle
@@ -713,7 +1035,10 @@ class WMSimulator:
                 self.pc += 1
                 continue
             if isinstance(instr, Jump):
-                self.pc = self.program.label_index[instr.target]
+                target = self.program.label_index[instr.target]
+                if self._ledger is not None and target <= self.pc:
+                    self._note_back_edge(target)
+                self.pc = target
                 self._progress()
                 continue
             if isinstance(instr, CondJump):
@@ -723,7 +1048,10 @@ class WMSimulator:
                 flag = producer.cc_fifo.popleft()
                 self._progress()
                 if flag == instr.sense:
-                    self.pc = self.program.label_index[instr.target]
+                    target = self.program.label_index[instr.target]
+                    if self._ledger is not None and target <= self.pc:
+                        self._note_back_edge(target)
+                    self.pc = target
                 else:
                     self.pc += 1
                 continue
@@ -738,7 +1066,10 @@ class WMSimulator:
                 state.jni_counter -= 1
                 self._progress()
                 if state.jni_counter > 0:
-                    self.pc = self.program.label_index[instr.target]
+                    target = self.program.label_index[instr.target]
+                    if self._ledger is not None and target <= self.pc:
+                        self._note_back_edge(target)
+                    self.pc = target
                 else:
                     self.pc += 1
                 continue

@@ -31,10 +31,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["UnitStats", "FifoStats", "StreamStats", "SimTelemetry"]
+__all__ = [
+    "UnitStats", "FifoStats", "StreamStats", "SimTelemetry",
+    "LEDGER_CAUSES", "CycleLedger", "LoopIterStats", "detect_steady_ii",
+]
 
 #: occupancy histogram size (FIFO capacities are small; clamp above)
 _MAX_LEVEL = 32
+
+#: Every cause the cycle ledger may charge a cycle to.  ``execute`` is
+#: productive work; the rest say what the unit was waiting for.
+LEDGER_CAUSES = (
+    "execute",         # an instruction retired (or the SCU moved data)
+    "unit-busy",       # occupied by an earlier multi-cycle operation
+    "fifo-full",       # output (or CC) FIFO back-pressure
+    "fifo-empty",      # waiting for FIFO operands to arrive
+    "memory-latency",  # waiting on ports, in-flight requests, or drains
+    "branch",          # idle while the IFU waits on a branch condition
+    "drain",           # idle during final drain (Ret/halt wind-down)
+    "idle",            # nothing queued and no blocking condition
+)
 
 
 @dataclass
@@ -62,6 +78,8 @@ class UnitStats:
         """Attribute ``count`` identical cycles at once (the simulator's
         stall fast-forward replays the skip-initiating cycle's status
         for every skipped cycle)."""
+        if count <= 0:
+            return  # keep exact equivalence with `count` record() calls
         if status == "busy":
             self.busy_cycles += count
         elif status == "stall":
@@ -156,6 +174,216 @@ class StreamStats:
         }
 
 
+#: iteration-delta ring size for the steady-state II detector
+_TAIL_SIZE = 64
+
+#: longest repeating pattern of per-iteration deltas the detector tries
+_MAX_PERIOD = 8
+
+
+class LoopIterStats:
+    """Per-loop iteration record: back-edge count and cycle deltas.
+
+    Fed by the IFU on every taken back edge; the deltas between
+    consecutive back edges of a loop are the observed initiation
+    intervals.  A bounded tail ring keeps the most recent deltas for
+    the periodicity check without unbounded growth.
+    """
+
+    __slots__ = ("iterations", "last_cycle", "deltas", "_tail", "_depths",
+                 "_pos")
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.last_cycle = -1
+        #: delta histogram: cycles-per-iteration -> occurrences
+        self.deltas: dict[int, int] = {}
+        self._tail: list[int] = []
+        #: unit-queue depth at each recorded back edge (aligned with
+        #: ``_tail``); lets the steady detector see queue build-up
+        self._depths: list[int] = []
+        self._pos = 0
+
+    def note(self, cycle: int, depth: int = 0) -> None:
+        if self.last_cycle >= 0:
+            delta = cycle - self.last_cycle
+            self.deltas[delta] = self.deltas.get(delta, 0) + 1
+            if len(self._tail) < _TAIL_SIZE:
+                self._tail.append(delta)
+                self._depths.append(depth)
+            else:
+                self._tail[self._pos] = delta
+                self._depths[self._pos] = depth
+                self._pos = (self._pos + 1) % _TAIL_SIZE
+        self.iterations += 1
+        self.last_cycle = cycle
+
+    def tail(self) -> list[int]:
+        """The recorded deltas, oldest first."""
+        return self._tail[self._pos:] + self._tail[:self._pos]
+
+    def depth_tail(self) -> list[int]:
+        """Queue depths at the recorded back edges, oldest first."""
+        return self._depths[self._pos:] + self._depths[:self._pos]
+
+    def to_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "last_cycle": self.last_cycle,
+            "deltas": {str(k): v for k, v in sorted(self.deltas.items())},
+            "tail": self.tail(),
+            "depth_tail": self.depth_tail(),
+        }
+
+
+def detect_steady_ii(stats: LoopIterStats) -> dict:
+    """Steady-state initiation interval from the per-iteration deltas.
+
+    Looks for the smallest period ``p`` (up to :data:`_MAX_PERIOD`) such
+    that a *suffix* of the recent delta tail repeats with period ``p``;
+    the II is then the exact average of one period.  Matching a suffix
+    rather than the whole window matters because the first iterations of
+    a loop run ahead of the execution units — the IFU dispatches into
+    the unit queues and takes back edges early — so the leading deltas
+    under-shoot the steady II until the queues saturate.  The suffix
+    must cover at least two full periods and at least half the window,
+    and must not show net unit-queue growth (a constant pace with queues
+    filling behind it is transient), so a still-transient run is not
+    mistaken for steady state.  A
+    periodic verdict is the guard a future analytic fast-forward needs:
+    once the pattern repeats, the remaining iterations are predictable
+    (ROADMAP item 2).
+
+    Falls back to the all-iterations mean with ``periodic=False`` when
+    no period fits; the mean blends warm-up with steady iterations, so
+    it can sit on either side of the true steady II.
+    """
+    tail = stats.tail()
+    window = tail[-32:]
+    depths = stats.depth_tail()[-32:]
+    n = len(window)
+    for period in range(1, _MAX_PERIOD + 1):
+        if n < 2 * period:
+            break
+        matches = 0
+        for j in range(n - 1, period - 1, -1):
+            if window[j] != window[j - period]:
+                break
+            matches += 1
+        suffix = matches + period
+        if matches >= period and 2 * suffix >= n:
+            # Back edges can repeat at a constant pace while the unit
+            # queues silently fill behind them (the IFU runs ahead of
+            # execution until a queue saturates) — a pace that is pure
+            # transient, not sustainable.  Net queue growth across the
+            # candidate suffix beyond within-period wobble rejects it.
+            if len(depths) == n and \
+                    depths[-1] - depths[-suffix] > period:
+                break
+            return {
+                "ii": sum(window[-period:]) / period,
+                "periodic": True,
+                "period": period,
+                "samples": suffix,
+            }
+    total = sum(d * c for d, c in stats.deltas.items())
+    count = sum(stats.deltas.values())
+    return {
+        "ii": (total / count) if count else None,
+        "periodic": False,
+        "period": 0,
+        "samples": count,
+    }
+
+
+#: transition-list cap per FIFO occupancy track (Chrome counter lanes)
+_TRACK_LIMIT = 4096
+
+
+class CycleLedger:
+    """Exact per-loop, per-cause attribution of every unit cycle.
+
+    Three lanes (IEU/FEU/SCU) each charge every simulated cycle to
+    exactly one ``(loop, cause)`` pair, so for any lane the counts of a
+    loop sum to the cycles the program counter spent inside it, and the
+    lane's grand total equals the run's cycle count (the ledger
+    invariant, tested over the whole benchmark suite).  The simulator
+    keeps the fast path's bulk attribution (``charge`` with a count)
+    bit-identical to the reference loop's per-cycle charges.
+    """
+
+    def __init__(self, loopmap) -> None:
+        self.loopmap = loopmap
+        self.lanes: dict[str, dict[int, dict[str, int]]] = {
+            "IEU": {}, "FEU": {}, "SCU": {}}
+        self.iters: dict[int, LoopIterStats] = {}
+        #: per-FIFO occupancy transition lists [(cycle, level), ...]
+        self.fifo_tracks: dict[str, list] = {}
+        self.tracks_truncated = False
+
+    def charge(self, lane: str, lid: int, cause: str,
+               count: int = 1) -> None:
+        per = self.lanes[lane]
+        causes = per.get(lid)
+        if causes is None:
+            causes = per[lid] = {}
+        causes[cause] = causes.get(cause, 0) + count
+
+    def note_iteration(self, lid: int, cycle: int,
+                       depth: int = 0) -> None:
+        stats = self.iters.get(lid)
+        if stats is None:
+            stats = self.iters[lid] = LoopIterStats()
+        stats.note(cycle, depth)
+
+    def track_fifo(self, name: str, cycle: int, level: int) -> None:
+        track = self.fifo_tracks.get(name)
+        if track is None:
+            track = self.fifo_tracks[name] = []
+        if track and track[-1][1] == level:
+            return
+        if len(track) >= _TRACK_LIMIT:
+            self.tracks_truncated = True
+            return
+        track.append((cycle, level))
+
+    # ------------------------------------------------------------ queries --
+    def lane_total(self, lane: str) -> int:
+        return sum(count
+                   for causes in self.lanes[lane].values()
+                   for count in causes.values())
+
+    def loop_cycles(self, lid: int) -> int:
+        """Cycles the pc spent inside loop ``lid`` (any single lane's
+        per-loop total — the lanes agree by construction)."""
+        return sum(self.lanes["IEU"].get(lid, {}).values())
+
+    def check_invariant(self, cycles: int) -> None:
+        """Raise if any lane did not attribute every cycle exactly once."""
+        for lane in self.lanes:
+            total = self.lane_total(lane)
+            if total != cycles:
+                raise AssertionError(
+                    f"ledger invariant violated: lane {lane} attributed "
+                    f"{total} of {cycles} cycles")
+
+    def to_dict(self) -> dict:
+        return {
+            "causes": list(LEDGER_CAUSES),
+            "loops": [info.to_dict() for info in self.loopmap.loops],
+            "lanes": {
+                lane: {str(lid): dict(sorted(causes.items()))
+                       for lid, causes in sorted(per.items())}
+                for lane, per in self.lanes.items()},
+            "iterations": {str(lid): stats.to_dict()
+                           for lid, stats in sorted(self.iters.items())},
+            "fifo_tracks": {name: [list(t) for t in track]
+                            for name, track in
+                            sorted(self.fifo_tracks.items())},
+            "tracks_truncated": self.tracks_truncated,
+        }
+
+
 class SimTelemetry:
     """All telemetry of one simulated run."""
 
@@ -170,6 +398,8 @@ class SimTelemetry:
         self.mem_busy_cycles = 0
         self.mem_regions: dict[str, dict] = {}
         self.cycles = 0
+        #: cycle ledger; present only on profiled runs (``profile=True``)
+        self.ledger: Optional[CycleLedger] = None
 
     def fifo(self, name: str, capacity: int) -> FifoStats:
         stats = self.fifos.get(name)
@@ -178,7 +408,7 @@ class SimTelemetry:
         return stats
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "cycles": self.cycles,
             "units": {n: u.to_dict() for n, u in self.units.items()},
             "scu_busy_cycles": self.scu_busy_cycles,
@@ -189,6 +419,9 @@ class SimTelemetry:
             "memory_regions": {n: dict(v) for n, v in
                                sorted(self.mem_regions.items())},
         }
+        if self.ledger is not None:
+            data["ledger"] = self.ledger.to_dict()
+        return data
 
     def emit_spans(self, tracer) -> None:
         """Project the attribution onto ``tracer`` as simulated-time
@@ -218,6 +451,20 @@ class SimTelemetry:
             tracer.event_at(
                 f"fifo {name} hwm={fifo.high_water}", end,
                 category="sim", track="FIFO", **fifo.to_dict())
+        ledger = self.ledger
+        if ledger is not None:
+            # FIFO occupancy as Chrome counter lanes ("C" events): one
+            # sample per occupancy transition, RLE-compact by design.
+            for name, track in sorted(ledger.fifo_tracks.items()):
+                for cycle, level in track:
+                    tracer.event_at(f"fifo {name}", float(cycle),
+                                    category="counter",
+                                    track=f"fifo {name}", level=level)
+                if track and track[-1][1] != 0:
+                    tracer.event_at(f"fifo {name}", end,
+                                    category="counter",
+                                    track=f"fifo {name}",
+                                    level=track[-1][1])
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest used by the CLI trace/summary output."""

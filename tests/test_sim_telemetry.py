@@ -144,3 +144,52 @@ class TestExportAndErrors:
         assert "cycle limit exceeded at cycle" in message
         assert "pc=" in message
         assert "max_cycles=500" in message
+
+
+class TestBulkRecording:
+    """record_many/sample_many must be exact aliases for repeated
+    single-cycle recording — the fast path's skip windows depend on it."""
+
+    def test_record_many_zero_is_noop(self):
+        from repro.sim.telemetry import UnitStats
+        unit = UnitStats("IEU")
+        unit.record_many("busy", None, 0)
+        unit.record_many("stall", "operand-wait", 0)
+        unit.record_many("idle", None, 0)
+        assert unit.to_dict() == UnitStats("IEU").to_dict()
+
+    def test_sample_many_zero_is_noop(self):
+        from repro.sim.telemetry import FifoStats
+        fifo = FifoStats("cc", capacity=8)
+        fifo.sample_many(3, 0)
+        assert fifo.samples == 0
+        assert sum(fifo.occupancy_cycles) == 0
+
+    def test_mixed_bulk_and_single_equals_all_single(self):
+        from repro.sim.telemetry import FifoStats, UnitStats
+        bulk = UnitStats("IEU")
+        single = UnitStats("IEU")
+        plan = [("busy", None, 3), ("stall", "memory-port", 5),
+                ("idle", None, 1), ("stall", "operand-wait", 2),
+                ("busy", None, 0)]
+        for status, reason, count in plan:
+            bulk.record_many(status, reason, count)
+            for _ in range(count):
+                single.record(status, reason)
+        assert bulk.to_dict() == single.to_dict()
+
+        bulk_fifo = FifoStats("in0", capacity=8)
+        single_fifo = FifoStats("in0", capacity=8)
+        for level, count in [(0, 4), (7, 2), (3, 0), (8, 6)]:
+            bulk_fifo.sample_many(level, count)
+            for _ in range(count):
+                single_fifo.sample(level)
+        assert bulk_fifo.samples == single_fifo.samples
+        assert bulk_fifo.occupancy_cycles == single_fifo.occupancy_cycles
+
+    def test_sample_many_clamps_level_like_sample(self):
+        from repro.sim.telemetry import _MAX_LEVEL, FifoStats
+        fifo = FifoStats("deep", capacity=64)
+        fifo.sample_many(_MAX_LEVEL + 10, 4)
+        fifo.sample(_MAX_LEVEL + 10)
+        assert fifo.occupancy_cycles[_MAX_LEVEL] == 5
