@@ -319,8 +319,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         if args.max_cycles:
             sim_kwargs["max_cycles"] = args.max_cycles
         sim = result.simulate(**sim_kwargs)
+        # Fast-forward coverage comes from an uninstrumented twin run:
+        # profiled runs observe every cycle, so the superop engine is
+        # keyed off for them and the closed form never engages there.
+        ff_stats = None
+        try:
+            result.simulate(**{k: v for k, v in sim_kwargs.items()
+                               if k == "max_cycles"})
+            cache = getattr(result.rtl, "_superop_cache", None)
+            if cache is not None:
+                ff_stats = cache.last_ff_stats
+        except Exception:
+            pass
     report = build_profile_report(sim, bounds=bounds, source=args.file,
-                                  target=args.target, opt=args.opt)
+                                  target=args.target, opt=args.opt,
+                                  ff_stats=ff_stats)
     if tracer.enabled:
         sim.telemetry.emit_spans(tracer)
     if args.json:

@@ -42,13 +42,19 @@ def _bounds_index(bounds) -> dict:
 
 def build_profile_report(result, bounds=None, source: str = "",
                          target: str = "wm", opt: str = "full",
-                         argv: Optional[list] = None) -> dict:
+                         argv: Optional[list] = None,
+                         ff_stats: Optional[dict] = None) -> dict:
     """The profile report for one simulated run.
 
     ``result`` is a :class:`repro.sim.machine.SimResult` from a
     ``profile=True`` simulation; ``bounds`` an optional list of
     :class:`repro.opt.bounds.LoopBounds` (or their dicts) joined to
-    loops by ``(function, header label)``.
+    loops by ``(function, header label)``.  ``ff_stats`` is the
+    superop engine's coverage from a companion *plain* run of the same
+    module (``SuperopCache.last_ff_stats``, keyed by loop header
+    index) — profiled runs observe every cycle and never engage the
+    closed form themselves, so coverage is measured on the
+    uninstrumented twin and joined per loop here.
     """
     telemetry = result.telemetry
     ledger = getattr(telemetry, "ledger", None)
@@ -79,6 +85,19 @@ def build_profile_report(result, bounds=None, source: str = "",
         headroom = None
         if ii is not None and ii["ii"] and bound and bound["bound"] > 0:
             headroom = round(ii["ii"] / bound["bound"], 3)
+        iterations = iters.iterations if iters is not None else 0
+        ff = (ff_stats or {}).get(info.header)
+        fastforward = None
+        if ff is not None:
+            fastforward = {
+                "iterations": ff["iterations"],
+                "windows": ff["windows"],
+                "period": ff["period"],
+                "cycles": ff["cycles"],
+                "percent_iterations":
+                    round(100.0 * ff["iterations"] / iterations, 1)
+                    if iterations else None,
+            }
         loops.append({
             **info.to_dict(),
             "cycles": residency,
@@ -86,10 +105,11 @@ def build_profile_report(result, bounds=None, source: str = "",
             else 0.0,
             "lanes": lanes,
             "top_stalls": [[cause, count] for cause, count in top_stalls],
-            "iterations": iters.iterations if iters is not None else 0,
+            "iterations": iterations,
             "ii": ii,
             "bound": bound,
             "headroom": headroom,
+            "fastforward": fastforward,
         })
     loops.sort(key=lambda row: (-row["cycles"], row["lid"]))
     return {
@@ -100,6 +120,14 @@ def build_profile_report(result, bounds=None, source: str = "",
         "value": result.value,
         "cycles": cycles,
         "causes": list(LEDGER_CAUSES),
+        "superop": {
+            "measured": ff_stats is not None,
+            "loops_advanced": len(ff_stats or {}),
+            "iterations_advanced": sum(s["iterations"]
+                                       for s in (ff_stats or {}).values()),
+            "cycles_advanced": sum(s["cycles"]
+                                   for s in (ff_stats or {}).values()),
+        },
         "invariant": {
             "cycles": cycles,
             "lanes": dict(sorted(lane_totals.items())),
@@ -177,7 +205,8 @@ def format_profile_report(report: dict) -> str:
                  f"({lanes})")
     lines.append("")
     header = (f"{'loop':<24} {'cycles':>8} {'%':>6} {'iters':>7} "
-              f"{'II':>8} {'bound':>6} {'headroom':>8}  top stalls")
+              f"{'II':>8} {'bound':>6} {'headroom':>8} {'%ff':>6}  "
+              f"top stalls")
     lines.append(header)
     lines.append("-" * len(header))
     for row in report["loops"]:
@@ -188,14 +217,27 @@ def format_profile_report(report: dict) -> str:
         stalls = ", ".join(f"{cause} {count}"
                            for cause, count in row["top_stalls"][:3])
         headroom = f"{row['headroom']:.1f}x" if row["headroom"] else "-"
+        ff = row.get("fastforward")
+        if ff is None or ff["percent_iterations"] is None:
+            ff_pct = "-"
+        else:
+            ff_pct = f"{ff['percent_iterations']:.0f}"
         lines.append(
             f"{name:<24} {row['cycles']:>8} {row['percent']:>6.1f} "
             f"{row['iterations']:>7} {_fmt_ii(row['ii']):>8} "
-            f"{_fmt_bound(row['bound']):>6} {headroom:>8}  {stalls}")
+            f"{_fmt_bound(row['bound']):>6} {headroom:>8} {ff_pct:>6}  "
+            f"{stalls}")
     lines.append("")
     lines.append("loops marked * are streamed; II ~x.xx = mean "
                  "(no steady period found); headroom = measured II / "
                  "max(ResMII, RecMII)")
+    superop = report.get("superop") or {}
+    if superop.get("measured"):
+        lines.append(
+            "%ff = share of iterations the superop engine advanced "
+            f"analytically (plain run: {superop['loops_advanced']} "
+            f"loop(s), {superop['iterations_advanced']} iterations, "
+            f"{superop['cycles_advanced']} cycles in closed form)")
     if report["tracks_truncated"]:
         lines.append("note: FIFO occupancy tracks truncated "
                      "(transition cap reached)")
@@ -212,10 +254,15 @@ def profile_schema_errors(report: dict) -> list[str]:
             errors.append(msg)
 
     for key in ("manifest", "source", "value", "cycles", "causes",
-                "invariant", "loops", "fifo_tracks", "tracks_truncated"):
+                "invariant", "loops", "fifo_tracks", "tracks_truncated",
+                "superop"):
         need(key in report, f"missing key {key!r}")
     if errors:
         return errors
+    superop = report["superop"]
+    need(set(superop) == {"measured", "loops_advanced",
+                          "iterations_advanced", "cycles_advanced"},
+         "superop entry shape")
     need(report["causes"] == list(LEDGER_CAUSES), "causes list mismatch")
     inv = report["invariant"]
     need(set(inv) == {"cycles", "lanes", "ok"}, "invariant shape")
@@ -226,8 +273,14 @@ def profile_schema_errors(report: dict) -> list[str]:
     for row in report["loops"]:
         for key in ("lid", "function", "label", "cycles", "percent",
                     "lanes", "top_stalls", "iterations", "ii", "bound",
-                    "headroom", "streamed", "depth", "origins"):
+                    "headroom", "streamed", "depth", "origins",
+                    "fastforward"):
             need(key in row, f"loop row missing {key!r}")
+        ff = row.get("fastforward")
+        if ff is not None:
+            need(set(ff) == {"iterations", "windows", "period",
+                             "cycles", "percent_iterations"},
+                 "fastforward entry shape")
         for lane, causes in row.get("lanes", {}).items():
             for cause in causes:
                 need(cause in LEDGER_CAUSES,

@@ -15,11 +15,11 @@ The reporting tables and the ``repro bench`` CLI funnel their
 """
 
 from .cache import cache_stats, clear_cache, compile_cached, is_cached
-from .parallel import JobResult, SimJob, run_jobs
+from .parallel import JobResult, SimJob, reset_pool, run_jobs
 from .bench import bench_programs, time_fn
 
 __all__ = [
     "cache_stats", "clear_cache", "compile_cached", "is_cached",
-    "JobResult", "SimJob", "run_jobs",
+    "JobResult", "SimJob", "reset_pool", "run_jobs",
     "bench_programs", "time_fn",
 ]

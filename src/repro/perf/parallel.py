@@ -7,6 +7,13 @@ paths run the identical :func:`_run_job` body — through the compile
 cache — so serial and parallel table regeneration produce the same
 rows, and the equivalence tests compare them directly.
 
+The executor is *shared across batches* (same worker count): a full
+table regeneration issues three ``run_jobs`` batches, and re-forking a
+pool per batch both repaid worker startup and threw away the workers'
+in-process compile caches between batches.  :func:`reset_pool` discards
+the shared pool (benchmarks use it to get cold workers per rep); a
+worker death that poisons the executor discards it automatically.
+
 Workers are forked from the parent on Linux, so per-process state the
 compiler depends on (notably the interned-string hash seed, which the
 optimizer's set iteration order — and hence exact cycle counts on a
@@ -28,9 +35,11 @@ cannot take down a whole table regeneration.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
@@ -38,7 +47,7 @@ from ..obs import Remark, get_remark_sink
 from ..opt import OptOptions
 from .cache import compile_cached, is_cached
 
-__all__ = ["SimJob", "JobResult", "run_jobs"]
+__all__ = ["SimJob", "JobResult", "run_jobs", "reset_pool"]
 
 
 @dataclass(frozen=True)
@@ -142,6 +151,41 @@ def _should_parallelize(jobs: list[SimJob],
     return True
 
 
+#: the one live executor, shared across ``run_jobs`` calls so a table
+#: regeneration (three batches) pays worker fork once, not per batch —
+#: and so the workers' own compile caches stay warm across batches
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers != workers:
+        reset_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def reset_pool() -> None:
+    """Shut down the shared worker pool (if any).
+
+    The next pooled batch forks fresh workers — which re-inherit the
+    parent's in-process compile cache at that moment.  Called
+    automatically when a worker death poisons the pool, at interpreter
+    exit, and by benchmarks that want cold workers per rep.
+    """
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(reset_pool)
+
+
 def _run_job_indexed(index: int, job: SimJob,
                      kill: frozenset) -> JobResult:
     """Pool entry point: run one job, honouring kill-fault injection.
@@ -204,14 +248,18 @@ def run_jobs(jobs: list[SimJob], workers: Optional[int] = None,
     if _should_parallelize(jobs, workers):
         results: list[Optional[JobResult]] = [None] * len(jobs)
         failed: list[tuple[int, BaseException]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_job_indexed, i, job, kill)
-                       for i, job in enumerate(jobs)]
-            for i, future in enumerate(futures):
-                try:
-                    results[i] = future.result()
-                except Exception as exc:
-                    failed.append((i, exc))
+        pool = _get_pool(workers)
+        futures = [pool.submit(_run_job_indexed, i, job, kill)
+                   for i, job in enumerate(jobs)]
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+            except Exception as exc:
+                failed.append((i, exc))
+        if any(isinstance(exc, BrokenProcessPool) for _i, exc in failed):
+            # a worker death poisons the whole executor: discard it so
+            # the next batch forks a healthy pool instead of failing
+            reset_pool()
         for i, exc in failed:
             results[i] = _retry_serially(jobs[i], exc)
         return results

@@ -12,6 +12,13 @@
 * the WM *reference* loop at O3 (``slow=True``, also profiled — the
   fast path must be bit-identical: same value, same globals, same
   cycle count, and the same cycle-ledger attribution),
+* the WM simulator at O3 through both superinstruction tiers — the
+  default run (superops + closed-form fast-forward) and a superop-only
+  run (``fast_forward=False``) — whose full counter signatures
+  (cycles, instructions, unit counts, memory traffic, stream elements)
+  must match the slow reference exactly; a divergence is reported as a
+  ``fastforward-mismatch``.  Fault-injected runs force ``slow=True``
+  in the simulator itself, so a fault plan always fully de-opts,
 * the scalar cost-model executor (generic-risc),
 
 and reports the first disagreement as a :class:`Failure` — a value or
@@ -58,7 +65,7 @@ class Failure:
 
     seed: Optional[int]
     kind: str          # value-mismatch | global-mismatch | cycle-mismatch
-    #                  # | ledger-mismatch | crash
+    #                  # | ledger-mismatch | fastforward-mismatch | crash
     config: str        # which backend/level disagreed (e.g. "O3/sim")
     detail: str        # human-readable one-liner
     source: str
@@ -108,6 +115,19 @@ def _compare(result, oracle, ir_module, config: str,
             return Failure(seed, "global-mismatch", config,
                            f"{config}: global {name} differs", source,
                            expected=want.hex(), actual=got.hex())
+    return None
+
+
+def _counter_mismatch(result, reference):
+    """First differing (name, got, want) among the exact-equivalence
+    counters, or None — cycles first, so a closed-form drift surfaces
+    as the cycle count."""
+    for name in ("cycles", "instructions", "unit_instructions",
+                 "memory_reads", "memory_writes", "stream_elements"):
+        got = getattr(result, name)
+        want = getattr(reference, name)
+        if got != want:
+            return (name, got, want)
     return None
 
 
@@ -170,6 +190,33 @@ def check_program(source: str,
                         "cycle-ledger attribution differs between fast "
                         f"and reference loops (keys: {', '.join(keys)})",
                         source)
+                # Superinstruction tiers: ``sim`` above ran with
+                # superops + fast-forward (the defaults); its full
+                # counter signature must match the slow reference
+                # exactly, and so must the superop-only tier (closed-
+                # form advance disabled).  Profiled/fault runs never
+                # arm the engine, so the ledger comparison above pairs
+                # two per-cycle runs by construction.
+                mismatch = _counter_mismatch(sim, slow)
+                if mismatch is not None:
+                    return Failure(
+                        seed, "fastforward-mismatch", "O3/sim-fastforward",
+                        f"superops+fast-forward diverged from the slow "
+                        f"reference on {mismatch[0]}", source,
+                        expected=mismatch[2], actual=mismatch[1])
+                ffonly = res.simulate(max_cycles=MAX_FUZZ_CYCLES,
+                                      fast_forward=False)
+                failure = _compare(ffonly, oracle, ir_module,
+                                   "O3/sim-superop", seed, source)
+                if failure is not None:
+                    return failure
+                mismatch = _counter_mismatch(ffonly, slow)
+                if mismatch is not None:
+                    return Failure(
+                        seed, "fastforward-mismatch", "O3/sim-superop",
+                        f"superop-only run diverged from the slow "
+                        f"reference on {mismatch[0]}", source,
+                        expected=mismatch[2], actual=mismatch[1])
         scalar = compile_source(source, machine=make_machine("generic-risc"),
                                 options=scalar_options())
         out = scalar.execute()

@@ -135,6 +135,7 @@ class DOp:
         "busy_extra",  # extra occupancy cycles charged on execute
         "width", "fp", "signed",
         "d2i",         # K_CVT: True for d2i, False for i2d
+        "ff",          # K_JNI: LoopPlan when the loop has superops
     )
 
     def __init__(self, kind: int, instr) -> None:
@@ -157,6 +158,7 @@ class DOp:
         self.fp = False
         self.signed = True
         self.d2i = False
+        self.ff = None
 
     def __repr__(self) -> str:  # debugging aid only
         return f"<DOp k={self.kind} e={self.ekind} {self.instr!r}>"

@@ -31,6 +31,7 @@ reference interpreter.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -54,7 +55,8 @@ from .errors import SimError
 from .fifo import FifoError, InFifo, OutFifo, Reservation
 from .loader import Program, load_program
 from .loopmap import loop_map_for
-from .memory import MemError, MemorySystem, SimMemoryView
+from .memory import MemError, MemorySystem, SimMemoryView, _pool_release
+from .superops import FFEngine, superop_cache_for
 from .telemetry import CycleLedger, SimTelemetry, StreamStats
 
 __all__ = ["WMSimulator", "SimResult", "SimError", "simulate"]
@@ -153,7 +155,9 @@ class WMSimulator:
                  telemetry: bool = False,
                  profile: bool = False,
                  slow: bool = False,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 superops: bool = True,
+                 fast_forward: bool = True) -> None:
         self.module = module
         #: slow=True runs the original tree-walking interpreter loop —
         #: the reference the decoded fast path is equivalence-tested
@@ -225,6 +229,17 @@ class WMSimulator:
         self.ieu.regs[29] = (mem_size - 64) & ~0xF
         self.ieu.regs[30] = HALT_PC
         self.halted = False
+        #: superop / fast-forward engine — plain fast runs only.
+        #: Telemetry, profile and fault runs observe per-cycle state, so
+        #: they never consult the fused closures (decode-cache keying:
+        #: the plan cache marks dops, but only _run_fast reads the mark
+        #: through an engine).
+        self._ff = None
+        self._ff_pending = None
+        if superops and not self.slow and self.telemetry is None:
+            cache = superop_cache_for(self)
+            if cache is not None:
+                self._ff = FFEngine(self, cache, advance=fast_forward)
 
     # ------------------------------------------------------------------ run --
     def run(self) -> SimResult:
@@ -301,6 +316,13 @@ class WMSimulator:
                 self._raise_deadlock()
 
     def _finish(self) -> SimResult:
+        if self._ff is not None:
+            # Break the engine<->simulator reference cycle so a finished
+            # run is reclaimed by refcounting alone; leaving it cyclic
+            # feeds the GC ~350 objects per run, and the resulting
+            # collection pauses dominate short-simulation timings.
+            self._ff.sim = None
+            self._ff = None
         tel = self.telemetry
         if tel is not None:
             tel.cycles = self.cycle
@@ -312,6 +334,11 @@ class WMSimulator:
                 tel.fifo(fifo.name, fifo.capacity).high_water = \
                     fifo.high_water
         ret_int = self.ieu.regs[2]
+        view = SimMemoryView(self.memory.data, self.memory.data_end)
+        # The view now owns the backing buffer: recycle it into the
+        # memory-system pool once the result itself is garbage.
+        weakref.finalize(view, _pool_release, self.memory.size,
+                         self.memory.data, self.memory._dirty)
         return SimResult(
             value=ret_int,
             cycles=self.cycle,
@@ -321,7 +348,7 @@ class WMSimulator:
             memory_reads=self.memory.reads,
             memory_writes=self.memory.writes,
             stream_elements=self.stream_elements,
-            memory=SimMemoryView(self.memory.data, self.memory.data_end),
+            memory=view,
             globals_base=dict(self.memory.globals_base),
             telemetry=tel,
         )
@@ -383,6 +410,15 @@ class WMSimulator:
             self._check_done()
             if cycle - self._progress_cycle > 10_000:
                 self._raise_deadlock()
+            if self._ff_pending is not None:
+                # Taken JNI back edge of a superop-compiled loop: offer
+                # the boundary to the fast-forward engine.  A boundary
+                # cycle always made progress, so continuing is what the
+                # skip logic below would do anyway.
+                plan = self._ff_pending
+                self._ff_pending = None
+                self._ff.on_boundary(plan)
+                continue
             if self.halted or delivered or \
                     self._progress_cycle == cycle or self._activity or \
                     self.pc != pc_before:
@@ -610,9 +646,13 @@ class WMSimulator:
         """Record one loop iteration when the IFU takes a back edge."""
         lid = self._loop_of[target]
         if lid and self._ledger.loopmap.loops[lid].header == target:
+            inflight = self.memory._inflight
             self._ledger.note_iteration(
                 lid, self.cycle,
-                len(self.ieu.queue) + len(self.feu.queue))
+                len(self.ieu.queue) + len(self.feu.queue),
+                sum(f._buffered for f in self.in_fifos.values())
+                + sum(f.available() for f in self.out_fifos.values()),
+                inflight[0][0] - self.cycle if inflight else -1)
 
     def _tick_ifu_profile(self) -> None:
         """_tick_ifu_fast plus back-edge iteration recording — a copy so
@@ -792,7 +832,14 @@ class WMSimulator:
                     return  # stall until the stream is activated
                 state.jni_counter -= 1
                 self._progress_cycle = self.cycle
-                pc = d.target if state.jni_counter > 0 else pc + 1
+                if state.jni_counter > 0:
+                    pc = d.target
+                    if d.ff is not None and self._ff is not None:
+                        # boundary offered to the fast-forward engine
+                        # once this cycle's IFU tick completes
+                        self._ff_pending = d.ff
+                else:
+                    pc = pc + 1
                 continue
             if kind == K_CALL:
                 ieu = self.ieu

@@ -27,6 +27,24 @@ from ..rtl.module import RtlModule
 
 __all__ = ["MemorySystem", "MemError", "SimMemoryView"]
 
+#: Reusable backing buffers, keyed by size.  Allocating (and first-
+#: touching) an 8 MB ``bytearray`` costs a large fraction of a short
+#: simulation, so finished runs donate their buffer back here along
+#: with the high-water mark of dirtied bytes; the next ``MemorySystem``
+#: of the same size re-zeroes only that dirty prefix.  Ownership is
+#: handed from the ``MemorySystem`` to the ``SimMemoryView`` when a
+#: result is built (see ``machine.py``): the buffer re-enters the pool
+#: only once the view is garbage, so a live ``SimResult`` can never
+#: alias a recycled buffer.
+_buffer_pool: dict[int, list[tuple[bytearray, int]]] = {}
+_BUFFER_POOL_MAX = 2
+
+
+def _pool_release(size: int, data: bytearray, dirty: list) -> None:
+    bucket = _buffer_pool.setdefault(size, [])
+    if len(bucket) < _BUFFER_POOL_MAX:
+        bucket.append((data, dirty[0], dirty[1]))
+
 
 class MemError(Exception):
     """Out-of-range access or similar runtime trap."""
@@ -44,7 +62,7 @@ class SimMemoryView:
     globals (``SimResult.global_bytes``) always live below ``data_end``.
     """
 
-    __slots__ = ("_data", "data_end", "_size")
+    __slots__ = ("_data", "data_end", "_size", "__weakref__")
 
     def __init__(self, data, data_end: int, size: Optional[int] = None):
         self._data = data
@@ -93,9 +111,26 @@ class MemorySystem:
         self.size = size
         self.latency = latency
         self.ports = ports
-        self.data = bytearray(size)
+        bucket = _buffer_pool.get(size)
+        if bucket:
+            self.data, high, stack_low = bucket.pop()
+            if high > DATA_BASE:
+                self.data[DATA_BASE:high] = bytes(high - DATA_BASE)
+            if stack_low < size:
+                self.data[stack_low:] = bytes(size - stack_low)
+        else:
+            self.data = bytearray(size)
+        #: dirty extents: ``[DATA_BASE, _dirty[0])`` for the upward-
+        #: growing data segment and ``[_dirty[1], size)`` for the
+        #: downward-growing stack; writes below the halfway mark widen
+        #: the former, writes above it widen the latter.  A mutable
+        #: list so the pool-release finalizer (registered by the
+        #: simulator on the result view) sees the final values.
+        self._dirty = [DATA_BASE, size]
+        self._dirty_split = size >> 1
         self.globals_base: dict[str, int] = {}
         self._layout(module)
+        self._dirty[0] = max(self._dirty[0], self.data_end)
         #: (due_cycle, callback, value) completions; due cycles are
         #: monotone (fixed latency, appended in cycle order), so the
         #: front entry is always the next to complete
@@ -170,6 +205,12 @@ class MemorySystem:
         else:
             raw = struct.pack("<I", int(value) & 0xFFFFFFFF)
         self.data[addr:addr + width] = raw
+        dirty = self._dirty
+        if addr >= self._dirty_split:
+            if addr < dirty[1]:
+                dirty[1] = addr
+        elif addr + width > dirty[0]:
+            dirty[0] = addr + width
 
     # -- timed interface ------------------------------------------------------------
     def begin_cycle(self) -> None:
@@ -184,11 +225,17 @@ class MemorySystem:
         Returns False if the port limit was reached this cycle."""
         if not self.can_accept():
             return False
+        # Read before counting: an out-of-range address (an infinite
+        # stream prefetching past the data segment) must not consume a
+        # port slot or inflate the read counter here — the caller's
+        # MemError fallback accounts for the attempted slot itself, and
+        # the counters stay comparable between the fast and slow loops,
+        # which reach the trapping attempt a different number of times.
+        value = self.read_value(addr, width, fp, signed)
         self._accepted_this_cycle += 1
         self.reads += 1
         if self.region_stats is not None:
             self._classify(addr, "reads")
-        value = self.read_value(addr, width, fp, signed)
         self._inflight.append((cycle + self.latency, deliver, value))
         return True
 

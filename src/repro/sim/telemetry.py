@@ -191,7 +191,7 @@ class LoopIterStats:
     """
 
     __slots__ = ("iterations", "last_cycle", "deltas", "_tail", "_depths",
-                 "_pos")
+                 "_occs", "_dues", "_pos")
 
     def __init__(self) -> None:
         self.iterations = 0
@@ -202,18 +202,31 @@ class LoopIterStats:
         #: unit-queue depth at each recorded back edge (aligned with
         #: ``_tail``); lets the steady detector see queue build-up
         self._depths: list[int] = []
+        #: total stream-FIFO occupancy at each back edge — a steady
+        #: verdict requires it to repeat with the same period as the
+        #: cycle deltas (constant pace with drifting buffers is not a
+        #: steady state the fast-forward engine could replay)
+        self._occs: list[int] = []
+        #: cycles until the next memory completion at each back edge
+        #: (-1 when nothing is in flight) — likewise must be periodic
+        self._dues: list[int] = []
         self._pos = 0
 
-    def note(self, cycle: int, depth: int = 0) -> None:
+    def note(self, cycle: int, depth: int = 0, occupancy: int = 0,
+             mem_due: int = -1) -> None:
         if self.last_cycle >= 0:
             delta = cycle - self.last_cycle
             self.deltas[delta] = self.deltas.get(delta, 0) + 1
             if len(self._tail) < _TAIL_SIZE:
                 self._tail.append(delta)
                 self._depths.append(depth)
+                self._occs.append(occupancy)
+                self._dues.append(mem_due)
             else:
                 self._tail[self._pos] = delta
                 self._depths[self._pos] = depth
+                self._occs[self._pos] = occupancy
+                self._dues[self._pos] = mem_due
                 self._pos = (self._pos + 1) % _TAIL_SIZE
         self.iterations += 1
         self.last_cycle = cycle
@@ -226,6 +239,15 @@ class LoopIterStats:
         """Queue depths at the recorded back edges, oldest first."""
         return self._depths[self._pos:] + self._depths[:self._pos]
 
+    def occupancy_tail(self) -> list[int]:
+        """Stream-FIFO occupancies at the back edges, oldest first."""
+        return self._occs[self._pos:] + self._occs[:self._pos]
+
+    def due_tail(self) -> list[int]:
+        """Next-memory-completion deltas at the back edges, oldest
+        first (-1 where nothing was in flight)."""
+        return self._dues[self._pos:] + self._dues[:self._pos]
+
     def to_dict(self) -> dict:
         return {
             "iterations": self.iterations,
@@ -233,6 +255,8 @@ class LoopIterStats:
             "deltas": {str(k): v for k, v in sorted(self.deltas.items())},
             "tail": self.tail(),
             "depth_tail": self.depth_tail(),
+            "occupancy_tail": self.occupancy_tail(),
+            "due_tail": self.due_tail(),
         }
 
 
@@ -247,12 +271,14 @@ def detect_steady_ii(stats: LoopIterStats) -> dict:
     the unit queues and takes back edges early — so the leading deltas
     under-shoot the steady II until the queues saturate.  The suffix
     must cover at least two full periods and at least half the window,
-    and must not show net unit-queue growth (a constant pace with queues
-    filling behind it is transient), so a still-transient run is not
-    mistaken for steady state.  A
-    periodic verdict is the guard a future analytic fast-forward needs:
-    once the pattern repeats, the remaining iterations are predictable
-    (ROADMAP item 2).
+    must not show net unit-queue growth (a constant pace with queues
+    filling behind it is transient), and the stream-FIFO occupancies
+    and next-memory-completion deltas sampled at the back edges must
+    repeat with the same period (outside a short exit-drain suffix),
+    so a still-transient run is not mistaken for steady state.  A periodic verdict is the heuristic
+    twin of the guard the analytic fast-forward needs; the superop
+    engine (:mod:`repro.sim.superops`) proves the stronger exact form —
+    full timing-state fingerprint equality — before it advances.
 
     Falls back to the all-iterations mean with ``periodic=False`` when
     no period fits; the mean blends warm-up with steady iterations, so
@@ -261,6 +287,8 @@ def detect_steady_ii(stats: LoopIterStats) -> dict:
     tail = stats.tail()
     window = tail[-32:]
     depths = stats.depth_tail()[-32:]
+    occs = stats.occupancy_tail()[-32:]
+    dues = stats.due_tail()[-32:]
     n = len(window)
     for period in range(1, _MAX_PERIOD + 1):
         if n < 2 * period:
@@ -280,6 +308,21 @@ def detect_steady_ii(stats: LoopIterStats) -> dict:
             if len(depths) == n and \
                     depths[-1] - depths[-suffix] > period:
                 break
+            # The FIFO occupancies and the memory phase must repeat
+            # with the same period: a constant back-edge pace whose
+            # buffers or in-flight due-times drift is not a state the
+            # analytic fast-forward could replay, so it must not earn
+            # the periodic verdict.  The ring ends at the loop's final
+            # iterations, where streams close and the FIFOs drain at an
+            # unchanged pace, so a short trailing suffix is exempt —
+            # genuine transient drift spans the whole window and still
+            # fails the interior.  A longer period may still fit.
+            guard = min(matches // 2, 8)
+            if len(occs) == n and any(
+                    occs[j] != occs[j - period] or
+                    dues[j] != dues[j - period]
+                    for j in range(n - matches, n - guard)):
+                continue
             return {
                 "ii": sum(window[-period:]) / period,
                 "periodic": True,
@@ -330,11 +373,12 @@ class CycleLedger:
         causes[cause] = causes.get(cause, 0) + count
 
     def note_iteration(self, lid: int, cycle: int,
-                       depth: int = 0) -> None:
+                       depth: int = 0, occupancy: int = 0,
+                       mem_due: int = -1) -> None:
         stats = self.iters.get(lid)
         if stats is None:
             stats = self.iters[lid] = LoopIterStats()
-        stats.note(cycle, depth)
+        stats.note(cycle, depth, occupancy, mem_due)
 
     def track_fifo(self, name: str, cycle: int, level: int) -> None:
         track = self.fifo_tracks.get(name)

@@ -189,6 +189,44 @@ class TestWorkerDeath:
         assert retried
         assert any(r.args["job"] == "j2" for r in retried)
 
+    def test_poisoned_pool_discarded_and_next_batch_clean(self, pooled):
+        # a kill poisons the shared executor; the next batch must get
+        # a fresh pool and complete without retries
+        from repro.obs import RemarkCollector, use_remarks
+        run_jobs(self._batch(), workers=2, kill_jobs={0})
+        collector = RemarkCollector()
+        with use_remarks(collector):
+            results = run_jobs(self._batch(), workers=2)
+        assert [r.value for r in results] == list(range(6))
+        assert not any(r.reason == "job-retried"
+                       for r in collector.remarks)
+
+
+class TestPoolReuse:
+    """The shared executor survives across batches and worker counts
+    recycle it."""
+
+    def _batch(self, tag):
+        return [SimJob(f"{tag}{n}",
+                       f"int main(void) {{ return {n} + 100; }}")
+                for n in range(4)]
+
+    def test_pool_shared_across_batches(self, monkeypatch):
+        from repro.perf import parallel
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        parallel.reset_pool()
+        try:
+            run_jobs(self._batch("a"), workers=2)
+            first = parallel._pool
+            assert first is not None
+            run_jobs(self._batch("b"), workers=2)
+            assert parallel._pool is first
+            run_jobs(self._batch("c"), workers=3)
+            assert parallel._pool is not first  # new worker count
+        finally:
+            parallel.reset_pool()
+        assert parallel._pool is None
+
 
 class TestMemoryViewPickle:
     def test_roundtrip_ships_data_segment_only(self):

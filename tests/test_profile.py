@@ -83,13 +83,15 @@ class TestLoopMap:
 
 
 class TestSteadyII:
-    def _stats(self, deltas, depths=None):
+    def _stats(self, deltas, depths=None, occs=None, dues=None):
         stats = LoopIterStats()
         cycle = 0
         stats.note(cycle)
         for i, delta in enumerate(deltas):
             cycle += delta
-            stats.note(cycle, depths[i] if depths else 0)
+            stats.note(cycle, depths[i] if depths else 0,
+                       occs[i] if occs else 0,
+                       dues[i] if dues else -1)
         return stats
 
     def test_constant_deltas_periodic(self):
@@ -122,6 +124,34 @@ class TestSteadyII:
         assert not ii["periodic"]
         steady = detect_steady_ii(self._stats(deltas, [2] * 10))
         assert steady["periodic"] and steady["ii"] == 3.0
+
+    def test_occupancy_drift_rejects_transient_pace(self):
+        # constant pace while a stream FIFO steadily fills: the pace
+        # only holds until the buffer saturates, so it is transient
+        deltas = [3] * 12
+        filling = list(range(1, 13))
+        ii = detect_steady_ii(self._stats(deltas, occs=filling))
+        assert not ii["periodic"]
+        steady = detect_steady_ii(self._stats(deltas, occs=[6] * 12))
+        assert steady["periodic"] and steady["ii"] == 3.0
+
+    def test_memory_phase_drift_rejects_transient_pace(self):
+        # the next in-flight completion drifts relative to the back
+        # edge — the memory pipeline has not reached its fixed phase
+        deltas = [4] * 12
+        drifting = list(range(12))
+        ii = detect_steady_ii(self._stats(deltas, dues=drifting))
+        assert not ii["periodic"]
+        steady = detect_steady_ii(self._stats(deltas, dues=[2] * 12))
+        assert steady["periodic"] and steady["ii"] == 4.0
+
+    def test_exit_drain_suffix_tolerated(self):
+        # the final iterations before loop exit drain the FIFOs at an
+        # unchanged pace — a short trailing deviation keeps the verdict
+        deltas = [2] * 24
+        occs = [14] * 20 + [11, 8, 5, 2]
+        ii = detect_steady_ii(self._stats(deltas, occs=occs))
+        assert ii["periodic"] and ii["ii"] == 2.0
 
     def test_no_iterations(self):
         assert detect_steady_ii(LoopIterStats())["ii"] is None
