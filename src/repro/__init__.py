@@ -30,7 +30,14 @@ from .opt import OptOptions
 
 __version__ = "1.0.0"
 
+#: Compiler revision: part of every compile-cache key (in-process and
+#: on-disk).  Bump on ANY change that can alter generated code or the
+#: contents of a :class:`CompileResult` (new passes, codegen fixes,
+#: report-schema changes), so persistent artifacts written by an older
+#: compiler can never be served by a newer one.
+__compiler_rev__ = 1
+
 __all__ = [
     "CompileResult", "compile_source", "compile_to_ir", "scalar_options",
-    "OptOptions", "__version__",
+    "OptOptions", "__version__", "__compiler_rev__",
 ]

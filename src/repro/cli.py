@@ -47,6 +47,19 @@ Commands
     Delta-debug a failing program (a bundle directory from ``fuzz
     --out``, or a bare ``.c`` file) down to a minimal reproducer.
 
+``serve``
+    Run the compile service daemon: JSON-lines over a unix socket
+    (``--http PORT`` adds a localhost HTTP listener) serving the
+    compute commands with single-flight dedup, micro-batched dispatch,
+    bounded-queue backpressure, and a graceful drain on shutdown.
+    ``--cache-dir DIR`` (or ``REPRO_CACHE_DIR``) enables the
+    persistent compile-artifact store.
+
+``request``
+    Send one request to a running daemon and replay its response
+    faithfully — same stdout, stderr, and exit code as the local
+    command (``--raw`` prints the JSON envelope instead).
+
 Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
 generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
 ``--function NAME`` (listing selection), and on most commands
@@ -151,13 +164,36 @@ def _options_for(args: argparse.Namespace, machine: Machine) -> OptOptions:
     return options
 
 
+def _compile_maybe_cached(source: str, target: str, options: OptOptions,
+                          allow_cache: bool):
+    """Compile, via the two-tier compile cache when nothing observes
+    the compile itself.
+
+    ``allow_cache`` is the caller's judgment that its output contains
+    no compile-phase observability (tracer spans, live remarks) that a
+    cache hit could not replay; an active remark sink always forces a
+    real compile.  On a miss the cache compiles and remembers; with
+    ``REPRO_CACHE_DIR`` set the artifact also persists, so repeated CLI
+    invocations (and every serve-daemon worker) share one warm store.
+    """
+    from .obs import get_remark_sink
+    if allow_cache and not get_remark_sink().enabled:
+        from .perf.cache import compile_cached
+        return compile_cached(source, target, options)
+    machine = _make_machine(target)
+    return compile_source(source, machine=machine, options=options)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     source = open(args.file).read()
     machine = _make_machine(args.target)
     tracer = _tracer_for(args)
     with use_tracer(tracer):
-        result = compile_source(source, machine=machine,
-                                options=_options_for(args, machine))
+        result = _compile_maybe_cached(
+            source, args.target, _options_for(args, machine),
+            # --json embeds per-pass spans/timings: those must come
+            # from a live compile, not a replayed artifact.
+            allow_cache=not tracer.enabled)
     if args.json:
         report = {
             "manifest": run_manifest(),
@@ -204,8 +240,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracer = _tracer_for(args)
     telemetry = None
     with use_tracer(tracer):
-        result = compile_source(source, machine=machine,
-                                options=_options_for(args, machine))
+        # --json exports counters and simulation telemetry, neither of
+        # which observes the compile — only --trace-out (compile-phase
+        # spans) needs a live compile.
+        result = _compile_maybe_cached(
+            source, args.target, _options_for(args, machine),
+            allow_cache=not getattr(args, "trace_out", None))
         oracle = result.run_oracle()
         if isinstance(machine, WM):
             sim_kwargs: dict = {"telemetry": tracer.enabled}
@@ -312,6 +352,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .opt.bounds import compute_module_bounds
     tracer = Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
     with use_tracer(tracer):
+        # Always a live compile: the report's %ff column observes the
+        # superop engine's learned state, which a cache-shared module
+        # would carry over from earlier runs in the same process.
         result = compile_source(source, machine=machine,
                                 options=_options_for(args, machine))
         bounds = compute_module_bounds(result.rtl)
@@ -538,6 +581,66 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import Daemon, ServeConfig
+
+    config = ServeConfig(
+        socket_path=args.socket, http_port=args.http,
+        workers=args.workers, queue_depth=args.queue_depth,
+        batch_max=args.batch_max, batch_window_ms=args.batch_window_ms,
+        cache_dir=args.cache_dir, spool_dir=args.spool_dir)
+
+    async def _serve() -> None:
+        daemon = Daemon(config)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            # Graceful drain on ^C / TERM: stop admitting, finish the
+            # queue, deliver every response, then exit.
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(daemon.shutdown()))
+        listen = config.socket_path
+        if daemon.http_port is not None:
+            listen += (f" and http://{config.http_host}:"
+                       f"{daemon.http_port}")
+        print(f"repro serve: listening on {listen} "
+              f"(pid {os.getpid()})", file=sys.stderr)
+        await daemon.run()
+        print("repro serve: drained, shut down", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return EXIT_OK
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .serve import request as serve_request
+    from .serve.protocol import CONTROL_OPS
+
+    payload: dict = {"op": args.op, "args": list(args.op_args)}
+    if args.source_file:
+        payload["source"] = open(args.source_file).read()
+    if args.id is not None:
+        payload["id"] = args.id
+    try:
+        response = serve_request(payload, args.socket,
+                                 timeout=args.timeout)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach serve daemon at {args.socket}: "
+              f"{exc}", file=sys.stderr)
+        return EXIT_MISMATCH
+    if args.raw or args.op in CONTROL_OPS or not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return EXIT_OK if response.get("ok") else EXIT_MISMATCH
+    # Replay the served invocation faithfully: same stdout, same
+    # stderr, same exit code as running the command locally.
+    sys.stdout.write(response["stdout"])
+    sys.stderr.write(response["stderr"])
+    return response["exit_code"]
+
+
 #: Exception class -> (exit code, diagnostic label).  Order matters:
 #: the first matching entry wins (LexError/ParseError before their
 #: SyntaxError base would, say, shadow them).
@@ -550,6 +653,9 @@ _ERROR_EXITS: list = [
     (FifoError, EXIT_RUNTIME, "simulation error"),
     (MemError, EXIT_RUNTIME, "simulation error"),
     (TrapError, EXIT_RUNTIME, "runtime trap"),
+    # Unreadable input (missing file, permissions, a directory where a
+    # file was expected): a one-line diagnostic, never a traceback.
+    (OSError, 1, "i/o error"),
 ]
 
 
@@ -706,6 +812,59 @@ def main(argv: list[str] | None = None) -> int:
                           help="reduction budget: maximum predicate "
                                "invocations")
     p_reduce.set_defaults(func=_cmd_reduce)
+
+    default_socket = os.path.join(
+        os.environ.get("TMPDIR", "/tmp"), "repro-serve.sock")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the compile service daemon (unix socket "
+                      "JSON-lines, optional localhost HTTP)")
+    p_serve.add_argument("--socket", default=default_socket,
+                         metavar="PATH",
+                         help=f"unix socket path (default "
+                              f"{default_socket})")
+    p_serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                         help="also listen on localhost HTTP "
+                              "(0 = ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="execute batches on N pool workers "
+                              "(0/1: in the daemon process)")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="pending-queue bound before requests are "
+                              "refused as overloaded")
+    p_serve.add_argument("--batch-max", type=int, default=16,
+                         help="micro-batch size cap")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="micro-batch collection window")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent compile-artifact store "
+                              "(default: REPRO_CACHE_DIR if set)")
+    p_serve.add_argument("--spool-dir", default=None, metavar="DIR",
+                         help="where inline request sources are spooled "
+                              "(default: a fresh temp dir)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_request = sub.add_parser(
+        "request", help="send one request to a running serve daemon")
+    p_request.add_argument("op",
+                           help="compile/run/explain/profile/fuzz, or "
+                                "ping/stats/shutdown")
+    p_request.add_argument("op_args", nargs=argparse.REMAINDER,
+                           help="argument vector for the served command")
+    p_request.add_argument("--socket", default=default_socket,
+                           metavar="PATH")
+    p_request.add_argument("--source-file", default=None, metavar="FILE",
+                           help="send FILE's text as inline source "
+                                "(spooled server-side; substituted for "
+                                "a {source} placeholder in the args, "
+                                "else appended)")
+    p_request.add_argument("--id", default=None,
+                           help="request id echoed in the response")
+    p_request.add_argument("--timeout", type=float, default=60.0)
+    p_request.add_argument("--raw", action="store_true",
+                           help="print the raw JSON response instead of "
+                                "replaying stdout/stderr/exit code")
+    p_request.set_defaults(func=_cmd_request)
 
     args = parser.parse_args(argv)
     # One process can serve several invocations (tests drive main()

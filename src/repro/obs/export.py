@@ -33,18 +33,27 @@ def run_manifest(argv: Optional[list] = None) -> dict:
 
     Perf numbers and remark streams are only comparable when the
     producing environment is known; the manifest pins the repro
-    version, interpreter, hash seed (set-iteration order affects
-    codegen identity across seeds), platform and command line, and is
-    embedded in every ``--json``/``--trace-out`` export and the
+    version, compiler revision, interpreter, hash seed (set-iteration
+    order affects codegen identity across seeds), platform, command
+    line, and the compile-cache hit/miss picture of the producing
+    process (both tiers — whether a number came from cold compiles or
+    a warm artifact store is part of its provenance), and is embedded
+    in every ``--json``/``--trace-out`` export and the
     ``BENCH_*.json`` files.
     """
-    from .. import __version__
+    from .. import __compiler_rev__, __version__
+    # Function-level import: obs is imported by the compiler, which the
+    # perf cache imports in turn — importing it at module scope would
+    # close that cycle at import time.
+    from ..perf.cache import cache_stats
     return {
         "repro_version": __version__,
+        "compiler_rev": __compiler_rev__,
         "python": sys.version.split()[0],
         "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
         "platform": platform.platform(),
         "argv": list(sys.argv if argv is None else argv),
+        "cache": cache_stats(),
     }
 
 _WALL_PID = 1

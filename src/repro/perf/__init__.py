@@ -14,12 +14,17 @@ The reporting tables and the ``repro bench`` CLI funnel their
   command and ``benchmarks/bench_perf.py``.
 """
 
-from .cache import cache_stats, clear_cache, compile_cached, is_cached
-from .parallel import JobResult, SimJob, reset_pool, run_jobs
+from .cache import (
+    cache_stats, clear_cache, compile_cached, configure_disk_store,
+    content_key, get_disk_store, is_cached,
+)
+from .parallel import JobResult, SimJob, get_shared_pool, reset_pool, run_jobs
 from .bench import bench_programs, time_fn
+from .store import DiskStore
 
 __all__ = [
     "cache_stats", "clear_cache", "compile_cached", "is_cached",
-    "JobResult", "SimJob", "reset_pool", "run_jobs",
+    "configure_disk_store", "content_key", "get_disk_store", "DiskStore",
+    "JobResult", "SimJob", "get_shared_pool", "reset_pool", "run_jobs",
     "bench_programs", "time_fn",
 ]

@@ -47,7 +47,8 @@ from ..obs import Remark, get_remark_sink
 from ..opt import OptOptions
 from .cache import compile_cached, is_cached
 
-__all__ = ["SimJob", "JobResult", "run_jobs", "reset_pool"]
+__all__ = ["SimJob", "JobResult", "run_jobs", "reset_pool",
+           "get_shared_pool"]
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,18 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
         _pool = ProcessPoolExecutor(max_workers=workers)
         _pool_workers = workers
     return _pool
+
+
+def get_shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide shared executor, (re)sized to ``workers``.
+
+    This is the same pool ``run_jobs`` fans out over — exposed so other
+    dispatchers (the serve daemon's micro-batcher) reuse one set of
+    warm workers instead of forking their own.  Callers that submit
+    directly must treat :class:`BrokenProcessPool` like ``run_jobs``
+    does: call :func:`reset_pool` and fall back in-process.
+    """
+    return _get_pool(workers)
 
 
 def reset_pool() -> None:

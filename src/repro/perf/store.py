@@ -1,0 +1,211 @@
+"""Persistent content-addressed compile-artifact store (the disk tier).
+
+The in-process compile cache (:mod:`repro.perf.cache`) dies with its
+process; this store is the tier underneath it — a directory of pickled
+:class:`~repro.compiler.CompileResult` artifacts shared by every pool
+worker and surviving daemon restarts.  Keys are content hashes (sha256
+over compiler revision + machine + options + source, computed by the
+cache layer), so a hit is exact by construction and a compiler-revision
+bump orphans every stale artifact instead of serving it.
+
+Design invariants:
+
+* **Atomic publication.**  Writers pickle into a same-directory temp
+  file and ``os.replace`` it into place, so concurrent workers writing
+  the same key race harmlessly (last rename wins, both files are
+  complete) and a reader can never observe a half-written artifact
+  under the final name.
+* **Corruption tolerance.**  A read that fails for any reason —
+  truncated pickle, garbage bytes, vanished file, version skew inside
+  the payload — is a miss: the bad entry is deleted (best-effort) and
+  the caller recompiles and rewrites it.  The store never raises on the
+  read path.
+* **Bounded size.**  ``max_bytes`` caps the store; eviction is LRU by
+  file mtime, which doubles as the recency stamp (hits re-``utime``
+  their entry).  Eviction tolerates concurrent deletion.
+* **Fail-open writes.**  A write that fails (disk full, permissions,
+  unpicklable artifact) disables nothing and corrupts nothing — the
+  temp file is discarded and the compile result is simply not persisted.
+
+Hit/miss/write/evict counters feed ``cache_stats()`` and, through the
+run manifest, every ``--json``/``--trace-out`` export.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+__all__ = ["DiskStore", "DEFAULT_MAX_BYTES"]
+
+#: Default size cap: generous for this repo's artifacts (a compiled
+#: benchmark pickles to ~20 KB) while staying unremarkable on a dev box.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_SUFFIX = ".pkl"
+
+
+class DiskStore:
+    """Content-addressed pickle store under one root directory.
+
+    Artifacts live at ``root/objects/<hh>/<hash>.pkl`` (two-character
+    fan-out keeps directory listings short).  The store is safe for any
+    number of concurrent reader/writer *processes* on one filesystem —
+    coordination is entirely rename-based; there are no lock files.
+    """
+
+    def __init__(self, root: str,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.root = os.path.abspath(root)
+        self.max_bytes = max_bytes
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.read_errors = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key_hash: str) -> str:
+        return os.path.join(self.objects_dir, key_hash[:2],
+                            key_hash + _SUFFIX)
+
+    # -- read path -----------------------------------------------------------
+
+    def get(self, key_hash: str) -> Optional[object]:
+        """The stored artifact for ``key_hash``, or ``None`` (a miss).
+
+        Never raises: any failure to read or unpickle deletes the entry
+        (best-effort) and reports a miss.
+        """
+        path = self._path(key_hash)
+        try:
+            with open(path, "rb") as fh:
+                artifact = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write from a crashed process, garbage bytes,
+            # an unpicklable payload from a different code version —
+            # all equivalent: drop the entry, treat as a miss.
+            self.read_errors += 1
+            self.misses += 1
+            self._remove(path)
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)            # refresh LRU recency
+        except OSError:
+            pass                      # concurrently evicted: still a hit
+        return artifact
+
+    def contains(self, key_hash: str) -> bool:
+        """Pure existence probe; touches no counters or recency."""
+        return os.path.exists(self._path(key_hash))
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key_hash: str, artifact: object) -> bool:
+        """Persist ``artifact`` under ``key_hash``; True on success.
+
+        Pickles to an in-memory buffer first (so an unpicklable
+        artifact can never leave a partial temp file), then publishes
+        atomically via same-directory temp file + ``os.replace``.
+        """
+        try:
+            buffer = io.BytesIO()
+            pickle.dump(artifact, buffer,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            payload = buffer.getvalue()
+        except Exception:
+            return False
+        path = self._path(key_hash)
+        directory = os.path.dirname(path)
+        tmp_path = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=key_hash[:8] + "-", suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp_path, path)
+            tmp_path = None
+        except OSError:
+            if tmp_path is not None:
+                self._remove(tmp_path)
+            return False
+        self.writes += 1
+        self._evict()
+        return True
+
+    # -- eviction ------------------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """(mtime, size, path) for every artifact currently on disk."""
+        entries = []
+        try:
+            fanouts = os.scandir(self.objects_dir)
+        except OSError:
+            return entries
+        with fanouts:
+            for fanout in fanouts:
+                if not fanout.is_dir():
+                    continue
+                try:
+                    children = os.scandir(fanout.path)
+                except OSError:
+                    continue
+                with children:
+                    for child in children:
+                        if not child.name.endswith(_SUFFIX):
+                            continue
+                        try:
+                            stat = child.stat()
+                        except OSError:
+                            continue   # concurrently removed
+                        entries.append(
+                            (stat.st_mtime, stat.st_size, child.path))
+        return entries
+
+    def _evict(self) -> None:
+        """Delete least-recently-used artifacts until under the cap."""
+        entries = self._entries()
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort()                 # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if self._remove(path):
+                total -= size
+                self.evictions += 1
+
+    @staticmethod
+    def _remove(path: str) -> bool:
+        try:
+            os.remove(path)
+            return True
+        except OSError:
+            return False
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters plus a fresh on-disk entry/byte census."""
+        entries = self._entries()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "read_errors": self.read_errors,
+            "entries": len(entries),
+            "bytes": sum(size for _mtime, size, _path in entries),
+        }

@@ -195,6 +195,31 @@ class Instr:
             setattr(new, slot, value)
         return new
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # The cached ``_df`` tuple embeds int bitmasks over the *producing
+    # process's* cell-interning table (repro.rtl.expr.cell_index), whose
+    # index assignment depends on first-sight order.  A pickled
+    # instruction may be loaded by a different process (the persistent
+    # compile-artifact store), where those indices would silently decode
+    # to the wrong cells — so pickles carry no dataflow cache and the
+    # loader recomputes it lazily against its own interning table.
+
+    def __getstate__(self) -> dict:
+        cls = type(self)
+        slots = _CLONE_SLOTS.get(cls)
+        if slots is None:
+            slots = tuple(slot for klass in cls.__mro__
+                          for slot in getattr(klass, "__slots__", ()))
+            _CLONE_SLOTS[cls] = slots
+        return {slot: getattr(self, slot)
+                for slot in slots if slot != "_df"}
+
+    def __setstate__(self, state: dict) -> None:
+        self._df = None
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def _compute_uses(self):
         return _EMPTY_FROZEN
 

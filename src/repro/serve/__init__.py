@@ -1,0 +1,28 @@
+"""repro.serve — compile-as-a-service.
+
+A long-running asyncio daemon that serves the CLI's compute commands
+(``compile`` / ``run`` / ``explain`` / ``profile`` / ``fuzz``) over a
+unix socket (JSON-lines) and optionally localhost HTTP, with
+single-flight request dedup, micro-batched dispatch into the shared
+``perf.parallel`` process pool, bounded-queue backpressure, graceful
+drain, and per-request-type latency metrics.  Responses are
+byte-identical to the equivalent CLI invocation.
+
+Layering: :mod:`~repro.serve.protocol` (wire format and validation),
+:mod:`~repro.serve.handlers` (CLI-equivalent execution, picklable for
+the pool), :mod:`~repro.serve.daemon` (event loop, queueing, serving),
+:mod:`~repro.serve.client` (synchronous clients).
+"""
+
+from .client import Client, http_request, request
+from .daemon import Daemon, DaemonHandle, ServeConfig, start_daemon_thread
+from .protocol import (
+    COMPUTE_OPS, CONTROL_OPS, ProtocolError, Request, canonical_key,
+    parse_request,
+)
+
+__all__ = [
+    "COMPUTE_OPS", "CONTROL_OPS", "Client", "Daemon", "DaemonHandle",
+    "ProtocolError", "Request", "ServeConfig", "canonical_key",
+    "http_request", "parse_request", "request", "start_daemon_thread",
+]

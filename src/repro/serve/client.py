@@ -1,0 +1,93 @@
+"""Synchronous clients for the compile service.
+
+Deliberately boring: blocking sockets, one JSON line out, one JSON
+line back.  :func:`request` is the one-shot convenience (connect, ask,
+close); :class:`Client` keeps a connection open for pipelining many
+requests; :func:`http_request` speaks to the localhost HTTP listener
+via :mod:`http.client`.  All three are what ``repro request``, the
+benchmark's closed-loop workers, and the tests use — there is no
+separate "internal" path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Optional
+
+from .protocol import decode_line, encode_line
+
+__all__ = ["Client", "request", "http_request"]
+
+#: Responses carrying a full stdout capture can be large; read frames
+#: in chunks of this size.
+_CHUNK = 1 << 16
+
+
+class Client:
+    """A persistent JSON-lines connection to the daemon's unix socket.
+
+    Thread-safe: a lock serializes request/response pairs, so one
+    client may be shared by closed-loop worker threads (each request
+    still gets its own response — the daemon answers in order per
+    connection).
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 60.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._buffer = b""
+        self._lock = threading.Lock()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object; block for its response object."""
+        with self._lock:
+            self._sock.sendall(encode_line(payload))
+            return self._read_response()
+
+    def _read_response(self) -> dict:
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(_CHUNK)
+            if not chunk:
+                raise ConnectionError(
+                    "serve daemon closed the connection")
+            self._buffer += chunk
+        line, _sep, self._buffer = self._buffer.partition(b"\n")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def request(payload: dict, socket_path: str,
+            timeout: float = 60.0) -> dict:
+    """One-shot: connect, send ``payload``, return the response."""
+    with Client(socket_path, timeout=timeout) as client:
+        return client.request(payload)
+
+
+def http_request(payload: dict, port: int, host: str = "127.0.0.1",
+                 timeout: float = 60.0,
+                 path: Optional[str] = None) -> dict:
+    """POST one request to the HTTP listener; return the response."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode("utf-8")
+        conn.request("POST", path or "/v1/request", body=body,
+                     headers={"Content-Type": "application/json"})
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()

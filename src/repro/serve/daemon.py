@@ -1,0 +1,535 @@
+"""The compile-as-a-service daemon: an asyncio front door.
+
+Architecture (the paper's access/execute split, applied to serving):
+
+* **Access** — the event loop owns intake: a JSON-lines unix-socket
+  listener plus an optional localhost HTTP listener parse and validate
+  requests, answer control ops inline, and *admit* compute ops into a
+  bounded pending queue.  Admission is where the two serving-layer
+  optimizations live:
+
+  - **single-flight dedup**: requests with equal
+    :func:`~repro.serve.protocol.canonical_key` coalesce onto one
+    in-flight future — N concurrent identical requests cost one
+    execution and N cheap response copies;
+  - **backpressure**: a full queue refuses immediately
+    (``error: "overloaded"``) instead of buffering without bound, and
+    a draining daemon refuses with ``error: "draining"`` — clients
+    always get a prompt, honest answer.
+
+* **Execute** — a single dispatcher task drains the queue in
+  micro-batches (up to ``batch_max`` requests, collected for at most
+  ``batch_window_ms`` once the first arrives) and ships each batch to
+  the execution tier: the shared ``perf.parallel`` process pool when
+  the host has the cores for it, an in-process worker thread otherwise.
+  A batch is one pool task, so dispatch overhead (pickling, executor
+  bookkeeping) amortizes across the batch; a worker death resets the
+  shared pool and the batch replays inline — requests are never lost.
+
+Shutdown is a drain: new compute work is refused, queued work
+completes, every in-flight response is delivered, and only then do the
+listeners close (``shutdown`` control requests are answered with the
+post-drain queue state as proof).
+
+Per-request-type latency (p50/p95/p99) and throughput counters are
+kept in a daemon-owned :class:`~repro.obs.metrics.MetricsRegistry`
+(separate from the process-global registry, which CLI handlers reset
+per invocation) and published by the ``stats`` control op and the
+``serve.*`` metric names.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..perf.cache import CACHE_DIR_ENV, cache_stats, configure_disk_store
+from ..perf.parallel import get_shared_pool, reset_pool
+from .handlers import run_batch
+from .protocol import (
+    ProtocolError, Request, canonical_key, decode_line, encode_line,
+    error_response, parse_request,
+)
+
+__all__ = ["ServeConfig", "Daemon", "DaemonHandle", "start_daemon_thread"]
+
+#: Latency-histogram bucket bounds in milliseconds.
+_LATENCY_BOUNDS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+#: Raw latency samples kept per op for exact percentiles.
+_SAMPLE_CAP = 200_000
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs; defaults favor a small single-box deployment."""
+
+    socket_path: str
+    #: localhost HTTP listener; ``None`` disables, 0 picks an ephemeral
+    #: port (recorded on ``Daemon.http_port`` once bound)
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
+    #: execution tier: >=2 on a multi-core host fans batches out over
+    #: the shared ``perf.parallel`` process pool; 0/1 executes in a
+    #: daemon worker thread (the only useful mode on one CPU)
+    workers: int = 0
+    #: pending-queue bound — admission control, not buffering
+    queue_depth: int = 256
+    #: micro-batch size cap and collection window
+    batch_max: int = 16
+    batch_window_ms: float = 2.0
+    #: persistent artifact store root (``None``: honor REPRO_CACHE_DIR)
+    cache_dir: Optional[str] = None
+    #: spool directory for inline sources (``None``: fresh temp dir)
+    spool_dir: Optional[str] = None
+
+
+@dataclass
+class _Pending:
+    """One admitted compute request, from queue to resolution."""
+
+    key: tuple
+    payload: dict
+    op: str
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1,
+                      round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class Daemon:
+    """One serving instance.  ``executor`` (tests only) replaces the
+    execution tier with ``callable(list[payload]) -> list[response]``."""
+
+    def __init__(self, config: ServeConfig,
+                 executor: Optional[Callable] = None) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.http_port: Optional[int] = None
+        self.spool_dir: Optional[str] = config.spool_dir
+        self._executor_fn = executor
+        self._pending: deque[_Pending] = deque()
+        self._pending_event = asyncio.Event()
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._latency: dict[str, list[float]] = {}
+        self._outstanding = 0            # queued + executing requests
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        # One worker thread: handler capture swaps process-global
+        # stdout, so inline batches must serialize per process.
+        self._thread_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-exec")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.config.cache_dir:
+            configure_disk_store(self.config.cache_dir)
+            # Belt and braces for the pool workers: forked children
+            # inherit the configured store anyway, but spawn-started
+            # ones (non-Linux) pick it up from the environment.
+            os.environ[CACHE_DIR_ENV] = self.config.cache_dir
+        if self.spool_dir is None:
+            self.spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        else:
+            os.makedirs(self.spool_dir, exist_ok=True)
+        self._started_at = time.monotonic()
+        if os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)   # stale from a dead daemon
+        self._servers.append(await asyncio.start_unix_server(
+            self._serve_jsonl, path=self.config.socket_path))
+        if self.config.http_port is not None:
+            server = await asyncio.start_server(
+                self._serve_http, host=self.config.http_host,
+                port=self.config.http_port)
+            self._servers.append(server)
+            self.http_port = server.sockets[0].getsockname()[1]
+        self._dispatcher_task = asyncio.ensure_future(self._dispatch())
+
+    async def run(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`shutdown`)."""
+        await self._stopped.wait()
+        await self.aclose()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish everything admitted."""
+        self._draining = True
+        await self._idle_event.wait()
+        self._stopped.set()
+        self._pending_event.set()         # wake the dispatcher to exit
+
+    async def aclose(self) -> None:
+        self._stopped.set()
+        self._pending_event.set()
+        if self._dispatcher_task is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher_task
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        # Connections idling in readline() survive server.close(); the
+        # drain already delivered every response, so cut them loose.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        self._conn_tasks.clear()
+        with contextlib.suppress(OSError):
+            os.unlink(self.config.socket_path)
+        self._thread_pool.shutdown(wait=True)
+
+    # -- admission (the "access" side) ---------------------------------------
+
+    async def handle_payload(self, payload: object) -> dict:
+        """Decode-validate-admit one request; always returns a response."""
+        try:
+            request = parse_request(payload)
+        except ProtocolError as exc:
+            self.metrics.counter("serve.protocol_errors").inc()
+            request_id = payload.get("id") \
+                if isinstance(payload, dict) else None
+            return error_response(str(exc), request_id)
+        if request.is_control:
+            return await self._handle_control(request)
+        self.metrics.counter("serve.requests.total").inc()
+        self.metrics.counter(f"serve.requests.{request.op}").inc()
+        key = canonical_key(request)
+        shared = self._inflight.get(key)
+        if shared is not None:
+            # Single-flight: ride the execution already in progress.
+            self.metrics.counter("serve.coalesced").inc()
+            result = await asyncio.shield(shared)
+            return {**result, "id": request.id}
+        if self._draining:
+            self.metrics.counter("serve.refused.draining").inc()
+            return error_response("draining", request.id)
+        if len(self._pending) >= self.config.queue_depth:
+            self.metrics.counter("serve.refused.overloaded").inc()
+            return error_response("overloaded", request.id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        payload_out = {"op": request.op, "args": list(request.args),
+                       "source": request.source}
+        self._pending.append(_Pending(key=key, payload=payload_out,
+                                      op=request.op, future=future))
+        self._outstanding += 1
+        self._idle_event.clear()
+        self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+        self._pending_event.set()
+        result = await asyncio.shield(future)
+        return {**result, "id": request.id}
+
+    async def _handle_control(self, request: Request) -> dict:
+        if request.op == "ping":
+            return {"id": request.id, "ok": True, "pong": True,
+                    "pid": os.getpid(), "draining": self._draining}
+        if request.op == "stats":
+            return {"id": request.id, "ok": True,
+                    "stats": self.stats_snapshot()}
+        # shutdown: drain fully, then report the (empty) post-drain
+        # state as proof of a clean stop.
+        await self.shutdown()
+        return {"id": request.id, "ok": True, "stopped": True,
+                "queue_depth": len(self._pending),
+                "inflight": len(self._inflight)}
+
+    # -- dispatch (the "execute" side) ---------------------------------------
+
+    async def _dispatch(self) -> None:
+        loop = asyncio.get_running_loop()
+        window = max(0.0, self.config.batch_window_ms) / 1e3
+        while True:
+            await self._pending_event.wait()
+            if self._stopped.is_set() and not self._pending:
+                return
+            batch: list[_Pending] = []
+            deadline = loop.time() + window
+            while len(batch) < self.config.batch_max:
+                if self._pending:
+                    batch.append(self._pending.popleft())
+                    continue
+                remaining = deadline - loop.time()
+                if remaining <= 0 or self._stopped.is_set():
+                    break
+                self._pending_event.clear()
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(self._pending_event.wait()),
+                        remaining)
+                except asyncio.TimeoutError:
+                    break
+            if not self._pending:
+                self._pending_event.clear()
+            self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+            if batch:
+                await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics.histogram("serve.batch.size",
+                               bounds=(1, 2, 4, 8, 16, 32)) \
+            .record(len(batch))
+        payloads = [item.payload for item in batch]
+        try:
+            if self._executor_fn is not None:
+                responses = await loop.run_in_executor(
+                    self._thread_pool, self._executor_fn, payloads)
+            elif self._pool_size() > 0:
+                self.metrics.counter("serve.batches.pooled").inc()
+                pool = get_shared_pool(self._pool_size())
+                responses = await asyncio.wrap_future(
+                    pool.submit(run_batch, payloads, self.spool_dir))
+            else:
+                self.metrics.counter("serve.batches.inline").inc()
+                responses = await loop.run_in_executor(
+                    self._thread_pool, run_batch, payloads, self.spool_dir)
+        except BrokenProcessPool:
+            # A worker died and poisoned the executor: heal the pool
+            # and replay this batch in-process — no request is lost.
+            self.metrics.counter("serve.pool.broken").inc()
+            reset_pool()
+            responses = await loop.run_in_executor(
+                self._thread_pool, run_batch, payloads, self.spool_dir)
+        except Exception as exc:
+            responses = [{"ok": False,
+                          "error": f"{type(exc).__name__}: {exc}"}
+                         for _ in batch]
+        now = time.monotonic()
+        for item, response in zip(batch, responses):
+            latency_ms = (now - item.enqueued_at) * 1e3
+            samples = self._latency.setdefault(item.op, [])
+            if len(samples) < _SAMPLE_CAP:
+                samples.append(latency_ms)
+            self.metrics.histogram(f"serve.latency_ms.{item.op}",
+                                   bounds=_LATENCY_BOUNDS) \
+                .record(latency_ms)
+            self.metrics.counter(
+                "serve.responses.ok" if response.get("ok")
+                else "serve.responses.error").inc()
+            self._inflight.pop(item.key, None)
+            if not item.future.done():
+                item.future.set_result(response)
+            self._outstanding -= 1
+        if self._outstanding == 0:
+            self._idle_event.set()
+
+    def _pool_size(self) -> int:
+        workers = self.config.workers
+        if workers >= 2 and (os.cpu_count() or 1) >= 2:
+            return workers
+        return 0
+
+    # -- introspection -------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        latency = {}
+        for op, samples in sorted(self._latency.items()):
+            ordered = sorted(samples)
+            latency[op] = {
+                "count": len(ordered),
+                "p50_ms": round(_percentile(ordered, 0.50), 3),
+                "p95_ms": round(_percentile(ordered, 0.95), 3),
+                "p99_ms": round(_percentile(ordered, 0.99), 3),
+                "mean_ms": round(sum(ordered) / len(ordered), 3)
+                if ordered else 0.0,
+                "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+            }
+        return {
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self._pool_size(),
+            "draining": self._draining,
+            "queue": {
+                "depth": len(self._pending),
+                "capacity": self.config.queue_depth,
+                "high_water":
+                    self.metrics.gauge("serve.queue.depth").high_water,
+            },
+            "inflight": len(self._inflight),
+            "latency_ms": latency,
+            "metrics": self.metrics.to_dict(),
+            "cache": cache_stats(),
+        }
+
+    # -- JSON-lines transport ------------------------------------------------
+
+    async def _serve_jsonl(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_line(line)
+                except ProtocolError as exc:
+                    response = error_response(str(exc))
+                else:
+                    response = await self.handle_payload(payload)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass                                   # client went away
+        except asyncio.CancelledError:
+            # Only aclose() cancels connection tasks (post-drain, every
+            # response delivered); finish normally so 3.11's stream
+            # protocol callback doesn't trip over a cancelled task.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- minimal localhost HTTP transport ------------------------------------
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._http_one(reader)
+            writer.write(
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _http_one(self, reader: asyncio.StreamReader) -> \
+            tuple[str, bytes]:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return "400 Bad Request", b'{"ok":false,"error":"bad request"}'
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = header.decode("ascii", "replace") \
+                .partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return "400 Bad Request", \
+                        b'{"ok":false,"error":"bad content-length"}'
+        if method == "GET" and path in ("/v1/ping", "/v1/stats"):
+            response = await self.handle_payload({"op": path[4:]})
+            return "200 OK", encode_line(response).rstrip(b"\n")
+        if method == "POST" and path == "/v1/request":
+            body = await reader.readexactly(content_length) \
+                if content_length else b""
+            try:
+                payload = decode_line(body)
+            except ProtocolError as exc:
+                return "400 Bad Request", \
+                    encode_line(error_response(str(exc))).rstrip(b"\n")
+            response = await self.handle_payload(payload)
+            status = "200 OK" if response.get("ok") else "400 Bad Request"
+            return status, encode_line(response).rstrip(b"\n")
+        return "404 Not Found", b'{"ok":false,"error":"not found"}'
+
+
+# -- embedded daemon (tests, benchmarks) --------------------------------------
+
+class DaemonHandle:
+    """A daemon running on a background thread's event loop."""
+
+    def __init__(self, daemon: Daemon, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def socket_path(self) -> str:
+        return self.daemon.config.socket_path
+
+    @property
+    def http_port(self) -> Optional[int]:
+        return self.daemon.http_port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain gracefully and join the serving thread."""
+        if self.thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.daemon.shutdown(), self.loop).result(timeout)
+        self.thread.join(timeout)
+
+
+def start_daemon_thread(config: ServeConfig,
+                        executor: Optional[Callable] = None,
+                        timeout: float = 30.0) -> DaemonHandle:
+    """Start a daemon on a fresh event loop in a background thread.
+
+    Returns once the listeners are bound — the caller can connect
+    immediately.  Startup failures re-raise in the caller.
+    """
+    daemon = Daemon(config, executor=executor)
+    started = threading.Event()
+    state: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        state["loop"] = loop
+        try:
+            loop.run_until_complete(daemon.start())
+        except BaseException as exc:           # surface bind errors
+            state["error"] = exc
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_until_complete(daemon.run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise TimeoutError("serve daemon failed to start in time")
+    if "error" in state:
+        raise state["error"]
+    return DaemonHandle(daemon, state["loop"], thread)

@@ -1,0 +1,136 @@
+"""Wire protocol of the compile service.
+
+One request, one response, both single JSON objects.  Over the unix
+socket the framing is JSON-lines (one object per ``\\n``-terminated
+line, any number per connection, answered in order); over the localhost
+HTTP listener the same objects travel as ``POST /v1/request`` bodies.
+
+Request::
+
+    {"id": 7, "op": "run", "args": ["examples/livermore5.c", "--json"]}
+
+``op`` is a compute op (``compile`` / ``run`` / ``explain`` /
+``profile`` / ``fuzz`` — exactly the CLI subcommands, executed with
+``args`` as the subcommand's argument vector) or a control op
+(``ping`` / ``stats`` / ``shutdown``).  ``id`` is an arbitrary JSON
+scalar echoed back so clients can pipeline.  An optional ``source``
+field carries inline Mini-C text: the daemon spools it to a
+content-named file and substitutes that path for the ``{source}``
+placeholder in ``args`` (appending it when no placeholder is present).
+
+Compute response::
+
+    {"id": 7, "ok": true, "exit_code": 0, "stdout": "...",
+     "stderr": "..."}
+
+``stdout``/``stderr``/``exit_code`` are exactly what the equivalent
+CLI invocation would have produced — byte-identical output is the
+service's core contract (and what the serve-smoke CI job asserts).
+Failures at the *protocol* level (unknown op, malformed JSON,
+overload, draining) instead carry ``ok: false`` and an ``error``
+string; ``id`` is ``null`` when the request was too malformed to
+carry one.
+
+The single-flight identity of a request is :func:`canonical_key`:
+requests equal under it are the same computation, and concurrent ones
+coalesce onto one in-flight execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "COMPUTE_OPS", "CONTROL_OPS", "SOURCE_PLACEHOLDER",
+    "ProtocolError", "Request", "parse_request", "canonical_key",
+    "error_response", "encode_line", "decode_line",
+]
+
+#: Compute ops mirror CLI subcommands one-for-one.
+COMPUTE_OPS = frozenset({"compile", "run", "explain", "profile", "fuzz"})
+#: Control ops are answered inline by the daemon, never queued.
+CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+#: Placeholder in ``args`` replaced by the spooled path of an inline
+#: ``source`` payload.
+SOURCE_PLACEHOLDER = "{source}"
+
+_MAX_ARGS = 64
+_MAX_SOURCE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request (reported, never raised across
+    the wire: the daemon turns it into an ``ok: false`` response)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated request."""
+
+    op: str
+    args: tuple = ()
+    source: Optional[str] = None
+    id: object = field(default=None, compare=False)
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+
+def parse_request(payload: object) -> Request:
+    """Validate a decoded JSON payload into a :class:`Request`.
+
+    Raises :class:`ProtocolError` with a one-line reason on anything
+    structurally wrong; the daemon reports that reason to the client.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("missing or non-string 'op'")
+    if op not in COMPUTE_OPS and op not in CONTROL_OPS:
+        allowed = ", ".join(sorted(COMPUTE_OPS | CONTROL_OPS))
+        raise ProtocolError(f"unknown op {op!r} (expected one of: "
+                            f"{allowed})")
+    args = payload.get("args", [])
+    if not isinstance(args, list) or \
+            not all(isinstance(a, str) for a in args):
+        raise ProtocolError("'args' must be a list of strings")
+    if len(args) > _MAX_ARGS:
+        raise ProtocolError(f"too many args (max {_MAX_ARGS})")
+    source = payload.get("source")
+    if source is not None:
+        if not isinstance(source, str):
+            raise ProtocolError("'source' must be a string")
+        if len(source.encode("utf-8", "replace")) > _MAX_SOURCE_BYTES:
+            raise ProtocolError("inline source too large")
+    request_id = payload.get("id")
+    if isinstance(request_id, (dict, list)):
+        raise ProtocolError("'id' must be a JSON scalar")
+    return Request(op=op, args=tuple(args), source=source, id=request_id)
+
+
+def canonical_key(request: Request) -> tuple:
+    """The single-flight identity: equal keys are the same computation."""
+    return (request.op, request.args, request.source)
+
+
+def error_response(message: str, request_id: object = None) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def encode_line(payload: dict) -> bytes:
+    """One JSON-lines frame (compact separators keep frames small)."""
+    return json.dumps(payload, separators=(",", ":"),
+                      default=str).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> object:
+    """Decode one frame; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        return json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from None

@@ -17,9 +17,16 @@ from repro.sim.memory import MemError
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
+    from repro.perf import cache as cache_mod
     clear_cache()
+    # Pin the disk tier off for the duration (a REPRO_CACHE_DIR in the
+    # environment would otherwise auto-configure it mid-test), then
+    # restore the lazy env autoconfiguration.
+    cache_mod.configure_disk_store(None)
     yield
     clear_cache()
+    cache_mod._disk = None
+    cache_mod._disk_configured = False
 
 
 class TestCompileCache:
@@ -29,7 +36,8 @@ class TestCompileCache:
         first = compile_cached(self.SOURCE)
         second = compile_cached(self.SOURCE)
         assert second is first
-        assert cache_stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache_stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "disk": None}
 
     def test_key_includes_machine_and_options(self):
         compile_cached(self.SOURCE)
@@ -41,7 +49,8 @@ class TestCompileCache:
     def test_clear_cache_resets(self):
         compile_cached(self.SOURCE)
         clear_cache()
-        assert cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache_stats() == {"hits": 0, "misses": 0, "entries": 0,
+                                 "disk": None}
 
 
 class TestRunJobs:

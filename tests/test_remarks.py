@@ -253,8 +253,8 @@ class TestExplainReport:
                                       target="wm", opt="full",
                                       argv=["repro", "explain"])
         assert set(report["manifest"]) == {
-            "repro_version", "python", "pythonhashseed", "platform",
-            "argv"}
+            "repro_version", "compiler_rev", "python", "pythonhashseed",
+            "platform", "argv", "cache"}
         assert report["source"] == "livermore5.c"
         assert {"kernel", "main"} <= set(report["functions"])
         assert report["counts"]["streaming"]["applied"] >= 1

@@ -1,0 +1,274 @@
+"""The persistent compile-artifact store and the two-tier cache.
+
+Covers the disk tier's invariants (atomic publication under concurrent
+writers, corruption-tolerant reads, LRU eviction under a size cap) and
+the cache layer's contracts on top of it: compiler-revision-keyed
+invalidation, cross-process artifact fidelity, and stats surfacing.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import pickle
+
+import pytest
+
+import repro
+from repro.compiler import CompileResult, compile_source
+from repro.opt import OptOptions
+from repro.perf import cache as cache_mod
+from repro.perf import clear_cache, compile_cached, content_key
+from repro.perf.store import DiskStore
+
+LIVERMORE5 = (pathlib.Path(__file__).resolve().parent.parent
+              / "examples" / "livermore5.c").read_text()
+SOURCE = "int main(void) { return 41 + 1; }"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    cache_mod.configure_disk_store(None)
+    yield
+    clear_cache()
+    cache_mod._disk = None
+    cache_mod._disk_configured = False
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DiskStore(str(tmp_path / "cache"))
+
+
+class TestDiskStore:
+    def test_round_trip(self, store):
+        key = "ab" + "0" * 62
+        assert store.get(key) is None                 # cold miss
+        assert store.put(key, {"x": [1, 2, 3]})
+        assert store.get(key) == {"x": [1, 2, 3]}
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
+    def test_fanout_layout(self, store):
+        key = "cd" + "1" * 62
+        store.put(key, "artifact")
+        assert os.path.exists(os.path.join(store.objects_dir, "cd",
+                                           key + ".pkl"))
+
+    def test_truncated_pickle_is_a_miss_and_deleted(self, store):
+        key = "ef" + "2" * 62
+        store.put(key, list(range(100)))
+        path = store._path(key)
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps(list(range(100)))[:10])   # truncate
+        assert store.get(key) is None
+        assert store.read_errors == 1
+        assert not os.path.exists(path)                # dropped
+        # ...and the slot is rewritable afterwards.
+        assert store.put(key, "fresh")
+        assert store.get(key) == "fresh"
+
+    def test_garbage_bytes_are_a_miss(self, store):
+        key = "01" + "3" * 62
+        path = store._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a pickle")
+        assert store.get(key) is None
+        assert store.read_errors == 1
+
+    def test_unpicklable_artifact_fails_open(self, store):
+        key = "23" + "4" * 62
+        assert not store.put(key, lambda: None)        # lambdas can't pickle
+        assert store.stats()["entries"] == 0           # no temp debris
+        assert os.listdir(store.objects_dir) == []
+
+    def test_eviction_under_tiny_cap(self, tmp_path):
+        store = DiskStore(str(tmp_path / "small"), max_bytes=1)
+        for idx in range(4):
+            key = f"{idx:02d}" + "5" * 62
+            store.put(key, "payload-%d" % idx)
+        # Cap of one byte: every put evicts down toward zero, so at
+        # most the newest entry survives each round.
+        assert store.stats()["entries"] <= 1
+        assert store.evictions >= 3
+
+    def test_eviction_is_lru_by_recency(self, tmp_path, monkeypatch):
+        store = DiskStore(str(tmp_path / "lru"), max_bytes=10**9)
+        old, new = "aa" + "6" * 62, "bb" + "7" * 62
+        store.put(old, "x" * 100)
+        store.put(new, "y" * 100)
+        os.utime(store._path(old), (1, 1))             # force 'old' stale
+        store.max_bytes = 150                          # room for one
+        store._evict()
+        assert not store.contains(old)
+        assert store.contains(new)
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        root = str(tmp_path / "shared")
+        key = "cc" + "8" * 62
+        procs = [multiprocessing.Process(target=_writer_proc,
+                                         args=(root, key, idx))
+                 for idx in range(4)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in procs)
+        # Last rename wins; whichever payload survived is complete.
+        artifact = DiskStore(root).get(key)
+        assert artifact in [("payload", idx, "x" * 4096)
+                            for idx in range(4)]
+        # No temp files left behind.
+        debris = [name for _dir, _sub, files
+                  in os.walk(root) for name in files
+                  if name.endswith(".tmp")]
+        assert debris == []
+
+
+def _writer_proc(root, key, idx):
+    store = DiskStore(root)
+    for _round in range(20):
+        assert store.put(key, ("payload", idx, "x" * 4096))
+        store.get(key)
+
+
+class TestContentKey:
+    def test_stable_and_distinct(self):
+        base = content_key(SOURCE)
+        assert base == content_key(SOURCE)
+        assert len(base) == 64
+        assert content_key(SOURCE, "generic-risc") != base
+        assert content_key(SOURCE,
+                           options=OptOptions.no_streaming()) != base
+        assert content_key(SOURCE + " ") != base
+
+    def test_wm_spellings_are_canonical(self):
+        assert content_key(SOURCE, None) == content_key(SOURCE, "wm")
+
+    def test_compiler_rev_changes_key(self, monkeypatch):
+        before = content_key(SOURCE)
+        monkeypatch.setattr(repro, "__compiler_rev__",
+                            repro.__compiler_rev__ + 1)
+        assert content_key(SOURCE) != before
+
+
+class TestTwoTierCache:
+    def test_disk_hit_after_memory_flush(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        first = compile_cached(LIVERMORE5)
+        clear_cache()                      # simulate a fresh process
+        second = compile_cached(LIVERMORE5)
+        assert second is not first         # unpickled, not the object
+        disk = cache_mod.get_disk_store()
+        assert disk.hits == 1
+        assert disk.writes == 1
+
+    def test_disk_artifact_is_faithful(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        live = compile_cached(LIVERMORE5)
+        live_sim = live.simulate()
+        clear_cache()
+        revived = compile_cached(LIVERMORE5)
+        assert revived.listing() == live.listing()
+        sim = revived.simulate()
+        assert (sim.value, sim.cycles) == (live_sim.value,
+                                           live_sim.cycles)
+        assert revived.run_oracle().value == live.run_oracle().value
+
+    def test_version_bump_invalidates_persisted_artifacts(
+            self, tmp_path, monkeypatch):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        compile_cached(SOURCE)
+        clear_cache()
+        monkeypatch.setattr(repro, "__compiler_rev__",
+                            repro.__compiler_rev__ + 1)
+        compile_cached(SOURCE)
+        disk = cache_mod.get_disk_store()
+        assert disk.hits == 0              # old artifact never served
+        assert disk.writes == 2            # recompiled and re-persisted
+
+    def test_corrupt_disk_entry_recompiles_and_heals(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        compile_cached(SOURCE)
+        disk = cache_mod.get_disk_store()
+        path = disk._path(content_key(SOURCE))
+        with open(path, "wb") as fh:
+            fh.write(b"\x80corrupt")
+        clear_cache()
+        result = compile_cached(SOURCE)    # recompiles through the rot
+        assert isinstance(result, CompileResult)
+        assert disk.read_errors == 1
+        clear_cache()
+        assert isinstance(compile_cached(SOURCE), CompileResult)
+        assert disk.hits == 1              # healed entry serves again
+
+    def test_non_compileresult_payload_is_ignored(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        cache_mod.get_disk_store().put(content_key(SOURCE), {"not": "it"})
+        result = compile_cached(SOURCE)
+        assert isinstance(result, CompileResult)
+
+    def test_env_autoconfiguration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV,
+                           str(tmp_path / "env-store"))
+        cache_mod._disk = None
+        cache_mod._disk_configured = False
+        disk = cache_mod.get_disk_store()
+        assert disk is not None
+        assert disk.root == str(tmp_path / "env-store")
+
+    def test_explicit_config_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV,
+                           str(tmp_path / "env-store"))
+        cache_mod.configure_disk_store(str(tmp_path / "explicit"))
+        assert cache_mod.get_disk_store().root == \
+            str(tmp_path / "explicit")
+
+    def test_cache_stats_carries_disk_section(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        compile_cached(SOURCE)
+        from repro.perf import cache_stats
+        stats = cache_stats()
+        assert stats["disk"]["writes"] == 1
+        assert stats["disk"]["entries"] == 1
+
+    def test_manifest_surfaces_cache_stats(self, tmp_path):
+        cache_mod.configure_disk_store(str(tmp_path / "store"))
+        compile_cached(SOURCE)
+        from repro.obs import run_manifest
+        manifest = run_manifest()
+        assert manifest["compiler_rev"] == repro.__compiler_rev__
+        assert manifest["cache"]["misses"] == 1
+        assert manifest["cache"]["disk"]["writes"] == 1
+
+
+class TestCrossProcessPickle:
+    """A CompileResult must survive the pool/daemon pickle boundary."""
+
+    def test_instr_df_bitmasks_not_pickled(self):
+        result = compile_source(LIVERMORE5)
+        payload = pickle.dumps(result)
+        revived = pickle.loads(payload)
+        # Dataflow bitmask caches are process-local (cell interning
+        # order); they must come back empty and rebuild on demand.
+        for func in revived.rtl.functions.values():
+            for instr in func.instrs:
+                if hasattr(instr, "_df"):
+                    assert instr._df is None
+        assert revived.listing() == result.listing()
+
+    def test_sim_caches_dropped_and_rebuilt(self):
+        result = compile_source(LIVERMORE5)
+        baseline = result.simulate()
+        revived = pickle.loads(pickle.dumps(result))
+        sim = revived.simulate()
+        assert (sim.value, sim.cycles) == (baseline.value,
+                                           baseline.cycles)
+        # and again, to prove rebuilt caches are reusable
+        sim2 = revived.simulate()
+        assert (sim2.value, sim2.cycles) == (sim.value, sim.cycles)
