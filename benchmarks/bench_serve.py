@@ -13,6 +13,15 @@ coalesce/overload counters (the acceptance criterion is *zero* queue
 overflows at the default depth), and a byte-identity audit — every
 response group with the same canonical key must be identical.
 
+**Serve-trace ablation.**  The same closed loop twice more — once with
+``trace: false`` on every request (the default everyone pays now that
+the tracing plumbing exists) and once with ``trace: true`` on every
+request (each response carries a merged Chrome trace).  Recorded:
+req/s per lane and the tracing-on overhead.  With ``--baseline-rev``
+the tracing-off lane is additionally compared against a pristine
+worktree of the pre-tracing serve tier (PR 8); the acceptance bound is
+tracing-off throughput within 3% of that baseline.
+
 **Store ablation.**  Cold-process compile cost under three lanes:
 
 ``no_store``
@@ -72,7 +81,7 @@ def _request_mix() -> list[tuple[str, list[str], int]]:
 
 
 def measure_serving(total_requests: int, clients: int,
-                    queue_depth: int) -> dict:
+                    queue_depth: int, trace: bool = False) -> dict:
     from repro.serve import Client, ServeConfig, start_daemon_thread
 
     mix = _request_mix()
@@ -105,8 +114,10 @@ def measure_serving(total_requests: int, clients: int,
                         return
                     cursor["next"] = idx + 1
                 op, args = schedule[idx]
-                response = client.request(
-                    {"op": op, "args": args, "id": idx})
+                payload = {"op": op, "args": args, "id": idx}
+                if trace:
+                    payload["trace"] = True
+                response = client.request(payload)
                 if not response.get("ok"):
                     errors.append(f"{op}: {response.get('error')}")
                 responses[idx] = ((op, tuple(args)), response)
@@ -132,10 +143,14 @@ def measure_serving(total_requests: int, clients: int,
                        if len(seen) != 1)
 
     counters = stats["metrics"]["counters"]
+    traced = sum(1 for _key, response in responses.values()
+                 if "trace" in response)
     return {
         "requests": len(responses),
         "clients": clients,
         "queue_depth": queue_depth,
+        "trace": trace,
+        "traced_responses": traced,
         "elapsed_s": round(elapsed, 3),
         "throughput_rps": round(len(responses) / elapsed, 1),
         "latency_ms": stats["latency_ms"],
@@ -148,6 +163,97 @@ def measure_serving(total_requests: int, clients: int,
         "error_count": len(errors),
         "divergent_keys": divergent,
     }
+
+
+_BASELINE_SERVE_SCRIPT = """
+import json, sys
+sys.path.insert(0, {bench_dir!r})
+from bench_serve import measure_serving
+# Warm-up pass: fill the in-process compile cache so the timed lane
+# measures serving overhead, not first-touch compiles — the lanes in
+# the instrumented tree are warmed the same way.
+measure_serving({warmup}, {clients}, {depth})
+out = measure_serving({requests}, {clients}, {depth})
+print(json.dumps({{"throughput_rps": out["throughput_rps"],
+                   "elapsed_s": out["elapsed_s"],
+                   "requests": out["requests"],
+                   "error_count": out["error_count"]}}))
+"""
+
+
+def _baseline_serving(rev: str, requests: int, clients: int,
+                      queue_depth: int) -> dict:
+    """Closed-loop throughput at REV (e.g. the pre-tracing serve tier)
+    measured in a pristine git worktree.  The worktree's own
+    ``bench_serve`` module is imported so its ``measure_serving`` drives
+    its own daemon against its own ``src`` tree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "baseline")
+        subprocess.run(["git", "worktree", "add", "--detach", tree, rev],
+                       cwd=ROOT, check=True, capture_output=True)
+        try:
+            script = _BASELINE_SERVE_SCRIPT.format(
+                bench_dir=os.path.join(tree, "benchmarks"),
+                warmup=_warmup_requests(requests),
+                requests=requests, clients=clients, depth=queue_depth)
+            env = dict(os.environ)
+            env.pop("PYTHONPATH", None)
+            env["PYTHONHASHSEED"] = "0"
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 check=True, capture_output=True,
+                                 text=True, timeout=600)
+            result = json.loads(out.stdout)
+            result["rev"] = rev
+            return result
+        finally:
+            subprocess.run(["git", "worktree", "remove", "--force", tree],
+                           cwd=ROOT, check=True, capture_output=True)
+
+
+#: Acceptance: tracing-off serve throughput within 3% of the
+#: pre-tracing (PR 8) baseline — the plumbing may not tax the default.
+TRACE_OFF_OVERHEAD_BOUND_PERCENT = 3.0
+
+
+def _lane_summary(serving: dict) -> dict:
+    return {key: serving[key]
+            for key in ("requests", "elapsed_s", "throughput_rps",
+                        "coalesced", "traced_responses", "error_count")}
+
+
+def _warmup_requests(requests: int) -> int:
+    return max(32, requests // 4)
+
+
+def measure_serve_trace(requests: int, clients: int, queue_depth: int,
+                        baseline_rev: str | None = None) -> dict:
+    """Tracing-off vs tracing-on closed-loop lanes (fresh daemon each),
+    optionally anchored against a pre-tracing worktree baseline.
+
+    A discarded warm-up lane fills the process-global compile cache
+    first so every timed lane (including the baseline subprocess, which
+    warms itself the same way) measures serving overhead rather than
+    whichever lane happens to pay the first-touch compiles."""
+    measure_serving(_warmup_requests(requests), clients, queue_depth)
+    off = measure_serving(requests, clients, queue_depth, trace=False)
+    on = measure_serving(requests, clients, queue_depth, trace=True)
+    out = {
+        "tracing_off": _lane_summary(off),
+        "tracing_on": _lane_summary(on),
+        "tracing_on_overhead_percent": round(
+            100.0 * (off["throughput_rps"] / on["throughput_rps"]
+                     - 1.0), 1),
+    }
+    if baseline_rev:
+        baseline = _baseline_serving(baseline_rev, requests, clients,
+                                     queue_depth)
+        out["baseline"] = baseline
+        out["tracing_off_overhead_percent"] = round(
+            100.0 * (baseline["throughput_rps"] / off["throughput_rps"]
+                     - 1.0), 1)
+        out["tracing_off_overhead_bound_percent"] = \
+            TRACE_OFF_OVERHEAD_BOUND_PERCENT
+    return out
 
 
 _ABLATION_SCRIPT = """
@@ -249,7 +355,12 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="gate the acceptance criteria (zero "
                              "overflow, byte-identity, warm-store "
-                             ">=3x); write nothing")
+                             ">=3x, every traced response carries a "
+                             "trace); write nothing")
+    parser.add_argument("--baseline-rev", default=None, metavar="REV",
+                        help="git rev of the pre-tracing serve tier to "
+                             "bound the tracing-off overhead against "
+                             "(<3%%)")
     parser.add_argument("--out", default=os.path.join(ROOT,
                                                       "BENCH_serve.json"))
     args = parser.parse_args(argv)
@@ -267,6 +378,9 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "manifest": run_manifest(sys.argv),
         "serving": measure_serving(requests, clients, args.queue_depth),
+        "serve_trace": measure_serve_trace(
+            requests, clients, args.queue_depth,
+            baseline_rev=args.baseline_rev),
         "store": measure_store_ablation(reps),
     }
     print(json.dumps(report, indent=2))
@@ -286,6 +400,26 @@ def main(argv=None) -> int:
               f"overloaded at depth {serving['queue_depth']}",
               file=sys.stderr)
         failed = True
+    serve_trace = report["serve_trace"]
+    on_lane = serve_trace["tracing_on"]
+    if on_lane["traced_responses"] != on_lane["requests"]:
+        print(f"FAIL: only {on_lane['traced_responses']} of "
+              f"{on_lane['requests']} traced requests carried a trace",
+              file=sys.stderr)
+        failed = True
+    for lane in ("tracing_off", "tracing_on"):
+        if serve_trace[lane]["error_count"]:
+            print(f"FAIL: {serve_trace[lane]['error_count']} "
+                  f"request(s) failed in the {lane} lane",
+                  file=sys.stderr)
+            failed = True
+    off_overhead = serve_trace.get("tracing_off_overhead_percent")
+    if off_overhead is not None and \
+            off_overhead >= TRACE_OFF_OVERHEAD_BOUND_PERCENT:
+        print(f"FAIL: tracing-off overhead {off_overhead}% vs "
+              f"{args.baseline_rev} >= "
+              f"{TRACE_OFF_OVERHEAD_BOUND_PERCENT}%", file=sys.stderr)
+        failed = True
     if args.check:
         speedup = report["store"]["warm_store_speedup"]
         if speedup < SPEEDUP_FLOOR:
@@ -295,6 +429,8 @@ def main(argv=None) -> int:
         print(f"check: {serving['requests']} requests, "
               f"{serving['throughput_rps']} req/s, "
               f"coalesced {serving['coalesced']}, overflow 0, "
+              f"trace off/on {serve_trace['tracing_off']['throughput_rps']}"
+              f"/{serve_trace['tracing_on']['throughput_rps']} req/s, "
               f"warm-store {speedup}x "
               f"{'FAIL' if failed else 'OK'}", file=sys.stderr)
         return 1 if failed else 0

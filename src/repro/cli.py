@@ -90,8 +90,8 @@ from .machine.wm import WM
 from .obs import (
     NULL_TRACER, RemarkCollector, RunCounters, Tracer, annotated_listing,
     build_explain_report, format_explain_report, format_run_counters,
-    format_summary, metrics_json, run_manifest, sarif_report, use_remarks,
-    use_tracer, write_chrome_trace,
+    format_summary, get_tracer, metrics_json, run_manifest, sarif_report,
+    use_remarks, use_tracer, write_chrome_trace,
 )
 from .opt import OptOptions, PassCrashError
 from .sim.errors import SimError
@@ -142,12 +142,24 @@ def _make_options(level: str, machine: Machine) -> OptOptions:
     return table[level]
 
 
+def _outer_or_null() -> Tracer:
+    """The already-installed tracer when it records, else the no-op one.
+
+    A served ``trace: true`` request reaches the CLI with a recording
+    tracer installed by the serve handler; re-installing the no-op
+    tracer here would silently discard the request's compile/cache
+    spans.  Nested enabled tracers are reused, never shadowed.
+    """
+    outer = get_tracer()
+    return outer if outer.enabled else NULL_TRACER
+
+
 def _tracer_for(args: argparse.Namespace) -> Tracer:
     """A recording tracer when any observability output was requested,
-    the shared no-op tracer otherwise."""
+    the enclosing tracer (usually the shared no-op one) otherwise."""
     if getattr(args, "trace_out", None) or getattr(args, "json", False):
         return Tracer()
-    return NULL_TRACER
+    return _outer_or_null()
 
 
 def _finish_trace(tracer, args: argparse.Namespace) -> None:
@@ -350,7 +362,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                          "(the cycle ledger lives in the WM simulator)")
     from .obs import build_profile_report, format_profile_report
     from .opt.bounds import compute_module_bounds
-    tracer = Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
+    tracer = Tracer() if getattr(args, "trace_out", None) \
+        else _outer_or_null()
     with use_tracer(tracer):
         # Always a live compile: the report's %ff column observes the
         # superop engine's learned state, which a cache-shared module
@@ -591,17 +604,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket, http_port=args.http,
         workers=args.workers, queue_depth=args.queue_depth,
         batch_max=args.batch_max, batch_window_ms=args.batch_window_ms,
-        cache_dir=args.cache_dir, spool_dir=args.spool_dir)
+        cache_dir=args.cache_dir, spool_dir=args.spool_dir,
+        blackbox_dir=args.blackbox_dir)
 
     async def _serve() -> None:
         daemon = Daemon(config)
         await daemon.start()
         loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
+
+        def _on_signal(signame: str) -> None:
             # Graceful drain on ^C / TERM: stop admitting, finish the
-            # queue, deliver every response, then exit.
+            # queue, deliver every response, then exit.  A TERM also
+            # dumps the flight recorder — the orchestrator is killing
+            # us, so preserve the last moments for post-mortem.
+            reason = "sigterm" if signame == "SIGTERM" else "drain"
+            asyncio.ensure_future(daemon.shutdown(reason=reason))
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(
-                sig, lambda: asyncio.ensure_future(daemon.shutdown()))
+                sig, _on_signal, sig.name)
         listen = config.socket_path
         if daemon.http_port is not None:
             listen += (f" and http://{config.http_host}:"
@@ -624,6 +645,8 @@ def _cmd_request(args: argparse.Namespace) -> int:
         payload["source"] = open(args.source_file).read()
     if args.id is not None:
         payload["id"] = args.id
+    if args.trace_out:
+        payload["trace"] = True
     try:
         response = serve_request(payload, args.socket,
                                  timeout=args.timeout)
@@ -631,6 +654,11 @@ def _cmd_request(args: argparse.Namespace) -> int:
         print(f"error: cannot reach serve daemon at {args.socket}: "
               f"{exc}", file=sys.stderr)
         return EXIT_MISMATCH
+    if args.trace_out and response.get("trace") is not None:
+        with open(args.trace_out, "w") as fh:
+            json.dump(response["trace"], fh, indent=1)
+        print(f"request trace written to {args.trace_out}",
+              file=sys.stderr)
     if args.raw or args.op in CONTROL_OPS or not response.get("ok"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return EXIT_OK if response.get("ok") else EXIT_MISMATCH
@@ -639,6 +667,111 @@ def _cmd_request(args: argparse.Namespace) -> int:
     sys.stdout.write(response["stdout"])
     sys.stderr.write(response["stderr"])
     return response["exit_code"]
+
+
+def _cmd_blackbox(args: argparse.Namespace) -> int:
+    from .obs.flight import format_dump, load_dump
+    try:
+        document = load_dump(args.dump)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MISMATCH
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_dump(document, tail=args.tail or None))
+    return EXIT_OK
+
+
+def _format_top(stats: dict, rate: Optional[float] = None) -> str:
+    """One ``repro top`` frame: the daemon's stats as a live table."""
+    counters = stats.get("metrics", {}).get("counters", {})
+    total = counters.get("serve.requests.total", 0)
+    ok = counters.get("serve.responses.ok", 0)
+    err = counters.get("serve.responses.error", 0)
+    coalesced = counters.get("serve.coalesced", 0)
+    refused = counters.get("serve.refused.overloaded", 0) + \
+        counters.get("serve.refused.draining", 0)
+    uptime = stats.get("uptime_s", 0.0)
+    if rate is None:
+        rate = total / uptime if uptime else 0.0
+    coalesce_pct = 100.0 * coalesced / total if total else 0.0
+    queue = stats.get("queue", {})
+    cache = stats.get("cache") or {}
+    disk = cache.get("disk") or {}
+    lines = [
+        f"repro serve — pid {stats.get('pid')}  up {uptime:.1f}s  "
+        f"workers {stats.get('workers')}  "
+        f"draining {'yes' if stats.get('draining') else 'no'}",
+        f"  req/s {rate:8.2f}   total {total}  ok {ok}  err {err}  "
+        f"refused {refused}  coalesced {coalesced} "
+        f"({coalesce_pct:.1f}%)",
+        f"  queue {queue.get('depth', 0)}/{queue.get('capacity', 0)} "
+        f"(high water {queue.get('high_water', 0)})  "
+        f"inflight {stats.get('inflight', 0)}",
+        f"  cache mem {cache.get('hits', 0)}h/{cache.get('misses', 0)}m"
+        + (f"  disk {disk.get('hits', 0)}h/{disk.get('misses', 0)}m "
+           f"{disk.get('bytes', 0)}B/{disk.get('entries', 0)} entries"
+           if disk else "  disk off"),
+    ]
+    latency = stats.get("latency_ms", {})
+    if latency:
+        lines.append(f"  {'op':10s} {'count':>7s} {'p50ms':>9s} "
+                     f"{'p95ms':>9s} {'p99ms':>9s} {'meanms':>9s} "
+                     f"{'maxms':>9s}")
+        for op, row in sorted(latency.items()):
+            lines.append(
+                f"  {op:10s} {row['count']:7d} {row['p50_ms']:9.2f} "
+                f"{row['p95_ms']:9.2f} {row['p99_ms']:9.2f} "
+                f"{row['mean_ms']:9.2f} {row['max_ms']:9.2f}")
+    else:
+        lines.append("  (no requests served yet)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve import request as serve_request
+
+    def fetch() -> Optional[dict]:
+        try:
+            response = serve_request({"op": "stats"}, args.socket,
+                                     timeout=args.timeout)
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach serve daemon at {args.socket}: "
+                  f"{exc}", file=sys.stderr)
+            return None
+        return response.get("stats")
+
+    stats = fetch()
+    if stats is None:
+        return EXIT_MISMATCH
+    print(_format_top(stats))
+    if args.once:
+        return EXIT_OK
+    frames = 1
+    prev_total = stats.get("metrics", {}).get("counters", {}) \
+        .get("serve.requests.total", 0)
+    prev_at = _time.monotonic()
+    try:
+        while args.count <= 0 or frames < args.count:
+            _time.sleep(max(0.1, args.interval))
+            stats = fetch()
+            if stats is None:
+                return EXIT_MISMATCH
+            now = _time.monotonic()
+            total = stats.get("metrics", {}).get("counters", {}) \
+                .get("serve.requests.total", 0)
+            rate = (total - prev_total) / (now - prev_at) \
+                if now > prev_at else 0.0
+            prev_total, prev_at = total, now
+            print()
+            print(_format_top(stats, rate=rate))
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
 
 
 #: Exception class -> (exit code, diagnostic label).  Order matters:
@@ -842,6 +975,9 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--spool-dir", default=None, metavar="DIR",
                          help="where inline request sources are spooled "
                               "(default: a fresh temp dir)")
+    p_serve.add_argument("--blackbox-dir", default=None, metavar="DIR",
+                         help="where flight-recorder dumps land "
+                              "(default: the socket's directory)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_request = sub.add_parser(
@@ -864,7 +1000,34 @@ def main(argv: list[str] | None = None) -> int:
     p_request.add_argument("--raw", action="store_true",
                            help="print the raw JSON response instead of "
                                 "replaying stdout/stderr/exit code")
+    p_request.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="request end-to-end tracing and write "
+                                "the merged Chrome trace to PATH")
     p_request.set_defaults(func=_cmd_request)
+
+    p_top = sub.add_parser(
+        "top", help="live serve-daemon stats table (req/s, per-op "
+                    "latency percentiles, queue depth, cache hit rates)")
+    p_top.add_argument("--socket", default=default_socket, metavar="PATH")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between frames")
+    p_top.add_argument("--count", type=int, default=0, metavar="N",
+                       help="stop after N frames (0: until interrupted)")
+    p_top.add_argument("--timeout", type=float, default=10.0)
+    p_top.set_defaults(func=_cmd_top)
+
+    p_blackbox = sub.add_parser(
+        "blackbox", help="pretty-print a serve-daemon flight-recorder "
+                         "dump")
+    p_blackbox.add_argument("dump", help="dump file written by the "
+                                         "daemon (repro-blackbox-*.json)")
+    p_blackbox.add_argument("--tail", type=int, default=0, metavar="N",
+                            help="show only the last N events")
+    p_blackbox.add_argument("--json", action="store_true",
+                            help="print the raw dump document")
+    p_blackbox.set_defaults(func=_cmd_blackbox)
 
     args = parser.parse_args(argv)
     # One process can serve several invocations (tests drive main()

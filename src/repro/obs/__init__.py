@@ -20,7 +20,11 @@ from .export import (
     RunCounters, chrome_trace, format_run_counters, format_summary,
     metrics_json, run_manifest, write_chrome_trace,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .flight import FlightRecorder, get_flight_recorder
+from .metrics import (
+    Counter, Gauge, Histogram, LogLinearHistogram, MetricsRegistry,
+    global_registry, prometheus_errors,
+)
 from .profile import (
     build_profile_report, format_profile_report, profile_schema_errors,
 )
@@ -36,7 +40,9 @@ from .tracer import (
 __all__ = [
     "annotated_listing", "build_explain_report", "format_explain_report",
     "sarif_report",
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "FlightRecorder", "Gauge", "Histogram",
+    "LogLinearHistogram", "MetricsRegistry", "get_flight_recorder",
+    "global_registry", "prometheus_errors",
     "NULL_TRACER", "NullTracer", "Span", "TraceEvent", "Tracer",
     "get_tracer", "set_tracer", "use_tracer",
     "NULL_REMARKS", "REASONS", "NullRemarkSink", "Remark",

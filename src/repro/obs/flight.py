@@ -1,0 +1,181 @@
+"""An always-on flight recorder: the serve tier's black box.
+
+A :class:`FlightRecorder` is a bounded ring buffer of compact event
+tuples ``(timestamp, kind, fields)``.  Appends are lock-free under the
+GIL (one ``deque.append`` on a ``maxlen`` deque — the oldest event
+falls off automatically), so the recorder can stay on unconditionally:
+when nothing records, the cost is zero; when the daemon records one
+tuple per request-lifecycle edge, the cost is one allocation and one
+append.  Nothing is written anywhere until a *dump trigger* fires —
+handler fault, pool death, refusal burst, or SIGTERM — at which point
+the whole ring is serialized to disk as one JSON document that
+``repro blackbox`` can pretty-print after the process is gone.
+
+This is deliberately not the tracer: the tracer is opt-in, rich, and
+per-request; the flight recorder is always-on, fixed-cost, and
+process-wide, holding the last N seconds of *everything* so the one
+request that crashed the daemon has its context preserved even though
+nobody asked to trace it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = [
+    "FlightRecorder", "get_flight_recorder", "load_dump",
+    "format_dump", "DEFAULT_CAPACITY", "CAPACITY_ENV",
+]
+
+#: Ring capacity (events) unless overridden by the environment.
+DEFAULT_CAPACITY = 4096
+#: Environment variable overriding the default ring capacity.
+CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
+
+#: Dump-format version, embedded in every dump so ``repro blackbox``
+#: can refuse files it does not understand instead of misrendering.
+_DUMP_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded ring of ``(ts, kind, fields)`` event tuples.
+
+    ``record`` is the hot entry point: one tuple build plus one
+    GIL-atomic ``deque.append``; the ``maxlen`` deque discards the
+    oldest event for free, so the ring never grows and never blocks.
+    ``dump`` serializes the current ring (plus a reason and manifest)
+    atomically — same-directory temp file and ``os.replace`` — so a
+    crash *during* the dump can never leave a half-written black box
+    under the final name.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is None:
+            try:
+                capacity = int(os.environ.get(CAPACITY_ENV, "")) or \
+                    DEFAULT_CAPACITY
+            except ValueError:
+                capacity = DEFAULT_CAPACITY
+        self.capacity = max(16, capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._recorded = 0
+        self._dumps = 0
+
+    # -- recording (hot) -----------------------------------------------------
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; constant time, never raises, never blocks."""
+        self._recorded += 1
+        self._ring.append((time.time(), kind, fields or None))
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (>= len(): the excess fell off)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        return self._recorded - len(self._ring)
+
+    def snapshot(self) -> list:
+        """The ring's current contents, oldest first."""
+        return list(self._ring)
+
+    # -- dumping (cold) ------------------------------------------------------
+
+    def dump(self, path: str, reason: str = "manual") -> str:
+        """Serialize the ring to ``path`` atomically; returns the path."""
+        from .export import run_manifest
+        events = self.snapshot()
+        document = {
+            "version": _DUMP_VERSION,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "recorded": self._recorded,
+            "dropped": self._recorded - len(events),
+            "manifest": run_manifest(),
+            "events": [[ts, kind, fields] for ts, kind, fields in events],
+        }
+        parent = os.path.dirname(path) or "."
+        os.makedirs(parent, exist_ok=True)
+        tmp_path = os.path.join(
+            parent, f".{os.path.basename(path)}.{os.getpid()}.tmp")
+        with open(tmp_path, "w") as fh:
+            json.dump(document, fh, default=str)
+        os.replace(tmp_path, path)
+        self._dumps += 1
+        return path
+
+
+# -- the process-default recorder ---------------------------------------------
+
+_lock = threading.Lock()
+_default: Optional[FlightRecorder] = None
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (created on first use)."""
+    global _default
+    with _lock:
+        if _default is None:
+            _default = FlightRecorder()
+        return _default
+
+
+# -- reading dumps back (``repro blackbox``) ----------------------------------
+
+def load_dump(path: str) -> dict:
+    """Load and structurally validate one flight-recorder dump."""
+    with open(path) as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or \
+            document.get("version") != _DUMP_VERSION:
+        raise ValueError(f"{path}: not a flight-recorder dump "
+                         f"(version {document.get('version')!r})")
+    if not isinstance(document.get("events"), list):
+        raise ValueError(f"{path}: malformed dump (no events array)")
+    return document
+
+
+def format_dump(document: dict, tail: Optional[int] = None) -> str:
+    """Human-readable rendering of a dump: header, kind census, then
+    the event timeline with timestamps relative to the dump instant."""
+    dumped_at = document.get("dumped_at", 0.0)
+    events = document["events"]
+    lines = [
+        f"flight recorder dump — reason: {document.get('reason')}",
+        f"  pid {document.get('pid')}  "
+        f"recorded {document.get('recorded')}  "
+        f"dropped {document.get('dropped')}  "
+        f"capacity {document.get('capacity')}",
+    ]
+    census: dict[str, int] = {}
+    for _ts, kind, _fields in events:
+        census[kind] = census.get(kind, 0) + 1
+    if census:
+        lines.append("  events by kind: " + ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(census.items())))
+    shown = events if tail is None else events[-tail:]
+    if len(shown) < len(events):
+        lines.append(f"  ... ({len(events) - len(shown)} earlier "
+                     f"event(s) elided)")
+    for ts, kind, fields in shown:
+        offset = ts - dumped_at
+        detail = "" if not fields else "  " + " ".join(
+            f"{key}={value}" for key, value in fields.items())
+        lines.append(f"  {offset:+10.3f}s  {kind:24s}{detail}")
+    if not events:
+        lines.append("  (ring empty)")
+    return "\n".join(lines)

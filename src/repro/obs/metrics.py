@@ -14,10 +14,16 @@ dict lookup plus an integer add, and the disabled-tracer fast path
 
 from __future__ import annotations
 
+import math
+import re
 import threading
+from bisect import bisect_left
 from typing import Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter", "Gauge", "Histogram", "LogLinearHistogram",
+    "MetricsRegistry", "global_registry", "prometheus_errors",
+]
 
 
 class Counter:
@@ -105,6 +111,111 @@ class Histogram:
         }
 
 
+class LogLinearHistogram:
+    """A bounded log-linear histogram for latency-style distributions.
+
+    Bucket edges subdivide each decade ``[d, 10d)`` of ``[lo, hi)``
+    into ``per_decade`` linearly spaced steps — the classic
+    HDR-histogram compromise: relative quantile error is bounded by
+    ``9/per_decade`` (one bucket width over the decade's low edge)
+    across many orders of magnitude, while total storage stays under a
+    thousand integers no matter how many samples arrive (the daemon's
+    previous exact sample lists were O(n) memory and an O(n log n)
+    sort per snapshot).
+
+    Percentiles come from cumulative bucket interpolation: find the
+    bucket holding the target rank, then interpolate linearly between
+    its edges by rank position.  Results are clamped to the exact
+    observed ``[min, max]`` so quantiles never exceed a real sample.
+    """
+
+    __slots__ = ("lo", "hi", "per_decade", "edges", "buckets", "count",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, lo: float = 0.001, hi: float = 1e5,
+                 per_decade: int = 100) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        self.lo = lo
+        self.hi = hi
+        self.per_decade = per_decade
+        edges = []
+        decade = lo
+        while decade < hi:
+            step = 9.0 * decade / per_decade   # spans [d, 10d) exactly
+            for j in range(per_decade):
+                edge = decade + j * step
+                if edge >= hi:
+                    break
+                edges.append(edge)
+            decade *= 10.0
+        edges.append(hi)
+        #: ascending bucket edges; bucket i spans [edges[i-1], edges[i])
+        #: with an underflow bucket below edges[0] and an overflow
+        #: bucket at the end for samples >= hi
+        self.edges = edges
+        self.buckets = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        self.buckets[bisect_left(self.edges, value)
+                     if value < self.hi else len(self.edges)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Quantile by cumulative bucket interpolation (clamped to the
+        exact observed min/max)."""
+        if not self.count:
+            return 0.0
+        if fraction <= 0.0:
+            return self.minimum
+        if fraction >= 1.0:
+            return self.maximum
+        rank = fraction * (self.count - 1)
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if seen + n > rank:
+                low = self.edges[idx - 1] if 0 < idx <= len(self.edges) \
+                    else (self.minimum if idx == 0 else self.edges[-1])
+                high = self.edges[idx] if idx < len(self.edges) \
+                    else self.maximum
+                if low is None:
+                    low = 0.0
+                if high is None or high < low:
+                    high = low
+                within = (rank - seen + 0.5) / n
+                value = low + (high - low) * min(1.0, max(0.0, within))
+                return min(self.maximum, max(self.minimum, value))
+            seen += n
+        return self.maximum
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
 class MetricsRegistry:
     """Thread-safe name -> metric store (create-on-first-use)."""
 
@@ -161,3 +272,141 @@ class MetricsRegistry:
                 "histograms": {n: h.to_dict()
                                for n, h in sorted(self._histograms.items())},
             }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition (format 0.0.4) of every metric.
+
+        Counters become ``<prefix>_<name>_total``, gauges emit their
+        value plus a ``_high_water`` companion gauge, histograms emit
+        the standard cumulative ``_bucket{le="..."}`` series ending in
+        ``le="+Inf"`` plus ``_sum``/``_count``.  Metric names are
+        sanitized to the Prometheus grammar (dots become underscores).
+        """
+        with self._lock:
+            counters = list(sorted(self._counters.items()))
+            gauges = list(sorted(self._gauges.items()))
+            histograms = list(sorted(self._histograms.items()))
+        lines: list[str] = []
+
+        def famname(name: str) -> str:
+            name = _sanitize_metric_name(f"{prefix}_{name}" if prefix
+                                         else name)
+            return name
+
+        for name, counter in counters:
+            family = famname(name)
+            if not family.endswith("_total"):
+                family += "_total"
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_fmt_value(counter.value)}")
+        for name, gauge in gauges:
+            family = famname(name)
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt_value(gauge.value)}")
+            lines.append(f"# TYPE {family}_high_water gauge")
+            lines.append(f"{family}_high_water "
+                         f"{_fmt_value(gauge.high_water)}")
+        for name, hist in histograms:
+            family = famname(name)
+            lines.append(f"# TYPE {family} histogram")
+            cumulative = 0
+            for bound, bucket in zip(hist.bounds, hist.buckets):
+                cumulative += bucket
+                lines.append(f'{family}_bucket{{le="{_fmt_value(bound)}"}}'
+                             f' {cumulative}')
+            lines.append(f'{family}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{family}_sum {_fmt_value(hist.total)}")
+            lines.append(f"{family}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_EXPOSITION_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"               # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""    # optional label set
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" [0-9eE+.infNa-]+$")                     # value
+
+
+def _sanitize_metric_name(name: str) -> str:
+    name = _NAME_OK.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(round(value, 9))
+    return str(value)
+
+
+def prometheus_errors(text: str) -> list:
+    """Validate a Prometheus text exposition; a list of problems.
+
+    Checks the line grammar (``# TYPE``/``# HELP`` comments, sample
+    lines with optional labels), that every sample's family was
+    declared by a preceding ``# TYPE``, and that histogram bucket
+    series are cumulative and end with ``le="+Inf"`` equal to
+    ``_count``.  Used by tests and the serve-smoke CI job to gate the
+    ``/metrics`` endpoint.
+    """
+    errors: list = []
+    typed: dict[str, str] = {}
+    buckets: dict[str, list] = {}
+    counts: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                typed[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed {parts[1]}")
+            continue
+        if not _EXPOSITION_LINE.match(line):
+            errors.append(f"line {lineno}: bad sample line {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = re.sub(r"_(bucket|sum|count|total|high_water)$", "",
+                        name)
+        if name not in typed and family not in typed and \
+                f"{family}_total" not in typed:
+            errors.append(f"line {lineno}: sample {name!r} has no "
+                          f"# TYPE declaration")
+        if name.endswith("_bucket") and 'le="' in line:
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            value = float(line.rsplit(" ", 1)[1])
+            buckets.setdefault(family, []).append((le, value))
+        elif name.endswith("_count"):
+            counts[family] = int(float(line.rsplit(" ", 1)[1]))
+    for family, series in buckets.items():
+        values = [v for _le, v in series]
+        if values != sorted(values):
+            errors.append(f"{family}: bucket series not cumulative")
+        if series[-1][0] != "+Inf":
+            errors.append(f"{family}: bucket series must end at +Inf")
+        elif family in counts and series[-1][1] != counts[family]:
+            errors.append(f"{family}: +Inf bucket != _count")
+    return errors
+
+
+#: The process-persistent registry: unlike the null tracer's registry
+#: (reset at every CLI ``main()`` entry so one run's counts cannot leak
+#: into the next run's report), this one accumulates for the life of
+#: the process.  Long-lived daemon-adjacent subsystems (the persistent
+#: artifact store) publish here so the ``/metrics`` plane sees them
+#: without a side channel.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-lifetime registry (never reset by the CLI)."""
+    return _GLOBAL_REGISTRY

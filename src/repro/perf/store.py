@@ -68,6 +68,29 @@ class DiskStore:
         self.writes = 0
         self.evictions = 0
         self.read_errors = 0
+        self._publish()
+
+    def _publish(self, entries: Optional[int] = None,
+                 nbytes: Optional[int] = None) -> None:
+        """Mirror the store's counters into the process-global metrics
+        registry so the daemon's ``/metrics`` plane sees the persistent
+        tier without a side channel.  Gauges (not counters) because the
+        store owns the authoritative values and multiple store
+        instances may exist over a process lifetime (tests, cache
+        reconfiguration) — last-set-wins is the semantic we want.
+        ``entries``/``bytes`` refresh only when a caller already paid
+        for the on-disk census (eviction, ``stats()``)."""
+        from ..obs.metrics import global_registry
+        registry = global_registry()
+        registry.gauge("store.hits").set(self.hits)
+        registry.gauge("store.misses").set(self.misses)
+        registry.gauge("store.writes").set(self.writes)
+        registry.gauge("store.evictions").set(self.evictions)
+        registry.gauge("store.read_errors").set(self.read_errors)
+        if entries is not None:
+            registry.gauge("store.entries").set(entries)
+        if nbytes is not None:
+            registry.gauge("store.bytes").set(nbytes)
 
     # -- paths ---------------------------------------------------------------
 
@@ -89,6 +112,7 @@ class DiskStore:
                 artifact = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._publish()
             return None
         except Exception:
             # Truncated write from a crashed process, garbage bytes,
@@ -97,8 +121,10 @@ class DiskStore:
             self.read_errors += 1
             self.misses += 1
             self._remove(path)
+            self._publish()
             return None
         self.hits += 1
+        self._publish()
         try:
             os.utime(path)            # refresh LRU recency
         except OSError:
@@ -177,15 +203,18 @@ class DiskStore:
         """Delete least-recently-used artifacts until under the cap."""
         entries = self._entries()
         total = sum(size for _mtime, size, _path in entries)
-        if total <= self.max_bytes:
-            return
-        entries.sort()                 # oldest mtime first
-        for _mtime, size, path in entries:
-            if total <= self.max_bytes:
-                break
-            if self._remove(path):
-                total -= size
-                self.evictions += 1
+        count = len(entries)
+        if total > self.max_bytes:
+            entries.sort()             # oldest mtime first
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if self._remove(path):
+                    total -= size
+                    count -= 1
+                    self.evictions += 1
+        # The census was just paid for: refresh bytes/entries gauges.
+        self._publish(entries=count, nbytes=total)
 
     @staticmethod
     def _remove(path: str) -> bool:
@@ -200,6 +229,8 @@ class DiskStore:
     def stats(self) -> dict:
         """Counters plus a fresh on-disk entry/byte census."""
         entries = self._entries()
+        self._publish(entries=len(entries),
+                      nbytes=sum(size for _m, size, _p in entries))
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -14,15 +14,18 @@ the pool), :mod:`~repro.serve.daemon` (event loop, queueing, serving),
 :mod:`~repro.serve.client` (synchronous clients).
 """
 
-from .client import Client, http_request, request
+from .client import Client, http_get, http_request, request
 from .daemon import Daemon, DaemonHandle, ServeConfig, start_daemon_thread
 from .protocol import (
-    COMPUTE_OPS, CONTROL_OPS, ProtocolError, Request, canonical_key,
-    parse_request,
+    COMPUTE_OPS, CONTROL_OPS, ProtocolError, Request, TraceContext,
+    canonical_key, new_trace_id, parse_request,
 )
+from .tracing import build_request_trace, follower_trace, trace_span_names
 
 __all__ = [
     "COMPUTE_OPS", "CONTROL_OPS", "Client", "Daemon", "DaemonHandle",
-    "ProtocolError", "Request", "ServeConfig", "canonical_key",
-    "http_request", "parse_request", "request", "start_daemon_thread",
+    "ProtocolError", "Request", "ServeConfig", "TraceContext",
+    "build_request_trace", "canonical_key", "follower_trace", "http_get",
+    "http_request", "new_trace_id", "parse_request", "request",
+    "start_daemon_thread", "trace_span_names",
 ]

@@ -19,7 +19,7 @@ from typing import Optional
 
 from .protocol import decode_line, encode_line
 
-__all__ = ["Client", "request", "http_request"]
+__all__ = ["Client", "request", "http_request", "http_get"]
 
 #: Responses carrying a full stdout capture can be large; read frames
 #: in chunks of this size.
@@ -89,5 +89,24 @@ def http_request(payload: dict, port: int, host: str = "127.0.0.1",
         conn.request("POST", path or "/v1/request", body=body,
                      headers={"Content-Type": "application/json"})
         return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def http_get(path: str, port: int, host: str = "127.0.0.1",
+             timeout: float = 60.0) -> tuple[int, str, str]:
+    """GET one path from the HTTP listener.
+
+    Returns ``(status, content_type, body_text)`` — the raw plane, for
+    endpoints that are not JSON envelopes (``/metrics`` is Prometheus
+    text).
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (response.status,
+                response.getheader("Content-Type", ""),
+                response.read().decode("utf-8", "replace"))
     finally:
         conn.close()

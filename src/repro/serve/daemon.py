@@ -43,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import sys
 import tempfile
 import threading
 import time
@@ -52,21 +53,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import LogLinearHistogram, MetricsRegistry, \
+    global_registry
 from ..perf.cache import CACHE_DIR_ENV, cache_stats, configure_disk_store
 from ..perf.parallel import get_shared_pool, reset_pool
-from .handlers import run_batch
+from .handlers import EXIT_INTERNAL, run_batch
 from .protocol import (
     ProtocolError, Request, canonical_key, decode_line, encode_line,
-    error_response, parse_request,
+    error_response, new_trace_id, parse_request,
 )
+from .tracing import build_request_trace, follower_trace
 
 __all__ = ["ServeConfig", "Daemon", "DaemonHandle", "start_daemon_thread"]
 
 #: Latency-histogram bucket bounds in milliseconds.
 _LATENCY_BOUNDS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
-#: Raw latency samples kept per op for exact percentiles.
-_SAMPLE_CAP = 200_000
 
 
 @dataclass
@@ -91,6 +93,16 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     #: spool directory for inline sources (``None``: fresh temp dir)
     spool_dir: Optional[str] = None
+    #: where flight-recorder dumps land (``None``: the socket's dir)
+    blackbox_dir: Optional[str] = None
+    #: flight-recorder ring capacity (0: default / REPRO_FLIGHT_CAPACITY)
+    flight_capacity: int = 0
+    #: a refusal *burst* — this many refusals inside the window — is a
+    #: dump trigger: the black box preserves what led up to the storm
+    refusal_burst: int = 32
+    refusal_burst_window_s: float = 5.0
+    #: minimum seconds between automatic dumps (0: dump every trigger)
+    blackbox_cooldown_s: float = 30.0
 
 
 @dataclass
@@ -102,15 +114,12 @@ class _Pending:
     op: str
     future: asyncio.Future
     enqueued_at: float = field(default_factory=time.monotonic)
-
-
-def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample list."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1,
-                      round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    #: minted trace id when the request asked for tracing
+    trace_id: Optional[str] = None
+    #: dispatcher pop instant (ends queue.wait) and execution-tier
+    #: handoff instant (ends batch.assemble) — trace span boundaries
+    picked_at: float = 0.0
+    shipped_at: float = 0.0
 
 
 class Daemon:
@@ -127,7 +136,16 @@ class Daemon:
         self._pending: deque[_Pending] = deque()
         self._pending_event = asyncio.Event()
         self._inflight: dict[tuple, asyncio.Future] = {}
-        self._latency: dict[str, list[float]] = {}
+        #: per-op log-linear latency histograms: bounded memory no
+        #: matter the request volume, percentiles by bucket
+        #: interpolation (the previous exact sample lists were O(n))
+        self._latency: dict[str, LogLinearHistogram] = {}
+        #: the always-on black box; dumped on fault/burst/signal
+        self.flight = FlightRecorder(config.flight_capacity or None)
+        self._refusal_times: deque[float] = deque(
+            maxlen=max(1, config.refusal_burst))
+        self._last_dump_at: Optional[float] = None
+        self._dump_seq = 0
         self._outstanding = 0            # queued + executing requests
         self._idle_event = asyncio.Event()
         self._idle_event.set()
@@ -173,12 +191,47 @@ class Daemon:
         await self._stopped.wait()
         await self.aclose()
 
-    async def shutdown(self) -> None:
-        """Graceful drain: refuse new work, finish everything admitted."""
+    async def shutdown(self, reason: str = "drain") -> None:
+        """Graceful drain: refuse new work, finish everything admitted.
+
+        ``reason`` tags the stop in the flight recorder; a signal-driven
+        stop (``reason="sigterm"``) also dumps the black box so the
+        daemon's last moments survive the process.
+        """
         self._draining = True
+        self.flight.record("daemon.drain", reason=reason)
         await self._idle_event.wait()
+        if reason == "sigterm":
+            self._dump_blackbox("sigterm")
         self._stopped.set()
         self._pending_event.set()         # wake the dispatcher to exit
+
+    def _dump_blackbox(self, reason: str) -> Optional[str]:
+        """Write the flight-recorder ring to disk (rate-limited).
+
+        Never raises: the black box is a best-effort diagnostic and must
+        not take down the serving path that triggered it.
+        """
+        now = time.monotonic()
+        cooldown = self.config.blackbox_cooldown_s
+        if self._last_dump_at is not None and \
+                now - self._last_dump_at < cooldown:
+            return None
+        self._last_dump_at = now
+        self._dump_seq += 1
+        directory = self.config.blackbox_dir or \
+            os.path.dirname(self.config.socket_path) or "."
+        path = os.path.join(
+            directory,
+            f"repro-blackbox-{os.getpid()}-{self._dump_seq}.json")
+        try:
+            self.flight.dump(path, reason=reason)
+        except OSError:
+            return None
+        self.metrics.counter("serve.blackbox.dumps").inc()
+        print(f"repro-serve: flight recorder dumped to {path} "
+              f"({reason})", file=sys.stderr)
+        return path
 
     async def aclose(self) -> None:
         self._stopped.set()
@@ -222,26 +275,56 @@ class Daemon:
         if shared is not None:
             # Single-flight: ride the execution already in progress.
             self.metrics.counter("serve.coalesced").inc()
+            self.flight.record("request.coalesced", op=request.op)
+            wait_start = time.monotonic()
             result = await asyncio.shield(shared)
-            return {**result, "id": request.id}
+            response = {**result, "id": request.id}
+            if request.trace:
+                # The follower never executed: its trace is one
+                # synthetic span pointing at the leader's trace id.
+                leader_id = result.get("trace", {}) \
+                    .get("otherData", {}).get("trace_id")
+                response["trace"] = follower_trace(
+                    new_trace_id(), leader_id,
+                    time.monotonic() - wait_start, request.op)
+            return response
         if self._draining:
             self.metrics.counter("serve.refused.draining").inc()
+            self._note_refusal("draining", request.op)
             return error_response("draining", request.id)
         if len(self._pending) >= self.config.queue_depth:
             self.metrics.counter("serve.refused.overloaded").inc()
+            self._note_refusal("overloaded", request.op)
             return error_response("overloaded", request.id)
+        trace_id = new_trace_id() if request.trace else None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         payload_out = {"op": request.op, "args": list(request.args),
                        "source": request.source}
+        if trace_id is not None:
+            payload_out["trace_id"] = trace_id
         self._pending.append(_Pending(key=key, payload=payload_out,
-                                      op=request.op, future=future))
+                                      op=request.op, future=future,
+                                      trace_id=trace_id))
         self._outstanding += 1
         self._idle_event.clear()
         self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+        self.flight.record("request.admitted", op=request.op,
+                           depth=len(self._pending),
+                           traced=trace_id is not None)
         self._pending_event.set()
         result = await asyncio.shield(future)
         return {**result, "id": request.id}
+
+    def _note_refusal(self, reason: str, op: str) -> None:
+        """Flight-record one refusal; a burst is a dump trigger."""
+        now = time.monotonic()
+        self.flight.record("request.refused", reason=reason, op=op)
+        times = self._refusal_times
+        times.append(now)
+        if len(times) == times.maxlen and \
+                now - times[0] <= self.config.refusal_burst_window_s:
+            self._dump_blackbox("refusal-burst")
 
     async def _handle_control(self, request: Request) -> dict:
         if request.op == "ping":
@@ -270,7 +353,9 @@ class Daemon:
             deadline = loop.time() + window
             while len(batch) < self.config.batch_max:
                 if self._pending:
-                    batch.append(self._pending.popleft())
+                    item = self._pending.popleft()
+                    item.picked_at = time.monotonic()   # ends queue.wait
+                    batch.append(item)
                     continue
                 remaining = deadline - loop.time()
                 if remaining <= 0 or self._stopped.is_set():
@@ -294,46 +379,82 @@ class Daemon:
                                bounds=(1, 2, 4, 8, 16, 32)) \
             .record(len(batch))
         payloads = [item.payload for item in batch]
+        shipped_at = time.monotonic()       # ends batch.assemble
+        for item in batch:
+            item.shipped_at = shipped_at
         try:
             if self._executor_fn is not None:
+                mode = "executor"
                 responses = await loop.run_in_executor(
                     self._thread_pool, self._executor_fn, payloads)
             elif self._pool_size() > 0:
+                mode = "pooled"
                 self.metrics.counter("serve.batches.pooled").inc()
                 pool = get_shared_pool(self._pool_size())
                 responses = await asyncio.wrap_future(
                     pool.submit(run_batch, payloads, self.spool_dir))
             else:
+                mode = "inline"
                 self.metrics.counter("serve.batches.inline").inc()
                 responses = await loop.run_in_executor(
                     self._thread_pool, run_batch, payloads, self.spool_dir)
         except BrokenProcessPool:
             # A worker died and poisoned the executor: heal the pool
             # and replay this batch in-process — no request is lost.
+            mode = "replay"
             self.metrics.counter("serve.pool.broken").inc()
+            self.flight.record("pool.broken", batch=len(batch))
+            self._dump_blackbox("pool-broken")
             reset_pool()
             responses = await loop.run_in_executor(
                 self._thread_pool, run_batch, payloads, self.spool_dir)
         except Exception as exc:
+            mode = "error"
+            self.flight.record("batch.error", batch=len(batch),
+                               error=f"{type(exc).__name__}: {exc}")
             responses = [{"ok": False,
                           "error": f"{type(exc).__name__}: {exc}"}
                          for _ in batch]
         now = time.monotonic()
+        faulted = False
         for item, response in zip(batch, responses):
             latency_ms = (now - item.enqueued_at) * 1e3
-            samples = self._latency.setdefault(item.op, [])
-            if len(samples) < _SAMPLE_CAP:
-                samples.append(latency_ms)
+            self._latency.setdefault(item.op, LogLinearHistogram()) \
+                .record(latency_ms)
             self.metrics.histogram(f"serve.latency_ms.{item.op}",
                                    bounds=_LATENCY_BOUNDS) \
                 .record(latency_ms)
+            ok = bool(response.get("ok"))
             self.metrics.counter(
-                "serve.responses.ok" if response.get("ok")
+                "serve.responses.ok" if ok
                 else "serve.responses.error").inc()
+            worker_events = response.pop("trace_events", None)
+            if item.trace_id is not None:
+                response["trace"] = build_request_trace(
+                    item.trace_id,
+                    enqueued_at=item.enqueued_at,
+                    picked_at=item.picked_at or item.enqueued_at,
+                    shipped_at=item.shipped_at or item.enqueued_at,
+                    done_at=now, op=item.op, mode=mode,
+                    batch_size=len(batch),
+                    worker_events=worker_events)
+            if not ok or response.get("exit_code") == EXIT_INTERNAL:
+                # Handler fault: the request crashed inside the
+                # execution tier (not a CLI-mapped error exit).
+                faulted = True
+                self.flight.record(
+                    "handler.fault", op=item.op,
+                    error=str(response.get("error", ""))[:200],
+                    exit_code=response.get("exit_code"))
+            else:
+                self.flight.record("response.sent", op=item.op,
+                                   latency_ms=round(latency_ms, 3))
             self._inflight.pop(item.key, None)
             if not item.future.done():
                 item.future.set_result(response)
             self._outstanding -= 1
+        if faulted:
+            self._dump_blackbox("handler-fault")
         if self._outstanding == 0:
             self._idle_event.set()
 
@@ -347,16 +468,14 @@ class Daemon:
 
     def stats_snapshot(self) -> dict:
         latency = {}
-        for op, samples in sorted(self._latency.items()):
-            ordered = sorted(samples)
+        for op, hist in sorted(self._latency.items()):
             latency[op] = {
-                "count": len(ordered),
-                "p50_ms": round(_percentile(ordered, 0.50), 3),
-                "p95_ms": round(_percentile(ordered, 0.95), 3),
-                "p99_ms": round(_percentile(ordered, 0.99), 3),
-                "mean_ms": round(sum(ordered) / len(ordered), 3)
-                if ordered else 0.0,
-                "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+                "count": hist.count,
+                "p50_ms": round(hist.percentile(0.50), 3),
+                "p95_ms": round(hist.percentile(0.95), 3),
+                "p99_ms": round(hist.percentile(0.99), 3),
+                "mean_ms": round(hist.mean, 3),
+                "max_ms": round(hist.maximum or 0.0, 3),
             }
         return {
             "pid": os.getpid(),
@@ -373,7 +492,25 @@ class Daemon:
             "latency_ms": latency,
             "metrics": self.metrics.to_dict(),
             "cache": cache_stats(),
+            "flight": {
+                "recorded": self.flight.recorded,
+                "dropped": self.flight.dropped,
+                "capacity": self.flight.capacity,
+            },
         }
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text for ``GET /metrics``: the daemon's registry
+        plus the process-global one (persistent-store gauges land
+        there), with point-in-time gauges refreshed at scrape time."""
+        self.metrics.gauge("serve.uptime_seconds").set(
+            round(time.monotonic() - self._started_at, 3))
+        self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+        self.metrics.gauge("serve.inflight").set(len(self._inflight))
+        self.metrics.gauge("serve.flight.recorded").set(
+            self.flight.recorded)
+        return self.metrics.to_prometheus(prefix="repro") + \
+            global_registry().to_prometheus(prefix="repro")
 
     # -- JSON-lines transport ------------------------------------------------
 
@@ -418,10 +555,10 @@ class Daemon:
     async def _serve_http(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
         try:
-            status, body = await self._http_one(reader)
+            status, body, content_type = await self._http_one(reader)
             writer.write(
                 f"HTTP/1.1 {status}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n".encode("ascii") + body)
             await writer.drain()
@@ -432,12 +569,17 @@ class Daemon:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
+    _JSON_CT = "application/json"
+    #: Prometheus text exposition format version header
+    _PROM_CT = "text/plain; version=0.0.4; charset=utf-8"
+
     async def _http_one(self, reader: asyncio.StreamReader) -> \
-            tuple[str, bytes]:
+            tuple[str, bytes, str]:
         request_line = (await reader.readline()).decode("ascii", "replace")
         parts = request_line.split()
         if len(parts) < 2:
-            return "400 Bad Request", b'{"ok":false,"error":"bad request"}'
+            return ("400 Bad Request",
+                    b'{"ok":false,"error":"bad request"}', self._JSON_CT)
         method, path = parts[0].upper(), parts[1]
         content_length = 0
         while True:
@@ -450,23 +592,32 @@ class Daemon:
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    return "400 Bad Request", \
-                        b'{"ok":false,"error":"bad content-length"}'
+                    return ("400 Bad Request",
+                            b'{"ok":false,"error":"bad content-length"}',
+                            self._JSON_CT)
+        if method == "GET" and path == "/metrics":
+            # The scrape plane: Prometheus text, no JSON envelope.
+            body = self.metrics_exposition().encode("utf-8")
+            return "200 OK", body, self._PROM_CT
         if method == "GET" and path in ("/v1/ping", "/v1/stats"):
             response = await self.handle_payload({"op": path[4:]})
-            return "200 OK", encode_line(response).rstrip(b"\n")
+            return ("200 OK", encode_line(response).rstrip(b"\n"),
+                    self._JSON_CT)
         if method == "POST" and path == "/v1/request":
             body = await reader.readexactly(content_length) \
                 if content_length else b""
             try:
                 payload = decode_line(body)
             except ProtocolError as exc:
-                return "400 Bad Request", \
-                    encode_line(error_response(str(exc))).rstrip(b"\n")
+                return ("400 Bad Request",
+                        encode_line(error_response(str(exc))).rstrip(b"\n"),
+                        self._JSON_CT)
             response = await self.handle_payload(payload)
             status = "200 OK" if response.get("ok") else "400 Bad Request"
-            return status, encode_line(response).rstrip(b"\n")
-        return "404 Not Found", b'{"ok":false,"error":"not found"}'
+            return (status, encode_line(response).rstrip(b"\n"),
+                    self._JSON_CT)
+        return ("404 Not Found", b'{"ok":false,"error":"not found"}',
+                self._JSON_CT)
 
 
 # -- embedded daemon (tests, benchmarks) --------------------------------------

@@ -112,12 +112,35 @@ def run_request(payload: dict, spool_dir: str) -> dict:
 
     ``payload`` is the picklable ``{"op", "args", "source"}`` shape the
     daemon builds from a validated :class:`~repro.serve.protocol.Request`.
+    A ``trace_id`` entry (minted by the daemon for ``trace: true``
+    requests) runs the CLI under a recording tracer: the handler opens
+    a ``handler.execute`` span, the instrumented compile pipeline and
+    cache layer record their own spans into the same tracer, and the
+    resulting Chrome events ride back on ``trace_events`` for the
+    daemon to merge with its queue/batch/dispatch spans.  Tracing never
+    changes the response bytes — stdout/stderr/exit code stay
+    byte-identical to the untraced invocation (the observability
+    layer's standing no-behavior-change guarantee).
     """
     argv = resolve_args(tuple(payload["args"]), payload.get("source"),
                         spool_dir)
-    code, stdout, stderr = execute_argv([payload["op"], *argv])
+    trace_id = payload.get("trace_id")
+    if not trace_id:
+        code, stdout, stderr = execute_argv([payload["op"], *argv])
+        return {"ok": True, "exit_code": code, "stdout": stdout,
+                "stderr": stderr}
+    from ..obs.export import chrome_trace
+    from ..obs.tracer import Tracer, use_tracer
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("handler.execute", category="serve",
+                         op=payload["op"], trace_id=trace_id) as span:
+            code, stdout, stderr = execute_argv([payload["op"], *argv])
+            if span is not None and span.args is not None:
+                span.args["exit_code"] = code
     return {"ok": True, "exit_code": code, "stdout": stdout,
-            "stderr": stderr}
+            "stderr": stderr,
+            "trace_events": chrome_trace(tracer)["traceEvents"]}
 
 
 def run_batch(payloads: list[dict], spool_dir: str) -> list[dict]:

@@ -17,6 +17,11 @@ scalar echoed back so clients can pipeline.  An optional ``source``
 field carries inline Mini-C text: the daemon spools it to a
 content-named file and substitutes that path for the ``{source}``
 placeholder in ``args`` (appending it when no placeholder is present).
+An optional ``trace: true`` flag requests end-to-end tracing: the
+response then also carries a ``trace`` object — one merged Chrome
+trace spanning queue wait, batch assembly, dispatch, cache lookups,
+and handler execution, all stamped with one trace id (see
+:class:`TraceContext`).
 
 Compute response::
 
@@ -39,12 +44,14 @@ coalesce onto one in-flight execution.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
     "COMPUTE_OPS", "CONTROL_OPS", "SOURCE_PLACEHOLDER",
-    "ProtocolError", "Request", "parse_request", "canonical_key",
+    "ProtocolError", "Request", "TraceContext", "new_trace_id",
+    "parse_request", "canonical_key",
     "error_response", "encode_line", "decode_line",
 ]
 
@@ -73,11 +80,46 @@ class Request:
     op: str
     args: tuple = ()
     source: Optional[str] = None
+    #: request-scoped tracing: ``trace: true`` asks the daemon to mint
+    #: a TraceContext and return one merged Chrome trace covering the
+    #: request's whole lifecycle.  Part of the single-flight identity —
+    #: a traced request never coalesces onto an untraced execution
+    #: (whose trace would not exist) or vice versa.
+    trace: bool = False
     id: object = field(default=None, compare=False)
 
     @property
     def is_control(self) -> bool:
         return self.op in CONTROL_OPS
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a request's spans share across process boundaries.
+
+    Minted by the daemon at admission (one per traced request) and
+    carried on the payload into whichever tier executes the request —
+    the daemon's inline worker thread or a ``perf.parallel`` pool
+    worker — where the handler attaches a recording tracer to it.
+    Every span in the merged trace carries ``trace_id`` in its args,
+    so a span tree can be filtered back out of any event soup.
+    ``parent_span`` names the span that caused this context to exist
+    (for a follower coalesced onto a leader's execution, the leader's
+    trace id).
+    """
+
+    trace_id: str
+    parent_span: str = ""
+
+    def to_wire(self) -> dict:
+        return {"trace_id": self.trace_id,
+                "parent_span": self.parent_span}
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (process-unique, collision-safe
+    across daemons by randomness rather than coordination)."""
+    return os.urandom(8).hex()
 
 
 def parse_request(payload: object) -> Request:
@@ -107,15 +149,27 @@ def parse_request(payload: object) -> Request:
             raise ProtocolError("'source' must be a string")
         if len(source.encode("utf-8", "replace")) > _MAX_SOURCE_BYTES:
             raise ProtocolError("inline source too large")
+    trace = payload.get("trace", False)
+    if not isinstance(trace, bool):
+        raise ProtocolError("'trace' must be a boolean")
     request_id = payload.get("id")
     if isinstance(request_id, (dict, list)):
         raise ProtocolError("'id' must be a JSON scalar")
-    return Request(op=op, args=tuple(args), source=source, id=request_id)
+    return Request(op=op, args=tuple(args), source=source, trace=trace,
+                   id=request_id)
 
 
 def canonical_key(request: Request) -> tuple:
-    """The single-flight identity: equal keys are the same computation."""
-    return (request.op, request.args, request.source)
+    """The single-flight identity: equal keys are the same computation.
+
+    ``trace`` participates: a traced request's response carries a
+    merged trace an untraced execution would not have produced, so the
+    two are different computations even over identical (op, args,
+    source).  Traced requests still coalesce with each other — the
+    follower's response gets its own synthetic ``serve.coalesced``
+    span referencing the leader's trace id.
+    """
+    return (request.op, request.args, request.source, request.trace)
 
 
 def error_response(message: str, request_id: object = None) -> dict:

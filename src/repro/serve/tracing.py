@@ -1,0 +1,113 @@
+"""Request-scoped trace assembly: one merged Chrome trace per request.
+
+A traced request crosses three clock domains: the daemon's event loop
+(queue wait, batch assembly, dispatch), the handler's process (CLI
+execution, cache lookups, compile passes — wall clock relative to the
+handler's own tracer epoch), and simulated time (WM cycle spans on
+virtual tracks).  The merge puts each domain on its own Chrome trace
+process so Perfetto renders them as stacked timelines:
+
+======  ==========================================
+pid 1   serve daemon (wall time, epoch = admission)
+pid 3   handler (wall time, shifted to dispatch)
+pid 4   simulation (1 us = 1 cycle, unshifted)
+======  ==========================================
+
+Handler wall events are shifted by the daemon-measured dispatch offset
+rather than by cross-process clock comparison — ``perf_counter`` is
+not guaranteed comparable across processes, and the shift is exact at
+the one boundary that matters (the moment the daemon handed the batch
+to the execution tier).  Every non-metadata event is stamped with the
+request's ``trace_id`` so one request's span tree can be filtered back
+out of any aggregated event soup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["build_request_trace", "follower_trace", "trace_span_names"]
+
+_DAEMON_PID = 1
+_HANDLER_PID = 3
+_SIM_PID = 4
+
+#: Worker-side chrome_trace pids (see repro.obs.export).
+_WORKER_WALL_PID = 1
+_WORKER_SIM_PID = 2
+
+
+def _span(name: str, ts_us: float, dur_us: float, trace_id: str,
+          tid: int = 1, **args) -> dict:
+    return {"name": name, "cat": "serve", "ph": "X",
+            "ts": round(ts_us, 3), "dur": round(max(0.0, dur_us), 3),
+            "pid": _DAEMON_PID, "tid": tid,
+            "args": {"trace_id": trace_id, **args}}
+
+
+def build_request_trace(trace_id: str, *, enqueued_at: float,
+                        picked_at: float, shipped_at: float,
+                        done_at: float, op: str, mode: str,
+                        batch_size: int,
+                        worker_events: Optional[list]) -> dict:
+    """Merge daemon-side synthetic spans with handler-side events.
+
+    All daemon timestamps are ``time.monotonic()`` readings; the trace
+    epoch is ``enqueued_at`` (admission), so ``ts`` 0 is the instant
+    the request entered the pending queue.
+    """
+    def us(t: float) -> float:
+        return (t - enqueued_at) * 1e6
+
+    events = [
+        _span("serve.request", 0.0, us(done_at), trace_id,
+              op=op, mode=mode),
+        _span("queue.wait", 0.0, us(picked_at), trace_id, tid=2),
+        _span("batch.assemble", us(picked_at),
+              us(shipped_at) - us(picked_at), trace_id, tid=2,
+              batch_size=batch_size),
+        _span("pool.dispatch", us(shipped_at),
+              us(done_at) - us(shipped_at), trace_id, tid=2, mode=mode),
+    ]
+    offset_us = us(shipped_at)
+    for event in worker_events or []:
+        event = dict(event)
+        if event.get("ph") == "M":
+            # Metadata (process/thread names): remap pid, keep as-is.
+            event["pid"] = _HANDLER_PID \
+                if event.get("pid") == _WORKER_WALL_PID else _SIM_PID
+            events.append(event)
+            continue
+        if event.get("pid") == _WORKER_WALL_PID:
+            event["pid"] = _HANDLER_PID
+            event["ts"] = round(event.get("ts", 0.0) + offset_us, 3)
+        else:
+            event["pid"] = _SIM_PID
+        event["args"] = {**event.get("args", {}), "trace_id": trace_id}
+        events.append(event)
+    events.append({"name": "process_name", "ph": "M", "pid": _DAEMON_PID,
+                   "tid": 0, "args": {"name": "serve daemon"}})
+    events.append({"name": "process_name", "ph": "M", "pid": _HANDLER_PID,
+                   "tid": 0, "args": {"name": f"handler ({mode})"}})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"trace_id": trace_id, "op": op}}
+
+
+def follower_trace(trace_id: str, leader_trace_id: Optional[str],
+                   wait_s: float, op: str) -> dict:
+    """The trace of a single-flight follower: it never executed, it
+    waited — one synthetic ``serve.coalesced`` span covering the wait,
+    pointing at the leader's trace id for the real execution tree."""
+    span = _span("serve.coalesced", 0.0, wait_s * 1e6, trace_id,
+                 op=op, leader_trace_id=leader_trace_id or "")
+    meta = {"name": "process_name", "ph": "M", "pid": _DAEMON_PID,
+            "tid": 0, "args": {"name": "serve daemon"}}
+    return {"traceEvents": [span, meta], "displayTimeUnit": "ms",
+            "otherData": {"trace_id": trace_id, "op": op,
+                          "leader_trace_id": leader_trace_id or ""}}
+
+
+def trace_span_names(trace: dict) -> set:
+    """The set of complete-span names in a merged trace (test helper)."""
+    return {event["name"] for event in trace.get("traceEvents", [])
+            if event.get("ph") == "X"}

@@ -1,0 +1,235 @@
+"""The scrapeable metrics plane: log-linear histograms, Prometheus
+text exposition, the ``/metrics`` endpoint, and ``repro top``."""
+
+import os
+import pathlib
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.metrics import (
+    LogLinearHistogram, MetricsRegistry, global_registry,
+    prometheus_errors,
+)
+from repro.serve import ServeConfig, http_get, request, \
+    start_daemon_thread
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LIVERMORE5 = str(REPO / "examples" / "livermore5.c")
+SRC_DIR = str(REPO / "src")
+
+
+class TestLogLinearHistogram:
+    def test_percentiles_bounded_relative_error(self):
+        hist = LogLinearHistogram()
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(3.0, 1.5) for _ in range(20000)]
+        for sample in samples:
+            hist.record(sample)
+        ordered = sorted(samples)
+        for fraction in (0.50, 0.95, 0.99):
+            exact = ordered[round(fraction * (len(ordered) - 1))]
+            approx = hist.percentile(fraction)
+            # per_decade=100 bounds relative error by 9% (one bucket
+            # width over a decade's low edge), worst case.
+            assert abs(approx - exact) / exact < 0.10, fraction
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        hist = LogLinearHistogram()
+        for value in (5.0, 5.0, 5.0):
+            hist.record(value)
+        assert hist.percentile(0.0) >= 5.0 - 1e-9
+        assert hist.percentile(1.0) <= 5.0 + 1e-9
+        assert hist.percentile(0.50) == pytest.approx(5.0)
+
+    def test_monotone_quantiles(self):
+        hist = LogLinearHistogram()
+        rng = random.Random(3)
+        for _ in range(5000):
+            hist.record(rng.expovariate(0.01))
+        p50, p95, p99 = (hist.percentile(f)
+                         for f in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99 <= hist.maximum
+
+    def test_underflow_and_overflow_samples(self):
+        hist = LogLinearHistogram(lo=1.0, hi=100.0)
+        hist.record(0.0001)               # below lo: underflow bucket
+        hist.record(1e9)                  # above hi: overflow bucket
+        assert hist.count == 2
+        assert hist.percentile(0.0) == pytest.approx(0.0001)
+        assert hist.percentile(1.0) == pytest.approx(1e9)
+
+    def test_empty_histogram(self):
+        hist = LogLinearHistogram()
+        assert hist.percentile(0.5) == 0.0
+        assert hist.to_dict()["count"] == 0
+
+    def test_bounded_memory(self):
+        hist = LogLinearHistogram()
+        buckets_before = len(hist.buckets)
+        for idx in range(100000):
+            hist.record(idx * 0.017 + 0.001)
+        assert len(hist.buckets) == buckets_before
+        assert hist.count == 100000
+
+    def test_to_dict_summary(self):
+        hist = LogLinearHistogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        summary = hist.to_dict()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests.total").inc(5)
+        registry.gauge("serve.queue.depth").set(3)
+        hist = registry.histogram("serve.latency_ms.run",
+                                  bounds=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            hist.record(value)
+        return registry
+
+    def test_exposition_validates(self):
+        text = self._registry().to_prometheus()
+        assert prometheus_errors(text) == []
+
+    def test_counter_total_suffix_and_value(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 5" in text
+
+    def test_histogram_buckets_cumulative_ending_inf(self):
+        text = self._registry().to_prometheus()
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("repro_serve_latency_ms_run_bucket")]
+        values = [float(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert values == sorted(values)
+        assert 'le="+Inf"' in lines[-1]
+        assert values[-1] == 4.0
+        assert "repro_serve_latency_ms_run_count 4" in text
+
+    def test_gauge_emits_high_water_companion(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("serve.queue.depth")
+        gauge.set(9)
+        gauge.set(2)
+        text = registry.to_prometheus()
+        assert "repro_serve_queue_depth 2" in text
+        assert "repro_serve_queue_depth_high_water 9" in text
+
+    def test_validator_flags_problems(self):
+        assert prometheus_errors("what even is this line") != []
+        assert any("TYPE" in error for error in prometheus_errors(
+            "undeclared_metric 1"))
+        broken = ("# TYPE h histogram\n"
+                  'h_bucket{le="1"} 5\n'
+                  'h_bucket{le="+Inf"} 3\n'
+                  "h_count 3\n")
+        assert any("cumulative" in error
+                   for error in prometheus_errors(broken))
+        no_inf = ("# TYPE h histogram\n"
+                  'h_bucket{le="1"} 1\n'
+                  "h_count 1\n")
+        assert any("+Inf" in error
+                   for error in prometheus_errors(no_inf))
+
+
+class TestStoreGauges:
+    def test_disk_store_publishes_to_global_registry(self, tmp_path):
+        from repro.perf.store import DiskStore
+        store = DiskStore(str(tmp_path / "store"))
+        store.put("ab" * 32, {"artifact": 1})
+        store.get("ab" * 32)
+        store.get("cd" * 32)              # miss
+        # Corrupt entry -> read error.
+        bad_key = "ef" * 32
+        store.put(bad_key, {"artifact": 2})
+        path = store._path(bad_key)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        store.get(bad_key)
+        store.stats()       # pay for a census: refresh entries/bytes
+        gauges = global_registry().to_dict()["gauges"]
+        assert gauges["store.read_errors"]["value"] == 1
+        assert gauges["store.hits"]["value"] == 1
+        assert gauges["store.misses"]["value"] == 2
+        assert gauges["store.writes"]["value"] == 2
+        assert gauges["store.evictions"]["value"] == 0
+        assert gauges["store.bytes"]["value"] > 0
+        assert gauges["store.entries"]["value"] == 1
+
+    def test_eviction_counts_surface(self, tmp_path):
+        from repro.perf.store import DiskStore
+        store = DiskStore(str(tmp_path / "tiny"), max_bytes=64)
+        store.put("11" * 32, list(range(100)))
+        store.put("22" * 32, list(range(100)))
+        assert store.evictions >= 1
+        gauges = global_registry().to_dict()["gauges"]
+        assert gauges["store.evictions"]["value"] >= 1
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture(scope="class")
+    def live_daemon(self, tmp_path_factory):
+        socket_path = str(tmp_path_factory.mktemp("mx") / "repro.sock")
+        handle = start_daemon_thread(
+            ServeConfig(socket_path=socket_path, http_port=0))
+        request({"op": "run", "args": [LIVERMORE5], "id": 1},
+                socket_path)
+        yield handle
+        handle.stop()
+
+    def test_metrics_endpoint_serves_valid_prometheus(
+            self, live_daemon):
+        status, content_type, body = http_get(
+            "/metrics", live_daemon.http_port)
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert prometheus_errors(body) == []
+        assert "repro_serve_requests_total" in body
+        assert "repro_serve_latency_ms_run_bucket" in body
+        assert "repro_serve_uptime_seconds" in body
+
+    def test_metrics_includes_global_registry(self, live_daemon):
+        global_registry().gauge("store.read_errors").set(0)
+        _status, _ct, body = http_get("/metrics",
+                                      live_daemon.http_port)
+        assert "repro_store_read_errors" in body
+
+    def test_stats_snapshot_percentiles_ordered(self, live_daemon):
+        stats = request({"op": "stats"}, live_daemon.socket_path)
+        latency = stats["stats"]["latency_ms"]
+        assert "run" in latency
+        for summary in latency.values():
+            assert set(summary) == {"count", "p50_ms", "p95_ms",
+                                    "p99_ms", "mean_ms", "max_ms"}
+            assert summary["p50_ms"] <= summary["p95_ms"] <= \
+                summary["p99_ms"] <= summary["max_ms"] + 1e-9
+
+    def test_repro_top_once(self, live_daemon):
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "top", "--once",
+             "--socket", live_daemon.socket_path],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "repro serve — pid" in proc.stdout
+        assert "req/s" in proc.stdout
+        assert "run" in proc.stdout       # per-op latency row
+
+    def test_repro_top_unreachable_daemon(self, tmp_path):
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "top", "--once",
+             "--socket", str(tmp_path / "nope.sock")],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 1
+        assert "cannot reach" in proc.stderr

@@ -1,0 +1,159 @@
+"""The flight recorder: bounded ring, atomic dumps, blackbox CLI."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.flight import (
+    DEFAULT_CAPACITY, CAPACITY_ENV, FlightRecorder, format_dump,
+    get_flight_recorder, load_dump,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = str(REPO / "src")
+
+
+class TestRing:
+    def test_bounded_capacity_drops_oldest(self):
+        recorder = FlightRecorder(capacity=16)
+        for idx in range(40):
+            recorder.record("tick", n=idx)
+        assert len(recorder) == 16
+        assert recorder.recorded == 40
+        assert recorder.dropped == 24
+        kept = [fields["n"] for _ts, _kind, fields
+                in recorder.snapshot()]
+        assert kept == list(range(24, 40))    # oldest fell off
+
+    def test_minimum_capacity_floor(self):
+        assert FlightRecorder(capacity=1).capacity == 16
+
+    def test_default_capacity_and_env_override(self, monkeypatch):
+        monkeypatch.delenv(CAPACITY_ENV, raising=False)
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+        monkeypatch.setenv(CAPACITY_ENV, "128")
+        assert FlightRecorder().capacity == 128
+        monkeypatch.setenv(CAPACITY_ENV, "not-a-number")
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_fieldless_events_store_none(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("bare")
+        _ts, kind, fields = recorder.snapshot()[0]
+        assert kind == "bare"
+        assert fields is None
+
+    def test_process_default_is_a_singleton(self):
+        assert get_flight_recorder() is get_flight_recorder()
+
+
+class TestDump:
+    def test_dump_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder(capacity=32)
+        recorder.record("request.admitted", op="run")
+        recorder.record("handler.fault", op="run", error="boom")
+        path = str(tmp_path / "box.json")
+        assert recorder.dump(path, reason="handler-fault") == path
+        document = load_dump(path)
+        assert document["reason"] == "handler-fault"
+        assert document["pid"] == os.getpid()
+        assert document["recorded"] == 2
+        assert document["dropped"] == 0
+        assert [kind for _ts, kind, _f in document["events"]] == \
+            ["request.admitted", "handler.fault"]
+        assert "manifest" in document
+
+    def test_dump_is_atomic_no_temp_residue(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("tick")
+        recorder.dump(str(tmp_path / "box.json"))
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_dump_creates_missing_directory(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        path = str(tmp_path / "deep" / "dir" / "box.json")
+        recorder.dump(path)
+        assert os.path.exists(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "events": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_dump(str(path))
+
+    def test_load_rejects_missing_events(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(ValueError, match="events"):
+            load_dump(str(path))
+
+
+class TestFormat:
+    def _dump(self, tmp_path, n=3):
+        recorder = FlightRecorder(capacity=64)
+        for idx in range(n):
+            recorder.record("tick", n=idx)
+        path = str(tmp_path / "box.json")
+        recorder.dump(path, reason="manual")
+        return load_dump(path)
+
+    def test_format_includes_header_census_and_events(self, tmp_path):
+        text = format_dump(self._dump(tmp_path))
+        assert "reason: manual" in text
+        assert "tick x3" in text
+        assert "n=2" in text
+
+    def test_tail_elides_earlier_events(self, tmp_path):
+        text = format_dump(self._dump(tmp_path, n=5), tail=2)
+        assert "3 earlier event(s) elided" in text
+        assert "n=4" in text
+        assert "n=0" not in text
+
+    def test_empty_ring_renders(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        path = str(tmp_path / "box.json")
+        recorder.dump(path)
+        assert "(ring empty)" in format_dump(load_dump(path))
+
+
+class TestBlackboxCLI:
+    def test_blackbox_pretty_prints_a_dump(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("request.admitted", op="run")
+        path = str(tmp_path / "box.json")
+        recorder.dump(path, reason="sigterm")
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "blackbox", path],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "reason: sigterm" in proc.stdout
+        assert "request.admitted" in proc.stdout
+
+    def test_blackbox_json_mode(self, tmp_path):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("tick")
+        path = str(tmp_path / "box.json")
+        recorder.dump(path)
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "blackbox", "--json", path],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["version"] == 1
+
+    def test_blackbox_refuses_garbage(self, tmp_path):
+        path = tmp_path / "not-a-dump.json"
+        path.write_text('{"hello": "world"}')
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "blackbox", str(path)],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr

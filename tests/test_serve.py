@@ -56,7 +56,17 @@ class TestProtocol:
         assert not req.is_control
         assert req.id == 7
         assert canonical_key(req) == (
-            "run", ("f.c", "--json"), "int main(void){return 0;}")
+            "run", ("f.c", "--json"), "int main(void){return 0;}", False)
+
+    def test_trace_flag_parses_and_splits_identity(self):
+        traced = parse_request({"op": "run", "args": ["f.c"],
+                                "trace": True})
+        plain = parse_request({"op": "run", "args": ["f.c"]})
+        # A traced request must never coalesce onto an untraced
+        # execution (whose merged trace would not exist).
+        assert canonical_key(traced) != canonical_key(plain)
+        with pytest.raises(ProtocolError, match="'trace'"):
+            parse_request({"op": "run", "trace": "yes"})
 
     @pytest.mark.parametrize("payload,fragment", [
         ("not a dict", "JSON object"),
