@@ -19,8 +19,13 @@ the tracing plumbing exists) and once with ``trace: true`` on every
 request (each response carries a merged Chrome trace).  Recorded:
 req/s per lane and the tracing-on overhead.  With ``--baseline-rev``
 the tracing-off lane is additionally compared against a pristine
-worktree of the pre-tracing serve tier (PR 8); the acceptance bound is
-tracing-off throughput within 3% of that baseline.
+worktree of an earlier serve tier; the acceptance bound is tracing-off
+throughput within 3% of that baseline.  The rev to anchor against is
+whatever tier predates the plumbing under test — the pre-tracing tier
+(PR 8) for the tracing plumbing, the pre-fault-tolerance tier
+(``c86b773``, PR 9) for the deadline/supervisor/GC plumbing: requests
+that carry no ``deadline_ms`` and a daemon running inline (no
+supervised pool, GC idle) must not pay for the machinery.
 
 **Store ablation.**  Cold-process compile cost under three lanes:
 
@@ -358,9 +363,10 @@ def main(argv=None) -> int:
                              ">=3x, every traced response carries a "
                              "trace); write nothing")
     parser.add_argument("--baseline-rev", default=None, metavar="REV",
-                        help="git rev of the pre-tracing serve tier to "
-                             "bound the tracing-off overhead against "
-                             "(<3%%)")
+                        help="git rev of an earlier serve tier to bound "
+                             "the plain-lane (tracing-off) overhead "
+                             "against (<3%%); use c86b773 to gate the "
+                             "fault-tolerance plumbing")
     parser.add_argument("--out", default=os.path.join(ROOT,
                                                       "BENCH_serve.json"))
     args = parser.parse_args(argv)

@@ -59,6 +59,16 @@ Commands
     Send one request to a running daemon and replay its response
     faithfully — same stdout, stderr, and exit code as the local
     command (``--raw`` prints the JSON envelope instead).
+    ``--deadline-ms`` bounds how long the daemon may sit on the
+    request before refusing it; ``--retries N`` retries refused
+    connections with jittered backoff (idempotent ops only).
+
+``chaos``
+    Start a daemon under seeded fault injection (worker kills, torn
+    store writes, socket resets, deadline storms, refusal bursts) and
+    mechanically verify the fault-tolerance invariants: every accepted
+    request gets exactly one terminal response, successful responses
+    are byte-identical to the local CLI, and the daemon recovers.
 
 Options: ``--target {wm,m68020,sun3/280,hp9000/345,vax8600,m88100,
 generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
@@ -68,8 +78,9 @@ generic-risc}``, ``--opt {none,baseline,recurrence,full}``,
 Exit codes are distinct per failure class: 0 success, 1 result
 mismatch / fuzz findings, 2 lex or parse error, 3 semantic error,
 4 runtime failure (simulation/execution), 5 optimization-pass crash
-(strict mode).  Diagnostics are one-line ``error:`` messages on
-stderr — never raw tracebacks.
+(strict mode), 6 serve-daemon capacity refusal (overloaded, draining,
+or deadline exceeded — retry with backoff).  Diagnostics are one-line
+``error:`` messages on stderr — never raw tracebacks.
 """
 
 from __future__ import annotations
@@ -109,6 +120,16 @@ EXIT_PARSE = 2
 EXIT_SEMANTIC = 3
 EXIT_RUNTIME = 4
 EXIT_PASS_CRASH = 5
+#: The serve daemon refused the request for capacity reasons
+#: (overloaded / draining / deadline_exceeded).  Distinct from
+#: EXIT_MISMATCH so callers can retry-with-backoff on 6 without
+#: misreading a genuine failure as transient.
+EXIT_UNAVAILABLE = 6
+
+#: Refusal reasons that map to :data:`EXIT_UNAVAILABLE`: the request
+#: was well-formed, the daemon just couldn't serve it right now.
+_TRANSIENT_REFUSALS = frozenset(
+    {"overloaded", "draining", "deadline_exceeded"})
 
 
 def _make_machine(name: str) -> Machine:
@@ -605,7 +626,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers, queue_depth=args.queue_depth,
         batch_max=args.batch_max, batch_window_ms=args.batch_window_ms,
         cache_dir=args.cache_dir, spool_dir=args.spool_dir,
-        blackbox_dir=args.blackbox_dir)
+        blackbox_dir=args.blackbox_dir,
+        op_timeout_s=args.op_timeout,
+        max_jobs_per_worker=args.max_jobs_per_worker,
+        gc_interval_s=args.gc_interval,
+        force_pool=args.force_pool)
 
     async def _serve() -> None:
         daemon = Daemon(config)
@@ -647,9 +672,12 @@ def _cmd_request(args: argparse.Namespace) -> int:
         payload["id"] = args.id
     if args.trace_out:
         payload["trace"] = True
+    if args.deadline_ms is not None:
+        payload["deadline_ms"] = args.deadline_ms
     try:
         response = serve_request(payload, args.socket,
-                                 timeout=args.timeout)
+                                 timeout=args.timeout,
+                                 retries=args.retries)
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot reach serve daemon at {args.socket}: "
               f"{exc}", file=sys.stderr)
@@ -659,6 +687,21 @@ def _cmd_request(args: argparse.Namespace) -> int:
             json.dump(response["trace"], fh, indent=1)
         print(f"request trace written to {args.trace_out}",
               file=sys.stderr)
+    if not response.get("ok") \
+            and response.get("error") in _TRANSIENT_REFUSALS:
+        # Capacity refusal, not a failure: the daemon is up and the
+        # request was well-formed, it just couldn't be served in time.
+        # A distinct exit code plus a one-line hint lets shell callers
+        # `|| sleep && retry` without parsing JSON.
+        reason = response["error"]
+        print(f"unavailable: daemon refused request ({reason}); "
+              f"retry with backoff"
+              + (" or a larger --deadline-ms"
+                 if reason == "deadline_exceeded" else ""),
+              file=sys.stderr)
+        if args.raw:
+            print(json.dumps(response, indent=2, sort_keys=True))
+        return EXIT_UNAVAILABLE
     if args.raw or args.op in CONTROL_OPS or not response.get("ok"):
         print(json.dumps(response, indent=2, sort_keys=True))
         return EXIT_OK if response.get("ok") else EXIT_MISMATCH
@@ -683,6 +726,25 @@ def _cmd_blackbox(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .qa.chaos import format_chaos_report, run_chaos
+
+    report = run_chaos(
+        seed=args.seed, duration_s=args.duration,
+        clients=args.clients, workers=args.workers,
+        kill_interval_s=args.kill_interval,
+        socket_reset_rate=args.socket_reset_rate,
+        torn_rate=args.torn_rate, slow_rate=args.slow_rate,
+        deadline_storm_rate=args.deadline_storm_rate,
+        refusal_burst_s=args.refusal_burst,
+        blackbox_dir=args.blackbox_dir)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_chaos_report(report))
+    return EXIT_OK if report["ok"] else EXIT_MISMATCH
+
+
 def _format_top(stats: dict, rate: Optional[float] = None) -> str:
     """One ``repro top`` frame: the daemon's stats as a live table."""
     counters = stats.get("metrics", {}).get("counters", {})
@@ -691,7 +753,8 @@ def _format_top(stats: dict, rate: Optional[float] = None) -> str:
     err = counters.get("serve.responses.error", 0)
     coalesced = counters.get("serve.coalesced", 0)
     refused = counters.get("serve.refused.overloaded", 0) + \
-        counters.get("serve.refused.draining", 0)
+        counters.get("serve.refused.draining", 0) + \
+        counters.get("serve.refused.deadline_exceeded", 0)
     uptime = stats.get("uptime_s", 0.0)
     if rate is None:
         rate = total / uptime if uptime else 0.0
@@ -702,6 +765,7 @@ def _format_top(stats: dict, rate: Optional[float] = None) -> str:
     lines = [
         f"repro serve — pid {stats.get('pid')}  up {uptime:.1f}s  "
         f"workers {stats.get('workers')}  "
+        f"state {stats.get('state', 'healthy')}  "
         f"draining {'yes' if stats.get('draining') else 'no'}",
         f"  req/s {rate:8.2f}   total {total}  ok {ok}  err {err}  "
         f"refused {refused}  coalesced {coalesced} "
@@ -978,6 +1042,22 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--blackbox-dir", default=None, metavar="DIR",
                          help="where flight-recorder dumps land "
                               "(default: the socket's directory)")
+    p_serve.add_argument("--op-timeout", type=float, default=120.0,
+                         metavar="S",
+                         help="per-operation execution budget; a worker "
+                              "stuck past it is killed and replaced "
+                              "(0: unlimited)")
+    p_serve.add_argument("--max-jobs-per-worker", type=int, default=256,
+                         metavar="N",
+                         help="recycle each pool worker after N jobs "
+                              "(bounds leak accumulation)")
+    p_serve.add_argument("--gc-interval", type=float, default=0.0,
+                         metavar="S",
+                         help="run a crash-safe artifact-store GC sweep "
+                              "every S seconds (0: disabled)")
+    p_serve.add_argument("--force-pool", action="store_true",
+                         help="use the supervised worker pool even on a "
+                              "single-CPU host")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_request = sub.add_parser(
@@ -1003,6 +1083,15 @@ def main(argv: list[str] | None = None) -> int:
     p_request.add_argument("--trace-out", default=None, metavar="PATH",
                            help="request end-to-end tracing and write "
                                 "the merged Chrome trace to PATH")
+    p_request.add_argument("--deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="give up on the request if the daemon "
+                                "cannot start it within MS milliseconds "
+                                "(refused as deadline_exceeded, exit 6)")
+    p_request.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="retry a refused connection up to N "
+                                "times with jittered backoff "
+                                "(idempotent ops only)")
     p_request.set_defaults(func=_cmd_request)
 
     p_top = sub.add_parser(
@@ -1028,6 +1117,48 @@ def main(argv: list[str] | None = None) -> int:
     p_blackbox.add_argument("--json", action="store_true",
                             help="print the raw dump document")
     p_blackbox.set_defaults(func=_cmd_blackbox)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection run against a live serve "
+                      "daemon; asserts exactly-one-response and "
+                      "CLI byte-identity invariants")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="chaos plan seed (same seed, same plan)")
+    p_chaos.add_argument("--duration", type=float, default=20.0,
+                         metavar="S", help="agitation run length")
+    p_chaos.add_argument("--clients", type=int, default=4,
+                         help="concurrent closed-loop client threads")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="daemon pool workers (supervised)")
+    p_chaos.add_argument("--kill-interval", type=float, default=2.0,
+                         metavar="S",
+                         help="mean seconds between SIGKILLs of a "
+                              "random pool worker (0: never)")
+    p_chaos.add_argument("--socket-reset-rate", type=float, default=0.05,
+                         metavar="P",
+                         help="probability a client drops its "
+                              "connection mid-response")
+    p_chaos.add_argument("--torn-rate", type=float, default=0.05,
+                         metavar="P",
+                         help="probability a store write is torn "
+                              "(truncated payload)")
+    p_chaos.add_argument("--slow-rate", type=float, default=0.1,
+                         metavar="P",
+                         help="probability a store op is delayed")
+    p_chaos.add_argument("--deadline-storm-rate", type=float,
+                         default=0.15, metavar="P",
+                         help="fraction of requests sent with "
+                              "near-impossible deadlines")
+    p_chaos.add_argument("--refusal-burst", type=float, default=6.0,
+                         metavar="S",
+                         help="mean seconds between queue-saturating "
+                              "request bursts (0: never)")
+    p_chaos.add_argument("--blackbox-dir", default=None, metavar="DIR",
+                         help="where violation dumps land (default: "
+                              "a fresh temp dir, printed on failure)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     # One process can serve several invocations (tests drive main()

@@ -29,7 +29,7 @@ from typing import Optional
 
 __all__ = [
     "FlightRecorder", "get_flight_recorder", "load_dump",
-    "format_dump", "DEFAULT_CAPACITY", "CAPACITY_ENV",
+    "format_dump", "DEFAULT_CAPACITY", "CAPACITY_ENV", "FAULT_KINDS",
 ]
 
 #: Ring capacity (events) unless overridden by the environment.
@@ -40,6 +40,17 @@ CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
 #: Dump-format version, embedded in every dump so ``repro blackbox``
 #: can refuse files it does not understand instead of misrendering.
 _DUMP_VERSION = 1
+
+#: Event kinds that indicate a fault (as opposed to normal request
+#: lifecycle).  ``format_dump`` pulls these into their own census line
+#: so a post-mortem reader sees the failure signature before the
+#: timeline: what died, what timed out, what was shed, whether the
+#: breaker opened.
+FAULT_KINDS = frozenset({
+    "handler.fault", "request.refused", "deadline_exceeded",
+    "worker_died", "worker_restart", "worker_timeout", "worker_hung",
+    "breaker_open", "batch.degraded", "store.quarantine",
+})
 
 
 class FlightRecorder:
@@ -167,6 +178,12 @@ def format_dump(document: dict, tail: Optional[int] = None) -> str:
     if census:
         lines.append("  events by kind: " + ", ".join(
             f"{kind} x{n}" for kind, n in sorted(census.items())))
+    faults = {kind: n for kind, n in census.items()
+              if kind in FAULT_KINDS}
+    if faults:
+        lines.append("  faults: " + ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(faults.items()))
+            + f"  ({sum(faults.values())} total)")
     shown = events if tail is None else events[-tail:]
     if len(shown) < len(events):
         lines.append(f"  ... ({len(events) - len(shown)} earlier "

@@ -10,6 +10,9 @@ The reporting tables and the ``repro bench`` CLI funnel their
   ``ProcessPoolExecutor`` fan-out with an equivalent serial path
   (``workers <= 1``), used by ``repro tables --workers`` and
   ``repro bench``;
+* :mod:`repro.perf.supervisor` — the serve daemon's fault-tolerant
+  worker pool: heartbeats, per-op timeouts, recycling, backoff
+  restarts and a circuit breaker around plain fork workers;
 * :mod:`repro.perf.bench` — shared timing helpers for the CLI bench
   command and ``benchmarks/bench_perf.py``.
 """
@@ -20,11 +23,13 @@ from .cache import (
 )
 from .parallel import JobResult, SimJob, get_shared_pool, reset_pool, run_jobs
 from .bench import bench_programs, time_fn
-from .store import DiskStore
+from .store import DiskStore, StoreFaults
+from .supervisor import SupervisedPool, SupervisorConfig
 
 __all__ = [
     "cache_stats", "clear_cache", "compile_cached", "is_cached",
     "configure_disk_store", "content_key", "get_disk_store", "DiskStore",
+    "StoreFaults", "SupervisedPool", "SupervisorConfig",
     "JobResult", "SimJob", "get_shared_pool", "reset_pool", "run_jobs",
     "bench_programs", "time_fn",
 ]

@@ -31,6 +31,13 @@ every pending future) is retried once serially in the parent; a job
 that fails twice is *quarantined* — returned in order with ``error``
 set and ``quarantined=True`` — so one pathological configuration
 cannot take down a whole table regeneration.
+
+The serve daemon needs a stronger contract than this pool's
+throw-away-on-poison model offers (worker deaths are routine events
+for a long-running service, not batch-fatal ones); its execute plane
+is :class:`repro.perf.supervisor.SupervisedPool`, which keeps the same
+exactly-one-result-per-job guarantee but adds heartbeats, per-op
+timeouts, recycling, backoff restarts and a circuit breaker.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from ..opt import OptOptions
 from .cache import compile_cached, is_cached
 
 __all__ = ["SimJob", "JobResult", "run_jobs", "reset_pool",
-           "get_shared_pool"]
+           "get_shared_pool", "describe_exception"]
 
 
 @dataclass(frozen=True)
@@ -214,8 +221,13 @@ def _run_job_indexed(index: int, job: SimJob,
     return _run_job(job)
 
 
-def _describe(exc: BaseException) -> str:
+def describe_exception(exc: BaseException) -> str:
+    """One-line ``TypeName: message`` summary, the form every retry /
+    quarantine / supervisor path reports failures in."""
     return f"{type(exc).__name__}: {exc}"
+
+
+_describe = describe_exception
 
 
 def _retry_serially(job: SimJob, first: BaseException) -> JobResult:

@@ -14,7 +14,7 @@ the pool), :mod:`~repro.serve.daemon` (event loop, queueing, serving),
 :mod:`~repro.serve.client` (synchronous clients).
 """
 
-from .client import Client, http_get, http_request, request
+from .client import Client, http_get, http_request, is_idempotent, request
 from .daemon import Daemon, DaemonHandle, ServeConfig, start_daemon_thread
 from .protocol import (
     COMPUTE_OPS, CONTROL_OPS, ProtocolError, Request, TraceContext,
@@ -26,6 +26,6 @@ __all__ = [
     "COMPUTE_OPS", "CONTROL_OPS", "Client", "Daemon", "DaemonHandle",
     "ProtocolError", "Request", "ServeConfig", "TraceContext",
     "build_request_trace", "canonical_key", "follower_trace", "http_get",
-    "http_request", "new_trace_id", "parse_request", "request",
-    "start_daemon_thread", "trace_span_names",
+    "http_request", "is_idempotent", "new_trace_id", "parse_request",
+    "request", "start_daemon_thread", "trace_span_names",
 ]

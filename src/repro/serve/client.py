@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
+import time
 from typing import Optional
 
 from .protocol import decode_line, encode_line
 
-__all__ = ["Client", "request", "http_request", "http_get"]
+__all__ = ["Client", "request", "http_request", "http_get",
+           "is_idempotent"]
 
 #: Responses carrying a full stdout capture can be large; read frames
 #: in chunks of this size.
@@ -72,11 +75,43 @@ class Client:
         self.close()
 
 
-def request(payload: dict, socket_path: str,
-            timeout: float = 60.0) -> dict:
-    """One-shot: connect, send ``payload``, return the response."""
-    with Client(socket_path, timeout=timeout) as client:
-        return client.request(payload)
+def is_idempotent(payload: object) -> bool:
+    """May this request be safely retried after an ambiguous failure?
+
+    Every op the service exposes is a pure function of the request —
+    except ``shutdown``, whose side effect (draining the daemon) must
+    not be re-issued just because a connection died mid-answer.
+    """
+    return isinstance(payload, dict) and payload.get("op") != "shutdown"
+
+
+def request(payload: dict, socket_path: str, timeout: float = 60.0,
+            retries: int = 0, backoff_base_s: float = 0.05,
+            backoff_cap_s: float = 1.0) -> dict:
+    """One-shot: connect, send ``payload``, return the response.
+
+    ``retries`` > 0 retries connection-level failures — ``ECONNREFUSED``
+    / missing socket (daemon restarting) and a connection dropped
+    before the response arrived (daemon killed mid-answer) — with
+    jittered exponential backoff, **for idempotent ops only** (see
+    :func:`is_idempotent`): a non-idempotent request whose fate is
+    ambiguous surfaces the error to the caller instead of re-issuing.
+    Response timeouts are never retried — the daemon is alive and the
+    request may still complete; re-sending would double-spend it.
+    """
+    attempt = 0
+    while True:
+        try:
+            with Client(socket_path, timeout=timeout) as client:
+                return client.request(payload)
+        except (ConnectionError, FileNotFoundError):
+            # ConnectionRefusedError and mid-stream resets both land
+            # here; socket.timeout is TimeoutError, which propagates.
+            if attempt >= retries or not is_idempotent(payload):
+                raise
+            delay = min(backoff_cap_s, backoff_base_s * (2 ** attempt))
+            time.sleep(delay * (0.5 + random.random()))
+            attempt += 1
 
 
 def http_request(payload: dict, port: int, host: str = "127.0.0.1",

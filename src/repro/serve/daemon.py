@@ -20,11 +20,21 @@ Architecture (the paper's access/execute split, applied to serving):
 * **Execute** — a single dispatcher task drains the queue in
   micro-batches (up to ``batch_max`` requests, collected for at most
   ``batch_window_ms`` once the first arrives) and ships each batch to
-  the execution tier: the shared ``perf.parallel`` process pool when
-  the host has the cores for it, an in-process worker thread otherwise.
-  A batch is one pool task, so dispatch overhead (pickling, executor
-  bookkeeping) amortizes across the batch; a worker death resets the
-  shared pool and the batch replays inline — requests are never lost.
+  the execution tier: a :class:`~repro.perf.supervisor.SupervisedPool`
+  of fork workers when the host has the cores for it (or
+  ``force_pool``), an in-process worker thread otherwise.  The
+  supervisor owns worker fault tolerance — heartbeats, per-op
+  timeouts that kill-and-replace rather than wedge, max-jobs
+  recycling, jittered-backoff restarts, and a circuit breaker that
+  degrades the daemon to serialized cache-backed service instead of
+  refusing — and guarantees exactly one response per batch item, so
+  requests are never lost to a worker death.
+
+* **Deadlines** — a request carrying ``deadline_ms`` is shed at
+  dispatch-pick time once its budget expires: a terminal
+  ``deadline_exceeded`` refusal instead of a late execution.  Shedding
+  happens before the batch ships, so queue storms drain at refusal
+  speed, not at execution speed.
 
 Shutdown is a drain: new compute work is refused, queued work
 completes, every in-flight response is delivered, and only then do the
@@ -49,16 +59,17 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import LogLinearHistogram, MetricsRegistry, \
     global_registry
-from ..perf.cache import CACHE_DIR_ENV, cache_stats, configure_disk_store
-from ..perf.parallel import get_shared_pool, reset_pool
-from .handlers import EXIT_INTERNAL, run_batch
+from ..perf.cache import CACHE_DIR_ENV, cache_stats, \
+    configure_disk_store, get_disk_store
+from ..perf.supervisor import STATE_HEALTHY, SupervisedPool, \
+    SupervisorConfig
+from .handlers import EXIT_INTERNAL, run_batch, worker_task
 from .protocol import (
     ProtocolError, Request, canonical_key, decode_line, encode_line,
     error_response, new_trace_id, parse_request,
@@ -103,6 +114,27 @@ class ServeConfig:
     refusal_burst_window_s: float = 5.0
     #: minimum seconds between automatic dumps (0: dump every trigger)
     blackbox_cooldown_s: float = 30.0
+    #: per-op execution bound in the supervised pool: a job past this
+    #: gets its worker killed and an ``op_timeout`` error (0 disables)
+    op_timeout_s: float = 120.0
+    #: supervised-pool worker recycling and liveness knobs
+    max_jobs_per_worker: int = 256
+    heartbeat_timeout_s: float = 10.0
+    #: circuit breaker: ``breaker_threshold`` worker deaths inside
+    #: ``breaker_window_s`` suspend pooled execution (service degrades
+    #: to inline/cache-only) until a half-open probe succeeds
+    breaker_threshold: int = 5
+    breaker_window_s: float = 30.0
+    breaker_reset_s: float = 5.0
+    #: jittered exponential backoff for worker respawns after deaths
+    restart_backoff_base_s: float = 0.05
+    restart_backoff_cap_s: float = 2.0
+    #: engage the supervised pool even on a single-CPU host, where
+    #: ``workers`` alone would fall back inline (chaos/tests need the
+    #: worker-death machinery regardless of core count)
+    force_pool: bool = False
+    #: periodic persistent-store GC sweep (seconds; 0 disables)
+    gc_interval_s: float = 0.0
 
 
 @dataclass
@@ -120,6 +152,10 @@ class _Pending:
     #: handoff instant (ends batch.assemble) — trace span boundaries
     picked_at: float = 0.0
     shipped_at: float = 0.0
+    #: monotonic instant past which the request must not be dispatched
+    #: (``deadline_ms`` requests only); the dispatcher sheds expired
+    #: items with a ``deadline_exceeded`` refusal at pick time
+    deadline_at: Optional[float] = None
 
 
 class Daemon:
@@ -155,6 +191,10 @@ class Daemon:
         self._servers: list[asyncio.AbstractServer] = []
         self._conn_tasks: set[asyncio.Task] = set()
         self._dispatcher_task: Optional[asyncio.Task] = None
+        self._gc_task: Optional[asyncio.Task] = None
+        #: the fault-tolerant execute plane; built in start() when the
+        #: config asks for pooled workers
+        self._supervisor: Optional[SupervisedPool] = None
         # One worker thread: handler capture swaps process-global
         # stdout, so inline batches must serialize per process.
         self._thread_pool = ThreadPoolExecutor(
@@ -184,6 +224,24 @@ class Daemon:
                 port=self.config.http_port)
             self._servers.append(server)
             self.http_port = server.sockets[0].getsockname()[1]
+        if self._executor_fn is None and self._pool_size() > 0:
+            self._supervisor = SupervisedPool(
+                worker_task(self.spool_dir),
+                SupervisorConfig(
+                    workers=self._pool_size(),
+                    max_jobs_per_worker=self.config.max_jobs_per_worker,
+                    job_timeout_s=self.config.op_timeout_s,
+                    heartbeat_timeout_s=self.config.heartbeat_timeout_s,
+                    restart_backoff_base_s=self.config
+                    .restart_backoff_base_s,
+                    restart_backoff_cap_s=self.config
+                    .restart_backoff_cap_s,
+                    breaker_threshold=self.config.breaker_threshold,
+                    breaker_window_s=self.config.breaker_window_s,
+                    breaker_reset_s=self.config.breaker_reset_s),
+                on_event=self._on_pool_event)
+        if self.config.gc_interval_s > 0:
+            self._gc_task = asyncio.ensure_future(self._gc_loop())
         self._dispatcher_task = asyncio.ensure_future(self._dispatch())
 
     async def run(self) -> None:
@@ -236,6 +294,11 @@ class Daemon:
     async def aclose(self) -> None:
         self._stopped.set()
         self._pending_event.set()
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._gc_task
+            self._gc_task = None
         if self._dispatcher_task is not None:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._dispatcher_task
@@ -254,6 +317,9 @@ class Daemon:
         with contextlib.suppress(OSError):
             os.unlink(self.config.socket_path)
         self._thread_pool.shutdown(wait=True)
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
 
     # -- admission (the "access" side) ---------------------------------------
 
@@ -303,9 +369,13 @@ class Daemon:
                        "source": request.source}
         if trace_id is not None:
             payload_out["trace_id"] = trace_id
+        deadline_at = None
+        if request.deadline_ms is not None:
+            deadline_at = time.monotonic() + request.deadline_ms / 1e3
         self._pending.append(_Pending(key=key, payload=payload_out,
                                       op=request.op, future=future,
-                                      trace_id=trace_id))
+                                      trace_id=trace_id,
+                                      deadline_at=deadline_at))
         self._outstanding += 1
         self._idle_event.clear()
         self.metrics.gauge("serve.queue.depth").set(len(self._pending))
@@ -318,13 +388,40 @@ class Daemon:
 
     def _note_refusal(self, reason: str, op: str) -> None:
         """Flight-record one refusal; a burst is a dump trigger."""
-        now = time.monotonic()
         self.flight.record("request.refused", reason=reason, op=op)
+        self._bump_refusal_window()
+
+    def _bump_refusal_window(self) -> None:
+        now = time.monotonic()
         times = self._refusal_times
         times.append(now)
         if len(times) == times.maxlen and \
                 now - times[0] <= self.config.refusal_burst_window_s:
             self._dump_blackbox("refusal-burst")
+
+    def _shed_expired(self, item: _Pending, now: float) -> None:
+        """Resolve a queue-expired request with ``deadline_exceeded``.
+
+        The shed is a *terminal response*, not a dropped request: the
+        item's future (and every coalesced follower awaiting it)
+        resolves, the single-flight slot clears, and the outstanding
+        count falls — the exactly-one-response invariant holds on this
+        path like any other.  Counts toward the refusal-burst dump
+        trigger: a deadline storm is a story the black box should tell.
+        """
+        waited_ms = round((now - item.enqueued_at) * 1e3, 3)
+        self.metrics.counter("serve.refused.deadline_exceeded").inc()
+        self.flight.record("deadline_exceeded", op=item.op,
+                           waited_ms=waited_ms)
+        self._bump_refusal_window()
+        self._inflight.pop(item.key, None)
+        if not item.future.done():
+            item.future.set_result({"ok": False,
+                                    "error": "deadline_exceeded",
+                                    "waited_ms": waited_ms})
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._idle_event.set()
 
     async def _handle_control(self, request: Request) -> dict:
         if request.op == "ping":
@@ -354,7 +451,12 @@ class Daemon:
             while len(batch) < self.config.batch_max:
                 if self._pending:
                     item = self._pending.popleft()
-                    item.picked_at = time.monotonic()   # ends queue.wait
+                    now = time.monotonic()
+                    if item.deadline_at is not None \
+                            and now >= item.deadline_at:
+                        self._shed_expired(item, now)
+                        continue
+                    item.picked_at = now                # ends queue.wait
                     batch.append(item)
                     continue
                 remaining = deadline - loop.time()
@@ -387,27 +489,33 @@ class Daemon:
                 mode = "executor"
                 responses = await loop.run_in_executor(
                     self._thread_pool, self._executor_fn, payloads)
-            elif self._pool_size() > 0:
+            elif self._supervisor is not None \
+                    and self._supervisor.breaker_allows():
+                # The supervised pool owns worker-death recovery: a
+                # killed worker is replaced and its job retried once;
+                # a job past op_timeout_s gets its worker killed and a
+                # terminal op_timeout error — the dispatcher is never
+                # wedged, and exactly one response comes back per item.
                 mode = "pooled"
                 self.metrics.counter("serve.batches.pooled").inc()
-                pool = get_shared_pool(self._pool_size())
-                responses = await asyncio.wrap_future(
-                    pool.submit(run_batch, payloads, self.spool_dir))
+                timeout = self.config.op_timeout_s or None
+                responses = await loop.run_in_executor(
+                    self._thread_pool, self._supervisor.run_batch,
+                    payloads, timeout)
+            elif self._supervisor is not None:
+                # Breaker open: pooled execution is suspended, but the
+                # service degrades to serialized in-process execution
+                # (warm compile cache in front) instead of refusing.
+                mode = "degraded"
+                self.metrics.counter("serve.batches.degraded").inc()
+                self.flight.record("batch.degraded", batch=len(batch))
+                responses = await loop.run_in_executor(
+                    self._thread_pool, run_batch, payloads, self.spool_dir)
             else:
                 mode = "inline"
                 self.metrics.counter("serve.batches.inline").inc()
                 responses = await loop.run_in_executor(
                     self._thread_pool, run_batch, payloads, self.spool_dir)
-        except BrokenProcessPool:
-            # A worker died and poisoned the executor: heal the pool
-            # and replay this batch in-process — no request is lost.
-            mode = "replay"
-            self.metrics.counter("serve.pool.broken").inc()
-            self.flight.record("pool.broken", batch=len(batch))
-            self._dump_blackbox("pool-broken")
-            reset_pool()
-            responses = await loop.run_in_executor(
-                self._thread_pool, run_batch, payloads, self.spool_dir)
         except Exception as exc:
             mode = "error"
             self.flight.record("batch.error", batch=len(batch),
@@ -460,9 +568,51 @@ class Daemon:
 
     def _pool_size(self) -> int:
         workers = self.config.workers
-        if workers >= 2 and (os.cpu_count() or 1) >= 2:
+        if workers >= 2 and ((os.cpu_count() or 1) >= 2
+                             or self.config.force_pool):
             return workers
         return 0
+
+    def _on_pool_event(self, kind: str, fields: dict) -> None:
+        """Supervisor lifecycle events → flight ring + metrics.
+
+        Runs on the executor thread mid-batch: ``FlightRecorder``
+        appends are GIL-atomic and counter increments are safe under
+        the GIL, so no hop to the event loop is needed.  A breaker
+        opening is a dump trigger — the ring at that moment holds the
+        death spiral that tripped it.
+        """
+        self.flight.record(kind, **fields)
+        self.metrics.counter(f"serve.supervisor.{kind}").inc()
+        if kind == "breaker_open":
+            self._dump_blackbox("breaker-open")
+
+    async def _gc_loop(self) -> None:
+        """Periodic persistent-store GC: tombstone sweep + compaction.
+
+        Runs on the daemon's single executor thread (serialized behind
+        batches — a sweep never races this daemon's own handler I/O;
+        concurrent *other* daemons are what the store's rename/grace
+        discipline is for).
+        """
+        loop = asyncio.get_running_loop()
+        while not self._stopped.is_set():
+            try:
+                await asyncio.wait_for(self._stopped.wait(),
+                                       self.config.gc_interval_s)
+                return
+            except asyncio.TimeoutError:
+                pass
+            store = get_disk_store()
+            if store is None:
+                continue
+            try:
+                summary = await loop.run_in_executor(
+                    self._thread_pool, store.sweep)
+            except Exception:
+                continue              # GC must never take the daemon down
+            self.metrics.counter("serve.store.sweeps").inc()
+            self.flight.record("store.sweep", **summary)
 
     # -- introspection -------------------------------------------------------
 
@@ -481,6 +631,10 @@ class Daemon:
             "pid": os.getpid(),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "workers": self._pool_size(),
+            "state": (self._supervisor.state()
+                      if self._supervisor is not None else STATE_HEALTHY),
+            "supervisor": (self._supervisor.stats()
+                           if self._supervisor is not None else None),
             "draining": self._draining,
             "queue": {
                 "depth": len(self._pending),
@@ -547,7 +701,11 @@ class Daemon:
             pass
         finally:
             writer.close()
-            with contextlib.suppress(Exception):
+            # CancelledError included: a cancellation landing while we
+            # await the close handshake must not leave the task
+            # "cancelled" (3.11's stream-protocol callback would log a
+            # spurious traceback per connection at shutdown).
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     # -- minimal localhost HTTP transport ------------------------------------
@@ -566,7 +724,7 @@ class Daemon:
             pass
         finally:
             writer.close()
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     _JSON_CT = "application/json"

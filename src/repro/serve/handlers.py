@@ -24,6 +24,7 @@ deterministic, and making spooling idempotent across workers.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import io
 import os
@@ -35,7 +36,7 @@ from typing import Optional
 from .protocol import SOURCE_PLACEHOLDER
 
 __all__ = ["execute_argv", "run_request", "run_batch", "spool_source",
-           "EXIT_INTERNAL"]
+           "worker_task", "EXIT_INTERNAL"]
 
 #: Exit code reported when the handler itself fails (an exception the
 #: CLI does not map to a structured exit code).  Mirrors BSD EX_SOFTWARE.
@@ -141,6 +142,24 @@ def run_request(payload: dict, spool_dir: str) -> dict:
     return {"ok": True, "exit_code": code, "stdout": stdout,
             "stderr": stderr,
             "trace_events": chrome_trace(tracer)["traceEvents"]}
+
+
+def _run_request_task(spool_dir: str, payload: dict) -> dict:
+    try:
+        return run_request(payload, spool_dir)
+    except Exception as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def worker_task(spool_dir: str):
+    """The supervised-pool task: one payload in, one response out.
+
+    Module-level partial (picklable, fork-inheritable) binding the
+    daemon's spool directory; exceptions degrade to ``ok: false``
+    responses exactly like :func:`run_batch` slots do, so the only way
+    a supervised worker dies is a genuine process death.
+    """
+    return functools.partial(_run_request_task, spool_dir)
 
 
 def run_batch(payloads: list[dict], spool_dir: str) -> list[dict]:

@@ -21,7 +21,10 @@ An optional ``trace: true`` flag requests end-to-end tracing: the
 response then also carries a ``trace`` object — one merged Chrome
 trace spanning queue wait, batch assembly, dispatch, cache lookups,
 and handler execution, all stamped with one trace id (see
-:class:`TraceContext`).
+:class:`TraceContext`).  An optional ``deadline_ms`` number bounds how
+long the client is willing to wait: a request still queued when the
+budget expires is shed with an ``error: "deadline_exceeded"`` refusal
+rather than executed late.
 
 Compute response::
 
@@ -66,6 +69,8 @@ SOURCE_PLACEHOLDER = "{source}"
 
 _MAX_ARGS = 64
 _MAX_SOURCE_BYTES = 1 << 20
+#: one day — deadlines exist to bound waiting, not to schedule it
+_MAX_DEADLINE_MS = 86_400_000
 
 
 class ProtocolError(ValueError):
@@ -86,6 +91,15 @@ class Request:
     #: a traced request never coalesces onto an untraced execution
     #: (whose trace would not exist) or vice versa.
     trace: bool = False
+    #: client-imposed completion budget in milliseconds, measured from
+    #: admission.  A request still queued when its budget expires is
+    #: shed with a ``deadline_exceeded`` refusal instead of executing.
+    #: Excluded from the single-flight identity (``compare=False`` and
+    #: absent from :func:`canonical_key`): the deadline shapes *when*
+    #: an execution may be abandoned, not *what* it computes — a
+    #: follower that coalesces onto a deadline-carrying leader shares
+    #: the leader's fate, including a shed.
+    deadline_ms: Optional[float] = field(default=None, compare=False)
     id: object = field(default=None, compare=False)
 
     @property
@@ -152,11 +166,21 @@ def parse_request(payload: object) -> Request:
     trace = payload.get("trace", False)
     if not isinstance(trace, bool):
         raise ProtocolError("'trace' must be a boolean")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or \
+                not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError("'deadline_ms' must be a number")
+        if not deadline_ms > 0:
+            raise ProtocolError("'deadline_ms' must be positive")
+        if deadline_ms > _MAX_DEADLINE_MS:
+            raise ProtocolError(
+                f"'deadline_ms' too large (max {_MAX_DEADLINE_MS})")
     request_id = payload.get("id")
     if isinstance(request_id, (dict, list)):
         raise ProtocolError("'id' must be a JSON scalar")
     return Request(op=op, args=tuple(args), source=source, trace=trace,
-                   id=request_id)
+                   deadline_ms=deadline_ms, id=request_id)
 
 
 def canonical_key(request: Request) -> tuple:

@@ -121,6 +121,23 @@ class TestFormat:
         recorder.dump(path)
         assert "(ring empty)" in format_dump(load_dump(path))
 
+    def test_fault_census_line(self, tmp_path):
+        recorder = FlightRecorder(capacity=64)
+        recorder.record("request.admitted", op="run")
+        recorder.record("worker_died", pid=123)
+        recorder.record("worker_died", pid=124)
+        recorder.record("deadline_exceeded", waited_ms=5.0)
+        path = str(tmp_path / "box.json")
+        recorder.dump(path, reason="chaos")
+        text = format_dump(load_dump(path))
+        # Fault kinds get their own census line with a total...
+        assert "faults: deadline_exceeded x1, worker_died x2" in text
+        assert "(3 total)" in text
+
+    def test_no_faults_no_census_line(self, tmp_path):
+        text = format_dump(self._dump(tmp_path))
+        assert "faults:" not in text
+
 
 class TestBlackboxCLI:
     def test_blackbox_pretty_prints_a_dump(self, tmp_path):

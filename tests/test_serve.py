@@ -394,6 +394,171 @@ class TestDaemonEndToEnd:
         assert "cache" in stats
 
 
+class TestDeadlines:
+    """``deadline_ms``: dispatch-time shedding with a distinct refusal."""
+
+    def test_protocol_accepts_and_excludes_from_identity(self):
+        fast = parse_request({"op": "run", "args": ["f.c"],
+                              "deadline_ms": 5.0})
+        slow = parse_request({"op": "run", "args": ["f.c"],
+                              "deadline_ms": 60000})
+        plain = parse_request({"op": "run", "args": ["f.c"]})
+        assert fast.deadline_ms == 5.0
+        # Deadline is an impatience setting, not an identity: all three
+        # coalesce onto the same execution.
+        assert canonical_key(fast) == canonical_key(slow) \
+            == canonical_key(plain)
+
+    @pytest.mark.parametrize("bad", [0, -5, True, "100", float("nan"),
+                                     10**9])
+    def test_protocol_rejects_bad_deadlines(self, bad):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            parse_request({"op": "run", "args": ["f.c"],
+                           "deadline_ms": bad})
+
+    def test_expired_request_is_shed_not_executed(self, tmp_path):
+        release = threading.Event()
+        executed = []
+
+        def executor(payloads):
+            executed.extend(p["args"] for p in payloads)
+            release.wait(10)
+            return [{"ok": True, "exit_code": 0, "stdout": "",
+                     "stderr": ""} for _ in payloads]
+
+        async def scenario():
+            daemon = Daemon(ServeConfig(
+                socket_path=str(tmp_path / "d.sock"),
+                batch_window_ms=0.0, batch_max=1), executor=executor)
+            await daemon.start()
+            blocker = asyncio.ensure_future(daemon.handle_payload(
+                {"op": "run", "args": ["slow.c"], "id": "slow"}))
+            await asyncio.sleep(0.2)       # 'slow' now executing
+            doomed = asyncio.ensure_future(daemon.handle_payload(
+                {"op": "run", "args": ["doomed.c"], "id": "doomed",
+                 "deadline_ms": 1.0}))
+            await asyncio.sleep(0.2)       # deadline expires in queue
+            release.set()
+            shed = await doomed
+            served = await blocker
+            stats = daemon.stats_snapshot()
+            await daemon.aclose()
+            return shed, served, stats
+
+        shed, served, stats = _drive(scenario())
+        assert served["ok"]
+        assert shed["ok"] is False
+        assert shed["error"] == "deadline_exceeded"
+        assert shed["waited_ms"] >= 1.0
+        assert shed["id"] == "doomed"
+        # The doomed request never reached the execution tier.
+        assert ["doomed.c"] not in executed
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.refused.deadline_exceeded"] == 1
+
+    def test_generous_deadline_executes_normally(self, tmp_path):
+        def executor(payloads):
+            return [{"ok": True, "exit_code": 0, "stdout": "ran",
+                     "stderr": ""} for _ in payloads]
+
+        async def scenario():
+            daemon = Daemon(ServeConfig(
+                socket_path=str(tmp_path / "d.sock"),
+                batch_window_ms=0.0), executor=executor)
+            await daemon.start()
+            response = await daemon.handle_payload(
+                {"op": "run", "args": ["f.c"], "id": 1,
+                 "deadline_ms": 60000})
+            await daemon.aclose()
+            return response
+
+        response = _drive(scenario())
+        assert response["ok"]
+        assert response["stdout"] == "ran"
+
+    def test_coalesced_followers_share_a_shed_leaders_fate(
+            self, tmp_path):
+        release = threading.Event()
+
+        def executor(payloads):
+            release.wait(10)
+            return [{"ok": True, "exit_code": 0, "stdout": "",
+                     "stderr": ""} for _ in payloads]
+
+        async def scenario():
+            daemon = Daemon(ServeConfig(
+                socket_path=str(tmp_path / "d.sock"),
+                batch_window_ms=0.0, batch_max=1), executor=executor)
+            await daemon.start()
+            blocker = asyncio.ensure_future(daemon.handle_payload(
+                {"op": "run", "args": ["slow.c"], "id": "slow"}))
+            await asyncio.sleep(0.2)
+            leader = asyncio.ensure_future(daemon.handle_payload(
+                {"op": "run", "args": ["shared.c"], "id": "leader",
+                 "deadline_ms": 1.0}))
+            await asyncio.sleep(0.05)
+            follower = asyncio.ensure_future(daemon.handle_payload(
+                {"op": "run", "args": ["shared.c"], "id": "follower"}))
+            await asyncio.sleep(0.2)
+            release.set()
+            results = await asyncio.gather(leader, follower, blocker)
+            await daemon.aclose()
+            return results
+
+        leader, follower, _blocker = _drive(scenario())
+        assert leader["error"] == "deadline_exceeded"
+        # The follower rode the leader's flight and shares its fate —
+        # the documented cost of keeping deadline_ms out of identity.
+        assert follower["error"] == "deadline_exceeded"
+        assert follower["id"] == "follower"
+
+
+class TestRequestCliExitCodes:
+    """``repro request``: transient refusals exit 6 with a diagnostic."""
+
+    def test_deadline_exceeded_exits_unavailable(self, tmp_path,
+                                                 capsys):
+        from repro.cli import EXIT_UNAVAILABLE, main
+        release = threading.Event()
+
+        def executor(payloads):
+            release.wait(10)
+            return [{"ok": True, "exit_code": 0, "stdout": "",
+                     "stderr": ""} for _ in payloads]
+
+        socket_path = str(tmp_path / "cli.sock")
+        handle = start_daemon_thread(
+            ServeConfig(socket_path=socket_path, batch_window_ms=0.0,
+                        batch_max=1), executor=executor)
+        try:
+            blocker = threading.Thread(
+                target=request,
+                args=({"op": "run", "args": ["slow.c"]}, socket_path))
+            blocker.start()
+            import time
+            time.sleep(0.3)                # 'slow' now executing
+            code = main(["request", "--socket", socket_path,
+                         "--deadline-ms", "1", "run", "doomed.c"])
+            release.set()
+            blocker.join(30)
+        finally:
+            release.set()
+            handle.stop()
+        captured = capsys.readouterr()
+        assert code == EXIT_UNAVAILABLE
+        assert "unavailable:" in captured.err
+        assert "deadline_exceeded" in captured.err
+
+    def test_ordinary_failure_still_exits_mismatch(self, tmp_path,
+                                                   capsys):
+        from repro.cli import EXIT_MISMATCH, main
+        code = main(["request", "--socket",
+                     str(tmp_path / "nope.sock"), "ping"])
+        captured = capsys.readouterr()
+        assert code == EXIT_MISMATCH
+        assert "cannot reach serve daemon" in captured.err
+
+
 _SEED_SERVER_SCRIPT = """
 import json, sys, tempfile, os
 from repro.serve import ServeConfig, start_daemon_thread, request

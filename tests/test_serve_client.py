@@ -1,0 +1,213 @@
+"""The serve client's failure behaviour: timeouts, retries, dead peers.
+
+The daemon side has its own suite (test_serve.py); this one pins the
+*client* half of the fault-tolerance contract: connection failures are
+retried with jittered exponential backoff for idempotent ops only,
+response timeouts are never retried (the request may still land), and
+a peer that dies mid-response produces a prompt ``ConnectionError``
+rather than a hang.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import Client, is_idempotent, request
+from repro.serve.protocol import encode_line
+
+
+def _listener(socket_path, handler, ready):
+    """Accept one connection on ``socket_path`` and hand it off."""
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(socket_path)
+    server.listen(1)
+    ready.set()
+    try:
+        conn, _addr = server.accept()
+        try:
+            handler(conn)
+        finally:
+            conn.close()
+    finally:
+        server.close()
+
+
+def _serve_one(socket_path, handler):
+    ready = threading.Event()
+    thread = threading.Thread(target=_listener,
+                              args=(socket_path, handler, ready),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    return thread
+
+
+def _echo_ok(conn):
+    data = b""
+    while b"\n" not in data:
+        chunk = conn.recv(1 << 16)
+        if not chunk:
+            return
+        data += chunk
+    payload = json.loads(data.partition(b"\n")[0])
+    conn.sendall(encode_line({"id": payload.get("id"), "ok": True}))
+
+
+class TestIdempotency:
+    def test_compute_and_control_ops_are_idempotent(self):
+        assert is_idempotent({"op": "run", "args": ["f.c"]})
+        assert is_idempotent({"op": "compile"})
+        assert is_idempotent({"op": "ping"})
+        assert is_idempotent({"op": "stats"})
+
+    def test_shutdown_is_not(self):
+        assert not is_idempotent({"op": "shutdown"})
+
+    def test_garbage_payloads_are_not(self):
+        # A payload we cannot even classify must not be re-issued.
+        assert not is_idempotent("shutdown")
+        assert not is_idempotent(None)
+
+
+class TestRetries:
+    def test_missing_socket_no_retries_raises_immediately(self,
+                                                          tmp_path):
+        started = time.monotonic()
+        with pytest.raises((ConnectionError, FileNotFoundError)):
+            request({"op": "ping"}, str(tmp_path / "absent.sock"))
+        assert time.monotonic() - started < 2.0
+
+    def test_retry_until_listener_appears(self, tmp_path):
+        socket_path = str(tmp_path / "late.sock")
+
+        def start_late():
+            time.sleep(0.3)
+            _serve_one(socket_path, _echo_ok)
+
+        threading.Thread(target=start_late, daemon=True).start()
+        response = request({"op": "ping", "id": 1}, socket_path,
+                           timeout=10.0, retries=8)
+        assert response == {"id": 1, "ok": True}
+
+    def test_retries_exhausted_raises(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep",
+                            lambda delay: sleeps.append(delay))
+        with pytest.raises((ConnectionError, FileNotFoundError)):
+            request({"op": "ping"}, str(tmp_path / "absent.sock"),
+                    retries=3)
+        # One jittered backoff per retry, exponentially growing: each
+        # delay is base * 2^k * U(0.5, 1.5), capped at 1s.
+        assert len(sleeps) == 3
+        for k, delay in enumerate(sleeps):
+            assert 0.05 * (2 ** k) * 0.5 <= delay \
+                <= min(1.0, 0.05 * (2 ** k)) * 1.5
+
+    def test_non_idempotent_op_never_retried(self, tmp_path,
+                                             monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep",
+                            lambda delay: sleeps.append(delay))
+        with pytest.raises((ConnectionError, FileNotFoundError)):
+            request({"op": "shutdown"}, str(tmp_path / "absent.sock"),
+                    retries=5)
+        assert sleeps == []          # surfaced on the first failure
+
+    def test_response_timeout_never_retried(self, tmp_path):
+        socket_path = str(tmp_path / "mute.sock")
+        release = threading.Event()
+
+        def mute(conn):
+            release.wait(10)         # read the request, answer nothing
+
+        _serve_one(socket_path, mute)
+        started = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                request({"op": "ping"}, socket_path, timeout=0.3,
+                        retries=5)
+            # Bounded by the single attempt's timeout: retrying would
+            # have taken >= 5 * 0.3s plus backoff.
+            assert time.monotonic() - started < 1.5
+        finally:
+            release.set()
+
+    def test_mid_response_kill_retries_to_fresh_listener(self,
+                                                         tmp_path):
+        socket_path = str(tmp_path / "flaky.sock")
+
+        def die_mid_response(conn):
+            data = b""
+            while b"\n" not in data:
+                data += conn.recv(1 << 16)
+            conn.sendall(b'{"ok": tr')     # partial JSON, then gone
+            # close() follows in _listener: the client sees EOF.
+
+        _serve_one(socket_path, die_mid_response)
+        response = None
+
+        def retry_client():
+            nonlocal response
+            response = request({"op": "ping", "id": 2}, socket_path,
+                               timeout=5.0, retries=8,
+                               backoff_base_s=0.1)
+
+        client_thread = threading.Thread(target=retry_client,
+                                         daemon=True)
+        client_thread.start()
+        # While the client backs off from the torn first answer,
+        # replace the listener with a healthy one (daemon restarted).
+        time.sleep(0.1)
+        os.unlink(socket_path)
+        _serve_one(socket_path, _echo_ok)
+        client_thread.join(30)
+        assert not client_thread.is_alive()
+        assert response == {"id": 2, "ok": True}
+
+
+class TestMidResponseKill:
+    """A dying peer must produce a prompt error, never a hang."""
+
+    def test_eof_before_newline_raises_connection_error(self,
+                                                        tmp_path):
+        socket_path = str(tmp_path / "torn.sock")
+
+        def tear(conn):
+            data = b""
+            while b"\n" not in data:
+                data += conn.recv(1 << 16)
+            conn.sendall(b'{"ok": true, "stdout": "partial')
+
+        _serve_one(socket_path, tear)
+        started = time.monotonic()
+        with pytest.raises(ConnectionError):
+            request({"op": "ping"}, socket_path, timeout=10.0)
+        # EOF is detected the moment the peer closes — well before
+        # the 10s read timeout.
+        assert time.monotonic() - started < 5.0
+
+    def test_immediate_close_raises_connection_error(self, tmp_path):
+        socket_path = str(tmp_path / "slam.sock")
+        _serve_one(socket_path, lambda conn: None)   # accept, close
+        with pytest.raises(ConnectionError):
+            request({"op": "ping"}, socket_path, timeout=10.0)
+
+    def test_persistent_client_surfaces_eof_per_request(self,
+                                                        tmp_path):
+        socket_path = str(tmp_path / "once.sock")
+
+        def answer_once_then_die(conn):
+            data = b""
+            while b"\n" not in data:
+                data += conn.recv(1 << 16)
+            conn.sendall(encode_line({"ok": True, "id": "a"}))
+
+        _serve_one(socket_path, answer_once_then_die)
+        with Client(socket_path, timeout=10.0) as client:
+            assert client.request({"op": "ping", "id": "a"})["ok"]
+            with pytest.raises((ConnectionError, OSError)):
+                client.request({"op": "ping", "id": "b"})

@@ -18,7 +18,7 @@ from repro.compiler import CompileResult, compile_source
 from repro.opt import OptOptions
 from repro.perf import cache as cache_mod
 from repro.perf import clear_cache, compile_cached, content_key
-from repro.perf.store import DiskStore
+from repro.perf.store import DiskStore, StoreFaults
 
 LIVERMORE5 = (pathlib.Path(__file__).resolve().parent.parent
               / "examples" / "livermore5.c").read_text()
@@ -135,6 +135,271 @@ def _writer_proc(root, key, idx):
     for _round in range(20):
         assert store.put(key, ("payload", idx, "x" * 4096))
         store.get(key)
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moves_to_quarantine_dir(self, store):
+        key = "45" + "9" * 62
+        store.put(key, list(range(50)))
+        path = store._path(key)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80torn mid-payload")
+        assert store.get(key) is None
+        assert not os.path.exists(path)
+        # The evidence is preserved, not destroyed.
+        quarantined = os.listdir(store.quarantine_dir)
+        assert len(quarantined) == 1
+        assert quarantined[0].startswith(key + ".pkl")
+        # The ledger balances: every read error has its quarantine.
+        assert store.read_errors == store.quarantined == 1
+
+    def test_read_errors_always_equal_quarantined(self, store):
+        for idx in range(3):
+            key = f"{idx:02d}" + "a" * 62
+            path = store._path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(b"garbage %d" % idx)
+            assert store.get(key) is None
+        assert store.read_errors == 3
+        assert store.quarantined == 3
+
+
+class TestTwoPhaseGC:
+    def test_eviction_tombstones_then_reaps_after_grace(self, tmp_path):
+        store = DiskStore(str(tmp_path / "gc"), max_bytes=150,
+                          min_age_s=0.0, tombstone_grace_s=3600.0)
+        old, new = "aa" + "b" * 62, "bb" + "c" * 62
+        store.put(old, "x" * 100)
+        os.utime(store._path(old), (1, 1))
+        store.put(new, "y" * 100)              # triggers eviction of old
+        assert not store.contains(old)         # gone from the live set
+        assert store.tombstoned == 1
+        assert store.gc_removed == 0           # grace not yet elapsed
+        stats = store.stats()
+        assert stats["tombstones"] == 1
+        # Within the grace period a sweep must not touch the tombstone.
+        store.sweep()
+        assert store.stats()["tombstones"] == 1
+        # After the grace period, it is reaped.
+        store.tombstone_grace_s = 0.0
+        summary = store.sweep()
+        assert summary["reaped"] == 1
+        assert store.gc_removed == 1
+        assert store.stats()["tombstones"] == 0
+
+    def test_tombstoned_entry_is_a_plain_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path / "gc"), max_bytes=10**9,
+                          min_age_s=0.0, tombstone_grace_s=3600.0)
+        key = "cc" + "d" * 62
+        store.put(key, "artifact")
+        assert store._tombstone(store._path(key), generation=1)
+        assert store.get(key) is None
+        assert store.read_errors == 0          # a miss, not corruption
+
+    def test_min_age_floor_protects_young_entries(self, tmp_path):
+        store = DiskStore(str(tmp_path / "young"), max_bytes=10**9,
+                          min_age_s=3600.0, tombstone_grace_s=0.0)
+        aged, young = "dd" + "e" * 62, "ee" + "f" * 62
+        store.put(aged, "x" * 100)
+        os.utime(store._path(aged), (1, 1))    # ancient
+        store.put(young, "y" * 100)            # just written
+        store.max_bytes = 150                  # room for one entry
+        store._evict()
+        # The aged entry is sacrificed; the young one is protected even
+        # though (mtime, size) ordering alone would not care.
+        assert not store.contains(aged)
+        assert store.contains(young)
+        assert store.evicted_young == 0
+
+    def test_forced_young_eviction_is_counted(self, tmp_path):
+        store = DiskStore(str(tmp_path / "forced"), max_bytes=10**9,
+                          min_age_s=3600.0, tombstone_grace_s=0.0)
+        for idx in range(3):
+            store.put(f"{idx:02d}" + "0" * 62, "z" * 100)
+        store.max_bytes = 150                  # every entry is young
+        store._evict()
+        # Cap pressure forced young evictions — and said so.
+        assert store.evicted_young >= 1
+        assert store.evicted_young == store.evictions
+
+    def test_sweep_summary_and_generation(self, tmp_path):
+        store = DiskStore(str(tmp_path / "sweep"))
+        generation = store.generation()
+        summary = store.sweep()
+        assert summary["generation"] == generation + 1
+        assert store.generation() == generation + 1
+        assert summary["tombstoned"] == 0
+        assert summary["reaped"] == 0
+
+    def test_sweep_clears_stale_tmp_spool(self, tmp_path):
+        store = DiskStore(str(tmp_path / "tmpgc"))
+        key = "ff" + "1" * 62
+        store.put(key, "live")
+        fanout = os.path.dirname(store._path(key))
+        stale = os.path.join(fanout, "deadbeef-crashed.tmp")
+        with open(stale, "wb") as fh:
+            fh.write(b"half a pickle")
+        os.utime(stale, (1, 1))                # ancient: crashed writer
+        fresh = os.path.join(fanout, "cafecafe-live.tmp")
+        with open(fresh, "wb") as fh:
+            fh.write(b"in-flight write")
+        summary = store.sweep()
+        assert summary["stale_tmp"] == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)           # live writers untouched
+        assert store.contains(key)
+
+
+class TestStartupRecovery:
+    def test_reopen_quarantines_torn_entries(self, tmp_path):
+        root = str(tmp_path / "recover")
+        first = DiskStore(root)
+        good, torn, empty = ("11" + "2" * 62, "22" + "3" * 62,
+                             "33" + "4" * 62)
+        first.put(good, "intact")
+        for key, payload in ((torn, b"not a pickle at all"),
+                             (empty, b"")):
+            path = first._path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(payload)
+        second = DiskStore(root)
+        assert second.recovered_torn == 2
+        assert not second.contains(torn)
+        assert not second.contains(empty)
+        assert second.get(good) == "intact"
+        # Startup recovery is bookkept separately from read-path
+        # quarantine, preserving read_errors == quarantined.
+        assert second.read_errors == second.quarantined == 0
+
+    def test_reopen_reaps_expired_tombstones_and_tmp(self, tmp_path):
+        root = str(tmp_path / "reopen")
+        first = DiskStore(root, tombstone_grace_s=0.0)
+        key = "44" + "5" * 62
+        first.put(key, "doomed")
+        first._tombstone(first._path(key), generation=7)
+        fanout = os.path.dirname(first._path(key))
+        stale = os.path.join(fanout, "00000000-crash.tmp")
+        with open(stale, "wb") as fh:
+            fh.write(b"spool debris")
+        os.utime(stale, (1, 1))
+        second = DiskStore(root, tombstone_grace_s=0.0)
+        assert second.gc_removed == 1          # tombstone reaped
+        assert second.recovered_tmp == 1       # spool debris cleared
+        assert not os.path.exists(stale)
+
+
+class TestStoreFaults:
+    def test_deterministic_for_a_seed(self):
+        a = StoreFaults(7, slow_rate=0.5, torn_rate=0.5)
+        b = StoreFaults(7, slow_rate=0.5, torn_rate=0.5)
+        payload = b"\x80" + b"x" * 99
+        assert [a.maybe_tear(payload) for _ in range(20)] == \
+            [b.maybe_tear(payload) for _ in range(20)]
+
+    def test_torn_write_is_quarantined_on_read(self, tmp_path):
+        store = DiskStore(str(tmp_path / "faulted"))
+        store.faults = StoreFaults(0, torn_rate=1.0)
+        key = "55" + "6" * 62
+        store.put(key, list(range(200)))
+        assert store.faults.torn == 1
+        assert store.get(key) is None          # torn: a miss, never junk
+        assert store.read_errors == store.quarantined == 1
+        # The slot heals on rewrite once the fault stops firing.
+        store.faults = None
+        store.put(key, "healed")
+        assert store.get(key) == "healed"
+
+
+class TestConcurrentDaemonGC:
+    """Two stores, one root, GC churning under live traffic.
+
+    The acceptance bar: across ~1000 mixed operations per process
+    (puts, gets, sweeps, eviction pressure), no reader in either
+    process ever observes a torn or wrong artifact — every get is a
+    correct hit or a clean miss (``read_errors == quarantined == 0``
+    with no fault injection installed), despite concurrent two-phase
+    removal running in both processes.
+    """
+
+    def test_two_daemons_share_a_root_safely(self, tmp_path):
+        root = str(tmp_path / "shared-root")
+        queue = multiprocessing.Queue()
+        procs = [multiprocessing.Process(target=_gc_churn_proc,
+                                         args=(root, rank, queue))
+                 for rank in range(2)]
+        for proc in procs:
+            proc.start()
+        reports = [queue.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        for report in reports:
+            assert report["failures"] == []
+            assert report["ops"] >= 1000
+            # Crash-safe GC's whole claim: concurrent sweeps never
+            # manufacture corruption.
+            assert report["read_errors"] == report["quarantined"] == 0
+        # Both processes ran real GC traffic, not a quiet no-op.
+        assert sum(r["tombstoned"] for r in reports) > 0
+        # The hot keys each process kept re-writing survived to the end.
+        survivor = DiskStore(root, max_bytes=10**9)
+        for rank in range(2):
+            artifact = survivor.get(_hot_key(rank))
+            assert artifact is not None
+            assert artifact[0] == ("hot", rank)
+
+
+def _hot_key(rank):
+    return f"{rank:02d}" + "e" * 62
+
+
+def _gc_churn_proc(root, rank, queue):
+    """~1000 mixed store ops with aggressive GC; report invariants."""
+    import random as random_mod
+    rng = random_mod.Random(1000 + rank)
+    store = DiskStore(root, max_bytes=64 * 1024, min_age_s=0.0,
+                      tombstone_grace_s=0.05)
+    written = {}
+    failures = []
+    ops = 0
+    for step in range(1100):
+        ops += 1
+        roll = rng.random()
+        if roll < 0.35:                        # put a cold key
+            key = f"{rank:02d}" + f"{rng.randrange(64):02x}" * 31
+            value = ("cold", rank, step, "x" * rng.randrange(256, 2048))
+            if store.put(key, value):
+                written[key] = value
+        elif roll < 0.55:                      # refresh the hot key
+            value = (("hot", rank), step, "y" * 512)
+            store.put(_hot_key(rank), value)
+            written[_hot_key(rank)] = value
+        elif roll < 0.9:                       # read something back
+            if not written:
+                continue
+            key = rng.choice(list(written))
+            artifact = store.get(key)
+            # Eviction may have removed it (a clean miss); what it may
+            # never be is present-but-wrong or torn.
+            if artifact is not None and artifact != written[key] \
+                    and key != _hot_key(rank):
+                failures.append(f"step {step}: wrong bytes for {key}")
+        else:                                  # GC pass
+            store.sweep()
+    # Re-publish the hot key last so the parent can assert liveness.
+    store.put(_hot_key(rank), (("hot", rank), "final", "z" * 512))
+    stats = store.stats()
+    queue.put({
+        "rank": rank,
+        "ops": ops,
+        "failures": failures[:10],
+        "read_errors": stats["read_errors"],
+        "quarantined": stats["quarantined"],
+        "tombstoned": stats["tombstoned"],
+        "gc_removed": stats["gc_removed"],
+    })
 
 
 class TestContentKey:
